@@ -1,0 +1,475 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index E1-E7 / F1-F8),
+   printing paper-reported values next to our measured ones, runs the
+   ablation benches DESIGN.md calls out, and finishes with bechamel
+   micro-benchmarks of the machinery itself.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- quick   # skip the slowest sections *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let row3 label paper ours =
+  Fmt.pr "  %-28s %20s %20s@." label paper ours
+
+let commas n =
+  (* humane thousands separators for the big counts *)
+  let s = string_of_int n in
+  let b = Buffer.create 24 in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (String.length s - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* ================================================================== *)
+
+let e1 () =
+  section "E1 (paper 5.3.1): aggregated gate count of o4_POW17, l=4 n=3 r=2";
+  let p = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let s = Gatecount.summarize b in
+  Fmt.pr "%a" Gatecount.pp_summary s;
+  row3 "" "paper" "this repo";
+  row3 "total gates" "9,632" (commas s.Gatecount.total);
+  row3 "inputs / outputs" "4 / 8" (Fmt.str "%d / %d" s.Gatecount.inputs s.Gatecount.outputs);
+  row3 "qubits in circuit" "71" (string_of_int s.Gatecount.qubits);
+  row3 "max controls on a Not" "2"
+    (string_of_int
+       (Gatecount.Counts.fold
+          (fun k _ acc ->
+            if k.Gatecount.kind = "Not" then
+              max acc (k.Gatecount.pos_controls + k.Gatecount.neg_controls)
+            else acc)
+          s.Gatecount.counts 0))
+
+let e2 () =
+  section "E2 (paper 5.4): oracle-only gate count, l=31 n=15 r=9";
+  let p = { Algo_tf.Oracle.l = 31; n = 15; r = 9 } in
+  let b, dt = time (fun () -> Algo_tf.Qwtfp.generate_oracle ~p ()) in
+  let s = Gatecount.summarize b in
+  row3 "" "paper" "this repo";
+  row3 "total gates" "2,051,926" (commas s.Gatecount.total);
+  row3 "qubits" "1,462" (commas s.Gatecount.qubits);
+  Fmt.pr "  (generated and counted in %.2fs)@." dt
+
+let e3 () =
+  section "E3 (paper 5.4): whole Triangle Finding algorithm, l=31 n=15 r=6";
+  if quick then Fmt.pr "  [skipped in quick mode: ~25s]@."
+  else begin
+    let p = { Algo_tf.Oracle.l = 31; n = 15; r = 6 } in
+    let b, gen_t = time (fun () -> Algo_tf.Qwtfp.generate ~p ()) in
+    let s, count_t = time (fun () -> Gatecount.summarize b) in
+    row3 "" "paper" "this repo";
+    row3 "total gates" "30,189,977,982,990" (commas s.Gatecount.total);
+    row3 "qubits" "4,676" (commas s.Gatecount.qubits);
+    row3 "generation wall time" "< 2 min (laptop)" (Fmt.str "%.1fs" gen_t);
+    row3 "counting wall time" "(included above)" (Fmt.str "%.2fs" count_t);
+    Fmt.pr
+      "  Trillions of gates are counted without inlining: the hierarchy of@.\
+      \  boxed subcircuits (o7/o8/o4/o1/a5/a6/a4) multiplies per-call costs.@."
+  end
+
+let e4 () =
+  section "E4 (paper 6): BWT circuits, QCL vs Quipper orthodox vs template";
+  let qcl = Qcl_baseline.Bwt_qcl.generate () in
+  let orth = Algo_bwt.generate ~which:`Orthodox () in
+  let tmpl = Algo_bwt.generate ~which:`Template () in
+  let cq = Gatecount.aggregate qcl
+  and co = Gatecount.aggregate orth
+  and ct = Gatecount.aggregate tmpl in
+  let nots c =
+    Gatecount.Counts.fold
+      (fun k v acc ->
+        if k.Gatecount.kind = "Not" then
+          let d = k.Gatecount.pos_controls + k.Gatecount.neg_controls in
+          let a0, a1, a2 = acc in
+          if d = 0 then (a0 + v, a1, a2)
+          else if d = 1 then (a0, a1 + v, a2)
+          else (a0, a1, a2 + v)
+        else acc)
+      c (0, 0, 0)
+  in
+  let n0q, n1q, n2q = nots cq in
+  let n0o, n1o, n2o = nots co in
+  let n0t, n1t, n2t = nots ct in
+  let w c = Gatecount.find_kind c "W" + Gatecount.find_kind c "W*" in
+  let rot c = Gatecount.find_kind c "exp(-i%Z)" in
+  Fmt.pr "  %-8s | %21s | %21s | %21s@." "" "QCL" "orthodox" "template";
+  Fmt.pr "  %-8s | %10s %10s | %10s %10s | %10s %10s@." "" "paper" "ours" "paper"
+    "ours" "paper" "ours";
+  let line name pq po pt vq vo vt =
+    Fmt.pr "  %-8s | %10s %10d | %10s %10d | %10s %10d@." name pq vq po vo pt vt
+  in
+  line "Init" "58" "313" "777"
+    (Gatecount.find_kind cq "Init0" + Gatecount.find_kind cq "Init1")
+    (Gatecount.find_kind co "Init0" + Gatecount.find_kind co "Init1")
+    (Gatecount.find_kind ct "Init0" + Gatecount.find_kind ct "Init1");
+  line "Not" "746" "8" "0" n0q n0o n0t;
+  line "CNot1" "9012" "472" "344" n1q n1o n1t;
+  line "CNot2" "7548" "768" "1760" n2q n2o n2t;
+  line "e-itZ" "4" "4" "4" (rot cq) (rot co) (rot ct);
+  line "W" "48" "48" "48" (w cq) (w co) (w ct);
+  line "Term" "0" "307" "771"
+    (Gatecount.find_kind cq "Term0" + Gatecount.find_kind cq "Term1")
+    (Gatecount.find_kind co "Term0" + Gatecount.find_kind co "Term1")
+    (Gatecount.find_kind ct "Term0" + Gatecount.find_kind ct "Term1");
+  line "Meas" "0" "6" "6" (Gatecount.find_kind cq "Meas")
+    (Gatecount.find_kind co "Meas") (Gatecount.find_kind ct "Meas");
+  line "Total" "17358" "1300" "2156" (Gatecount.total_logical cq)
+    (Gatecount.total_logical co) (Gatecount.total_logical ct);
+  line "Qubits" "58" "26" "108"
+    (Gatecount.peak_wires qcl) (Gatecount.peak_wires orth) (Gatecount.peak_wires tmpl);
+  Fmt.pr
+    "  Shape check: QCL >> orthodox on gates (%dx here, ~13x in the paper);@.\
+    \  QCL ~2-3x orthodox on qubits; template trades more qubits and@.\
+    \  Init/Term for automatic generation, staying far below QCL's total.@."
+    (Gatecount.total_logical cq / max 1 (Gatecount.total_logical co))
+
+let e5 () =
+  section "E5 (paper 4.6.1): the parity oracle's wire budget";
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 4 Qdata.qubit) Quipper_template.Build.parity
+  in
+  let s = Gatecount.summarize b in
+  row3 "" "paper" "this repo";
+  row3 "template: wires (4 inputs)" "7" (string_of_int s.Gatecount.qubits);
+  let shape = Qdata.pair (Qdata.list_of 4 Qdata.qubit) Qdata.qubit in
+  let b2, _ =
+    Circ.generate ~in_:shape
+      (Quipper_template.Oracle.classical_to_reversible ~out:Qdata.qubit
+         Quipper_template.Build.parity)
+  in
+  let s2 = Gatecount.summarize b2 in
+  row3 "reversible: persistent wires" "5" (string_of_int s2.Gatecount.outputs);
+  row3 "reversible: inits = terms" "yes"
+    (if
+       Gatecount.find_kind s2.Gatecount.counts "Init0"
+       = Gatecount.find_kind s2.Gatecount.counts "Term0"
+     then "yes"
+     else "NO")
+
+let e6 () =
+  section "E6 (paper 4.6.1): the sin(x) oracle over 32+32-bit fixed point";
+  if quick then Fmt.pr "  [skipped in quick mode]@."
+  else begin
+    let b, dt = time (fun () -> Algo_qls.generate_sin ()) in
+    let s = Gatecount.summarize b in
+    row3 "" "paper" "this repo";
+    row3 "total gates" "3,273,010" (commas s.Gatecount.total);
+    row3 "qubits" "(not reported)" (commas s.Gatecount.qubits);
+    Fmt.pr "  (generated in %.1fs; our structured adders undercut the paper's@." dt;
+    Fmt.pr "   sharing-free lifted arithmetic by ~5x — same order of magnitude)@."
+  end
+
+let e7 () =
+  section "E7 (paper 4.6.1): the Hex flood-fill oracle, 9x7 board";
+  if quick then Fmt.pr "  [skipped in quick mode]@."
+  else begin
+    let b, dt = time (fun () -> Algo_bf.generate_oracle ()) in
+    let s = Gatecount.summarize b in
+    let b2, dt2 = time (fun () -> Algo_bf.generate_oracle_moves ()) in
+    let s2 = Gatecount.summarize b2 in
+    row3 "" "paper" "this repo";
+    row3 "board-input oracle (shared)" "-" (commas s.Gatecount.total);
+    row3 "record-input oracle (no CSE)" "-" (commas s2.Gatecount.total);
+    row3 "paper's oracle" "2,800,000" "(between the two)";
+    Fmt.pr
+      "  (%.1fs + %.1fs; the paper's lifted implementation shares less than@.\
+      \   our board oracle and more than our fully re-expanded record oracle,@.\
+      \   so its 2.8M gates fall between our %s and %s)@."
+      dt dt2 (commas s.Gatecount.total) (commas s2.Gatecount.total)
+  end
+
+(* ================================================================== *)
+(* Figures *)
+
+let figure title c =
+  Fmt.pr "@.--- %s ---@." title;
+  print_string (Ascii.render ~max_columns:200 c)
+
+let figures () =
+  section "Figures (ASCII renderings of the paper's circuit diagrams)";
+  let open Circ in
+  let mycirc (a, b) =
+    let* a = hadamard a in
+    let* b = hadamard b in
+    let* () = cnot ~control:a ~target:b in
+    return (a, b)
+  in
+  let pair2 = Qdata.pair Qdata.qubit Qdata.qubit in
+  let b, _ = Circ.generate ~in_:pair2 mycirc in
+  figure "F4 (4.4.1) mycirc" b.Circuit.main;
+  let b, _ =
+    Circ.generate ~in_:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+      (fun (a, b, c) ->
+        with_ancilla (fun x ->
+            let* () = qnot_ x |> controlled [ ctl a; ctl b ] in
+            let* () = hadamard_ c |> controlled [ ctl x ] in
+            let* () = qnot_ x |> controlled [ ctl a; ctl b ] in
+            return (a, b, c)))
+  in
+  figure "F5 (4.4.2) mycirc3: scoped ancilla 0|- ... -|0" b.Circuit.main;
+  let timestep (a, b, c) =
+    let* _ = mycirc (a, b) in
+    let* () = qnot_ c |> controlled [ ctl a; ctl b ] in
+    let* _ = reverse_simple pair2 mycirc (a, b) in
+    return (a, b, c)
+  in
+  let b, _ =
+    Circ.generate ~in_:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit) timestep
+  in
+  figure "F6a (4.4.3) timestep" b.Circuit.main;
+  let b2 = Decompose.decompose_generic Decompose.Binary b in
+  figure "F6b (4.4.3) timestep2 = decompose_generic Binary (V / V* ladder)"
+    b2.Circuit.main;
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 4 Qdata.qubit) Quipper_template.Build.parity
+  in
+  figure "F7a (4.6.1) template_f on 4 qubits" b.Circuit.main;
+  let shape = Qdata.pair (Qdata.list_of 4 Qdata.qubit) Qdata.qubit in
+  let b, _ =
+    Circ.generate ~in_:shape
+      (Quipper_template.Oracle.classical_to_reversible ~out:Qdata.qubit
+         Quipper_template.Build.parity)
+  in
+  figure "F7b (4.6.1) classical_to_reversible (unpack template_f)" b.Circuit.main;
+  let m = 2 in
+  let shape = Qdata.triple (Qureg.shape m) (Qureg.shape m) Qdata.qubit in
+  let b, _ =
+    Circ.generate ~in_:shape (fun (a, bb, r) ->
+        let* () = Algo_bwt.timestep ~dt:0.3 a bb r in
+        return (a, bb, r))
+  in
+  figure "F1: the BWT diffusion timestep (W / e^{-iZt} / W*)" b.Circuit.main;
+  let p = { Algo_tf.Oracle.l = 2; n = 2; r = 1 } in
+  let b = Algo_tf.Qwtfp.generate_mul ~p () in
+  figure "F3 (5.3.1): o8_MUL top level (boxed o7_ADD / double_TF ladder)"
+    b.Circuit.main;
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  figure "F2 (5.3.1): o4_POW17 top level (call gate into the o4 box)" b.Circuit.main;
+  (match Circuit.Namespace.find_opt "o4" b.Circuit.subs with
+  | Some sub ->
+      figure "F2 (cont.): inside the o4 box — o8 calls and their mirrored o8* inverses"
+        sub.Circuit.circ
+  | None -> ());
+  let b = Algo_tf.Qwtfp.generate_qwsh ~p () in
+  match Circuit.Namespace.find_opt "a6" b.Circuit.subs with
+  | Some sub ->
+      figure "F8 (5.3.2): inside a6_QWSH — diffusion, qRAM sandwich, a14 swap"
+        sub.Circuit.circ
+  | None -> ()
+
+(* ================================================================== *)
+(* Ablations (DESIGN.md)                                               *)
+
+let ablations () =
+  section "Ablations";
+  (* 1. control trimming in with_computed *)
+  let l = 6 in
+  let with_trim flag f =
+    Circ.control_trimming := flag;
+    Fun.protect ~finally:(fun () -> Circ.control_trimming := true) f
+  in
+  let count () =
+    (* the unboxed multiplier, so the ambient control reaches the
+       with_computed sandwiches inside *)
+    let b, _ =
+      Circ.generate
+        ~in_:(Qdata.pair Qdata.qubit (Qdata.pair (Qureg.shape l) (Qureg.shape l)))
+        (fun (c, (x, y)) ->
+          Circ.with_controls [ Circ.ctl c ] (Quipper_arith.Qinttf.mul ~x ~y ()))
+    in
+    (* trimming changes control arity, so its cost shows up after
+       decomposition into the Toffoli base *)
+    let d = Decompose.decompose_generic Decompose.Toffoli b in
+    Gatecount.total (Gatecount.aggregate d)
+  in
+  let trimmed = with_trim true count in
+  let untrimmed = with_trim false count in
+  Fmt.pr "  controlled TF multiplication (l=6), Toffoli base: %d gates with@." trimmed;
+  Fmt.pr "  with_computed control trimming (Quipper's behaviour) vs %d@." untrimmed;
+  Fmt.pr "  without — %.2fx@."
+    (Float.of_int untrimmed /. Float.of_int trimmed);
+  (* 2. peephole optimizer: compute followed by its reverse melts away *)
+  let p17 = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  let b, _ =
+    Circ.generate ~in_:(Qureg.shape p17.Algo_tf.Oracle.l) (fun x ->
+        let open Circ in
+        let pair_sh =
+          Qdata.pair (Qureg.shape p17.Algo_tf.Oracle.l) (Qureg.shape p17.Algo_tf.Oracle.l)
+        in
+        let* x, x17 = Algo_tf.Oracle.o4_POW17 ~l:p17.Algo_tf.Oracle.l x in
+        reverse_fun ~in_:(Qureg.shape p17.Algo_tf.Oracle.l) ~out:pair_sh
+          (Algo_tf.Oracle.o4_POW17 ~l:p17.Algo_tf.Oracle.l)
+          (x, x17))
+  in
+  let before = Gatecount.total (Gatecount.aggregate b) in
+  let after = Gatecount.total (Gatecount.aggregate (Transform.cancel_inverses b)) in
+  Fmt.pr "  peephole on POW17;POW17* (l=4): %d -> %d gates@." before after;
+  (* 3. boxed vs inlined counting *)
+  let p = { Algo_tf.Oracle.l = 8; n = 4; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_oracle ~p () in
+  let _, t_boxed = time (fun () -> Gatecount.aggregate b) in
+  let flat, t_inline = time (fun () -> Circuit.inline b) in
+  let _, t_flat = time (fun () -> Gatecount.shallow flat) in
+  Fmt.pr
+    "  counting the l=8 oracle: %.4fs hierarchically vs %.4fs inlining@.\
+    \  + %.4fs counting flat (%d gates) — and inlining is impossible at@.\
+    \  the paper's l=31 n=15 r=6 scale@."
+    t_boxed t_inline t_flat (Array.length flat.Circuit.gates);
+  (* 4. decomposition cost *)
+  let p = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let base = Gatecount.total (Gatecount.aggregate b) in
+  let tof =
+    Gatecount.total (Gatecount.aggregate (Decompose.decompose_generic Decompose.Toffoli b))
+  in
+  let bin =
+    Gatecount.total (Gatecount.aggregate (Decompose.decompose_generic Decompose.Binary b))
+  in
+  Fmt.pr "  POW17 (l=4) gate totals by base: default %d, Toffoli %d, Binary %d@."
+    base tof bin;
+  (* 5. the Alternatives module (paper 5.2): same semantics, different costs *)
+  let p = { Algo_tf.Oracle.l = 3; n = 2; r = 3 } in
+  let shape =
+    Qdata.triple
+      (Qdata.list_of (1 lsl p.Algo_tf.Oracle.r) (Qureg.shape p.Algo_tf.Oracle.n))
+      (Qureg.shape p.Algo_tf.Oracle.r)
+      (Qureg.shape p.Algo_tf.Oracle.n)
+  in
+  let qram_cost fetch =
+    let b, _ =
+      Circ.generate ~in_:shape (fun (tt, i, ttd) ->
+          let open Circ in
+          let* () = fetch i (Array.of_list tt) ttd in
+          return (tt, i, ttd))
+    in
+    let d = Decompose.decompose_generic Decompose.Toffoli b in
+    Gatecount.total (Gatecount.aggregate d)
+  in
+  let direct = qram_cost (fun i tt ttd -> Algo_tf.Qwtfp.qram_fetch ~p i tt ttd) in
+  let selswap =
+    qram_cost (fun i tt ttd -> Algo_tf.Alternatives.qram_fetch_swap ~p i tt ttd)
+  in
+  Fmt.pr
+    "  qRAM fetch (r=3), Toffoli base: direct (wide controls) %d gates vs@.\
+    \  select-swap %d gates@."
+    direct selswap;
+  let l = 4 in
+  let pow_cost f =
+    let b, _ = Circ.generate ~in_:(Qureg.shape l) f in
+    Gatecount.total (Gatecount.aggregate b)
+  in
+  Fmt.pr "  POW17 (l=4): square-chain %d gates vs naive powering %d gates@."
+    (pow_cost (fun x -> Algo_tf.Oracle.o4_POW17 ~l x))
+    (pow_cost (fun x -> Algo_tf.Alternatives.o4_POW17_naive ~l x));
+  (* 6. ancilla-pool wire allocation (paper 4.2.1) *)
+  let p = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let flat = Circuit.inline b in
+  let before = Allocate.width_of flat in
+  let after = Allocate.width_of (Allocate.compact_circuit flat) in
+  Fmt.pr
+    "  ancilla pool (4.2.1): inlined POW17 uses %d distinct wire ids;@.\
+    \  register allocation packs them into %d physical wires (= the peak)@."
+    before after;
+  Fmt.pr "  POW17 depth (upper bound): %d over %d gates@."
+    (Depth.depth b)
+    (Gatecount.total (Gatecount.aggregate b))
+
+(* ================================================================== *)
+(* Bechamel micro-benchmarks                                           *)
+
+let benchmarks () =
+  section "Bechamel micro-benchmarks (machinery throughput)";
+  let open Bechamel in
+  let test_gen =
+    Test.make ~name:"generate o8_MUL l=8"
+      (Staged.stage (fun () ->
+           ignore
+             (Algo_tf.Qwtfp.generate_mul ~p:{ Algo_tf.Oracle.l = 8; n = 4; r = 2 } ())))
+  in
+  let big =
+    Algo_tf.Qwtfp.generate_oracle ~p:{ Algo_tf.Oracle.l = 16; n = 8; r = 3 } ()
+  in
+  let test_count =
+    Test.make ~name:"aggregate-count l=16 oracle"
+      (Staged.stage (fun () -> ignore (Gatecount.aggregate big)))
+  in
+  let test_sim =
+    Test.make ~name:"statevector: 10-qubit QFT"
+      (Staged.stage (fun () ->
+           let open Circ in
+           ignore
+             (Quipper_sim.Statevector.run_fun ~seed:1 ~in_:(Qureg.shape 10) 0
+                (fun r ->
+                  let* () = Quipper_primitives.Qft.qft r in
+                  return r))))
+  in
+  let test_clifford =
+    Test.make ~name:"clifford: 40-qubit GHZ chain"
+      (Staged.stage (fun () ->
+           let open Circ in
+           ignore
+             (Quipper_sim.Clifford.run_fun ~seed:1 ~in_:(Qureg.shape 40) 0
+                (fun r ->
+                  let* () = hadamard_ r.(0) in
+                  let* () =
+                    iterm
+                      (fun i -> cnot ~control:r.(i) ~target:r.(i + 1))
+                      (List.init 39 Fun.id)
+                  in
+                  return r))))
+  in
+  let test_bwt =
+    Test.make ~name:"generate BWT orthodox"
+      (Staged.stage (fun () -> ignore (Algo_bwt.generate ~which:`Orthodox ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"quipper"
+      [ test_gen; test_count; test_sim; test_clifford; test_bwt ]
+  in
+  let benchmark () =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Fmt.pr "  %-36s %14.0f ns/run@." name est
+      | _ -> Fmt.pr "  %-36s (no estimate)@." name)
+    results
+
+(* ================================================================== *)
+
+let () =
+  Fmt.pr "Quipper-in-OCaml reproduction harness (paper: Green et al., PLDI 2013)@.";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  figures ();
+  ablations ();
+  benchmarks ();
+  Fmt.pr "@.Done.@."

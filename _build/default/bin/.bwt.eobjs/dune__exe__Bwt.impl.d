@@ -1,0 +1,1 @@
+bin/bwt.ml: Algo_bwt Arg Ascii Cmd Cmdliner Fmt Gatecount Printer Qcl_baseline Quipper Term

@@ -1,0 +1,1 @@
+bin/tf.ml: Algo_tf Arg Ascii Cmd Cmdliner Decompose Depth Fmt Gatecount List Printer Quipper Term

@@ -1,0 +1,43 @@
+(* The [bwt] command line: generate the Binary Welded Tree circuit with
+   the hand-coded ("orthodox") oracle, the template (lifted) oracle, or
+   the QCL-style baseline generator — the three columns of the paper's §6
+   comparison table. *)
+
+open Cmdliner
+open Quipper
+
+let run which format n s =
+  let p = { Algo_bwt.n; s; dt = Algo_bwt.default_params.Algo_bwt.dt } in
+  let b =
+    match which with
+    | "orthodox" -> Algo_bwt.generate ~p ~which:`Orthodox ()
+    | "template" -> Algo_bwt.generate ~p ~which:`Template ()
+    | "qcl" -> Qcl_baseline.Bwt_qcl.generate ~p ()
+    | s -> Fmt.failwith "unknown oracle %S (try orthodox, template, qcl)" s
+  in
+  (match format with
+  | "gatecount" -> Fmt.pr "%a@." Gatecount.pp_summary (Gatecount.summarize b)
+  | "text" -> Printer.print b
+  | "ascii" -> Ascii.print ~max_columns:400 b
+  | f -> Fmt.failwith "unknown format %S" f);
+  0
+
+let which =
+  Arg.(
+    value & opt string "orthodox"
+    & info [ "o"; "oracle" ] ~docv:"WHICH"
+        ~doc:"Implementation: orthodox, template, or qcl (the baseline generator).")
+
+let format =
+  Arg.(
+    value & opt string "gatecount"
+    & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"gatecount, text or ascii.")
+
+let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Tree depth parameter.")
+let s_arg = Arg.(value & opt int 1 & info [ "s" ] ~docv:"S" ~doc:"Number of timesteps.")
+
+let cmd =
+  let doc = "The Binary Welded Tree algorithm (Quipper paper, section 6 comparison)." in
+  Cmd.v (Cmd.info "bwt" ~doc) Term.(const run $ which $ format $ n_arg $ s_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,112 @@
+(* The [tf] command line, mirroring the paper's §5.2/§5.4 usage:
+
+     ./tf -f gatecount -o orthodox -l 31 -n 15 -r 6
+     ./tf -s pow17 -l 4 -n 3 -r 2
+     ./tf -f gatecount -O -o orthodox -l 31 -n 15 -r 9
+
+   "Its command line interface allows the user, for example, to plug in
+   different oracles, show different parts of the circuit, select a gate
+   base, select different output formats, and select parameter values for
+   l, n and r." *)
+
+open Cmdliner
+open Quipper
+
+type format = Gatecount | Text | AsciiArt
+
+let generate ~subroutine ~oracle_only ~p =
+  ignore oracle_only;
+  match subroutine with
+  | Some "pow17" -> Algo_tf.Qwtfp.generate_pow17 ~p ()
+  | Some "mul" -> Algo_tf.Qwtfp.generate_mul ~p ()
+  | Some "qwsh" -> Algo_tf.Qwtfp.generate_qwsh ~p ()
+  | Some "oracle" -> Algo_tf.Qwtfp.generate_oracle ~p ()
+  | Some s -> Fmt.failwith "unknown subroutine %S (try pow17, mul, qwsh, oracle)" s
+  | None ->
+      if oracle_only then Algo_tf.Qwtfp.generate_oracle ~p ()
+      else Algo_tf.Qwtfp.generate ~p ()
+
+let run format subroutine oracle_only gate_base simulate l n r =
+  let p = { Algo_tf.Oracle.l; n; r } in
+  if simulate then
+    if Algo_tf.Simulate.run ~p then 0 else 1
+  else begin
+  let b = generate ~subroutine ~oracle_only ~p in
+  let b =
+    match gate_base with
+    | Some "binary" -> Decompose.decompose_generic Decompose.Binary b
+    | Some "toffoli" -> Decompose.decompose_generic Decompose.Toffoli b
+    | Some base -> Fmt.failwith "unknown gate base %S (try binary, toffoli)" base
+    | None -> b
+  in
+  (match format with
+  | Gatecount ->
+      (* per-box counts first, then the aggregate, as in the paper 5.3.1 *)
+      List.iter
+        (fun (name, s) ->
+          Fmt.pr "Subroutine %S: %d gates, %d qubits@." name s.Gatecount.total
+            s.Gatecount.qubits)
+        (Gatecount.per_subroutine b);
+      Fmt.pr "%a" Gatecount.pp_summary (Gatecount.summarize b);
+      Fmt.pr "Depth (upper bound): %d@." (Depth.depth b)
+  | Text -> Printer.print b
+  | AsciiArt -> Ascii.print ~max_columns:400 b);
+  0
+  end
+
+let format =
+  let parse = function
+    | "gatecount" -> Ok Gatecount
+    | "text" -> Ok Text
+    | "ascii" -> Ok AsciiArt
+    | s -> Error (`Msg (Fmt.str "unknown format %S" s))
+  in
+  let print ppf = function
+    | Gatecount -> Fmt.string ppf "gatecount"
+    | Text -> Fmt.string ppf "text"
+    | AsciiArt -> Fmt.string ppf "ascii"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Gatecount
+    & info [ "f"; "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: gatecount, text or ascii.")
+
+let subroutine =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "subroutine" ] ~docv:"NAME"
+        ~doc:"Show only the named part of the circuit (pow17, mul, qwsh, oracle).")
+
+let oracle_only =
+  Arg.(
+    value & flag
+    & info [ "O" ] ~doc:"Generate the oracle only (as in the paper's -O).")
+
+let gate_base =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "g"; "gate-base" ] ~docv:"BASE"
+        ~doc:"Decompose into a gate base (binary or toffoli) before output.")
+
+let simulate =
+  Arg.(
+    value & flag
+    & info [ "simulate" ]
+        ~doc:"Run the oracle test suite (the paper's Simulate module) instead.")
+
+let l_arg = Arg.(value & opt int 4 & info [ "l" ] ~docv:"L" ~doc:"Oracle integer width.")
+let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Graph has 2^N nodes.")
+let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Hamming tuples have size 2^R.")
+
+let cmd =
+  let doc = "The Triangle Finding algorithm, as implemented in the Quipper paper (section 5)." in
+  Cmd.v
+    (Cmd.info "tf" ~doc)
+    Term.(
+      const run $ format $ subroutine $ oracle_only $ gate_base $ simulate
+      $ l_arg $ n_arg $ r_arg)
+
+let () = exit (Cmd.eval' cmd)

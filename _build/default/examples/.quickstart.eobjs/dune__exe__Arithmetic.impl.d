@@ -1,0 +1,1 @@
+examples/arithmetic.ml: Ascii Circ Circuit Fmt Gatecount List Qdata Quipper Quipper_arith Quipper_sim Stdlib

@@ -1,0 +1,1 @@
+examples/bwt_demo.ml: Algo_bwt Array Ascii Circ Circuit Fmt Fun Gatecount List Qcl_baseline Qdata Quipper Quipper_arith Quipper_math Quipper_sim Wire

@@ -1,0 +1,1 @@
+examples/bwt_demo.mli:

@@ -1,0 +1,1 @@
+examples/grover_search.ml: Bool Circ Fmt Fun Gatecount List Qdata Quipper Quipper_primitives Quipper_sim Quipper_template Wire

@@ -1,0 +1,1 @@
+examples/gse_h2.ml: Algo_gse Float Fmt Gatecount List Qdata Quipper Quipper_arith Quipper_sim

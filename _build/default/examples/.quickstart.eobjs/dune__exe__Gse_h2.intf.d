@@ -1,0 +1,1 @@
+examples/gse_h2.mli:

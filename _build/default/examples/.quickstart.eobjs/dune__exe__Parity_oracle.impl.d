@@ -1,0 +1,1 @@
+examples/parity_oracle.ml: Ascii Circ Circuit Fmt Gatecount List Qdata Quipper Quipper_sim Quipper_template

@@ -1,0 +1,1 @@
+examples/period_finding.ml: Algo_cl Array Fmt Gatecount Hashtbl List Option Qdata Quipper Quipper_sim Wire

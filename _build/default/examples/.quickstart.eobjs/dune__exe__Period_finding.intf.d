@@ -1,0 +1,1 @@
+examples/period_finding.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ascii Circ Circuit Decompose Fmt Qdata Quipper Quipper_sim

@@ -1,0 +1,1 @@
+examples/teleport.ml: Circ Errors Fmt List Qdata Quipper Quipper_sim Wire

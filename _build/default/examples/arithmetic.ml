@@ -1,0 +1,99 @@
+(* Quantum arithmetic (paper §4.5's QDInt / QIntTF / FPReal libraries):
+   build adders, multipliers and the Triangle-Finding modular arithmetic,
+   print small instances, and validate them with the classical simulator.
+
+   Run with:  dune exec examples/arithmetic.exe *)
+
+open Quipper
+open Circ
+module Qdint = Quipper_arith.Qdint
+module Qinttf = Quipper_arith.Qinttf
+module Fpreal = Quipper_arith.Fpreal
+module Classical = Quipper_sim.Classical
+
+let () =
+  (* a 3-bit Cuccaro adder, drawn *)
+  Fmt.pr "=== 3-bit in-place adder (y += x), Cuccaro ripple-carry ===@.";
+  let w2 = Qdata.pair (Qdint.shape 3) (Qdint.shape 3) in
+  let add (x, y) =
+    let* () = Qdint.add_in_place ~x ~y () in
+    return (x, y)
+  in
+  let b, _ = Circ.generate ~in_:w2 add in
+  print_string (Ascii.render b.Circuit.main);
+
+  (* exhaustive validation on 6-bit operands *)
+  let w6 = Qdata.pair (Qdint.shape 6) (Qdint.shape 6) in
+  let errors = ref 0 in
+  for x = 0 to 63 do
+    for y = 0 to 63 do
+      let _, y' =
+        Classical.run_oracle ~in_:w6 ~out:w6 (x, y) (fun (x, y) ->
+            let* () = Qdint.add_in_place ~x ~y () in
+            return (x, y))
+      in
+      if y' <> (x + y) land 63 then incr errors
+    done
+  done;
+  Fmt.pr "6-bit adder checked on all 4096 operand pairs: %d errors@.@." !errors;
+
+  (* multiplication *)
+  let wmul = Qdata.pair w6 (Qdint.shape 6) in
+  let errors = ref 0 in
+  for t = 0 to 99 do
+    let x = (t * 7) land 63 and y = (t * 13 + 5) land 63 in
+    let _, p =
+      Classical.run_oracle ~in_:w6 ~out:wmul (x, y) (fun (x, y) ->
+          let* p = Qdint.mult ~x ~y () in
+          return ((x, y), p))
+    in
+    if p <> x * y land 63 then incr errors
+  done;
+  Fmt.pr "6-bit multiplier checked on 100 operand pairs: %d errors@.@." !errors;
+
+  (* QIntTF: the Triangle Finding oracle's arithmetic mod 2^l - 1 *)
+  Fmt.pr "=== QIntTF: arithmetic modulo 2^l - 1 (paper 5.3.1) ===@.";
+  let l = 5 in
+  let wtf = Qdata.pair (Qinttf.shape l) (Qinttf.shape l) in
+  let errors = ref 0 in
+  for x = 0 to 31 do
+    for y = 0 to 31 do
+      let _, s =
+        Classical.run_oracle ~in_:wtf ~out:(Qdata.pair wtf (Qinttf.shape l)) (x, y)
+          (fun (x, y) ->
+            let* s = Qinttf.add ~x ~y () in
+            return ((x, y), s))
+      in
+      if s <> Qinttf.add_sem ~l x y then incr errors
+    done
+  done;
+  Fmt.pr "5-bit mod-(2^5 - 1) adder checked exhaustively: %d errors@." !errors;
+  Fmt.pr "doubling mod 2^l - 1 emits no gates at all (a wire rotation):@.";
+  let b, _ =
+    Circ.generate ~in_:(Qinttf.shape l) (fun x ->
+        let x2 = Qinttf.double x in
+        return x2)
+  in
+  Fmt.pr "  gates in double: %d@.@."
+    (Gatecount.total (Gatecount.aggregate b));
+
+  (* fixed-point sin(x) *)
+  Fmt.pr "=== FPReal sin(x) (paper 4.6.1's Linear-Systems oracle) ===@.";
+  let wfp = Fpreal.shape ~int_bits:3 ~frac_bits:12 in
+  List.iter
+    (fun xf ->
+      let _, s =
+        Classical.run_oracle ~in_:wfp ~out:(Qdata.pair wfp wfp) xf (fun x ->
+            let* s = Fpreal.sin x in
+            return (x, s))
+      in
+      Fmt.pr "  sin(%.4f) = %.5f   (float: %.5f)@." xf s (Stdlib.sin xf))
+    [ 0.0; 0.375; 0.75; 1.125; 1.5 ];
+  let b =
+    let shape = Fpreal.shape ~int_bits:8 ~frac_bits:8 in
+    let b, _ = Circ.generate ~in_:shape (fun x -> Fpreal.sin x) in
+    b
+  in
+  let s = Gatecount.summarize b in
+  Fmt.pr "sin over 8+8 bits: %d gates, %d qubits (paper: 3273010 gates at 32+32)@."
+    s.Gatecount.total s.Gatecount.qubits

@@ -1,0 +1,103 @@
+(* Binary Welded Tree demo (paper §6 + §3.3): generate the three circuit
+   versions compared in the paper (hand-coded oracle, template oracle,
+   QCL-style baseline), print the Figure-1 diffusion timestep, and run a
+   small matching-colour walk on the statevector simulator to watch the
+   label register spread — scoped-ancilla assertions checked throughout.
+
+   Run with:  dune exec examples/bwt_demo.exe *)
+
+open Quipper
+open Circ
+module Qureg = Quipper_arith.Qureg
+module Statevector = Quipper_sim.Statevector
+
+let () =
+  (* Figure 1: the diffusion timestep *)
+  Fmt.pr "=== the Figure-1 timestep (n = 2) ===@.";
+  let m = 2 in
+  let shape =
+    Qdata.triple (Qureg.shape m) (Qureg.shape m) Qdata.qubit
+  in
+  let b, _ =
+    Circ.generate ~in_:shape (fun (a, b, r) ->
+        let* () = Algo_bwt.timestep ~dt:0.3 a b r in
+        return (a, b, r))
+  in
+  print_string (Ascii.render b.Circuit.main);
+
+  (* the three implementations of the full algorithm *)
+  Fmt.pr "@.=== gate counts, n=3, s=1 (the paper's section-6 experiment) ===@.";
+  let report name b =
+    let s = Gatecount.summarize b in
+    Fmt.pr "%-10s: %6d logical gates, %3d qubits@." name s.Gatecount.total_logical
+      s.Gatecount.qubits
+  in
+  report "QCL" (Qcl_baseline.Bwt_qcl.generate ());
+  report "orthodox" (Algo_bwt.generate ~which:`Orthodox ());
+  report "template" (Algo_bwt.generate ~which:`Template ());
+
+  (* a small runnable walk: one matching colour (an XOR involution), so
+     the oracle's assertive uncomputation is exactly valid, and the
+     paper's scoped-ancilla machinery is exercised under real quantum
+     evolution *)
+  Fmt.pr "@.=== simulated walk along a matching colour (4-bit labels) ===@.";
+  let m = 4 in
+  let mask = 0b0110 in
+  let walk steps =
+    let* a = Qureg.init ~width:m 1 in
+    let* () =
+      iterm
+        (fun _ ->
+          (* oracle: b := a XOR mask (an involution => a true matching) *)
+          let* b = Qureg.init_zero ~width:m in
+          let* () = Qureg.xor_into ~source:a ~target:b in
+          let* () = Qureg.xor_const mask b in
+          (* the Figure-1 rotation fires on r = 0: "edge is valid" *)
+          let* r = qinit_bit false in
+          let* () = Algo_bwt.timestep ~dt:0.7 a b r in
+          let* () = qterm_bit false r in
+          (* uncompute the oracle *)
+          let* () = Qureg.xor_const mask b in
+          let* () = Qureg.xor_into ~source:a ~target:b in
+          Qureg.term 0 b)
+        (List.init steps Fun.id)
+    in
+    return a
+  in
+  List.iter
+    (fun steps ->
+      let st, a = Statevector.run_fun ~seed:steps ~in_:Qdata.unit () (fun () -> walk steps) in
+      let p_start =
+        Quipper_math.Cplx.norm2
+          (Statevector.amplitude st
+             (Array.to_list a |> List.map Wire.qubit_wire)
+             (List.init m (fun i -> i = 0)))
+      in
+      Fmt.pr "after %d timesteps: P(label = start) = %.3f@." steps p_start)
+    [ 0; 1; 2; 3 ];
+
+  (* the real thing: a full welded-tree instance with a proper matching
+     edge-colouring, walked from entrance to exit under exact simulation —
+     every oracle uncompute assertion checked in every branch *)
+  Fmt.pr "@.=== the full welded-tree walk (depth 2, 14 nodes, 6 colours) ===@.";
+  let g = Algo_bwt.Exact.build ~depth:2 in
+  let mb = g.Algo_bwt.Exact.label_bits in
+  List.iter
+    (fun steps ->
+      let st, a =
+        Statevector.run_fun ~seed:1 ~in_:Qdata.unit () (fun () ->
+            Algo_bwt.Exact.walk g ~steps ~dt:0.9)
+      in
+      let wires = Array.to_list a |> List.map Wire.qubit_wire in
+      let p_of label =
+        Quipper_math.Cplx.norm2
+          (Statevector.amplitude st wires
+             (List.init mb (fun i -> (label lsr i) land 1 = 1)))
+      in
+      Fmt.pr "steps=%d   P(entrance)=%.3f   P(EXIT)=%.3f@." steps
+        (p_of g.Algo_bwt.Exact.entrance)
+        (p_of g.Algo_bwt.Exact.exit))
+    [ 0; 1; 2; 3; 4 ];
+  Fmt.pr "The walk finds the exit of the welded trees — the algorithm's@.";
+  Fmt.pr "exponential-speedup setting (Childs et al.) — while the scoped@.";
+  Fmt.pr "ancillas of every oracle call assert clean uncomputation.@." 

@@ -1,0 +1,336 @@
+(** The Boolean Formula algorithm (Ambainis et al. [2]; paper §1, §4.6.1):
+    evaluating a NAND formula by quantum walk, instantiated — as in the
+    paper — to computing a winning strategy for the game of Hex.
+
+    Two components are reproduced:
+
+    - {b The Hex winner oracle}: "It uses a flood-fill algorithm, which we
+      implemented as a functional program and converted to a circuit using
+      the circuit lifting operation. The resulting oracle consists of 2.8
+      million gates" (§4.6.1). We write the same flood fill against the
+      lifted boolean operators of {!Quipper_template.Build}: blue wins a
+      completed Hex game iff its stones connect the left edge to the right
+      edge; reachability is computed by [cells] rounds of neighbour
+      expansion, every intermediate round being fresh scratch qubits that
+      [classical_to_reversible] uncomputes.
+
+    - {b The NAND-tree walk}: the skeleton of the formula-evaluation walk —
+      a phase-estimation-style iteration of diffusion steps against the
+      leaf oracle — parameterised by formula depth, for resource
+      estimation.
+
+    Board geometry: Hex cells are hexagonally adjacent: (x,y) touches
+    (x±1,y), (x,y±1), (x+1,y-1), (x-1,y+1). *)
+
+open Quipper
+open Circ
+module Build = Quipper_template.Build
+module Qureg = Quipper_arith.Qureg
+
+type board = { width : int; height : int }
+
+(** The QCS problem size used by the paper's implementation. *)
+let qcs_board = { width = 9; height = 7 }
+
+let cells b = b.width * b.height
+let cell_index b ~x ~y = (y * b.width) + x
+
+let neighbours b ~x ~y =
+  List.filter
+    (fun (x, y) -> x >= 0 && x < b.width && y >= 0 && y < b.height)
+    [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1); (x + 1, y - 1); (x - 1, y + 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* The flood-fill winner oracle, lifted                                *)
+
+(** [blue_wins blue]: lifted flood fill. [blue] is one qubit per cell
+    (true = blue stone; the game is complete, so false = red). Returns a
+    fresh qubit: true iff blue connects the left edge (x=0) to the right
+    edge (x=width-1). All scratch is left for the caller's
+    [with_computed] to collect — exactly what the paper's [build_circuit]
+    produces. *)
+let blue_wins (b : board) (blue : Wire.qubit array) : Wire.qubit Circ.t =
+  (* reached_0: blue stones on the left edge *)
+  let* reached0 =
+    mapm
+      (fun idx ->
+        let y = idx / b.width and x = idx mod b.width in
+        if x = 0 then
+          (* copy of blue.(cell) *)
+          let* q = qinit_bit false in
+          let* () = cnot ~control:blue.(cell_index b ~x ~y) ~target:q in
+          return q
+        else Build.bconst false)
+      (List.init (cells b) Fun.id)
+  in
+  (* worst-case path length = number of cells *)
+  let rounds = cells b in
+  let* reached_final =
+    foldm
+      (fun reached _round ->
+        mapm
+          (fun idx ->
+            let y = idx / b.width and x = idx mod b.width in
+            let nbr_cells =
+              List.map (fun (x, y) -> List.nth reached (cell_index b ~x ~y)) (neighbours b ~x ~y)
+            in
+            (* binary-chained ors: the lifted form of the classical
+               [List.fold_left (||)] the flood fill is written with *)
+            let* any_nbr =
+              match nbr_cells with
+              | [] -> Build.bconst false
+              | c :: rest -> foldm Build.bor c rest
+            in
+            let* expand = Build.band blue.(idx) any_nbr in
+            Build.bor (List.nth reached idx) expand)
+          (List.init (cells b) Fun.id))
+      reached0
+      (List.init rounds Fun.id)
+  in
+  (* win: any reached cell on the right edge (chained ors again) *)
+  match
+    List.map
+      (fun y -> List.nth reached_final (cell_index b ~x:(b.width - 1) ~y))
+      (List.init b.height Fun.id)
+  with
+  | [] -> Build.bconst false
+  | c :: rest -> foldm Build.bor c rest
+
+(* ------------------------------------------------------------------ *)
+(* Move-record decoding                                                *)
+
+(** The QCS problem hands the oracle a *game record* — a sequence of moves
+    (cell indices), blue playing the even-numbered moves — not a board.
+    The oracle's front half decodes the record into the blue-stone board:
+    for each blue move and each cell, a lifted equality test. *)
+let move_bits (b : board) =
+  let rec go w = if 1 lsl w >= cells b then w else go (w + 1) in
+  go 1
+
+(** [decode_blue b moves]: fresh board of blue-stone qubits from the move
+    record (an array of [cells b] move registers of [move_bits b] qubits;
+    blue plays moves 0, 2, 4, ...). *)
+let decode_blue (b : board) (moves : Qureg.t array) : Wire.qubit array Circ.t =
+  let* board_bits =
+    mapm
+      (fun cell ->
+        let* stone = Build.bconst false in
+        (* stone ^= OR over blue moves m of (moves_m == cell) *)
+        foldm
+          (fun stone m ->
+            if m mod 2 <> 0 then return stone (* red move *)
+            else
+              let* eq_bits =
+                mapm
+                  (fun bitpos ->
+                    if (cell lsr bitpos) land 1 = 1 then
+                      let* q = qinit_bit false in
+                      let* () = cnot ~control:moves.(m).(bitpos) ~target:q in
+                      return q
+                    else Build.bnot moves.(m).(bitpos))
+                  (List.init (move_bits b) Fun.id)
+              in
+              let* eq =
+                match eq_bits with
+                | [] -> Build.bconst true
+                | c :: rest -> foldm Build.band c rest
+              in
+              Build.bor stone eq)
+          stone
+          (List.init (Array.length moves) Fun.id))
+      (List.init (cells b) Fun.id)
+  in
+  return (Array.of_list board_bits)
+
+(** [cell_blue b moves cell]: fresh qubit = "cell holds a blue stone",
+    recomputed from the whole move record. Boxed per cell (the cell index
+    is a generation-time parameter, so each cell gets its own subroutine),
+    and internally uncomputed so each use leaves exactly one fresh wire.
+
+    Purely functional flood-fill code tests the colour of a cell by
+    *calling* this function; Template Haskell lifting re-expands the call
+    at every use site with no common-subexpression sharing — which is why
+    the paper's 9x7 oracle runs to millions of gates. We reproduce that
+    cost structure faithfully. *)
+let cell_blue (b : board) (moves : Qureg.t array) (cell : int) :
+    Wire.qubit Circ.t =
+  let nmoves = Array.length moves in
+  let mb = move_bits b in
+  let in_shape = Qdata.array_of nmoves (Qureg.shape mb) in
+  let out_shape = Qdata.pair in_shape Qdata.qubit in
+  let* _, q =
+    box
+      (Printf.sprintf "isblue_%d" cell)
+      ~in_:in_shape ~out:out_shape
+      (fun moves ->
+        let* q =
+          Quipper_template.Oracle.compute_copy_uncompute ~out:Qdata.qubit
+            (fun moves ->
+              let* stone = Build.bconst false in
+              foldm
+                (fun stone m ->
+                  if m mod 2 <> 0 then return stone
+                  else
+                    let* eq_bits =
+                      mapm
+                        (fun bitpos ->
+                          if (cell lsr bitpos) land 1 = 1 then
+                            let* q = qinit_bit false in
+                            let* () = cnot ~control:moves.(m).(bitpos) ~target:q in
+                            return q
+                          else Build.bnot moves.(m).(bitpos))
+                        (List.init mb Fun.id)
+                    in
+                    let* eq =
+                      match eq_bits with
+                      | [] -> Build.bconst true
+                      | c :: rest -> foldm Build.band c rest
+                    in
+                    Build.bor stone eq)
+                stone
+                (List.init nmoves Fun.id))
+            moves
+        in
+        return (moves, q))
+      moves
+  in
+  return q
+
+(** Flood fill over the move record, recomputing cell colours per use. *)
+let blue_wins_record (b : board) (moves : Qureg.t array) : Wire.qubit Circ.t =
+  let* reached0 =
+    mapm
+      (fun idx ->
+        let x = idx mod b.width in
+        if x = 0 then cell_blue b moves idx else Build.bconst false)
+      (List.init (cells b) Fun.id)
+  in
+  let rounds = cells b in
+  let* reached_final =
+    foldm
+      (fun reached _round ->
+        mapm
+          (fun idx ->
+            let y = idx / b.width and x = idx mod b.width in
+            let nbr_cells =
+              List.map (fun (x, y) -> List.nth reached (cell_index b ~x ~y)) (neighbours b ~x ~y)
+            in
+            let* any_nbr =
+              match nbr_cells with
+              | [] -> Build.bconst false
+              | c :: rest -> foldm Build.bor c rest
+            in
+            let* here = cell_blue b moves idx in
+            let* expand = Build.band here any_nbr in
+            Build.bor (List.nth reached idx) expand)
+          (List.init (cells b) Fun.id))
+      reached0
+      (List.init rounds Fun.id)
+  in
+  match
+    List.map
+      (fun y -> List.nth reached_final (cell_index b ~x:(b.width - 1) ~y))
+      (List.init b.height Fun.id)
+  with
+  | [] -> Build.bconst false
+  | c :: rest -> foldm Build.bor c rest
+
+(** The full QCS-style oracle: game record in, winner bit xored out. *)
+let winner_oracle_moves (b : board)
+    ((moves, out) : Qureg.t array * Wire.qubit) :
+    (Qureg.t array * Wire.qubit) Circ.t =
+  let* () =
+    with_computed (blue_wins_record b moves) (fun w -> cnot ~control:w ~target:out)
+  in
+  return (moves, out)
+
+(** Generate the full record-decoding oracle circuit (E7). *)
+let generate_oracle_moves ?(board = qcs_board) () : Circuit.b =
+  let shape =
+    Qdata.pair
+      (Qdata.array_of (cells board) (Qureg.shape (move_bits board)))
+      Qdata.qubit
+  in
+  let b, _ = Circ.generate ~in_:shape (winner_oracle_moves board) in
+  b
+
+(** The reversible oracle (blue, out) |-> (blue, out XOR wins): flood fill,
+    copy, uncompute. *)
+let winner_oracle (b : board) ((blue, out) : Wire.qubit array * Wire.qubit) :
+    (Wire.qubit array * Wire.qubit) Circ.t =
+  let* () =
+    with_computed (blue_wins b blue) (fun w -> cnot ~control:w ~target:out)
+  in
+  return (blue, out)
+
+(** Classical reference flood fill, for oracle validation. *)
+let blue_wins_sem (b : board) (blue : bool array) : bool =
+  let reached = Array.make (cells b) false in
+  for y = 0 to b.height - 1 do
+    if blue.(cell_index b ~x:0 ~y) then reached.(cell_index b ~x:0 ~y) <- true
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for y = 0 to b.height - 1 do
+      for x = 0 to b.width - 1 do
+        let idx = cell_index b ~x ~y in
+        if
+          (not reached.(idx)) && blue.(idx)
+          && List.exists (fun (x, y) -> reached.(cell_index b ~x ~y)) (neighbours b ~x ~y)
+        then begin
+          reached.(idx) <- true;
+          changed := true
+        end
+      done
+    done
+  done;
+  List.exists
+    (fun y -> reached.(cell_index b ~x:(b.width - 1) ~y))
+    (List.init b.height Fun.id)
+
+(** Generate the oracle circuit for gate counting (E7). *)
+let generate_oracle ?(board = qcs_board) () : Circuit.b =
+  let shape = Qdata.pair (Qdata.array_of (cells board) Qdata.qubit) Qdata.qubit in
+  let b, _ = Circ.generate ~in_:shape (winner_oracle board) in
+  b
+
+(* ------------------------------------------------------------------ *)
+(* The NAND-tree walk skeleton                                         *)
+
+(** Resource skeleton of the formula-evaluation walk: a quantum walk on
+    the game tree, [sqrt(size)]-ish diffusion steps, each consulting the
+    leaf oracle (the Hex winner on a completed position). The tree is
+    parameterised by depth d (formula size 2^d). *)
+let nand_walk ~(depth : int) (board : board) : unit Circ.t =
+  let pos_bits = depth in
+  let* pos = Qureg.init_zero ~width:pos_bits in
+  let* () = Qureg.hadamard_all pos in
+  let* coin = qinit_bit false in
+  let* leaf_in = mapm (fun _ -> qinit_bit false) (List.init (cells board) Fun.id) in
+  let leaf = Array.of_list leaf_in in
+  let* out = qinit_bit false in
+  let steps =
+    max 1 (int_of_float (ceil (sqrt (Float.of_int (1 lsl depth)))))
+  in
+  let* () =
+    iterm
+      (fun _ ->
+        (* one walk step: coin toss, conditional move, leaf oracle at the
+           deepest level *)
+        let* _ = hadamard coin in
+        let* () = Quipper_arith.Qdint.increment pos |> controlled [ ctl coin ] in
+        let* () = Quipper_arith.Qdint.decrement pos |> controlled [ ctl_neg coin ] in
+        let* _ = winner_oracle board (leaf, out) in
+        let* _ = gate_Z out |> controlled [ ctl coin ] in
+        return ())
+      (List.init steps Fun.id)
+  in
+  let* _ = measure (Qureg.shape pos_bits) pos in
+  let* _ = measure_qubit out in
+  let* () = iterm (fun q -> qdiscard q) (Array.to_list leaf) in
+  qdiscard coin
+
+let generate_walk ?(depth = 4) ?(board = { width = 3; height = 3 }) () : Circuit.b =
+  let b, _ = Circ.generate_unit (nand_walk ~depth board) in
+  b

@@ -1,0 +1,52 @@
+(** The Boolean Formula algorithm (Ambainis et al.; paper §1, §4.6.1),
+    instantiated to computing the winner of completed Hex games: the
+    flood-fill oracle the paper lifted to 2.8 million gates (experiment
+    E7), in two sharing disciplines, plus the NAND-tree walk skeleton. *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+
+type board = { width : int; height : int }
+
+val qcs_board : board
+(** 9x7 — the QCS problem size used by the paper. *)
+
+val cells : board -> int
+val cell_index : board -> x:int -> y:int -> int
+val neighbours : board -> x:int -> y:int -> (int * int) list
+
+val blue_wins : board -> Wire.qubit array -> Wire.qubit Circ.t
+(** Lifted flood fill over a board of stone qubits: scratch left for the
+    enclosing [with_computed]. *)
+
+val winner_oracle :
+  board -> Wire.qubit array * Wire.qubit -> (Wire.qubit array * Wire.qubit) Circ.t
+(** (board, out) -> (board, out XOR blue-wins): compute / copy / uncompute. *)
+
+val blue_wins_sem : board -> bool array -> bool
+(** Classical reference flood fill. *)
+
+val generate_oracle : ?board:board -> unit -> Circuit.b
+
+val move_bits : board -> int
+
+val decode_blue : board -> Qureg.t array -> Wire.qubit array Circ.t
+(** Decode a game record (blue plays even moves) into a stone board. *)
+
+val cell_blue : board -> Qureg.t array -> int -> Wire.qubit Circ.t
+(** One cell's colour recomputed from the whole record — boxed per cell,
+    internally uncomputed; re-expanded at every use like sharing-free
+    lifted code. *)
+
+val blue_wins_record : board -> Qureg.t array -> Wire.qubit Circ.t
+
+val winner_oracle_moves :
+  board -> Qureg.t array * Wire.qubit -> (Qureg.t array * Wire.qubit) Circ.t
+(** The full QCS-style oracle: game record in, winner bit xored out. *)
+
+val generate_oracle_moves : ?board:board -> unit -> Circuit.b
+
+val nand_walk : depth:int -> board -> unit Circ.t
+(** Resource skeleton of the formula-evaluation walk. *)
+
+val generate_walk : ?depth:int -> ?board:board -> unit -> Circuit.b

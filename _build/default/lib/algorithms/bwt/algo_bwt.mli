@@ -1,0 +1,83 @@
+(** The Binary Welded Tree algorithm (Childs et al.; paper §3.3, §6):
+    a quantum walk on two welded binary trees, presented by an
+    edge-colouring oracle, Trotterized into the diffusion timesteps of
+    the paper's Figure 1.
+
+    Two oracle implementations feed the §6 comparison ({!Orthodox}
+    hand-coded, {!Template} lifted); the QCL column comes from
+    [Qcl_baseline.Bwt_qcl]. {!Exact} is a semantically exact instance —
+    a proper matching edge-colouring — that runs end to end under full
+    simulation, entrance to exit. *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+
+type params = { n : int; s : int; dt : float }
+(** Tree-depth parameter [n] (labels are 2n bits, the wire layout of
+    Figure 1), [s] timesteps, Trotter step [dt]. *)
+
+val default_params : params
+val label_width : params -> int
+val weld_mask : m:int -> color:int -> int
+val entrance : int
+
+module Orthodox : sig
+  val neighbour :
+    p:params -> color:int -> Qureg.t -> (Qureg.t * Wire.qubit) Circ.t
+  (** Fresh (neighbour label, validity bit), hand-coded reversible
+      arithmetic: heap-index doubling/halving, Toffoli-mixing weld. *)
+
+  val unneighbour :
+    p:params -> color:int -> Qureg.t -> Qureg.t -> Wire.qubit -> unit Circ.t
+end
+
+module Template : sig
+  val neighbour_lifted :
+    p:params -> color:int -> Qureg.t -> (Qureg.t * Wire.qubit) Circ.t
+
+  val neighbour :
+    p:params -> color:int -> Qureg.t -> (Qureg.t * Wire.qubit) Circ.t
+  (** The same function written against the lifted boolean operators and
+      wrapped compute/copy/uncompute — what [build_circuit] produces. *)
+
+  val unneighbour :
+    p:params -> color:int -> Qureg.t -> Qureg.t -> Wire.qubit -> unit Circ.t
+end
+
+val timestep : dt:float -> Qureg.t -> Qureg.t -> Wire.qubit -> unit Circ.t
+(** Figure 1: the W / indicator / e^{-iZt} / W* diffusion sandwich (the
+    rotation fires when the validity bit r is 0). *)
+
+type oracle = {
+  neighbour : color:int -> Qureg.t -> (Qureg.t * Wire.qubit) Circ.t;
+  unneighbour : color:int -> Qureg.t -> Qureg.t -> Wire.qubit -> unit Circ.t;
+}
+
+val orthodox_oracle : params -> oracle
+val template_oracle : params -> oracle
+val main_circuit : p:params -> oracle -> Qureg.t -> Wire.bit array Circ.t
+val whole : p:params -> oracle -> Wire.bit array Circ.t
+val generate : ?p:params -> which:[ `Orthodox | `Template ] -> unit -> Circuit.b
+
+(** A semantically exact welded-tree instance: tree edges coloured
+    [2*(parent depth parity) + child parity] (each colour a matching),
+    weld matchings on colours 4 and 5; table-driven oracle; walkable
+    under exact simulation with every uncompute assertion checked. *)
+module Exact : sig
+  type graph = {
+    depth : int;
+    label_bits : int;
+    entrance : int;
+    exit : int;
+    edges : (int * int * int) list;
+  }
+
+  val colours : int
+  val tree_depth_of_heap : int -> int
+  val build : depth:int -> graph
+  val neighbour_sem : graph -> colour:int -> int -> int option
+  val neighbour : graph -> colour:int -> Qureg.t -> (Qureg.t * Wire.qubit) Circ.t
+  val unneighbour : graph -> colour:int -> Qureg.t -> Qureg.t -> Wire.qubit -> unit Circ.t
+  val step : graph -> dt:float -> Qureg.t -> unit Circ.t
+  val walk : graph -> steps:int -> dt:float -> Qureg.t Circ.t
+end

@@ -1,0 +1,126 @@
+(** Class Number (Hallgren [8]; paper §1): approximating the class group
+    of a real quadratic number field. The quantum kernel of Hallgren's
+    algorithm is *period finding* — for the class-number problem, over the
+    (irrational) period of the regulator pseudo-function.
+
+    The full number-theoretic pipeline (reduced ideals, infrastructure
+    distance, continued fractions over quadratic irrationals) is classical
+    pre/post-processing; the quantum content is the Shor-style period
+    finder. We implement that kernel completely and runnably: an oracle
+    register computation f(x) = x mod s built from quantum comparators and
+    subtractors, measurement of the function register, inverse QFT on the
+    argument register, measurement, and the classical continued-fraction
+    recovery of the period — exercising exactly the structures (modular
+    arithmetic oracle + QFT + classical post-processing loop) that
+    Hallgren's algorithm consumes at scale. The irrational-period
+    refinements are documented as out of scope in DESIGN.md. *)
+
+open Quipper
+open Circ
+module Qureg = Quipper_arith.Qureg
+module Qdint = Quipper_arith.Qdint
+
+type params = {
+  arg_bits : int; (* width of the argument register *)
+  period : int; (* the hidden period s *)
+}
+
+let default_params = { arg_bits = 5; period = 3 }
+
+let bits_for v =
+  let rec go w = if 1 lsl w > v then w else go (w + 1) in
+  go 1
+
+(** [flip_if_less_const k r target]: target ^= (r < k), via a temporarily
+    materialised constant register (assertively terminated). *)
+let flip_if_less_const (k : int) (r : Qureg.t) (target : Wire.qubit) :
+    unit Circ.t =
+  let* kreg = Qdint.init ~width:(Qureg.width r) k in
+  let* () = Qdint.less_than ~x:r ~y:kreg ~target in
+  Qureg.term k kreg
+
+(** [modadd_const ~s c out]: out := (out + c) mod s, maintaining the
+    invariant out < s. The standard reversible modular constant adder
+    (Vedral et al.): add c, compare with s, conditionally subtract s, and
+    uncompute the overflow flag by the wraparound test out < c — which is
+    exactly equivalent to "the subtraction happened" when both operands
+    are below s. The register is one bit wider than s to hold the
+    pre-reduction sum. *)
+let modadd_const ~(s : int) (c : int) (out : Qureg.t) : unit Circ.t =
+  let c = c mod s in
+  if c = 0 then return ()
+  else
+    let* flag = qinit_bit false in
+    let* () = Qdint.add_const c out in
+    (* flag ^= (out >= s): out < s is the complement *)
+    let* () = flip_if_less_const s out flag in
+    let* () = qnot_ flag in
+    let* () = Qdint.sub_const s out |> controlled [ ctl flag ] in
+    (* uncompute: wrapped <=> result < c *)
+    let* () = flip_if_less_const c out flag in
+    qterm_bit false flag
+
+(** Reversible f(x) = x mod s for the classical constant s: modular
+    accumulation of the constants 2^i mod s, each addition controlled on
+    the corresponding bit of x. Every comparison flag is exactly
+    uncomputed, so the function register is entangled with nothing but
+    x's residue — which the period-finding interference requires. *)
+let mod_oracle ~(p : params) (x : Qureg.t) : Qureg.t Circ.t =
+  let s = p.period in
+  let ow = bits_for (2 * s - 1) in
+  let* out = Qureg.init_zero ~width:ow in
+  let* () =
+    iterm
+      (fun i ->
+        let c = (1 lsl i) mod s in
+        modadd_const ~s c out |> controlled [ ctl x.(i) ])
+      (List.init p.arg_bits Fun.id)
+  in
+  return out
+
+(** The period-finding circuit: superpose x, compute f(x), measure the
+    function register, inverse-QFT the argument register, measure. The
+    measured value is (close to) a multiple of 2^w / s. *)
+let period_find_circuit ~(p : params) :
+    (Wire.bit array * Wire.bit array) Circ.t =
+  let w = p.arg_bits in
+  let* x = Qureg.init_zero ~width:w in
+  let* () = Qureg.hadamard_all x in
+  let* fx = mod_oracle ~p x in
+  let* f_bits = measure (Qureg.shape (Qureg.width fx)) fx in
+  let* () = Quipper_primitives.Qft.qft_inverse x in
+  let* x_bits = measure (Qureg.shape w) x in
+  return (x_bits, f_bits)
+
+(** Continued-fraction post-processing (§3.5's classical step): recover
+    the period from a measured value ~ k * 2^w / s. *)
+let recover_period ~(p : params) (measured : int) : int option =
+  if measured = 0 then None
+  else
+    let n = 1 lsl p.arg_bits in
+    (* continued fraction expansion of measured / n; return the first
+       denominator q <= some bound with |measured/n - k/q| < 1/(2n) *)
+    let rec cf a b (h1, h2) (k1, k2) acc =
+      if b = 0 then List.rev acc
+      else
+        let q = a / b in
+        let h = (q * h1) + h2 and k = (q * k1) + k2 in
+        cf b (a mod b) (h, h1) (k, k1) ((h, k) :: acc)
+    in
+    let convergents = cf measured n (1, 0) (0, 1) [] in
+    List.find_map
+      (fun (_h, k) ->
+        if k > 0 && k < n
+           && (let frac = Float.of_int measured /. Float.of_int n in
+               List.exists
+                 (fun j ->
+                   Float.abs (frac -. (Float.of_int j /. Float.of_int k))
+                   < 1.0 /. (2.0 *. Float.of_int n))
+                 (List.init (k + 1) Fun.id))
+        then Some k
+        else None)
+      convergents
+
+let generate ?(p = default_params) () : Circuit.b =
+  let b, _ = Circ.generate_unit (period_find_circuit ~p) in
+  b

@@ -1,0 +1,31 @@
+(** Class Number (Hallgren; paper §1): the quantum kernel of the
+    class-group algorithm is period finding; we implement it completely
+    and runnably over a reversible x mod s oracle, with the
+    continued-fraction classical post-processing of §3.5. Substitution
+    note (irrational periods) in DESIGN.md. *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+
+type params = { arg_bits : int; period : int }
+
+val default_params : params
+
+val bits_for : int -> int
+
+val flip_if_less_const : int -> Qureg.t -> Wire.qubit -> unit Circ.t
+
+val modadd_const : s:int -> int -> Qureg.t -> unit Circ.t
+(** out := (out + c) mod s, the standard reversible modular constant
+    adder with exactly-uncomputed overflow flag. *)
+
+val mod_oracle : p:params -> Qureg.t -> Qureg.t Circ.t
+(** Fresh f(x) = x mod s; entangled with nothing but the residue — which
+    the period-finding interference requires. *)
+
+val period_find_circuit : p:params -> (Wire.bit array * Wire.bit array) Circ.t
+
+val recover_period : p:params -> int -> int option
+(** Continued-fraction recovery from a measured value ~ k 2^w / s. *)
+
+val generate : ?p:params -> unit -> Circuit.b

@@ -1,0 +1,31 @@
+(** Ground State Estimation (Whitfield et al.; paper §1): phase
+    estimation over Trotterized evolution of a molecular electronic
+    Hamiltonian. Ships minimal-basis H2, small enough to run end to end
+    on the statevector simulator (see [examples/gse_h2.exe]). *)
+
+open Quipper
+module Trotter = Quipper_primitives.Trotter
+
+val h2_hamiltonian : Trotter.hamiltonian
+(** Minimal-basis H2 at equilibrium bond length, reduced to 2 qubits. *)
+
+type params = {
+  hamiltonian : Trotter.hamiltonian;
+  precision_bits : int;
+  trotter_steps : int;
+  time : float;
+  reference : bool list;  (** the Hartree-Fock reference determinant *)
+}
+
+val default_params : params
+
+val gse : p:params -> Quipper_arith.Qureg.t Circ.t
+(** Prepare the reference, phase-estimate exp(-iHt); returns the counting
+    register. *)
+
+val energy_of_counting : p:params -> int -> float
+
+val exact_ground_energy : Trotter.hamiltonian -> float
+(** Dense diagonalisation (power iteration), for validating estimates. *)
+
+val generate : ?p:params -> unit -> Circuit.b

@@ -1,0 +1,102 @@
+(** The Quantum Linear Systems algorithm (Harrow–Hassidim–Lloyd [9];
+    paper §1, §4.6.1).
+
+    HHL solves A x = b by phase-estimating the eigenvalues of A on |b>,
+    rotating an ancilla by an angle inversely proportional to the
+    estimated eigenvalue, and uncomputing. The paper highlights one
+    concrete artefact of its implementation: "our implementation of the
+    Linear Systems algorithm makes liberal use of arithmetic and analytic
+    functions, such as sin(x) and cos(x), which were implemented using
+    the circuit lifting feature. The circuit created for sin(x), over a
+    32+32 qubit fixed-point argument, uses 3273010 gates" (§4.6.1). That
+    artefact is experiment E6: {!generate_sin} regenerates the circuit
+    from {!Quipper_arith.Fpreal.sin} at the same 32+32 format.
+
+    The algorithm skeleton itself ({!hhl}) is included for resource
+    estimation and small-instance simulation: phase estimation over a
+    Trotterized band Hamiltonian, the eigenvalue-inversion rotation, and
+    the uncompute. *)
+
+open Quipper
+open Circ
+module Fpreal = Quipper_arith.Fpreal
+module Qureg = Quipper_arith.Qureg
+module Trotter = Quipper_primitives.Trotter
+
+(** E6: the sin(x) oracle circuit at a given fixed-point format. *)
+let generate_sin ?(int_bits = 32) ?(frac_bits = 32) () : Circuit.b =
+  let shape = Fpreal.shape ~int_bits ~frac_bits in
+  let b, _ =
+    Circ.generate ~in_:shape (fun x ->
+        let* s = Fpreal.sin x in
+        return (x, s))
+  in
+  b
+
+let generate_cos ?(int_bits = 32) ?(frac_bits = 32) () : Circuit.b =
+  let shape = Fpreal.shape ~int_bits ~frac_bits in
+  let b, _ =
+    Circ.generate ~in_:shape (fun x ->
+        let* s = Fpreal.cos x in
+        return (x, s))
+  in
+  b
+
+(* ------------------------------------------------------------------ *)
+(* The HHL skeleton                                                    *)
+
+type params = {
+  system_qubits : int; (* log2 of the linear system's dimension *)
+  precision_bits : int; (* phase-estimation register width *)
+  trotter_steps : int;
+}
+
+let default_params = { system_qubits = 2; precision_bits = 4; trotter_steps = 2 }
+
+(** A fixed tridiagonal test Hamiltonian on [n] qubits: nearest-neighbour
+    XX + local Z terms — a band matrix, the class HHL targets. *)
+let band_hamiltonian n : Trotter.hamiltonian =
+  let terms =
+    List.concat
+      [
+        List.init n (fun i -> { Trotter.coeff = 0.5; paulis = [ (i, Trotter.Z) ] });
+        List.init (n - 1) (fun i ->
+            { Trotter.coeff = 0.25; paulis = [ (i, Trotter.X); (i + 1, Trotter.X) ] });
+      ]
+  in
+  { Trotter.nqubits = n; terms }
+
+(** The HHL circuit on a state register [b_reg] (holding |b>): phase
+    estimation, conditioned eigenvalue-inversion rotations on a fresh
+    ancilla, inverse phase estimation, and a measurement of the ancilla
+    flagging success. Returns (solution register, success bit). *)
+let hhl ~(p : params) (b_reg : Qureg.t) : (Qureg.t * Wire.bit) Circ.t =
+  let h = band_hamiltonian p.system_qubits in
+  let u ~power =
+    Trotter.evolve h b_reg ~time:(Float.of_int power *. 0.5) ~steps:(p.trotter_steps * power)
+  in
+  let* anc = qinit_bit false in
+  let* () =
+    with_computed
+      (Quipper_primitives.Phase_estimation.estimate ~bits:p.precision_bits ~u)
+      (fun lambda ->
+        (* eigenvalue-inversion: for each estimate value e, rotate the
+           ancilla by ~ C/e — one multi-controlled rotation per value,
+           the "quantum test" style *)
+        iterm
+          (fun e ->
+            if e = 0 then return ()
+            else
+              let theta = 2.0 *. Stdlib.asin (min 1.0 (1.0 /. Float.of_int e)) in
+              rot_Z theta anc
+              |> controlled (Qureg.const_controls e lambda))
+          (List.init (1 lsl p.precision_bits) Fun.id))
+  in
+  let* ok = measure_qubit anc in
+  return (b_reg, ok)
+
+let generate ?(p = default_params) () : Circuit.b =
+  let b, _ =
+    Circ.generate ~in_:(Qureg.shape p.system_qubits) (fun b_reg -> hhl ~p b_reg)
+  in
+  b

@@ -1,0 +1,22 @@
+(** Quantum Linear Systems (Harrow-Hassidim-Lloyd; paper §1, §4.6.1).
+    {!generate_sin} regenerates experiment E6 — the paper's 3,273,010-gate
+    sin(x) oracle over 32+32-bit fixed point; {!hhl} is the algorithm
+    skeleton (phase estimation over a Trotterized band Hamiltonian,
+    eigenvalue-inversion rotation, uncompute). *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+
+val generate_sin : ?int_bits:int -> ?frac_bits:int -> unit -> Circuit.b
+val generate_cos : ?int_bits:int -> ?frac_bits:int -> unit -> Circuit.b
+
+type params = { system_qubits : int; precision_bits : int; trotter_steps : int }
+
+val default_params : params
+
+val band_hamiltonian : int -> Quipper_primitives.Trotter.hamiltonian
+
+val hhl : p:params -> Qureg.t -> (Qureg.t * Wire.bit) Circ.t
+(** Returns (solution register, success flag). *)
+
+val generate : ?p:params -> unit -> Circuit.b

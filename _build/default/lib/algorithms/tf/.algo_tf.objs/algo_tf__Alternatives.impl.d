@@ -1,0 +1,1 @@
+lib/algorithms/tf/alternatives.ml: Array Circ Fun List Oracle Qdata Quipper Quipper_arith Qwtfp

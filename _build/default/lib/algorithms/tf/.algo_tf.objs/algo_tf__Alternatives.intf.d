@@ -1,0 +1,1 @@
+lib/algorithms/tf/alternatives.mli: Circ Oracle Quipper Quipper_arith Qwtfp

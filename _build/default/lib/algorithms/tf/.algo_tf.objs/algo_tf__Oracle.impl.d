@@ -1,0 +1,1 @@
+lib/algorithms/tf/oracle.ml: Array Circ Fun List Qdata Quipper Quipper_arith Wire

@@ -1,0 +1,1 @@
+lib/algorithms/tf/oracle.mli: Circ Quipper Quipper_arith Wire

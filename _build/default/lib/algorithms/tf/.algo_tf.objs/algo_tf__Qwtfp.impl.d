@@ -1,0 +1,1 @@
+lib/algorithms/tf/qwtfp.ml: Array Circ Circuit Float Fun List Oracle Qdata Quipper Quipper_arith Quipper_primitives Wire

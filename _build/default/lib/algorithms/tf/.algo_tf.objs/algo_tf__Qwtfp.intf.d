@@ -1,0 +1,1 @@
+lib/algorithms/tf/qwtfp.mli: Circ Circuit Oracle Qdata Quipper Quipper_arith Wire

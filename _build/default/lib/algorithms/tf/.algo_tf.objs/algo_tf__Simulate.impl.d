@@ -1,0 +1,1 @@
+lib/algorithms/tf/simulate.ml: Float Fmt Oracle Qdata Quipper Quipper_arith Quipper_sim

@@ -1,0 +1,1 @@
+lib/algorithms/tf/simulate.mli: Format Oracle

@@ -1,0 +1,148 @@
+(** Alternatives and generalisations of certain subroutines — the paper's
+    §5.2 lists an [Alternatives] module among the six modules of the
+    Triangle Finding implementation. These are drop-in replacements with
+    identical semantics but different cost profiles, compared in the
+    bench harness and proven equivalent by the test suite.
+
+    - {!qram_fetch_swap}: a select-swap qRAM. The direct qRAM of
+      {!Qwtfp.qram_fetch} uses one (r+1)-controlled copy per address; the
+      select-swap variant routes the addressed entry to a fixed position
+      through a binary tree of singly-controlled swaps, copies it with
+      plain CNOTs, and unroutes — trading multi-controlled gates for many
+      cheap ones, the better choice once a gate base without wide controls
+      is targeted.
+    - {!o4_POW17_naive}: the 17th power by sixteen successive
+      multiplications instead of the square-chain of Figure 2 — the
+      obvious-but-expensive formulation, kept as a cost yardstick.
+    - {!a5_test_accumulate}: the triangle phase test with an explicit
+      accumulator ancilla (compute OR of all triangle indicators, apply
+      one Z, uncompute) instead of one doubly-controlled Z per triple. *)
+
+open Quipper
+open Circ
+module Qureg = Quipper_arith.Qureg
+module Qinttf = Quipper_arith.Qinttf
+
+type params = Oracle.params = { l : int; n : int; r : int }
+
+(* ------------------------------------------------------------------ *)
+(* Select-swap qRAM                                                    *)
+
+(** Route entry [i] of [tt] to index 0 by a tree of controlled register
+    swaps: at level k (from the top address bit down), swap block pairs
+    controlled on address bit k. After routing, tt[0] holds entry i. *)
+let route ~(p : params) (i : Qureg.t) (tt : Qureg.t array) : unit Circ.t =
+  let rec level k : unit Circ.t =
+    if k < 0 then return ()
+    else
+      let stride = 1 lsl k in
+      let* () =
+        iterm
+          (fun blk ->
+            (* swap block [blk] with block [blk + stride] when bit k set *)
+            let a = blk and b = blk + stride in
+            if b < Array.length tt then
+              Qureg.swap_registers tt.(a) tt.(b) |> controlled [ ctl i.(k) ]
+            else return ())
+          (List.filter
+             (fun blk -> blk land stride = 0)
+             (List.init (Array.length tt) Fun.id))
+      in
+      level (k - 1)
+  in
+  level (p.r - 1)
+
+let unroute ~(p : params) (i : Qureg.t) (tt : Qureg.t array) : unit Circ.t =
+  let rec level k : unit Circ.t =
+    if k > p.r - 1 then return ()
+    else
+      let stride = 1 lsl k in
+      let* () =
+        iterm
+          (fun blk ->
+            let a = blk and b = blk + stride in
+            if b < Array.length tt then
+              Qureg.swap_registers tt.(a) tt.(b) |> controlled [ ctl i.(k) ]
+            else return ())
+          (List.filter
+             (fun blk -> blk land stride = 0)
+             (List.init (Array.length tt) Fun.id))
+      in
+      level (k + 1)
+  in
+  level 0
+
+(** ttd ^= tt[i], by route / copy / unroute. *)
+let qram_fetch_swap ~(p : params) (i : Qureg.t) (tt : Qureg.t array)
+    (ttd : Qureg.t) : unit Circ.t =
+  let* () = route ~p i tt in
+  let* () = Qureg.xor_into ~source:tt.(0) ~target:ttd in
+  unroute ~p i tt
+
+(* ------------------------------------------------------------------ *)
+(* Naive 17th power                                                    *)
+
+(** x^17 by sixteen successive multiplications — same interface as
+    {!Oracle.o4_POW17}, vastly more expensive (the yardstick the
+    square-chain is measured against). *)
+let o4_POW17_naive ~l (x : Qureg.t) : (Qureg.t * Qureg.t) Circ.t =
+  box "o4_naive" ~in_:(Qureg.shape l)
+    ~out:(Qdata.pair (Qureg.shape l) (Qureg.shape l))
+    (fun x ->
+      let* x, x17 =
+        with_computed_fun x
+          (fun x ->
+            (* x^2 .. x^16 as a chain of multiplications by x *)
+            let rec go k acc powers =
+              if k = 16 then return (List.rev powers, acc)
+              else
+                let* (_, _, nxt) = Oracle.o8_MUL ~l (x, acc) in
+                go (k + 1) nxt (acc :: powers)
+            in
+            let* x2 = Qinttf.square x in
+            let* garbage, x16 = go 2 x2 [] in
+            return (x, garbage, x16))
+          (fun (x, garbage, x16) ->
+            let* (_, _, x17) = Oracle.o8_MUL ~l (x, x16) in
+            return ((x, garbage, x16), x17))
+      in
+      return (x, x17))
+    x
+
+(* ------------------------------------------------------------------ *)
+(* Accumulator-style triangle test                                     *)
+
+(** Phase-flip when the cached edge table contains a triangle, via an
+    explicit indicator: t := OR over triples of (three edge bits); Z on
+    t; uncompute. One multi-controlled write per triple, but a single
+    phase gate. *)
+let a5_test_accumulate ~(p : params) (regs : Qwtfp.registers) :
+    Qwtfp.registers Circ.t =
+  let ts = Qwtfp.tuple_size p in
+  let triples =
+    List.concat_map
+      (fun j ->
+        List.concat_map
+          (fun k -> List.map (fun m -> (j, k, m)) (List.init k Fun.id))
+          (List.init j Fun.id))
+      (List.init ts Fun.id)
+  in
+  let* () =
+    with_computed
+      (let* t = qinit_bit false in
+       let* () =
+         iterm
+           (fun (j, k, m) ->
+             qnot_ t
+             |> controlled
+                  [ ctl regs.Qwtfp.ee.(Qwtfp.ee_index j k);
+                    ctl regs.Qwtfp.ee.(Qwtfp.ee_index j m);
+                    ctl regs.Qwtfp.ee.(Qwtfp.ee_index k m) ])
+           triples
+       in
+       return t)
+      (fun t ->
+        let* _ = gate_Z t in
+        return ())
+  in
+  return regs

@@ -1,0 +1,27 @@
+(** Alternatives and generalisations of certain subroutines — the paper's
+    §5.2 lists an [Alternatives] module among the six modules of the
+    Triangle Finding implementation. Drop-in replacements with identical
+    semantics but different cost profiles; compared in the bench harness,
+    proven equivalent in the test suite. *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+
+type params = Oracle.params = { l : int; n : int; r : int }
+
+val route : p:params -> Qureg.t -> Qureg.t array -> unit Circ.t
+val unroute : p:params -> Qureg.t -> Qureg.t array -> unit Circ.t
+
+val qram_fetch_swap : p:params -> Qureg.t -> Qureg.t array -> Qureg.t -> unit Circ.t
+(** A select-swap qRAM: route the addressed entry to position 0 through a
+    butterfly of singly-controlled register swaps, copy, unroute — no
+    control ever wider than one, unlike the direct qRAM's (r+1)-wide
+    quantum tests. *)
+
+val o4_POW17_naive : l:int -> Qureg.t -> (Qureg.t * Qureg.t) Circ.t
+(** x^17 by sixteen successive multiplications — the yardstick the
+    square-chain of Figure 2 is measured against (~3.4x more gates). *)
+
+val a5_test_accumulate : p:params -> Qwtfp.registers -> Qwtfp.registers Circ.t
+(** The triangle phase test via an explicit OR-accumulator ancilla and a
+    single Z, instead of one doubly-controlled Z per triple. *)

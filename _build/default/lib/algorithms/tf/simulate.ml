@@ -1,0 +1,81 @@
+(** Simulate: "a test suite for the oracle" — the fifth of the six modules
+    the paper lists for the Triangle Finding implementation (§5.2).
+
+    Runs the oracle circuits through the classical simulator against their
+    bit-exact reference semantics and reports the results; [bin/tf
+    --simulate] drives it, and the alcotest suite calls the same checks.
+    Returns the number of mismatches (0 = pass). *)
+
+open Quipper
+module Qureg = Quipper_arith.Qureg
+module Qinttf = Quipper_arith.Qinttf
+module Cs = Quipper_sim.Classical
+
+type report = {
+  checks : int;
+  failures : int;
+  edge_density : float; (* fraction of node pairs that are edges *)
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "oracle simulation: %d checks, %d failures; edge density %.2f"
+    r.checks r.failures r.edge_density
+
+(** Exhaustively check o4_POW17 against the reference on all inputs of
+    width [l] (keep l small). *)
+let check_pow17 ~(l : int) : int * int =
+  let shape = Qureg.shape l in
+  let mul a b =
+    let rec go i xr acc =
+      if i = l then acc
+      else
+        let acc = if (b lsr i) land 1 = 1 then Qinttf.add_sem ~l xr acc else acc in
+        go (i + 1) (Qinttf.double_sem ~l xr) acc
+    in
+    go 0 a 0
+  in
+  let sq a = mul a a in
+  let failures = ref 0 in
+  for x = 0 to (1 lsl l) - 1 do
+    let _, x17 =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape shape) x (fun x ->
+          Oracle.o4_POW17 ~l x)
+    in
+    if x17 <> mul x (sq (sq (sq (sq x)))) then incr failures
+  done;
+  (1 lsl l, !failures)
+
+(** Check the edge oracle on all node pairs; also reports edge density
+    (a sanity property: the pseudo-random predicate should be reasonably
+    balanced, not constant). *)
+let check_oracle ~(p : Oracle.params) : report =
+  let node = Qureg.shape p.Oracle.n in
+  let shape = Qdata.triple node node Qdata.qubit in
+  let nn = 1 lsl p.Oracle.n in
+  let checks = ref 0 and failures = ref 0 and edges = ref 0 in
+  for u = 0 to nn - 1 do
+    for w = 0 to nn - 1 do
+      incr checks;
+      let u', w', e =
+        Cs.run_oracle ~in_:shape ~out:shape (u, w, false) (fun t ->
+            Oracle.o1_ORACLE ~p t)
+      in
+      let expect = Oracle.edge_sem ~p u w in
+      if e then incr edges;
+      if u' <> u || w' <> w || e <> expect then incr failures
+    done
+  done;
+  {
+    checks = !checks;
+    failures = !failures;
+    edge_density = Float.of_int !edges /. Float.of_int !checks;
+  }
+
+(** The full suite, as run by [bin/tf --simulate]. *)
+let run ~(p : Oracle.params) : bool =
+  let pow_checks, pow_failures = check_pow17 ~l:(min p.Oracle.l 4) in
+  Fmt.pr "POW17 (l=%d): %d checks, %d failures@." (min p.Oracle.l 4) pow_checks
+    pow_failures;
+  let r = check_oracle ~p:{ p with Oracle.l = min p.Oracle.l 5; n = min p.Oracle.n 4 } in
+  Fmt.pr "%a@." pp_report r;
+  pow_failures = 0 && r.failures = 0

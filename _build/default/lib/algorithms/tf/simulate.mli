@@ -1,0 +1,20 @@
+(** Simulate: "a test suite for the oracle" — the fifth of the six modules
+    the paper lists for the Triangle Finding implementation (§5.2).
+    Driven by [bin/tf --simulate]. *)
+
+type report = {
+  checks : int;
+  failures : int;
+  edge_density : float;  (** fraction of node pairs that are edges *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_pow17 : l:int -> int * int
+(** (checks, failures) of o4_POW17 against the bit-exact reference,
+    exhaustively over all l-bit inputs. *)
+
+val check_oracle : p:Oracle.params -> report
+
+val run : p:Oracle.params -> bool
+(** The full suite; true iff everything passed. *)

@@ -1,0 +1,30 @@
+(** Unique Shortest Vector (Regev; paper §1, §3.5): the algorithm class
+    that requires *dynamic lifting* — "the circuit is constructed
+    on-the-fly, where later pieces depend on the value of former
+    intermediate measurements". The quantum kernel is semiclassical
+    (Kitaev) iterative phase estimation with measurement-dependent
+    correction rotations; the test suite shows it recovers hidden values
+    bit-exactly. Substitution note in DESIGN.md. *)
+
+open Quipper
+
+type params = { bits : int; hidden : int }
+
+val default_params : params
+
+val controlled_phase_power :
+  p:params -> power:int -> control:Wire.qubit -> Wire.qubit -> unit Circ.t
+
+val round : p:params -> target:Wire.qubit -> k:int -> bool list -> bool Circ.t
+(** One lifted round: extract bit k (least significant first), correcting
+    with the already-measured lower bits. *)
+
+val kernel : p:params -> int Circ.t
+(** The full kernel under a lifting-capable run function: returns the
+    recovered hidden value. *)
+
+val kernel_circuit : p:params -> unit Circ.t
+(** Resource-estimation variant: corrections under classical control
+    wires instead of lifted values. *)
+
+val generate : ?p:params -> unit -> Circuit.b

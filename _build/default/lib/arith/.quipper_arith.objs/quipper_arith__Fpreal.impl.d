@@ -1,0 +1,1 @@
+lib/arith/fpreal.ml: Array Circ Errors Float Fun Qdata Qdint Quipper Qureg Wire

@@ -1,0 +1,1 @@
+lib/arith/fpreal.mli: Circ Qdata Quipper Qureg Wire

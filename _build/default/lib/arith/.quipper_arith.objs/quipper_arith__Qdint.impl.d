@@ -1,0 +1,1 @@
+lib/arith/qdint.ml: Array Circ Errors Fun List Qdata Quipper Qureg Wire

@@ -1,0 +1,1 @@
+lib/arith/qdint.mli: Circ Qdata Quipper Qureg Wire

@@ -1,0 +1,1 @@
+lib/arith/qinttf.ml: Array Circ Errors Fun List Quipper Qureg Wire

@@ -1,0 +1,1 @@
+lib/arith/qinttf.mli: Circ Qdata Quipper Qureg Wire

@@ -1,0 +1,1 @@
+lib/arith/qureg.ml: Array Circ Errors Gate List Qdata Quipper Quipper_math Wire

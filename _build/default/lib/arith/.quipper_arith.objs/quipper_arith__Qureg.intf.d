@@ -1,0 +1,1 @@
+lib/arith/qureg.mli: Circ Gate Qdata Quipper Wire

@@ -1,0 +1,169 @@
+(** FPReal: fixed-size, fixed-point quantum real numbers (paper §4.5).
+
+    A value is an [int_bits + frac_bits]-wide register interpreted as
+    raw / 2^frac_bits (unsigned; the algorithms use arguments reduced to a
+    non-negative range, and subtraction wraps modulo 2^width like the
+    two's-complement arithmetic it is built from). The headline operation
+    is [sin] (and [cos]): the paper reports that the circuit generated for
+    sin(x) over a 32+32-bit fixed-point argument has 3,273,010 gates
+    (§4.6.1); we generate it the same way — polynomial evaluation built
+    from quantum multipliers and constant multiplication, with every
+    intermediate power uncomputed by [with_computed]. *)
+
+open Quipper
+open Circ
+
+type t = { reg : Qureg.t; int_bits : int; frac_bits : int }
+
+let width t = t.int_bits + t.frac_bits
+
+let create ~int_bits ~frac_bits reg : t =
+  if Qureg.width reg <> int_bits + frac_bits then
+    Errors.raise_ (Shape_mismatch "Fpreal.create: width mismatch");
+  { reg; int_bits; frac_bits }
+
+let shape ~int_bits ~frac_bits :
+    (float, t, Wire.bit array) Qdata.t =
+  let n = int_bits + frac_bits in
+  let scale = Float.of_int (1 lsl frac_bits) in
+  Qdata.iso
+    ~bto:(fun k -> Float.of_int k /. scale)
+    ~bof:(fun f ->
+      let raw = Float.to_int (Float.round (f *. scale)) in
+      if n <= 62 then raw land ((1 lsl n) - 1) else max raw 0)
+    ~qto:(fun reg -> { reg; int_bits; frac_bits })
+    ~qof:(fun t -> t.reg)
+    ~cto:Fun.id ~cof:Fun.id
+    (Qureg.shape n)
+
+let raw_of_float ~frac_bits ~w f =
+  if frac_bits > 61 then Errors.invalidf "Fpreal: frac_bits beyond 61";
+  let raw = Float.to_int (Float.round (f *. Float.of_int (1 lsl frac_bits))) in
+  if raw < 0 then Errors.invalidf "Fpreal: negative constant %g" f;
+  if w <= 62 then raw land ((1 lsl w) - 1) else raw
+
+let to_float ~frac_bits raw = Float.of_int raw /. Float.of_int (1 lsl frac_bits)
+
+(** Fresh register holding the constant [f] (rounded). *)
+let init ~int_bits ~frac_bits (f : float) : t Circ.t =
+  let n = int_bits + frac_bits in
+  let+ reg = Qureg.init ~width:n (raw_of_float ~frac_bits ~w:n f) in
+  { reg; int_bits; frac_bits }
+
+let init_zero ~int_bits ~frac_bits : t Circ.t = init ~int_bits ~frac_bits 0.0
+
+let check_same_format a b =
+  if a.int_bits <> b.int_bits || a.frac_bits <> b.frac_bits then
+    Errors.raise_ (Shape_mismatch "Fpreal: format mismatch")
+
+(** y := y + x (wrapping). *)
+let add_in_place ~(x : t) ~(y : t) : unit Circ.t =
+  check_same_format x y;
+  Qdint.add_in_place ~x:x.reg ~y:y.reg ()
+
+let sub_in_place ~(x : t) ~(y : t) : unit Circ.t =
+  check_same_format x y;
+  Qdint.sub_in_place ~x:x.reg ~y:y.reg
+
+let copy (x : t) : t Circ.t =
+  let+ reg = Qureg.copy x.reg in
+  { x with reg }
+
+(** Fresh z := x * y, same format: the double-width integer product,
+    shifted down by [frac_bits], intermediate product uncomputed. *)
+let mult ~(x : t) ~(y : t) : t Circ.t =
+  check_same_format x y;
+  let n = width x in
+  with_computed
+    (Qdint.mult ~out_width:(2 * n) ~x:x.reg ~y:y.reg ())
+    (fun p ->
+      let* out = Qureg.init_zero ~width:n in
+      let window = Array.sub p x.frac_bits n in
+      let* () = Qureg.xor_into ~source:window ~target:out in
+      return { x with reg = out })
+
+let square (x : t) : t Circ.t =
+  with_computed (copy x) (fun x' -> mult ~x ~y:x')
+
+(** y := y + k*x for a classical constant k >= 0: shifted adds for every
+    set bit of k's fixed-point representation (taken to [frac_bits]
+    positions below the point and [int_bits] above). *)
+let add_scaled ~(k : float) ~(x : t) ~(y : t) : unit Circ.t =
+  check_same_format x y;
+  if k < 0.0 then Errors.raise_ (Invalid "add_scaled: negative k; use sub_scaled");
+  let n = width x in
+  let kraw = raw_of_float ~frac_bits:x.frac_bits ~w:(2 * n) k in
+  (* bit j of kraw represents weight 2^(j - frac_bits) *)
+  let rec go j acc =
+    if j >= 2 * n then acc
+    else
+      let acc =
+        if kraw land (1 lsl j) <> 0 then
+          let shift = j - x.frac_bits in
+          let step =
+            if shift >= 0 then Qdint.add_shifted ~shift ~x:x.reg ~y:y.reg
+            else begin
+              (* negative shift: add x's high slice into y, zero-extended
+                 so the carry propagates into y's high bits *)
+              let drop = -shift in
+              if drop >= n then return ()
+              else
+                let xs = Array.sub x.reg drop (n - drop) in
+                Qdint.add_widened ~x:xs ~y:y.reg
+            end
+          in
+          acc >> step
+        else acc
+      in
+      go (j + 1) acc
+  in
+  go 0 (return ())
+
+(** y := y - k*x for k >= 0: the reversed [add_scaled]. *)
+let sub_scaled ~(k : float) ~(x : t) ~(y : t) : unit Circ.t =
+  let w = Qdata.pair (Qureg.shape (width x)) (Qureg.shape (width y)) in
+  let* _ =
+    reverse_simple w
+      (fun (xr, yr) ->
+        let* () =
+          add_scaled ~k ~x:{ x with reg = xr } ~y:{ y with reg = yr }
+        in
+        return (xr, yr))
+      (x.reg, y.reg)
+  in
+  return ()
+
+(** Fresh y := sin(x), by the degree-7 Taylor polynomial
+    x - x^3/6 + x^5/120 - x^7/5040 (adequate on the reduced range
+    [0, pi/2] to ~1e-4): compute x^2, x^3, x^5, x^7 with quantum
+    multipliers, combine with constant-scaled adds, uncompute the powers.
+    This is the shape of the oracle the paper generated with
+    [build_circuit] for the Linear Systems algorithm. *)
+let sin (x : t) : t Circ.t =
+  with_computed
+    (let* x2 = square x in
+     let* x3 = mult ~x:x2 ~y:x in
+     let* x5 = mult ~x:x3 ~y:x2 in
+     let* x7 = mult ~x:x5 ~y:x2 in
+     return (x3, x5, x7))
+    (fun (x3, x5, x7) ->
+      let* out = init_zero ~int_bits:x.int_bits ~frac_bits:x.frac_bits in
+      let* () = add_in_place ~x ~y:out in
+      let* () = sub_scaled ~k:(1.0 /. 6.0) ~x:x3 ~y:out in
+      let* () = add_scaled ~k:(1.0 /. 120.0) ~x:x5 ~y:out in
+      let* () = sub_scaled ~k:(1.0 /. 5040.0) ~x:x7 ~y:out in
+      return out)
+
+(** Fresh y := cos(x): 1 - x^2/2 + x^4/24 - x^6/720. *)
+let cos (x : t) : t Circ.t =
+  with_computed
+    (let* x2 = square x in
+     let* x4 = square x2 in
+     let* x6 = mult ~x:x4 ~y:x2 in
+     return (x2, x4, x6))
+    (fun (x2, x4, x6) ->
+      let* out = init ~int_bits:x.int_bits ~frac_bits:x.frac_bits 1.0 in
+      let* () = sub_scaled ~k:0.5 ~x:x2 ~y:out in
+      let* () = add_scaled ~k:(1.0 /. 24.0) ~x:x4 ~y:out in
+      let* () = sub_scaled ~k:(1.0 /. 720.0) ~x:x6 ~y:out in
+      return out)

@@ -1,0 +1,179 @@
+(** QDInt: fixed-size quantum integers (paper §4.5), little-endian, with
+    arithmetic modulo 2^n.
+
+    The in-place adder is the Cuccaro–Draper–Kutin–Moulton (CDKM) ripple
+    adder: one ancilla, 2n MAJ/UMA blocks, optional carry-out. On top of it
+    we build subtraction (the reversed adder — reversal is free in this
+    circuit model), constant addition (borrowing a temporarily-initialised
+    register, assertively terminated afterwards: a nice exercise of §4.2.2),
+    comparison (borrow chain, uncomputed with [with_computed]), and
+    shift-add multiplication. Every operation is validated against plain
+    integer arithmetic by the classical simulator in the test suite. *)
+
+open Quipper
+open Circ
+
+type t = Qureg.t
+
+let width = Qureg.width
+let shape = Qureg.shape
+let init = Qureg.init
+let init_zero = Qureg.init_zero
+let copy = Qureg.copy
+let xor_into = Qureg.xor_into
+
+(* MAJ and UMA of the CDKM adder *)
+let maj x y z : unit Circ.t =
+  let* () = cnot ~control:z ~target:y in
+  let* () = cnot ~control:z ~target:x in
+  toffoli ~c1:x ~c2:y ~target:z
+
+let uma x y z : unit Circ.t =
+  let* () = toffoli ~c1:x ~c2:y ~target:z in
+  let* () = cnot ~control:z ~target:x in
+  cnot ~control:x ~target:y
+
+(** [add_in_place ?carry_out ~x ~y]: y := x + y (mod 2^n), x unchanged.
+    If [carry_out] is given, it is XORed with the carry out of the top bit
+    (so on a |0> ancilla it ends up holding the overflow). *)
+let add_in_place ?carry_out ~(x : t) ~(y : t) () : unit Circ.t =
+  let n = width x in
+  if width y <> n then Errors.raise_ (Shape_mismatch "add: width mismatch");
+  if n = 0 then return ()
+  else
+    with_ancilla (fun c ->
+        (* carry holder before bit i: c, then x.(0), x.(1), ... *)
+        let holder i = if i = 0 then c else x.(i - 1) in
+        let* () =
+          iterm (fun i -> maj (holder i) y.(i) x.(i)) (List.init n Fun.id)
+        in
+        let* () =
+          match carry_out with
+          | Some z -> cnot ~control:x.(n - 1) ~target:z
+          | None -> return ()
+        in
+        iterm
+          (fun i -> uma (holder i) y.(i) x.(i))
+          (List.rev (List.init n Fun.id)))
+
+(** [sub_in_place ~x ~y]: y := y - x (mod 2^n) — the reversed adder. *)
+let sub_in_place ~(x : t) ~(y : t) : unit Circ.t =
+  let w = Qdata.pair (shape (width x)) (shape (width y)) in
+  let* _ =
+    reverse_simple w
+      (fun (x, y) ->
+        let* () = add_in_place ~x ~y () in
+        return (x, y))
+      (x, y)
+  in
+  return ()
+
+(** [add_const k y]: y := y + k (mod 2^n). Implements the paper's trick of
+    materialising the constant in an assertively-scoped register. *)
+let add_const (k : int) (y : t) : unit Circ.t =
+  let n = width y in
+  let k = if n <= 62 then k land ((1 lsl n) - 1) else k in
+  if k = 0 then return ()
+  else
+    let* t = init ~width:n k in
+    let* () = add_in_place ~x:t ~y () in
+    Qureg.term k t
+
+(** y := y - k: the reversed constant adder (width-safe; no complement
+    arithmetic in native ints). *)
+let sub_const (k : int) (y : t) : unit Circ.t =
+  let n = width y in
+  let* _ =
+    reverse_simple (shape n)
+      (fun y ->
+        let* () = add_const k y in
+        return y)
+      y
+  in
+  return ()
+
+let increment (y : t) : unit Circ.t = add_const 1 y
+let decrement (y : t) : unit Circ.t = sub_const 1 y
+
+(** [add_shifted ~shift ~x ~y]: y := y + x * 2^shift (mod 2^width-y).
+    Adds x's low bits into y's high slice — the partial-product step of the
+    multiplier. *)
+let rec add_shifted ~shift ~(x : t) ~(y : t) : unit Circ.t =
+  let ny = width y in
+  if shift >= ny then return ()
+  else
+    let xs = Array.sub x 0 (min (width x) (ny - shift)) in
+    let ys = Array.sub y shift (ny - shift) in
+    add_widened ~x:xs ~y:ys
+
+(** [add_widened ~x ~y]: y := y + x where x may be narrower than y — x is
+    zero-extended through temporarily-initialised (and assertively
+    terminated) high bits, so carries propagate into all of y. *)
+and add_widened ~(x : t) ~(y : t) : unit Circ.t =
+  let nx = width x and ny = width y in
+  if nx > ny then Errors.raise_ (Shape_mismatch "add_widened: x wider than y")
+  else if nx = ny then add_in_place ~x ~y ()
+  else
+    with_ancilla_init
+      (List.init (ny - nx) (fun _ -> false))
+      (fun pad ->
+        let xe = Array.append x (Array.of_list pad) in
+        add_in_place ~x:xe ~y ())
+
+(** [mult ~x ~y]: fresh register p := x * y (mod 2^width), by controlled
+    shifted adds — width is [width y] unless [out_width] is given (use
+    [2*n] for an exact product). *)
+let mult ?out_width ~(x : t) ~(y : t) () : t Circ.t =
+  let n = width y in
+  let ow = match out_width with Some w -> w | None -> n in
+  let* p = init_zero ~width:ow in
+  let* () =
+    iterm
+      (fun i ->
+        add_shifted ~shift:i ~x ~y:p |> controlled [ ctl y.(i) ])
+      (List.init n Fun.id)
+  in
+  return p
+
+(** [square x]: fresh register x*x (mod 2^width) — copy, multiply,
+    uncompute the copy (no-cloning forbids [mult x x] directly). *)
+let square ?out_width (x : t) : t Circ.t =
+  with_computed (copy x) (fun x' -> mult ?out_width ~x ~y:x' ())
+
+(** [less_than ~x ~y ~target]: target ^= (x < y), unsigned. Borrow chain
+    b(i+1) = MAJ(not x_i, y_i, b_i), computed into fresh ancillas and
+    uncomputed by [with_computed]. *)
+let less_than ~(x : t) ~(y : t) ~(target : Wire.qubit) : unit Circ.t =
+  let n = width x in
+  if width y <> n then Errors.raise_ (Shape_mismatch "less_than: width mismatch");
+  let borrow_step b i =
+    (* fresh b' = majority(not x_i, y_i, b) *)
+    let* b' = qinit_bit false in
+    let* () = qnot_ b' |> controlled [ ctl_neg x.(i); ctl y.(i) ] in
+    let* () = qnot_ b' |> controlled [ ctl_neg x.(i); ctl b ] in
+    let* () = qnot_ b' |> controlled [ ctl y.(i); ctl b ] in
+    return b'
+  in
+  with_computed
+    (let* b0 = qinit_bit false in
+     foldm borrow_step b0 (List.init n Fun.id))
+    (fun bn -> cnot ~control:bn ~target)
+
+(** [equals ~x ~y ~target]: target ^= (x = y). *)
+let equals ~(x : t) ~(y : t) ~(target : Wire.qubit) : unit Circ.t =
+  let n = width x in
+  if width y <> n then Errors.raise_ (Shape_mismatch "equals: width mismatch");
+  with_computed
+    (mapm
+       (fun i ->
+         let* e = qinit_bit true in
+         let* () = cnot ~control:x.(i) ~target:e in
+         let* () = cnot ~control:y.(i) ~target:e in
+         return e)
+       (List.init n Fun.id))
+    (fun es -> qnot_ target |> controlled (List.map ctl es))
+
+(** [equals_const k ~x ~target]: target ^= (x = k) — one multi-controlled
+    not with a sign pattern (§3.2's "quantum test"). *)
+let equals_const (k : int) ~(x : t) ~(target : Wire.qubit) : unit Circ.t =
+  qnot_ target |> controlled (Qureg.const_controls k x)

@@ -1,0 +1,49 @@
+(** QDInt: fixed-size quantum integers (paper §4.5), little-endian,
+    arithmetic modulo 2^n. Every operation is validated against integer
+    arithmetic by the classical simulator in the test suite. *)
+
+open Quipper
+
+type t = Qureg.t
+
+val width : t -> int
+val shape : int -> (int, t, Wire.bit array) Qdata.t
+val init : width:int -> int -> t Circ.t
+val init_zero : width:int -> t Circ.t
+val copy : t -> t Circ.t
+val xor_into : source:t -> target:t -> unit Circ.t
+
+val add_in_place : ?carry_out:Wire.qubit -> x:t -> y:t -> unit -> unit Circ.t
+(** y := x + y (CDKM ripple adder, one ancilla); [carry_out] receives the
+    overflow XORed in. *)
+
+val sub_in_place : x:t -> y:t -> unit Circ.t
+(** y := y - x: the reversed adder — reversal is free in this model. *)
+
+val add_const : int -> t -> unit Circ.t
+(** The paper's trick: materialise the constant in an assertively-scoped
+    register (§4.2.2). *)
+
+val sub_const : int -> t -> unit Circ.t
+val increment : t -> unit Circ.t
+val decrement : t -> unit Circ.t
+
+val add_shifted : shift:int -> x:t -> y:t -> unit Circ.t
+(** y := y + x * 2^shift — the partial-product step. *)
+
+val add_widened : x:t -> y:t -> unit Circ.t
+(** y := y + x with x narrower than y, zero-extended through scoped
+    ancillas so carries propagate. *)
+
+val mult : ?out_width:int -> x:t -> y:t -> unit -> t Circ.t
+(** Fresh p := x*y by controlled shifted adds; [out_width] defaults to
+    [width y] (use 2n for the exact product). *)
+
+val square : ?out_width:int -> t -> t Circ.t
+(** Copy, multiply, uncompute the copy (no-cloning forbids [mult x x]). *)
+
+val less_than : x:t -> y:t -> target:Wire.qubit -> unit Circ.t
+(** target ^= (x < y): borrow chain under [with_computed]. *)
+
+val equals : x:t -> y:t -> target:Wire.qubit -> unit Circ.t
+val equals_const : int -> x:t -> target:Wire.qubit -> unit Circ.t

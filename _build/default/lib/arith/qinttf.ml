@@ -1,0 +1,232 @@
+(** QIntTF: the Triangle Finding oracle's integer type — l-bit registers
+    "with arithmetic taken modulo 2^l - 1 (not 2^l)" (paper §5.3.1).
+
+    Working modulo 2^l - 1 has two structural consequences that shape the
+    whole oracle, both visible in the paper's figures:
+
+    - Doubling is a *cyclic bit rotation* (2^l = 1 mod 2^l - 1), i.e. a
+      pure relabelling of wires with no gates — the [double_TF] boxes of
+      Figure 3, whose ENTER/EXIT labels show permuted wire names.
+    - Addition is performed *out of place* with an end-around carry
+      ([o7_ADD] produces a fresh register s and keeps x and y), because the
+      in-place map y -> x ⊞ y is not injective on raw bit patterns (zero
+      has two representations: 0...0 and 1...1). Keeping the inputs makes
+      every internal ancilla — carry chain, end-around flag, increment
+      prefix chain — locally recomputable, so each adder block cleans up
+      after itself exactly as in Figure 3; the chain of intermediate sums a
+      multiplication produces is uncomputed by the enclosing
+      [with_computed] (the mirrored second half of Figure 3).
+
+    The controlled adder threads its control only through the gates that
+    write the output, never through the carry bookkeeping (which is
+    self-inverse around them) — this is why gate counts show at most 2
+    controls, matching the paper's E1 breakdown. *)
+
+open Quipper
+open Circ
+
+type t = Qureg.t
+
+let width = Qureg.width
+let shape = Qureg.shape
+let init = Qureg.init
+let init_zero = Qureg.init_zero
+let copy = Qureg.copy
+let xor_into = Qureg.xor_into
+
+(** Classical reference semantics: x ⊞ y modulo 2^l - 1 on raw
+    representations (end-around carry; all-ones is the second zero). *)
+let add_sem ~l x y =
+  let s = x + y in
+  if s >= 1 lsl l then s - (1 lsl l) + 1 else s
+
+let double_sem ~l x =
+  (* rotate-left semantics: all-ones is a fixed point *)
+  let m = (1 lsl l) - 1 in
+  if x = m then m else ((x lsl 1) lor (x lsr (l - 1))) land m
+
+let to_residue ~l x = x mod ((1 lsl l) - 1)
+
+(** [double x]: multiply by two modulo 2^l - 1 — a rotation of the wire
+    assignment; emits no gates. *)
+let double (x : t) : t = Qureg.rotate_left x 1
+
+(* majority of three qubits into a fresh ancilla: 3 Toffolis *)
+let maj_into a b c : Wire.qubit Circ.t =
+  let* m = qinit_bit false in
+  let* () = qnot_ m |> controlled [ ctl a; ctl b ] in
+  let* () = qnot_ m |> controlled [ ctl a; ctl c ] in
+  let* () = qnot_ m |> controlled [ ctl b; ctl c ] in
+  return m
+
+let unmaj m a b c : unit Circ.t =
+  let* () = qnot_ m |> controlled [ ctl a; ctl b ] in
+  let* () = qnot_ m |> controlled [ ctl a; ctl c ] in
+  let* () = qnot_ m |> controlled [ ctl b; ctl c ] in
+  qterm_bit false m
+
+(** [add ?ctl ~x ~y]: fresh register s := y ⊞ (x if ctl else 0); x and y
+    are unchanged, every ancilla is terminated inside the block. This is
+    the o7_ADD / o7_ADD_controlled circuit of Figure 3. *)
+let add ?ctl ~(x : t) ~(y : t) () : t Circ.t =
+  let l = width x in
+  if width y <> l then Errors.raise_ (Shape_mismatch "Qinttf.add: width mismatch");
+  let controlled_writes (m : unit Circ.t) =
+    match ctl with None -> m | Some c -> with_controls [ Circ.ctl c ] m
+  in
+  (* 1. carry chain: carries.(i) = carry into bit i+1 of x + y *)
+  let* carries =
+    let rec go i prev acc =
+      if i = l then return (List.rev acc)
+      else
+        let* c =
+          match prev with
+          | None ->
+              (* carry out of bit 0: x_0 AND y_0 *)
+              let* c = qinit_bit false in
+              let* () = qnot_ c |> controlled [ Circ.ctl x.(0); Circ.ctl y.(0) ] in
+              return c
+          | Some p -> maj_into x.(i) y.(i) p
+        in
+        go (i + 1) (Some c) (c :: acc)
+    in
+    go 0 None []
+  in
+  let carries = Array.of_list carries in
+  (* 2. output register: s_i = y_i XOR ctl*(x_i XOR carry_in_i) *)
+  let* s = init_zero ~width:l in
+  let* () =
+    iterm
+      (fun i ->
+        let* () = cnot ~control:y.(i) ~target:s.(i) in
+        let* () = controlled_writes (cnot ~control:x.(i) ~target:s.(i)) in
+        if i > 0 then
+          controlled_writes (cnot ~control:carries.(i - 1) ~target:s.(i))
+        else return ())
+      (List.init l Fun.id)
+  in
+  (* 3. end-around carry: d = ctl AND carry-out; s := s + d *)
+  let* d = qinit_bit false in
+  let set_d =
+    match ctl with
+    | None -> cnot ~control:carries.(l - 1) ~target:d
+    | Some c -> qnot_ d |> controlled [ Circ.ctl c; Circ.ctl carries.(l - 1) ]
+  in
+  let* () = set_d in
+  (* controlled increment of s by d: prefix-AND chain over the (current)
+     bits of s, flipped top-down with interleaved uncomputation *)
+  let* () =
+    if l = 1 then cnot ~control:d ~target:s.(0)
+    else begin
+      (* a.(i) = s_0 AND ... AND s_i, for i = 0..l-2 *)
+      let* prefixes =
+        let rec go i prev acc =
+          if i > l - 2 then return (List.rev acc)
+          else
+            let* a = qinit_bit false in
+            let* () =
+              match prev with
+              | None -> cnot ~control:s.(0) ~target:a
+              | Some p -> qnot_ a |> controlled [ Circ.ctl p; Circ.ctl s.(i) ]
+            in
+            go (i + 1) (Some a) (a :: acc)
+        in
+        go 0 None []
+      in
+      let prefixes = Array.of_list prefixes in
+      (* flip s from the top down, uncomputing each prefix right after its
+         use (lower bits of s are still unflipped at that point) *)
+      let rec down i =
+        if i < 1 then return ()
+        else
+          let a = prefixes.(i - 1) in
+          let* () = qnot_ s.(i) |> controlled [ Circ.ctl d; Circ.ctl a ] in
+          let* () =
+            if i - 1 = 0 then cnot ~control:s.(0) ~target:a
+            else qnot_ a |> controlled [ Circ.ctl prefixes.(i - 2); Circ.ctl s.(i - 1) ]
+          in
+          let* () = qterm_bit false a in
+          down (i - 1)
+      in
+      let* () = down (l - 1) in
+      cnot ~control:d ~target:s.(0)
+    end
+  in
+  (* 4. uncompute d (carries are untouched by the increment) *)
+  let* () = set_d in
+  let* () = qterm_bit false d in
+  (* 5. uncompute the carry chain in reverse, from x and y *)
+  let* () =
+    let rec back i =
+      if i < 0 then return ()
+      else
+        let* () =
+          if i = 0 then
+            let* () = qnot_ carries.(0) |> controlled [ Circ.ctl x.(0); Circ.ctl y.(0) ] in
+            qterm_bit false carries.(0)
+          else unmaj carries.(i) x.(i) y.(i) carries.(i - 1)
+        in
+        back (i - 1)
+    in
+    back (l - 1)
+  in
+  return s
+
+(** [mul ~x ~y]: fresh register p := x * y (mod 2^l - 1) by shift-and-add:
+    the chain s_{i+1} = s_i ⊞ (y_i ? x*2^i : 0) with rotation doubling,
+    its intermediate sums kept and then uncomputed by [with_computed] —
+    the exact structure of Figure 3 (o8_MUL). After l doublings the
+    rotation has come full circle, so x's wires end in their original
+    order. *)
+let mul ~(x : t) ~(y : t) () : t Circ.t =
+  let l = width x in
+  if width y <> l then Errors.raise_ (Shape_mismatch "Qinttf.mul: width mismatch");
+  with_computed
+    (let* s0 = init_zero ~width:l in
+     let rec go i xr s =
+       if i = l then return s
+       else
+         let* s' = add ~ctl:y.(i) ~x:xr ~y:s () in
+         go (i + 1) (double xr) s'
+     in
+     go 0 x s0)
+    (fun p ->
+      let* out = init_zero ~width:l in
+      let* () = xor_into ~source:p ~target:out in
+      return out)
+
+(** [square x]: x^2 mod 2^l - 1: copy, multiply, uncompute the copy. *)
+let square (x : t) : t Circ.t =
+  with_computed (copy x) (fun x' -> mul ~x ~y:x' ())
+
+(** [equals_zero ~x ~target]: target ^= (x represents zero), accounting for
+    both representations (all zeros and all ones). *)
+let equals_zero ~(x : t) ~(target : Wire.qubit) : unit Circ.t =
+  let* () = qnot_ target |> controlled (List.map ctl_neg (Qureg.to_list x)) in
+  qnot_ target |> controlled (List.map ctl (Qureg.to_list x))
+
+(** [equals ~x ~y ~target]: target ^= (x = y as residues mod 2^l - 1):
+    bitwise equality or difference representing zero. For oracle use we
+    test bitwise equality of x ⊞ (-y)... here: bitwise equal, or one is
+    all-zeros and the other all-ones. *)
+let equals ~(x : t) ~(y : t) ~(target : Wire.qubit) : unit Circ.t =
+  let l = width x in
+  with_computed
+    (mapm
+       (fun i ->
+         let* e = qinit_bit true in
+         let* () = cnot ~control:x.(i) ~target:e in
+         let* () = cnot ~control:y.(i) ~target:e in
+         return e)
+       (List.init l Fun.id))
+    (fun es ->
+      let* () = qnot_ target |> controlled (List.map ctl es) in
+      (* the two-zeros case: x all zero and y all ones *)
+      let* () =
+        qnot_ target
+        |> controlled
+             (List.map ctl_neg (Qureg.to_list x) @ List.map ctl (Qureg.to_list y))
+      in
+      qnot_ target
+      |> controlled
+           (List.map ctl (Qureg.to_list x) @ List.map ctl_neg (Qureg.to_list y)))

@@ -1,0 +1,48 @@
+(** QIntTF: the Triangle Finding oracle's integer type — l-bit registers
+    "with arithmetic taken modulo 2^l - 1 (not 2^l)" (paper §5.3.1).
+
+    Doubling is a cyclic wire rotation (no gates — Figure 3's [double_TF]
+    boxes); addition is performed out of place with an end-around carry
+    ([o7_ADD] produces a fresh register), because the in-place map is not
+    injective on raw bit patterns: zero has two representations (all-0 and
+    all-1). Each adder block cleans its own ancillas, exactly as in
+    Figure 3; the intermediate sums of a multiplication are uncomputed by
+    the enclosing [with_computed] (the figure's mirrored second half). *)
+
+open Quipper
+
+type t = Qureg.t
+
+val width : t -> int
+val shape : int -> (int, t, Wire.bit array) Qdata.t
+val init : width:int -> int -> t Circ.t
+val init_zero : width:int -> t Circ.t
+val copy : t -> t Circ.t
+val xor_into : source:t -> target:t -> unit Circ.t
+
+val add_sem : l:int -> int -> int -> int
+(** Classical reference semantics of x ⊞ y on raw representations. *)
+
+val double_sem : l:int -> int -> int
+val to_residue : l:int -> int -> int
+
+val double : t -> t
+(** Multiply by two modulo 2^l - 1: a rotation of the wire assignment,
+    emitting no gates. *)
+
+val add : ?ctl:Wire.qubit -> x:t -> y:t -> unit -> t Circ.t
+(** Fresh s := y ⊞ (x if ctl else 0); x and y unchanged, every ancilla
+    terminated inside the block. The control threads only through the
+    output writes, never the carry bookkeeping — which is why gate counts
+    show at most 2 controls (the paper's E1 breakdown). *)
+
+val mul : x:t -> y:t -> unit -> t Circ.t
+(** Fresh p := x*y mod 2^l - 1: the shift-add / rotation-doubling ladder
+    of Figure 3. *)
+
+val square : t -> t Circ.t
+
+val equals_zero : x:t -> target:Wire.qubit -> unit Circ.t
+(** Accounts for both representations of zero. *)
+
+val equals : x:t -> y:t -> target:Wire.qubit -> unit Circ.t

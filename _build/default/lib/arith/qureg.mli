@@ -1,0 +1,37 @@
+(** Quantum registers: little-endian arrays of qubits — the common
+    substrate of the arithmetic types ({!Qdint}, {!Qinttf}, {!Fpreal}). *)
+
+open Quipper
+
+type t = Wire.qubit array
+(** Index 0 is the least-significant bit. *)
+
+val width : t -> int
+val to_list : t -> Wire.qubit list
+val of_list : Wire.qubit list -> t
+
+val shape : int -> (int, t, Wire.bit array) Qdata.t
+(** The witness relating [int] parameters, qubit registers and classical
+    registers — the paper's [QShape IntM QDInt CInt] instance (§4.5). *)
+
+val init : width:int -> int -> t Circ.t
+val init_zero : width:int -> t Circ.t
+
+val term : int -> t -> unit Circ.t
+(** Assertively terminate a register holding a known constant. *)
+
+val xor_into : source:t -> target:t -> unit Circ.t
+val copy : t -> t Circ.t
+val xor_const : int -> t -> unit Circ.t
+
+val const_controls : int -> t -> Gate.control list
+(** Signed controls asserting the register holds a constant — the
+    "quantum test" of §3.2 and the addressing primitive of the qRAM. *)
+
+val swap_registers : t -> t -> unit Circ.t
+
+val rotate_left : t -> int -> t
+(** Pure relabelling, no gates: multiplication by 2^k modulo
+    2^width - 1 (see {!Qinttf.double}). *)
+
+val hadamard_all : t -> unit Circ.t

@@ -1,0 +1,1 @@
+lib/core/allocate.ml: Array Circuit Errors Gate Gatecount Hashtbl Int List Set Wire

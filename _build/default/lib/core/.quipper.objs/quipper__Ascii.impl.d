@@ -1,0 +1,1 @@
+lib/core/ascii.ml: Array Bool Buffer Circuit Gate Hashtbl List Printf String Wire

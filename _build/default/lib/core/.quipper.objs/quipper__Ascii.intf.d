@@ -1,0 +1,1 @@
+lib/core/ascii.mli: Circuit

@@ -1,0 +1,1 @@
+lib/core/circ.ml: Array Circuit Errors Float Fmt Fun Gate Hashtbl List Qdata Vec Wire

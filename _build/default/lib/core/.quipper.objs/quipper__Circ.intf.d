@@ -1,0 +1,1 @@
+lib/core/circ.mli: Circuit Gate Qdata Wire

@@ -1,0 +1,1 @@
+lib/core/circuit.ml: Array Errors Fmt Gate Hashtbl List Map String Vec Wire

@@ -1,0 +1,1 @@
+lib/core/circuit.mli: Gate Map Wire

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Circuit Gate List Transform Wire

@@ -1,0 +1,1 @@
+lib/core/depth.ml: Array Circuit Gate Gatecount Hashtbl List Wire

@@ -1,0 +1,1 @@
+lib/core/gate.ml: Bool Errors Fmt List Wire

@@ -1,0 +1,1 @@
+lib/core/gatecount.ml: Array Circuit Fmt Gate Hashtbl List Map Wire

@@ -1,0 +1,1 @@
+lib/core/gatecount.mli: Circuit Format Gate Map

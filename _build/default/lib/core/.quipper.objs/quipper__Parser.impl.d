@@ -1,0 +1,1 @@
+lib/core/parser.ml: Array Buffer Circuit Errors Fmt Fun Gate List String Wire

@@ -1,0 +1,1 @@
+lib/core/printer.ml: Array Circuit Fmt Gate List Wire

@@ -1,0 +1,1 @@
+lib/core/qdata.ml: Array Errors Fmt List Wire

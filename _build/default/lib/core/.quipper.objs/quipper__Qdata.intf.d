@@ -1,0 +1,1 @@
+lib/core/qdata.mli: Wire

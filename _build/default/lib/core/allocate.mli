@@ -1,0 +1,15 @@
+(** Ancilla-pool wire allocation — the "late compiler phase" of paper
+    §4.2.1, which likens picking ancillas from a pool to register
+    allocation: renumber wires so ids freed by terminations and discards
+    are reused by later initialisations (lowest-free-first,
+    deterministic). Arities keep their order, so compaction preserves
+    semantics positionally. After compaction, a flat circuit's largest
+    wire id + 1 equals its peak concurrent width. *)
+
+val compact_circuit :
+  ?subs:Circuit.subroutine Circuit.Namespace.t -> Circuit.t -> Circuit.t
+
+val compact : Circuit.b -> Circuit.b
+
+val width_of : Circuit.t -> int
+(** Largest wire id + 1. *)

@@ -1,0 +1,14 @@
+(** ASCII-art circuit rendering.
+
+    The paper renders circuits to PostScript/PDF; we draw the same
+    diagrams in text: one row per wire (quantum [---], classical [===]),
+    one column per gate, [x] not targets, [*] positive and [o] negative
+    controls, boxed labels for named gates, and [0|-] / [-|0] for
+    initialisation and assertive termination, so ancilla scopes (§4.2.1)
+    are visible at a glance. *)
+
+val render : ?max_columns:int -> Circuit.t -> string
+val render_b : ?max_columns:int -> Circuit.b -> string
+(** Main circuit followed by each subroutine body. *)
+
+val print : ?max_columns:int -> Circuit.b -> unit

@@ -1,0 +1,836 @@
+(** The circuit-construction monad: Quipper's [Circ].
+
+    A computation of type ['a t] describes a quantum operation in the
+    procedural paradigm of the paper (§4.4.1): qubits are held in variables,
+    gates are applied one at a time, and the same code can be *run* in
+    different ways (§4.4.5) — accumulated into a circuit, counted, printed,
+    or executed against a simulator, including the QRAM model with dynamic
+    lifting (§4.3).
+
+    Concretely ['a t = ctx -> 'a]: a reader over a mutable builder context.
+    OCaml's strict evaluation makes the order of gate emission the order of
+    evaluation, which is the semantics Quipper obtains from its lazy state
+    monad. The context carries the gate sink, the ambient control context
+    ([with_controls], §4.4.2), the live-wire table used for the run-time
+    physicality checks the paper describes in §4.1 (no-cloning, no use of
+    dead wires), and the namespace of boxed subcircuits (§4.4.4). *)
+
+open Wire
+
+type ctx = {
+  mutable fresh : Wire.t;
+  live : (Wire.t, Wire.ty) Hashtbl.t;
+  mutable controls : Gate.control list;
+  mutable buf : Gate.t Vec.t;
+  subs : (string, Circuit.subroutine) Hashtbl.t;
+  mutable sub_order : string list; (* reversed definition order *)
+  mutable extraction_depth : int;
+  inputs : Wire.endpoint Vec.t;
+  boxing : bool;
+  on_emit : (Gate.t -> unit) option;
+  lift : (ctx -> Wire.t -> bool) option;
+}
+
+type 'a t = ctx -> 'a
+
+(* ------------------------------------------------------------------ *)
+(* Monad structure                                                     *)
+
+let return x : 'a t = fun _ -> x
+let bind (m : 'a t) (f : 'a -> 'b t) : 'b t = fun c -> f (m c) c
+let map (m : 'a t) (f : 'a -> 'b) : 'b t = fun c -> f (m c)
+
+let ( let* ) = bind
+let ( let+ ) = map
+let ( >>= ) = bind
+let ( >> ) (m : 'a t) (n : 'b t) : 'b t = fun c -> ignore (m c); n c
+
+(** Kleisli iteration helpers. *)
+let rec mapm (f : 'a -> 'b t) (l : 'a list) : 'b list t =
+  match l with
+  | [] -> return []
+  | x :: tl ->
+      let* y = f x in
+      let* ys = mapm f tl in
+      return (y :: ys)
+
+let rec iterm (f : 'a -> unit t) (l : 'a list) : unit t =
+  match l with
+  | [] -> return ()
+  | x :: tl -> f x >> iterm f tl
+
+let rec foldm (f : 'acc -> 'a -> 'acc t) (acc : 'acc) (l : 'a list) : 'acc t =
+  match l with
+  | [] -> return acc
+  | x :: tl ->
+      let* acc = f acc x in
+      foldm f acc tl
+
+(** [iterate n f x] applies the circuit-producing function [f] to [x], [n]
+    times in sequence (e.g. Trotter steps, Grover iterations). *)
+let rec iterate n (f : 'a -> 'a t) (x : 'a) : 'a t =
+  if n <= 0 then return x
+  else
+    let* x = f x in
+    iterate (n - 1) f x
+
+let for_ lo hi (f : int -> unit t) : unit t =
+ fun c ->
+  for i = lo to hi do
+    f i c
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Context management                                                  *)
+
+let create_ctx ?(boxing = true) ?on_emit ?lift () =
+  {
+    fresh = 0;
+    live = Hashtbl.create 64;
+    controls = [];
+    buf = Vec.create ();
+    subs = Hashtbl.create 16;
+    sub_order = [];
+    extraction_depth = 0;
+    inputs = Vec.create ();
+    boxing;
+    on_emit;
+    lift;
+  }
+
+let fresh_wire c ty =
+  let w = c.fresh in
+  c.fresh <- c.fresh + 1;
+  Hashtbl.replace c.live w ty;
+  w
+
+(** Allocate a wire id without registering it as live: the [Init] (or
+    [Cgate], or [Subroutine] output) that brings the wire to life registers
+    it when it passes through [emit]. This keeps gate emission closed under
+    inversion: the mirror image of a [Term] is an [Init] for a wire nobody
+    pre-registered. *)
+let alloc_id c =
+  let w = c.fresh in
+  c.fresh <- c.fresh + 1;
+  w
+
+(** Allocate a circuit *input* wire (used by run drivers before invoking the
+    user's circuit-producing function). *)
+let alloc_input c ty =
+  let w = fresh_wire c ty in
+  Vec.push c.inputs { Wire.wire = w; ty };
+  w
+
+let live_outputs c =
+  Hashtbl.fold (fun w ty acc -> { Wire.wire = w; ty } :: acc) c.live []
+  |> List.sort (fun (a : Wire.endpoint) b -> compare a.wire b.wire)
+
+(* ------------------------------------------------------------------ *)
+(* The gate emitter: the single point through which every gate passes   *)
+
+let check_live c w ty =
+  match Hashtbl.find_opt c.live w with
+  | None -> Errors.raise_ (Dead_wire w)
+  | Some ty' ->
+      if ty <> ty' then
+        Errors.raise_ (Wire_type { wire = w; expected = ty; got = ty' })
+
+let check_distinct endpoints =
+  let rec go seen = function
+    | [] -> ()
+    | (e : Wire.endpoint) :: tl ->
+        if List.mem e.wire seen then Errors.raise_ (No_cloning e.wire);
+        go (e.wire :: seen) tl
+  in
+  go [] endpoints
+
+(** Emit one gate: apply ambient controls, run the physicality checks,
+    update the live table, append to the sink, notify the executor. The
+    wires of [g] must already be concrete (allocation happens before). *)
+let emit c (g : Gate.t) =
+  let g =
+    if c.controls = [] then g
+    else
+      match Gate.controllability g with
+      | Gate.Controllable -> Gate.add_controls c.controls g
+      | Gate.Control_neutral -> g
+      | Gate.Not_controllable what -> Errors.raise_ (Not_controllable what)
+  in
+  (match g with Gate.Comment _ -> () | _ -> check_distinct (Gate.wires g));
+  (match g with
+  | Gate.Gate { name; targets; controls; _ } ->
+      (match Gate.primitive_arity name with
+      | Some n when n <> List.length targets ->
+          Errors.invalidf "gate %s expects %d targets" name n
+      | _ -> ());
+      List.iter (fun w -> check_live c w Wire.Q) targets;
+      List.iter (fun (k : Gate.control) -> check_live c k.cwire k.cty) controls
+  | Gate.Rot { targets; controls; _ } ->
+      List.iter (fun w -> check_live c w Wire.Q) targets;
+      List.iter (fun (k : Gate.control) -> check_live c k.cwire k.cty) controls
+  | Gate.Phase { controls; _ } ->
+      List.iter (fun (k : Gate.control) -> check_live c k.cwire k.cty) controls
+  | Gate.Init { ty; wire; _ } ->
+      if Hashtbl.mem c.live wire then
+        Errors.invalidf "init of already-live wire %d" wire
+      else Hashtbl.add c.live wire ty
+  | Gate.Term { ty; wire; _ } | Gate.Discard { ty; wire } ->
+      check_live c wire ty;
+      Hashtbl.remove c.live wire
+  | Gate.Measure { wire } ->
+      check_live c wire Wire.Q;
+      Hashtbl.replace c.live wire Wire.C
+  | Gate.Cgate { out; ins; _ } ->
+      List.iter (fun w -> check_live c w Wire.C) ins;
+      if Hashtbl.mem c.live out then
+        Errors.invalidf "cgate output wire %d already live" out
+      else Hashtbl.add c.live out Wire.C
+  | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+      List.iter (fun (k : Gate.control) -> check_live c k.cwire k.cty) controls;
+      let sub =
+        match Hashtbl.find_opt c.subs name with
+        | Some s -> s
+        | None -> Errors.raise_ (Unknown_subroutine name)
+      in
+      if controls <> [] && not sub.controllable then
+        Errors.raise_ (Not_controllable ("subroutine " ^ name));
+      let d_in = if inv then sub.circ.outputs else sub.circ.inputs in
+      let d_out = if inv then sub.circ.inputs else sub.circ.outputs in
+      List.iter2 (fun w (e : Wire.endpoint) -> check_live c w e.ty) inputs d_in;
+      List.iter (fun w -> Hashtbl.remove c.live w) inputs;
+      List.iter2
+        (fun w (e : Wire.endpoint) -> Hashtbl.replace c.live w e.ty)
+        outputs d_out
+  | Gate.Comment _ -> ());
+  Vec.push c.buf g;
+  match c.on_emit with
+  | Some f when c.extraction_depth = 0 -> f g
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Basic gates                                                         *)
+
+let gate1 name (Qubit q) : unit t =
+ fun c -> emit c (Gate.Gate { name; inv = false; targets = [ q ]; controls = [] })
+
+(** Apply a named single-qubit gate and hand the qubit back (the paper's
+    functional style: [a <- hadamard a]). *)
+let gate1' name q : qubit t = fun c -> gate1 name q c; q
+
+let qnot q = gate1' "not" q
+let qnot_ q = gate1 "not" q
+let hadamard q = gate1' "H" q
+let hadamard_ q = gate1 "H" q
+let gate_X = gate1' "X"
+let gate_Y = gate1' "Y"
+let gate_Z = gate1' "Z"
+let gate_S = gate1' "S"
+let gate_T = gate1' "T"
+let gate_V = gate1' "V"
+let gate_E = gate1' "E"
+
+let gate_S_inv (Qubit q) : unit t =
+ fun c -> emit c (Gate.Gate { name = "S"; inv = true; targets = [ q ]; controls = [] })
+
+let gate_T_inv (Qubit q) : unit t =
+ fun c -> emit c (Gate.Gate { name = "T"; inv = true; targets = [ q ]; controls = [] })
+
+let gate_V_inv (Qubit q) : unit t =
+ fun c -> emit c (Gate.Gate { name = "V"; inv = true; targets = [ q ]; controls = [] })
+
+let named_gate name (qs : qubit list) : unit t =
+ fun c ->
+  emit c
+    (Gate.Gate
+       { name; inv = false; targets = List.map qubit_wire qs; controls = [] })
+
+let gate_W (Qubit a) (Qubit b) : unit t =
+ fun c -> emit c (Gate.Gate { name = "W"; inv = false; targets = [ a; b ]; controls = [] })
+
+let gate_W_inv (Qubit a) (Qubit b) : unit t =
+ fun c -> emit c (Gate.Gate { name = "W"; inv = true; targets = [ a; b ]; controls = [] })
+
+let swap (Qubit a) (Qubit b) : unit t =
+ fun c -> emit c (Gate.Gate { name = "swap"; inv = false; targets = [ a; b ]; controls = [] })
+
+(** [cnot ~control ~target]: sugar for a singly-controlled not. *)
+let cnot ~control:(Qubit a) ~target:(Qubit b) : unit t =
+ fun c ->
+  emit c
+    (Gate.Gate
+       { name = "not"; inv = false; targets = [ b ];
+         controls = [ Gate.pos_control a ] })
+
+let toffoli ~c1:(Qubit a) ~c2:(Qubit b) ~target:(Qubit t) : unit t =
+ fun c ->
+  emit c
+    (Gate.Gate
+       { name = "not"; inv = false; targets = [ t ];
+         controls = [ Gate.pos_control a; Gate.pos_control b ] })
+
+(** Rotation gates. [rot_expZt t q] is the e^{-iZt} gate of Figure 1. *)
+let rot_expZt theta (Qubit q) : unit t =
+ fun c ->
+  emit c
+    (Gate.Rot { name = "exp(-i%Z)"; angle = theta; inv = false; targets = [ q ]; controls = [] })
+
+let rot_Z theta (Qubit q) : unit t =
+ fun c ->
+  emit c (Gate.Rot { name = "Rz"; angle = theta; inv = false; targets = [ q ]; controls = [] })
+
+let rot_X theta (Qubit q) : unit t =
+ fun c ->
+  emit c (Gate.Rot { name = "Rx"; angle = theta; inv = false; targets = [ q ]; controls = [] })
+
+(** The QFT phase gate R_k = diag(1, e^{2*pi*i/2^k}). *)
+let gate_R k (Qubit q) : unit t =
+ fun c ->
+  emit c
+    (Gate.Rot
+       { name = "R"; angle = 2.0 *. Float.pi /. Float.of_int (1 lsl k);
+         inv = false; targets = [ q ]; controls = [] })
+
+let gate_R_inv k (Qubit q) : unit t =
+ fun c ->
+  emit c
+    (Gate.Rot
+       { name = "R"; angle = 2.0 *. Float.pi /. Float.of_int (1 lsl k);
+         inv = true; targets = [ q ]; controls = [] })
+
+let global_phase angle : unit t = fun c -> emit c (Gate.Phase { angle; controls = [] })
+
+(* ------------------------------------------------------------------ *)
+(* Initialisation, termination, measurement                            *)
+
+let qinit_bit value : qubit t =
+ fun c ->
+  let w = alloc_id c in
+  emit c (Gate.Init { ty = Wire.Q; value; wire = w });
+  Qubit w
+
+let qterm_bit value (Qubit q) : unit t =
+ fun c -> emit c (Gate.Term { ty = Wire.Q; value; wire = q })
+
+let qdiscard (Qubit q) : unit t = fun c -> emit c (Gate.Discard { ty = Wire.Q; wire = q })
+
+let cinit_bit value : bit t =
+ fun c ->
+  let w = alloc_id c in
+  emit c (Gate.Init { ty = Wire.C; value; wire = w });
+  Bit w
+
+let cterm_bit value (Bit b) : unit t =
+ fun c -> emit c (Gate.Term { ty = Wire.C; value; wire = b })
+
+let cdiscard (Bit b) : unit t = fun c -> emit c (Gate.Discard { ty = Wire.C; wire = b })
+
+let measure_qubit (Qubit q) : bit t =
+ fun c ->
+  emit c (Gate.Measure { wire = q });
+  Bit q
+
+(** Prepare a qubit from a classical wire: measure-free conversion is not
+    physical, so this is the standard "copy through CNOT after init" —
+    Quipper's [prepare]. Here we model it as a classically-controlled not on
+    a fresh qubit. *)
+let prepare (Bit b) : qubit t =
+ fun c ->
+  let w = alloc_id c in
+  emit c (Gate.Init { ty = Wire.Q; value = false; wire = w });
+  emit c
+    (Gate.Gate
+       { name = "not"; inv = false; targets = [ w ];
+         controls = [ { Gate.cwire = b; cty = Wire.C; positive = true } ] });
+  Qubit w
+
+(** Classical logic gates on classical wires (§4.2.3). *)
+let cgate name (ins : bit list) : bit t =
+ fun c ->
+  let w = alloc_id c in
+  emit c (Gate.Cgate { name; out = w; ins = List.map bit_wire ins });
+  Bit w
+
+let cgate_xor ins = cgate "xor" ins
+let cgate_and ins = cgate "and" ins
+let cgate_or ins = cgate "or" ins
+let cgate_not i = cgate "not" [ i ]
+
+(** Dynamic lifting (§4.3.1): read a circuit-execution-time classical wire
+    back as a generation-time [bool]. Only run functions that actually
+    execute circuits provide it. *)
+let dynamic_lift (Bit b) : bool t =
+ fun c ->
+  check_live c b Wire.C;
+  if c.extraction_depth > 0 then Errors.raise_ Dynamic_lifting_unavailable;
+  match c.lift with
+  | None -> Errors.raise_ Dynamic_lifting_unavailable
+  | Some f -> f c b
+
+(* ------------------------------------------------------------------ *)
+(* Control structure (§4.4.2)                                          *)
+
+(** Control specifications for [with_controls]/[controlled]: positive or
+    negative, quantum or classical. *)
+let ctl (Qubit q) = { Gate.cwire = q; cty = Wire.Q; positive = true }
+let ctl_neg (Qubit q) = { Gate.cwire = q; cty = Wire.Q; positive = false }
+let ctl_bit (Bit b) = { Gate.cwire = b; cty = Wire.C; positive = true }
+let ctl_bit_neg (Bit b) = { Gate.cwire = b; cty = Wire.C; positive = false }
+
+let with_controls (ctls : Gate.control list) (m : 'a t) : 'a t =
+ fun c ->
+  let saved = c.controls in
+  c.controls <- saved @ ctls;
+  Fun.protect ~finally:(fun () -> c.controls <- saved) (fun () -> m c)
+
+let with_control q m = with_controls [ ctl q ] m
+
+(** Pipe-friendly version of [with_controls], mirroring the paper's
+    [qnot x `controlled` (a,b)]: [qnot_ x |> controlled [ctl a; ctl b]]. *)
+let controlled (ctls : Gate.control list) (m : 'a t) : 'a t =
+  with_controls ctls m
+
+let without_controls (m : 'a t) : 'a t =
+ fun c ->
+  let saved = c.controls in
+  c.controls <- [];
+  Fun.protect ~finally:(fun () -> c.controls <- saved) (fun () -> m c)
+
+(** Ablation switch: when false, [with_computed] applies ambient controls to
+    the compute/uncompute halves instead of trimming them (see DESIGN.md). *)
+let control_trimming = ref true
+
+(* ------------------------------------------------------------------ *)
+(* Ancillas (§4.2.1)                                                   *)
+
+let with_ancilla (f : qubit -> 'a t) : 'a t =
+ fun c ->
+  let q = without_controls (qinit_bit false) c in
+  let r = f q c in
+  without_controls (qterm_bit false q) c;
+  r
+
+let with_ancilla_init (values : bool list) (f : qubit list -> 'a t) : 'a t =
+ fun c ->
+  let qs = without_controls (mapm qinit_bit values) c in
+  let r = f qs c in
+  without_controls (iterm (fun (v, q) -> qterm_bit v q) (List.combine values qs)) c;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Comments and labels                                                 *)
+
+let comment text : unit t = fun c -> emit c (Gate.Comment { text; labels = [] })
+
+let label_endpoints (es : Wire.endpoint list) base =
+  match es with
+  | [ e ] -> [ (e.Wire.wire, base) ]
+  | es -> List.mapi (fun i (e : Wire.endpoint) -> (e.Wire.wire, Fmt.str "%s[%d]" base i)) es
+
+let comment_with_label text (w : ('b, 'q, 'c) Qdata.t) (x : 'q) base : unit t =
+ fun c ->
+  emit c (Gate.Comment { text; labels = label_endpoints (w.Qdata.qleaves x) base })
+
+(** Label several pieces of data at once, as in
+    [comment_with_labels "ENTER: a6" [lab qd1 x "x"; lab qd2 y "y"]]. *)
+type labelled = L : ('b, 'q, 'c) Qdata.t * 'q * string -> labelled
+
+let lab w x base = L (w, x, base)
+
+let comment_with_labels text (ls : labelled list) : unit t =
+ fun c ->
+  let labels =
+    List.concat_map (fun (L (w, x, base)) -> label_endpoints (w.Qdata.qleaves x) base) ls
+  in
+  emit c (Gate.Comment { text; labels })
+
+(* ------------------------------------------------------------------ *)
+(* Generic operations over shape witnesses (QShape, §4.5)              *)
+
+(** [qinit w b]: initialise fresh quantum data of shape [w] from the
+    boolean parameter [b] — the paper's [qinit :: QShape b q c => b -> Circ q]. *)
+let qinit (w : ('b, 'q, 'c) Qdata.t) (b : 'b) : 'q t =
+ fun c ->
+  let bits = w.Qdata.bleaves b in
+  let es =
+    List.map2
+      (fun ty v ->
+        match ty with
+        | Wire.Q ->
+            let (Qubit q) = without_controls (qinit_bit v) c in
+            Wire.qw q
+        | Wire.C ->
+            let (Bit b) = without_controls (cinit_bit v) c in
+            Wire.cw b)
+      w.Qdata.tys bits
+  in
+  w.Qdata.qbuild es
+
+(** [qterm w b q]: assertively terminate quantum data, claiming it equals
+    the parameter [b]. *)
+let qterm (w : ('b, 'q, 'c) Qdata.t) (b : 'b) (q : 'q) : unit t =
+ fun c ->
+  let bits = w.Qdata.bleaves b in
+  let es = w.Qdata.qleaves q in
+  List.iter2
+    (fun v (e : Wire.endpoint) ->
+      without_controls
+        (fun c ->
+          emit c (Gate.Term { ty = e.ty; value = v; wire = e.wire }))
+        c)
+    bits es
+
+(** [measure w q]: measure every qubit leaf, producing the classical
+    version — the paper's [measure :: QShape b q c => q -> Circ c]. *)
+let measure (w : ('b, 'q, 'c) Qdata.t) (q : 'q) : 'c t =
+ fun c ->
+  let es =
+    List.map
+      (fun (e : Wire.endpoint) ->
+        match e.Wire.ty with
+        | Wire.Q ->
+            emit c (Gate.Measure { wire = e.Wire.wire });
+            Wire.cw e.Wire.wire
+        | Wire.C -> e)
+      (w.Qdata.qleaves q)
+  in
+  w.Qdata.cbuild es
+
+let discard (w : ('b, 'q, 'c) Qdata.t) (q : 'q) : unit t =
+ fun c ->
+  List.iter
+    (fun (e : Wire.endpoint) ->
+      emit c (Gate.Discard { ty = e.Wire.ty; wire = e.Wire.wire }))
+    (w.Qdata.qleaves q)
+
+(** [controlled_not w target source]: apply a CNOT from each leaf of
+    [source] onto the corresponding leaf of [target] — the generic
+    [controlled_not :: QCData q => q -> q -> Circ (q, q)] of §4.5. *)
+let controlled_not (w : ('b, 'q, 'c) Qdata.t) ~(target : 'q) ~(source : 'q) : unit t =
+ fun c ->
+  let ts = w.Qdata.qleaves target and ss = w.Qdata.qleaves source in
+  List.iter2
+    (fun (t : Wire.endpoint) (s : Wire.endpoint) ->
+      match (t.Wire.ty, s.Wire.ty) with
+      | Wire.Q, _ ->
+          emit c
+            (Gate.Gate
+               { name = "not"; inv = false; targets = [ t.Wire.wire ];
+                 controls = [ { Gate.cwire = s.Wire.wire; cty = s.Wire.ty; positive = true } ] })
+      | Wire.C, _ -> Errors.invalidf "controlled_not: classical target wire %d" t.Wire.wire)
+    ts ss
+
+(** Initialise quantum data equal to given classical *wires* (not
+    parameters): CNOT-copy each bit/qubit leaf into a fresh qubit. *)
+let qinit_of (w : ('b, 'q, 'c) Qdata.t) (src : 'q) : 'q t =
+ fun c ->
+  let es =
+    List.map
+      (fun (e : Wire.endpoint) ->
+        let w' = alloc_id c in
+        (without_controls (fun c -> emit c (Gate.Init { ty = Wire.Q; value = false; wire = w' }))) c;
+        emit c
+          (Gate.Gate
+             { name = "not"; inv = false; targets = [ w' ];
+               controls = [ { Gate.cwire = e.Wire.wire; cty = e.Wire.ty; positive = true } ] });
+        Wire.qw w')
+      (w.Qdata.qleaves src)
+  in
+  w.Qdata.qbuild es
+
+(* ------------------------------------------------------------------ *)
+(* Subcircuit capture: the engine behind box / reverse / with_computed  *)
+
+(** Run [f] on freshly-allocated dummy wires of the given shape, capturing
+    its gates into a standalone circuit. The body runs in a sandboxed live
+    scope (it cannot touch outer wires), with no ambient controls, and with
+    execution suppressed. Returns the captured circuit and the result
+    endpoints. *)
+let capture (c : ctx) (in_w : ('b, 'q, 'cc) Qdata.t)
+    (out_w : ('b2, 'q2, 'c2) Qdata.t) (f : 'q -> 'q2 t) :
+    Circuit.t =
+  let saved_buf = c.buf
+  and saved_controls = c.controls
+  and saved_live = Hashtbl.copy c.live in
+  c.buf <- Vec.create ();
+  c.controls <- [];
+  Hashtbl.reset c.live;
+  c.extraction_depth <- c.extraction_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      c.extraction_depth <- c.extraction_depth - 1;
+      c.buf <- saved_buf;
+      c.controls <- saved_controls;
+      Hashtbl.reset c.live;
+      Hashtbl.iter (fun k v -> Hashtbl.replace c.live k v) saved_live)
+    (fun () ->
+      let ins =
+        List.map (fun ty -> { Wire.wire = fresh_wire c ty; ty }) in_w.Qdata.tys
+      in
+      let x = in_w.Qdata.qbuild ins in
+      let y = f x c in
+      let outs = out_w.Qdata.qleaves y in
+      (* every remaining live wire must be accounted for in the outputs;
+         otherwise the function leaks wires (same error Quipper gives) *)
+      let declared = List.map (fun (e : Wire.endpoint) -> e.Wire.wire) outs in
+      Hashtbl.iter
+        (fun w _ ->
+          if not (List.mem w declared) then
+            Errors.raise_
+              (Shape_mismatch
+                 (Fmt.str "captured function leaks wire %d (not in output shape)" w)))
+        c.live;
+      { Circuit.inputs = ins; gates = Vec.to_array c.buf; outputs = outs })
+
+(** Replay a captured circuit onto actual input wires: rename, emit through
+    the normal gate path (so ambient controls and execution apply), return
+    the actual output endpoints. *)
+let replay (c : ctx) (circ : Circuit.t) (actual_ins : Wire.endpoint list) :
+    Wire.endpoint list =
+  let map = Hashtbl.create 32 in
+  (if List.length circ.Circuit.inputs <> List.length actual_ins then
+     Errors.raise_ (Shape_mismatch "replay: input arity"));
+  List.iter2
+    (fun (d : Wire.endpoint) (a : Wire.endpoint) ->
+      if d.Wire.ty <> a.Wire.ty then
+        Errors.raise_ (Shape_mismatch "replay: input wire type");
+      Hashtbl.replace map d.Wire.wire a.Wire.wire)
+    circ.Circuit.inputs actual_ins;
+  let rename_init w ty =
+    (* wires born inside the circuit get fresh actual ids *)
+    match Hashtbl.find_opt map w with
+    | Some w' -> w'
+    | None ->
+        ignore ty;
+        let w' = alloc_id c in
+        Hashtbl.replace map w w';
+        w'
+  in
+  let rename w =
+    match Hashtbl.find_opt map w with
+    | Some w' -> w'
+    | None -> Errors.raise_ (Dead_wire w)
+  in
+  Array.iter
+    (fun g ->
+      let g' =
+        match g with
+        | Gate.Init { ty; value; wire } ->
+            Gate.Init { ty; value; wire = rename_init wire ty }
+        | Gate.Cgate { name; out; ins } ->
+            let ins = List.map rename ins in
+            Gate.Cgate { name; out = rename_init out Wire.C; ins }
+        | Gate.Subroutine s ->
+            (* outputs not among inputs are born here *)
+            let inputs = List.map rename s.inputs in
+            let sub =
+              match Hashtbl.find_opt c.subs s.name with
+              | Some sub -> sub
+              | None -> Errors.raise_ (Unknown_subroutine s.name)
+            in
+            let d_out =
+              if s.inv then sub.circ.Circuit.inputs else sub.circ.Circuit.outputs
+            in
+            let outputs =
+              List.map2
+                (fun w (e : Wire.endpoint) ->
+                  match Hashtbl.find_opt map w with
+                  | Some w' -> w'
+                  | None -> rename_init w e.Wire.ty)
+                s.outputs d_out
+            in
+            Gate.Subroutine
+              { s with
+                inputs;
+                outputs;
+                controls = List.map (Gate.rename_control rename) s.controls }
+        | g -> Gate.rename rename g
+      in
+      emit c g')
+    circ.Circuit.gates;
+  List.map
+    (fun (e : Wire.endpoint) -> { e with Wire.wire = rename e.Wire.wire })
+    circ.Circuit.outputs
+
+(* ------------------------------------------------------------------ *)
+(* Whole-circuit operators (§4.4.3)                                    *)
+
+(** Reverse of a circuit-producing function. [reverse_fun ~in_ ~out f] is a
+    function of the *output* shape computing the inverse circuit of [f].
+    Circuits containing initialisations and assertive terminations reverse
+    without complaint (§4.2.2). *)
+let reverse_fun ~(in_ : ('b, 'q, 'c) Qdata.t) ~(out : ('b2, 'q2, 'c2) Qdata.t)
+    (f : 'q -> 'q2 t) : 'q2 -> 'q t =
+ fun y c ->
+  let circ = capture c in_ out f in
+  let rev_gates =
+    Array.of_list
+      (Array.fold_left
+         (fun acc g -> if Gate.is_comment g then acc else Gate.inverse g :: acc)
+         [] circ.Circuit.gates)
+  in
+  let rev_circ =
+    { Circuit.inputs = circ.Circuit.outputs; gates = rev_gates;
+      outputs = circ.Circuit.inputs }
+  in
+  let actual_outs = replay c rev_circ (out.Qdata.qleaves y) in
+  in_.Qdata.qbuild actual_outs
+
+(** [reverse_simple w f]: reverse an in-place function (input and output
+    shapes coincide), as used throughout the paper's examples. *)
+let reverse_simple (w : ('b, 'q, 'c) Qdata.t) (f : 'q -> 'q t) : 'q -> 'q t =
+  reverse_fun ~in_:w ~out:w f
+
+(** [with_computed compute use]: run [compute], use its result, then
+    automatically uncompute [compute]'s gates in reverse (§5.3.1's
+    [with_computed_fun]). When [control_trimming] is on (the default, as in
+    Quipper), ambient controls are applied only to the [use] block: if the
+    compute block is correctly uncomputed, controlling the body alone is
+    equivalent to controlling the whole sandwich, and vastly cheaper. *)
+let with_computed (compute : 'a t) (use : 'a -> 'b t) : 'b t =
+ fun c ->
+  let trimming = !control_trimming in
+  let saved_controls = c.controls in
+  if trimming then c.controls <- [];
+  let start = Vec.length c.buf in
+  let a = compute c in
+  let mid = Vec.length c.buf in
+  c.controls <- saved_controls;
+  let b = use a c in
+  (* uncompute: emit the inverses of the compute gates in reverse order.
+     Ambient controls are always cleared here: when trimming is off the
+     recorded gates already carry them. *)
+  c.controls <- [];
+  (try
+     for i = mid - 1 downto start do
+       let g = Vec.get c.buf i in
+       if not (Gate.is_comment g) then emit c (Gate.inverse g)
+     done
+   with e ->
+     c.controls <- saved_controls;
+     raise e);
+  c.controls <- saved_controls;
+  b
+
+(** Paper-style [with_computed_fun x compute use]. *)
+let with_computed_fun (x : 'x) (compute : 'x -> 'a t) (use : 'a -> ('a * 'r) t) :
+    ('x * 'r) t =
+ fun c ->
+  (* Quipper's version: compute from x, use, uncompute back to x. The
+     intermediate value must be returned unchanged by [use]. *)
+  let trimming = !control_trimming in
+  let saved_controls = c.controls in
+  if trimming then c.controls <- [];
+  let start = Vec.length c.buf in
+  let a = compute x c in
+  let mid = Vec.length c.buf in
+  c.controls <- saved_controls;
+  let a', r = use a c in
+  ignore a';
+  c.controls <- [];
+  (try
+     for i = mid - 1 downto start do
+       let g = Vec.get c.buf i in
+       if not (Gate.is_comment g) then emit c (Gate.inverse g)
+     done
+   with e ->
+     c.controls <- saved_controls;
+     raise e);
+  c.controls <- saved_controls;
+  (x, r)
+
+(* ------------------------------------------------------------------ *)
+(* Boxed subcircuits (§4.4.4)                                          *)
+
+let subroutine_controllable (circ : Circuit.t) =
+  Array.for_all
+    (fun g ->
+      match Gate.controllability g with
+      | Gate.Controllable | Gate.Control_neutral -> true
+      | Gate.Not_controllable _ -> false)
+    circ.Circuit.gates
+
+(** [box name ~in_ ~out f x]: apply [f] to [x] through a named boxed
+    subcircuit. On first use the body is generated once (on dummy wires)
+    and recorded in the namespace; every use emits a single [Subroutine]
+    gate. Boxes nest, giving a hierarchy of circuits; resource counting and
+    the other whole-circuit operators exploit the sharing. *)
+let box name ~(in_ : ('b, 'q, 'c) Qdata.t) ~(out : ('b2, 'q2, 'c2) Qdata.t)
+    (f : 'q -> 'q2 t) : 'q -> 'q2 t =
+ fun x c ->
+  if not c.boxing then f x c
+  else begin
+    (match Hashtbl.find_opt c.subs name with
+    | Some existing ->
+        if
+          List.map (fun (e : Wire.endpoint) -> e.Wire.ty) existing.circ.Circuit.inputs
+          <> in_.Qdata.tys
+        then Errors.raise_ (Subroutine_redefined name)
+    | None ->
+        let circ = capture c in_ out f in
+        let controllable = subroutine_controllable circ in
+        Hashtbl.replace c.subs name { Circuit.circ; controllable };
+        c.sub_order <- name :: c.sub_order);
+    let sub = Hashtbl.find c.subs name in
+    let d_in = sub.circ.Circuit.inputs and d_out = sub.circ.Circuit.outputs in
+    let actual_ins = in_.Qdata.qleaves x in
+    (if List.length actual_ins <> List.length d_in then
+       Errors.raise_ (Shape_mismatch (Fmt.str "box %s: input arity" name)));
+    let map = Hashtbl.create 16 in
+    List.iter2
+      (fun (d : Wire.endpoint) (a : Wire.endpoint) ->
+        Hashtbl.replace map d.Wire.wire a.Wire.wire)
+      d_in actual_ins;
+    let actual_outs =
+      List.map
+        (fun (e : Wire.endpoint) ->
+          match Hashtbl.find_opt map e.Wire.wire with
+          | Some w -> { e with Wire.wire = w }
+          | None ->
+              let w = c.fresh in
+              c.fresh <- c.fresh + 1;
+              { e with Wire.wire = w })
+        d_out
+    in
+    emit c
+      (Gate.Subroutine
+         {
+           name;
+           inv = false;
+           inputs = List.map (fun (e : Wire.endpoint) -> e.Wire.wire) actual_ins;
+           outputs = List.map (fun (e : Wire.endpoint) -> e.Wire.wire) actual_outs;
+           controls = [];
+         });
+    out.Qdata.qbuild actual_outs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+
+let namespace_of_ctx c =
+  let subs =
+    Hashtbl.fold (fun k v acc -> Circuit.Namespace.add k v acc) c.subs
+      Circuit.Namespace.empty
+  in
+  (subs, List.rev c.sub_order)
+
+(** Generate the circuit of [f] applied to fresh inputs of shape [in_].
+    Returns the boxed circuit and the (wire-level) result. *)
+let generate ?(boxing = true) ~(in_ : ('b, 'q, 'c) Qdata.t) (f : 'q -> 'r t) :
+    Circuit.b * 'r =
+  let c = create_ctx ~boxing () in
+  let ins =
+    List.map (fun ty -> { Wire.wire = alloc_input c ty; ty }) in_.Qdata.tys
+  in
+  let x = in_.Qdata.qbuild ins in
+  let r = f x c in
+  let subs, sub_order = namespace_of_ctx c in
+  let main =
+    { Circuit.inputs = Vec.to_array c.inputs |> Array.to_list;
+      gates = Vec.to_array c.buf;
+      outputs = live_outputs c }
+  in
+  ({ Circuit.main; subs; sub_order }, r)
+
+(** Generate a closed computation (no declared inputs). *)
+let generate_unit ?(boxing = true) (m : 'r t) : Circuit.b * 'r =
+  generate ~boxing ~in_:Qdata.unit (fun () -> m)

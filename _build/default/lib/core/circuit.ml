@@ -1,0 +1,220 @@
+(** Circuits and hierarchical (boxed) circuits.
+
+    A [t] is a straight-line sequence of gates together with its input and
+    output aritys (typed wire lists). A [b] ("boxed circuit", Quipper's
+    [BCircuit]) pairs a main circuit with a namespace of named subroutine
+    definitions; [Subroutine] gates in any circuit refer into the namespace.
+    Keeping subroutines shared rather than inlined is what lets Quipper
+    represent circuits with trillions of gates in memory (paper §4.4.4) —
+    the whole-circuit operators and the resource counter all work
+    hierarchically. *)
+
+type t = {
+  inputs : Wire.endpoint list;
+  gates : Gate.t array;
+  outputs : Wire.endpoint list;
+}
+
+(** A subroutine definition. [controllable] records whether calls to it may
+    receive controls (true when the body is purely unitary). *)
+type subroutine = { circ : t; controllable : bool }
+
+module Namespace = Map.Make (String)
+
+type b = {
+  main : t;
+  subs : subroutine Namespace.t;
+  sub_order : string list;  (** definition order, for stable printing *)
+}
+
+let of_main main = { main; subs = Namespace.empty; sub_order = [] }
+
+let find_sub b name =
+  match Namespace.find_opt name b.subs with
+  | Some s -> s
+  | None -> Errors.raise_ (Unknown_subroutine name)
+
+let gate_count_shallow (c : t) =
+  Array.fold_left
+    (fun acc g -> if Gate.is_comment g then acc else acc + 1)
+    0 c.gates
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+
+(** Check that a circuit is physically well-formed: every gate addresses
+    live wires of the right type, no wire is used twice by one gate, inits
+    allocate fresh wires, terminations kill them, and the final live set
+    matches the declared outputs. Raises [Errors.Error] otherwise. Used by
+    tests and after transformation passes. *)
+let validate ?(subs : subroutine Namespace.t = Namespace.empty) (c : t) =
+  let live : (Wire.t, Wire.ty) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Wire.endpoint) ->
+      if Hashtbl.mem live e.wire then
+        Errors.invalidf "duplicate input wire %d" e.wire;
+      Hashtbl.add live e.wire e.ty)
+    c.inputs;
+  let check_live w ty =
+    match Hashtbl.find_opt live w with
+    | None -> Errors.raise_ (Dead_wire w)
+    | Some ty' ->
+        if ty <> ty' then
+          Errors.raise_ (Wire_type { wire = w; expected = ty; got = ty' })
+  in
+  let check_distinct endpoints =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Wire.endpoint) ->
+        if Hashtbl.mem seen e.wire then Errors.raise_ (No_cloning e.wire);
+        Hashtbl.add seen e.wire ())
+      endpoints
+  in
+  let apply_gate (g : Gate.t) =
+    (match g with Gate.Comment _ -> () | _ -> check_distinct (Gate.wires g));
+    match g with
+    | Gate.Gate { name; targets; controls; _ } ->
+        (match Gate.primitive_arity name with
+        | Some n when n <> List.length targets ->
+            Errors.invalidf "gate %s expects %d targets" name n
+        | _ -> ());
+        List.iter (fun w -> check_live w Wire.Q) targets;
+        List.iter (fun (c : Gate.control) -> check_live c.cwire c.cty) controls
+    | Gate.Rot { targets; controls; _ } ->
+        List.iter (fun w -> check_live w Wire.Q) targets;
+        List.iter (fun (c : Gate.control) -> check_live c.cwire c.cty) controls
+    | Gate.Phase { controls; _ } ->
+        List.iter (fun (c : Gate.control) -> check_live c.cwire c.cty) controls
+    | Gate.Init { ty; wire; _ } ->
+        if Hashtbl.mem live wire then
+          Errors.invalidf "init of already-live wire %d" wire;
+        Hashtbl.add live wire ty
+    | Gate.Term { ty; wire; _ } | Gate.Discard { ty; wire } ->
+        check_live wire ty;
+        Hashtbl.remove live wire
+    | Gate.Measure { wire } ->
+        check_live wire Wire.Q;
+        Hashtbl.replace live wire Wire.C
+    | Gate.Cgate { out; ins; _ } ->
+        List.iter (fun w -> check_live w Wire.C) ins;
+        if Hashtbl.mem live out then
+          Errors.invalidf "cgate output wire %d already live" out;
+        Hashtbl.add live out Wire.C
+    | Gate.Subroutine { name; inv; inputs; outputs; controls } -> (
+        List.iter (fun (c : Gate.control) -> check_live c.cwire c.cty) controls;
+        match Namespace.find_opt name subs with
+        | None ->
+            (* unknown subroutine: treat as opaque, inputs stay live *)
+            List.iter (fun w -> check_live w Wire.Q) inputs;
+            List.iter
+              (fun w -> if not (Hashtbl.mem live w) then Hashtbl.add live w Wire.Q)
+              outputs
+        | Some { circ; controllable } ->
+            if controls <> [] && not controllable then
+              Errors.raise_ (Not_controllable ("subroutine " ^ name));
+            let d_in = if inv then circ.outputs else circ.inputs in
+            let d_out = if inv then circ.inputs else circ.outputs in
+            if List.length inputs <> List.length d_in then
+              Errors.raise_
+                (Shape_mismatch (Fmt.str "call to %s: input arity" name));
+            if List.length outputs <> List.length d_out then
+              Errors.raise_
+                (Shape_mismatch (Fmt.str "call to %s: output arity" name));
+            List.iter2
+              (fun w (e : Wire.endpoint) -> check_live w e.ty)
+              inputs d_in;
+            (* inputs not among outputs die; outputs not among inputs appear *)
+            List.iter (fun w -> Hashtbl.remove live w) inputs;
+            List.iter2
+              (fun w (e : Wire.endpoint) ->
+                if Hashtbl.mem live w then Errors.raise_ (No_cloning w);
+                Hashtbl.add live w e.ty)
+              outputs d_out)
+    | Gate.Comment _ -> ()
+  in
+  Array.iter apply_gate c.gates;
+  List.iter (fun (e : Wire.endpoint) -> check_live e.wire e.ty) c.outputs;
+  if Hashtbl.length live <> List.length c.outputs then
+    Errors.invalidf "circuit leaves %d wires live but declares %d outputs"
+      (Hashtbl.length live) (List.length c.outputs)
+
+let validate_b (b : b) =
+  validate ~subs:b.subs b.main;
+  Namespace.iter (fun _ s -> validate ~subs:b.subs s.circ) b.subs
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+
+(** Expand every [Subroutine] gate of [b]'s main circuit recursively,
+    producing a flat circuit. Fresh ids for the callee's internal wires are
+    drawn from [fresh]. Only feasible for small circuits, but invaluable
+    for testing that hierarchical operations (counting, reversal,
+    simulation) agree with their flat counterparts. *)
+let inline (b : b) : t =
+  let fresh =
+    ref
+      (List.fold_left
+         (fun acc (e : Wire.endpoint) -> max acc (e.wire + 1))
+         0 b.main.inputs)
+  in
+  let bump w = if w >= !fresh then fresh := w + 1 in
+  let out = Vec.create () in
+  let rec emit_circuit (c : t) (rename : Wire.t -> Wire.t) =
+    Array.iter
+      (fun g ->
+        let g = Gate.rename rename g in
+        match g with
+        | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+            let { circ; _ } = find_sub b name in
+            let body_gates =
+              if inv then
+                (* reverse of the body: gates reversed and inverted *)
+                Array.of_list
+                  (Array.fold_left
+                     (fun acc g ->
+                       if Gate.is_comment g then acc else Gate.inverse g :: acc)
+                     [] circ.gates)
+              else circ.gates
+            in
+            let d_in = if inv then circ.outputs else circ.inputs in
+            let d_out = if inv then circ.inputs else circ.outputs in
+            let map = Hashtbl.create 16 in
+            List.iter2
+              (fun (e : Wire.endpoint) actual -> Hashtbl.replace map e.wire actual)
+              d_in inputs;
+            List.iter2
+              (fun (e : Wire.endpoint) actual -> Hashtbl.replace map e.wire actual)
+              d_out outputs;
+            let rename' w =
+              match Hashtbl.find_opt map w with
+              | Some w' -> w'
+              | None ->
+                  let w' = !fresh in
+                  incr fresh;
+                  Hashtbl.add map w w';
+                  w'
+            in
+            let sub : t =
+              { inputs = d_in; gates = body_gates; outputs = d_out }
+            in
+            (* inline recursively, adding the call's controls to every
+               controllable gate of the body *)
+            let before = Vec.length out in
+            emit_circuit sub rename';
+            if controls <> [] then
+              for i = before to Vec.length out - 1 do
+                Vec.set out i (Gate.add_controls controls (Vec.get out i))
+              done
+        | g ->
+            List.iter (fun (e : Wire.endpoint) -> bump e.wire) (Gate.wires g);
+            Vec.push out g)
+      c.gates
+  in
+  List.iter (fun (e : Wire.endpoint) -> bump e.wire) b.main.inputs;
+  List.iter (fun (e : Wire.endpoint) -> bump e.wire) b.main.outputs;
+  (* pre-scan to make sure fresh ids do not collide with main's wires *)
+  Array.iter
+    (fun g -> List.iter (fun (e : Wire.endpoint) -> bump e.wire) (Gate.wires g))
+    b.main.gates;
+  emit_circuit b.main (fun w -> w);
+  { inputs = b.main.inputs; gates = Vec.to_array out; outputs = b.main.outputs }

@@ -1,0 +1,48 @@
+(** Circuits and hierarchical (boxed) circuits.
+
+    A {!t} is a straight-line gate sequence with typed input and output
+    aritys. A {!b} ("boxed circuit", Quipper's [BCircuit]) pairs a main
+    circuit with a namespace of named subroutine definitions; [Subroutine]
+    gates refer into the namespace. Keeping subroutines shared rather than
+    inlined is what lets circuits with trillions of gates be represented,
+    transformed and counted (paper §4.4.4, §5.4). *)
+
+type t = {
+  inputs : Wire.endpoint list;
+  gates : Gate.t array;
+  outputs : Wire.endpoint list;
+}
+
+type subroutine = { circ : t; controllable : bool }
+(** [controllable] records whether calls may receive controls (true when
+    the body is purely unitary). *)
+
+module Namespace : Map.S with type key = string
+
+type b = {
+  main : t;
+  subs : subroutine Namespace.t;
+  sub_order : string list;  (** definition order, for stable printing *)
+}
+
+val of_main : t -> b
+
+val find_sub : b -> string -> subroutine
+(** Raises {!Errors.Error} [(Unknown_subroutine _)]. *)
+
+val gate_count_shallow : t -> int
+(** Number of non-comment gates, subroutine calls counted once. *)
+
+val validate : ?subs:subroutine Namespace.t -> t -> unit
+(** Check physical well-formedness: every gate addresses live wires of the
+    right type, no wire occurs twice in one gate, inits allocate fresh
+    wires, terminations kill them, and the final live set matches the
+    declared outputs. Raises {!Errors.Error} otherwise. *)
+
+val validate_b : b -> unit
+(** [validate] on the main circuit and every subroutine body. *)
+
+val inline : b -> t
+(** Expand every subroutine call recursively into a flat circuit, renaming
+    internal wires apart. Only feasible for small circuits; invaluable for
+    testing that hierarchical operations agree with flat ones. *)

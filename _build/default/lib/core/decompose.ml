@@ -1,0 +1,231 @@
+(** Gate-base decomposition: the paper's [decompose_generic] (§4.4.3).
+
+    Two target bases are provided, mirroring Quipper:
+
+    - [Toffoli]: multiply-controlled gates are reduced, using ancillas, to
+      gates with at most two controls on [not] and at most one control on
+      anything else (signed controls permitted).
+    - [Binary]: additionally, Toffoli gates are expanded into two-qubit
+      gates via the Barenco et al. controlled-V/V† construction — the
+      circuit shown for [timestep2] in the paper — and the two-qubit [W]
+      and [swap] gates are expressed with CNOTs.
+
+    Decomposition works hierarchically: applied to a boxed circuit it
+    rewrites every subroutine body in place, so the call structure (and
+    with it the feasibility of resource counting) is preserved. Classical
+    controls are never decomposed — they are free classical branching at
+    circuit-execution time. *)
+
+type base = Toffoli | Binary
+
+let base_name = function Toffoli -> "Toffoli" | Binary -> "Binary"
+
+let split_classical controls =
+  List.partition (fun (c : Gate.control) -> c.cty = Wire.Q) controls
+
+(* Helpers to build gates tersely *)
+
+let g_not ?(controls = []) t =
+  Gate.Gate { name = "not"; inv = false; targets = [ t ]; controls }
+
+let g_x t = g_not t
+
+let pos w = { Gate.cwire = w; cty = Wire.Q; positive = true }
+
+(** Conjugate negative quantum controls with X so the payload sees only
+    positive ones: returns (prelude, positive controls, postlude). *)
+let positivize controls =
+  let flips =
+    List.filter_map
+      (fun (c : Gate.control) ->
+        if c.cty = Wire.Q && not c.positive then Some (g_x c.cwire) else None)
+      controls
+  in
+  let ctrls =
+    List.map
+      (fun (c : Gate.control) ->
+        if c.cty = Wire.Q then { c with positive = true } else c)
+      controls
+  in
+  (flips, ctrls, flips)
+
+(** Reduce a signed quantum control list to at most [limit] controls by
+    AND-ing controls pairwise into ancillas with Toffoli gates. Returns
+    (prelude gates, remaining controls, postlude gates). The chain Toffolis
+    are emitted as [not]-with-2-controls; in [Binary] base the caller's
+    recursion decomposes them further. *)
+let reduce_controls ~(alloc : Transform.alloc) ~limit controls =
+  let rec go controls pre post =
+    if List.length controls <= limit then (List.rev pre, controls, post)
+    else
+      match controls with
+      | c1 :: c2 :: rest ->
+          let a = alloc Wire.Q in
+          let init = Gate.Init { ty = Wire.Q; value = false; wire = a } in
+          let compute = g_not ~controls:[ c1; c2 ] a in
+          let term = Gate.Term { ty = Wire.Q; value = false; wire = a } in
+          go (pos a :: rest) (compute :: init :: pre) ([ compute; term ] @ post)
+      | _ -> (List.rev pre, controls, post)
+  in
+  go controls [] []
+
+(** Barenco et al. decomposition of a positively-controlled Toffoli
+    CCX(c1, c2; t) into five two-qubit gates (the paper's timestep2
+    picture, with V = sqrt(not)). *)
+let toffoli_to_binary c1 c2 t =
+  [
+    Gate.Gate { name = "V"; inv = false; targets = [ t ]; controls = [ pos c2 ] };
+    g_not ~controls:[ pos c1 ] c2;
+    Gate.Gate { name = "V"; inv = true; targets = [ t ]; controls = [ pos c2 ] };
+    g_not ~controls:[ pos c1 ] c2;
+    Gate.Gate { name = "V"; inv = false; targets = [ t ]; controls = [ pos c1 ] };
+  ]
+
+(** W = CNOT(a,b); CH(b; a); CNOT(a,b): H on the odd-parity subspace. *)
+let w_to_binary ~inv a b =
+  ignore inv;
+  (* W is self-inverse, so [inv] is irrelevant *)
+  [
+    g_not ~controls:[ pos a ] b;
+    Gate.Gate { name = "H"; inv = false; targets = [ a ]; controls = [ pos b ] };
+    g_not ~controls:[ pos a ] b;
+  ]
+
+(** Fredkin(c; a, b) = CNOT(b,a); CCX(c,a;b); CNOT(b,a). *)
+let cswap_to_toffoli c a b =
+  [
+    g_not ~controls:[ pos b ] a;
+    g_not ~controls:[ pos c; pos a ] b;
+    g_not ~controls:[ pos b ] a;
+  ]
+
+let rec decompose_gate (base : base) ~(alloc : Transform.alloc) (g : Gate.t) :
+    Gate.t list option =
+  let recurse gs = List.concat_map (decompose1 base ~alloc) gs in
+  match g with
+  | Gate.Gate { name = "not"; targets = [ t ]; controls; _ } -> (
+      let qctl, cctl = split_classical controls in
+      let k = List.length qctl in
+      match base with
+      | Toffoli ->
+          if k <= 2 then None
+          else
+            let pre, rem, post = reduce_controls ~alloc ~limit:2 qctl in
+            Some (recurse pre @ [ g_not ~controls:(rem @ cctl) t ] @ recurse post)
+      | Binary ->
+          if k <= 1 then None
+          else if k = 2 then begin
+            let flips, pctl, unflips = positivize qctl in
+            match pctl with
+            | [ c1; c2 ] ->
+                let core = toffoli_to_binary c1.Gate.cwire c2.Gate.cwire t in
+                let core =
+                  if cctl = [] then core
+                  else List.map (Gate.add_controls cctl) core
+                in
+                Some (flips @ core @ unflips)
+            | _ -> assert false
+          end
+          else
+            let pre, rem, post = reduce_controls ~alloc ~limit:2 qctl in
+            Some
+              (recurse pre
+              @ recurse [ g_not ~controls:(rem @ cctl) t ]
+              @ recurse post))
+  | Gate.Gate { name = "swap"; inv = _; targets = [ a; b ]; controls } -> (
+      let qctl, cctl = split_classical controls in
+      match (base, qctl) with
+      | Toffoli, [] -> None
+      | Binary, [] ->
+          Some
+            [ g_not ~controls:[ pos a ] b; g_not ~controls:[ pos b ] a;
+              g_not ~controls:[ pos a ] b ]
+      | _, _ ->
+          let pre, rem, post = reduce_controls ~alloc ~limit:1 qctl in
+          let flips, prem, unflips = positivize rem in
+          let core =
+            match prem with
+            | [ c ] -> cswap_to_toffoli c.Gate.cwire a b
+            | [] -> [ Gate.Gate { name = "swap"; inv = false; targets = [ a; b ]; controls = [] } ]
+            | _ -> assert false
+          in
+          let core = if cctl = [] then core else List.map (Gate.add_controls cctl) core in
+          let core = if base = Binary then recurse core else core in
+          Some (recurse pre @ flips @ core @ unflips @ recurse post))
+  | Gate.Gate { name = "W"; inv; targets = [ a; b ]; controls } -> (
+      let qctl, cctl = split_classical controls in
+      match (base, qctl) with
+      | Toffoli, [] -> None
+      | Toffoli, _ ->
+          let pre, rem, post = reduce_controls ~alloc ~limit:1 qctl in
+          Some
+            (recurse pre
+            @ [ Gate.Gate { name = "W"; inv; targets = [ a; b ]; controls = rem @ cctl } ]
+            @ recurse post)
+      | Binary, [] -> Some (w_to_binary ~inv a b)
+      | Binary, _ ->
+          (* C-W: the conjugating CNOTs cancel when the control is off, so
+             only the middle controlled-H needs the control *)
+          let pre, rem, post = reduce_controls ~alloc ~limit:1 qctl in
+          let core =
+            [
+              g_not ~controls:[ pos a ] b;
+              Gate.Gate { name = "H"; inv = false; targets = [ a ]; controls = pos b :: rem @ cctl };
+              g_not ~controls:[ pos a ] b;
+            ]
+          in
+          Some (recurse pre @ recurse core @ recurse post))
+  | Gate.Gate { name; inv; targets; controls } -> (
+      (* generic named gate: reduce to at most one (positive) control *)
+      let qctl, cctl = split_classical controls in
+      let k = List.length qctl in
+      let neg = List.exists (fun (c : Gate.control) -> not c.positive) qctl in
+      if k <= 1 && (base = Toffoli || not neg) then None
+      else
+        let limit = 1 in
+        let pre, rem, post = reduce_controls ~alloc ~limit qctl in
+        let flips, prem, unflips = positivize rem in
+        Some
+          (recurse pre @ flips
+          @ [ Gate.Gate { name; inv; targets; controls = prem @ cctl } ]
+          @ unflips @ recurse post))
+  | Gate.Rot { name; angle; inv; targets; controls } ->
+      let qctl, cctl = split_classical controls in
+      let k = List.length qctl in
+      let neg = List.exists (fun (c : Gate.control) -> not c.positive) qctl in
+      if k <= 1 && not neg then None
+      else
+        let pre, rem, post = reduce_controls ~alloc ~limit:1 qctl in
+        let flips, prem, unflips = positivize rem in
+        Some
+          (recurse pre @ flips
+          @ [ Gate.Rot { name; angle; inv; targets; controls = prem @ cctl } ]
+          @ unflips @ recurse post)
+  | Gate.Phase { angle; controls } -> (
+      let qctl, cctl = split_classical controls in
+      match qctl with
+      | [] -> None
+      | c :: rest ->
+          (* a controlled global phase is a relative phase gate on the
+             controlling wire *)
+          let flips, pc, unflips = positivize [ c ] in
+          let core =
+            Gate.Rot
+              { name = "Ph"; angle; inv = false; targets = [ c.Gate.cwire ];
+                controls = rest @ cctl }
+          in
+          ignore pc;
+          Some (flips @ decompose1 base ~alloc core @ unflips))
+  | _ -> None
+
+and decompose1 base ~alloc g =
+  match decompose_gate base ~alloc g with None -> [ g ] | Some gs -> gs
+
+(** The transformer rule for [Transform.apply]. *)
+let rule (base : base) : Transform.rule =
+ fun alloc g -> decompose_gate base ~alloc g
+
+(** [decompose_generic base b]: rewrite a boxed circuit into the given gate
+    base, hierarchically. *)
+let decompose_generic (base : base) (b : Circuit.b) : Circuit.b =
+  Transform.apply (rule base) b

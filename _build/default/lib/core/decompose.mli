@@ -1,0 +1,23 @@
+(** Gate-base decomposition: the paper's [decompose_generic] (§4.4.3).
+
+    Decomposition works hierarchically (every subroutine body is rewritten
+    in place, preserving the call structure) and is semantics-preserving —
+    verified against the statevector simulator by the test suite.
+    Classical controls are never decomposed: they are free classical
+    branching at circuit-execution time. *)
+
+(** The target bases, mirroring Quipper:
+    - [Toffoli]: multiply-controlled gates are reduced, using ancillas, to
+      at most two (signed) controls on [not] and at most one control on
+      anything else.
+    - [Binary]: additionally, Toffoli gates expand into two-qubit gates by
+      the Barenco et al. controlled-V/V* construction (the paper's
+      [timestep2] figure), and [W]/[swap] are expressed with CNOTs. *)
+type base = Toffoli | Binary
+
+val base_name : base -> string
+
+val rule : base -> Transform.rule
+(** The transformer rule, for composition with other passes. *)
+
+val decompose_generic : base -> Circuit.b -> Circuit.b

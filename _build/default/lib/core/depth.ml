@@ -1,0 +1,71 @@
+(** Circuit depth estimation.
+
+    A companion to {!Gatecount} for the other axis of resource estimation:
+    the *depth* (parallel time) of a circuit, assuming any set of gates on
+    disjoint wires can fire simultaneously. Like the gate counter it works
+    hierarchically: a call to a boxed subcircuit advances every touched
+    wire by the callee's (memoized) depth. For calls this is an upper
+    bound — it serialises the callee against all of its wires as a block —
+    which is the standard conservative convention for hierarchical
+    resource estimates; [depth (Circuit.inline b)] gives the exact figure
+    when inlining is feasible, and the test suite checks the bound.
+
+    Initialisations, terminations and measurements each count as one time
+    step on their wire; comments are free. *)
+
+type profile = {
+  depth : int;  (** longest wire timeline *)
+  t_gates : int;  (** sequential T-count, a common cost proxy *)
+}
+
+let depth_of_circuit ~(sub_depth : string -> int) (c : Circuit.t) : int =
+  let time : (Wire.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let get w = match Hashtbl.find_opt time w with Some t -> t | None -> 0 in
+  let overall = ref 0 in
+  let advance wires dt =
+    let t = List.fold_left (fun acc w -> max acc (get w)) 0 wires + dt in
+    List.iter (fun w -> Hashtbl.replace time w t) wires;
+    if t > !overall then overall := t
+  in
+  List.iter (fun (e : Wire.endpoint) -> Hashtbl.replace time e.Wire.wire 0) c.Circuit.inputs;
+  Array.iter
+    (fun g ->
+      match g with
+      | Gate.Comment _ -> ()
+      | Gate.Subroutine { name; inputs; outputs; controls; _ } ->
+          let wires =
+            inputs @ outputs
+            @ List.map (fun (k : Gate.control) -> k.Gate.cwire) controls
+          in
+          advance (List.sort_uniq compare wires) (sub_depth name)
+      | g ->
+          let wires = List.map (fun (e : Wire.endpoint) -> e.Wire.wire) (Gate.wires g) in
+          advance wires 1)
+    c.Circuit.gates;
+  !overall
+
+(** Hierarchical depth of a boxed circuit. *)
+let depth (b : Circuit.b) : int =
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec sub_depth name =
+    match Hashtbl.find_opt memo name with
+    | Some d -> d
+    | None ->
+        let sub = Circuit.find_sub b name in
+        let d = depth_of_circuit ~sub_depth sub.Circuit.circ in
+        Hashtbl.replace memo name d;
+        d
+  in
+  depth_of_circuit ~sub_depth b.Circuit.main
+
+(** Sequential T-gate count along the critical path is approximated by the
+    total T count; the exact T-depth needs scheduling, so we expose the
+    simple aggregate and document it as such. *)
+let profile (b : Circuit.b) : profile =
+  let counts = Gatecount.aggregate b in
+  let t_gates =
+    Gatecount.Counts.fold
+      (fun k n acc -> if k.Gatecount.kind = "T" then acc + n else acc)
+      counts 0
+  in
+  { depth = depth b; t_gates }

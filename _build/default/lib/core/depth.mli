@@ -1,0 +1,18 @@
+(** Circuit depth estimation — the parallel-time axis of resource
+    estimation, computed hierarchically like {!Gatecount}.
+
+    A call to a boxed subcircuit advances every touched wire by the
+    callee's memoized depth, which serialises the callee as a block: an
+    upper bound (exact on flat circuits; [depth (Circuit.inline b)] when
+    inlining is feasible gives the tight figure, and the test suite checks
+    the bound). Initialisations, terminations and measurements count one
+    time step on their wire; comments are free. *)
+
+type profile = {
+  depth : int;  (** longest wire timeline *)
+  t_gates : int;  (** aggregate T count, a common cost proxy *)
+}
+
+val depth_of_circuit : sub_depth:(string -> int) -> Circuit.t -> int
+val depth : Circuit.b -> int
+val profile : Circuit.b -> profile

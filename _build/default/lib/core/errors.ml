@@ -1,0 +1,66 @@
+(** Errors raised by the circuit builder and the whole-circuit operators.
+
+    Quipper, lacking linear types in its host language, checks the physical
+    well-formedness of circuit-building programs at run time (paper §4.1);
+    we do the same. All checks raise [Error] with a structured reason so
+    tests can assert on the precise failure. *)
+
+type reason =
+  | Dead_wire of int
+      (** a gate addressed a wire that was never allocated or was already
+          terminated, discarded or measured away *)
+  | Wire_type of { wire : int; expected : Wire.ty; got : Wire.ty }
+  | No_cloning of int
+      (** the same wire appeared twice among the targets and controls of one
+          gate — physically meaningless (paper §2.2) *)
+  | Not_controllable of string
+      (** a gate that cannot be controlled (measurement, discard, classical
+          output) was emitted inside a [with_controls] block *)
+  | Not_reversible of string
+      (** [reverse] met a gate with no inverse (measurement, discard,
+          classical gate) *)
+  | Shape_mismatch of string
+  | Subroutine_redefined of string
+  | Unknown_subroutine of string
+  | Dynamic_lifting_unavailable
+      (** [dynamic_lift] was used under a run function that cannot execute
+          measurements (e.g. plain circuit generation or gate counting) *)
+  | Termination_assertion of { wire : int; expected : bool }
+      (** a simulator found an assertive termination to be false — the
+          programmer's uncomputation claim did not hold *)
+  | Simulation of string
+  | Invalid of string
+
+exception Error of reason
+
+let pp_reason ppf = function
+  | Dead_wire w -> Fmt.pf ppf "use of dead or unallocated wire %d" w
+  | Wire_type { wire; expected; got } ->
+      Fmt.pf ppf "wire %d has type %s but %s was expected" wire
+        (Wire.ty_name got) (Wire.ty_name expected)
+  | No_cloning w -> Fmt.pf ppf "wire %d used twice in one gate (no-cloning)" w
+  | Not_controllable g -> Fmt.pf ppf "gate %s cannot be controlled" g
+  | Not_reversible g -> Fmt.pf ppf "gate %s cannot be reversed" g
+  | Shape_mismatch s -> Fmt.pf ppf "shape mismatch: %s" s
+  | Subroutine_redefined s ->
+      Fmt.pf ppf "subroutine %S redefined with a different body shape" s
+  | Unknown_subroutine s -> Fmt.pf ppf "unknown subroutine %S" s
+  | Dynamic_lifting_unavailable ->
+      Fmt.pf ppf "dynamic lifting is not available under this run function"
+  | Termination_assertion { wire; expected } ->
+      Fmt.pf ppf
+        "assertive termination failed: wire %d was not |%d> as asserted" wire
+        (if expected then 1 else 0)
+  | Simulation s -> Fmt.pf ppf "simulation error: %s" s
+  | Invalid s -> Fmt.pf ppf "%s" s
+
+let to_string r = Fmt.to_to_string pp_reason r
+
+let raise_ r = raise (Error r)
+
+let invalidf fmt = Fmt.kstr (fun s -> raise_ (Invalid s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error r -> Some (Fmt.str "Quipper.Errors.Error: %a" pp_reason r)
+    | _ -> None)

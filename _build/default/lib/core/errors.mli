@@ -1,0 +1,46 @@
+(** Errors raised by the circuit builder, the whole-circuit operators and
+    the simulators.
+
+    Quipper, lacking linear types in its host language, checks the physical
+    well-formedness of circuit-building programs at run time (paper §4.1);
+    so do we. All checks raise {!Error} with a structured {!reason} so
+    callers and tests can match on the precise failure. *)
+
+type reason =
+  | Dead_wire of int
+      (** A gate addressed a wire that was never allocated or was already
+          terminated, discarded or measured away. *)
+  | Wire_type of { wire : int; expected : Wire.ty; got : Wire.ty }
+      (** A quantum gate touched a classical wire or vice versa. *)
+  | No_cloning of int
+      (** The same wire appeared twice among the targets and controls of
+          one gate — physically meaningless (paper §2.2). *)
+  | Not_controllable of string
+      (** A gate with no controlled version (measurement, discard,
+          classical output) was emitted inside a [with_controls] block. *)
+  | Not_reversible of string
+      (** Reversal met a gate with no inverse. *)
+  | Shape_mismatch of string
+      (** Structured data did not match its shape witness. *)
+  | Subroutine_redefined of string
+      (** The same box name was used with a different body shape. *)
+  | Unknown_subroutine of string
+  | Dynamic_lifting_unavailable
+      (** [dynamic_lift] was used under a run function that does not
+          execute measurements (e.g. plain circuit generation). *)
+  | Termination_assertion of { wire : int; expected : bool }
+      (** A simulator found an assertive termination (§4.2.2) to be false:
+          the programmer's uncomputation claim did not hold. *)
+  | Simulation of string
+  | Invalid of string
+
+exception Error of reason
+
+val pp_reason : Format.formatter -> reason -> unit
+val to_string : reason -> string
+
+val raise_ : reason -> 'a
+(** Raise {!Error}. *)
+
+val invalidf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with an [Invalid] reason built from a format string. *)

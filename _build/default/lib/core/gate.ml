@@ -1,0 +1,233 @@
+(** Gates: the vertical elements of a circuit diagram.
+
+    This is Quipper's *extended* circuit model (paper §4.2): besides unitary
+    gates with positive and negative controls it contains explicit qubit
+    initialisation ("0|−"), assertive termination ("−|0"), plain discards,
+    measurements, classical logic gates, classically-controlled quantum
+    gates (a quantum gate whose control list contains classical wires), and
+    calls to named boxed subcircuits (§4.4.4). Comments with wire labels are
+    gates too, so they survive transformations and appear in output. *)
+
+type control = { cwire : Wire.t; cty : Wire.ty; positive : bool }
+
+let pos_control w = { cwire = w; cty = Wire.Q; positive = true }
+let neg_control w = { cwire = w; cty = Wire.Q; positive = false }
+
+(** Names of primitive quantum gates with built-in semantics. Anything else
+    is a user gate: it prints, counts, reverses and transforms fine, but the
+    simulators reject it unless given its matrix. *)
+type t =
+  | Gate of {
+      name : string;
+      inv : bool;
+      targets : Wire.t list; (* quantum targets, arity fixed by the name *)
+      controls : control list;
+    }
+  | Rot of {
+      name : string;
+      angle : float;
+      inv : bool;
+      targets : Wire.t list;
+      controls : control list;
+    }
+  | Phase of { angle : float; controls : control list }
+      (** global phase e^{i*angle}, physically meaningful when controlled *)
+  | Init of { ty : Wire.ty; value : bool; wire : Wire.t }
+  | Term of { ty : Wire.ty; value : bool; wire : Wire.t }
+      (** assertive termination: the programmer asserts the wire is in state
+          [value]; the compiler may rely on it (paper §4.2.2) *)
+  | Discard of { ty : Wire.ty; wire : Wire.t }
+  | Measure of { wire : Wire.t }  (** turns a qubit wire into a bit wire *)
+  | Cgate of { name : string; out : Wire.t; ins : Wire.t list }
+      (** classical logic gate computing a fresh classical wire *)
+  | Subroutine of {
+      name : string;
+      inv : bool;
+      inputs : Wire.t list;
+      outputs : Wire.t list;
+      controls : control list;
+    }
+  | Comment of { text : string; labels : (Wire.t * string) list }
+
+(* ------------------------------------------------------------------ *)
+(* Properties of primitive gate names                                  *)
+
+(** Number of quantum targets expected for a primitive name, if known. *)
+let primitive_arity = function
+  | "not" | "X" | "Y" | "Z" | "H" | "S" | "T" | "V" | "E" -> Some 1
+  | "swap" | "W" -> Some 2
+  | _ -> None
+
+let self_inverse = function
+  | "not" | "X" | "Y" | "Z" | "H" | "swap" | "W" -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Wire accessors                                                      *)
+
+let controls = function
+  | Gate { controls; _ } | Rot { controls; _ }
+  | Phase { controls; _ }
+  | Subroutine { controls; _ } -> controls
+  | _ -> []
+
+(** All wires the gate touches, with the type each wire must have *when the
+    gate fires* (for [Measure] that is the qubit side). *)
+let wires gate : Wire.endpoint list =
+  let ctl c = { Wire.wire = c.cwire; ty = c.cty } in
+  match gate with
+  | Gate { targets; controls; _ } | Rot { targets; controls; _ } ->
+      List.map Wire.qw targets @ List.map ctl controls
+  | Phase { controls; _ } -> List.map ctl controls
+  | Init { ty; wire; _ } | Term { ty; wire; _ } | Discard { ty; wire } ->
+      [ { Wire.wire; ty } ]
+  | Measure { wire } -> [ Wire.qw wire ]
+  | Cgate { out; ins; _ } -> Wire.cw out :: List.map Wire.cw ins
+  | Subroutine { inputs; outputs; controls; _ } ->
+      (* outputs may introduce wires not among the inputs *)
+      let outs =
+        List.filter (fun w -> not (List.mem w inputs)) outputs
+      in
+      List.map Wire.qw inputs @ List.map Wire.qw outs @ List.map ctl controls
+  | Comment { labels; _ } -> List.map (fun (w, _) -> Wire.qw w) labels
+
+(* ------------------------------------------------------------------ *)
+(* Inversion                                                           *)
+
+(** The inverse gate. Raises [Errors.Error (Not_reversible _)] for gates
+    without one. Note that [Init] and [Term] are inverses of each other:
+    this is the formal content of §4.2.2 — circuits with initialisations and
+    assertive terminations are unitary on the asserted subspace, so Quipper
+    reverses them without complaint. *)
+let inverse = function
+  | Gate g ->
+      if self_inverse g.name then Gate g else Gate { g with inv = not g.inv }
+  | Rot r -> Rot { r with inv = not r.inv }
+  | Phase p -> Phase { p with angle = -.p.angle }
+  | Init { ty; value; wire } -> Term { ty; value; wire }
+  | Term { ty; value; wire } -> Init { ty; value; wire }
+  | Discard _ -> Errors.raise_ (Not_reversible "discard")
+  | Measure _ -> Errors.raise_ (Not_reversible "measure")
+  | Cgate { name; _ } -> Errors.raise_ (Not_reversible ("classical gate " ^ name))
+  | Subroutine s ->
+      Subroutine
+        { s with inv = not s.inv; inputs = s.outputs; outputs = s.inputs }
+  | Comment c -> Comment c
+
+let is_comment = function Comment _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Control handling                                                    *)
+
+(** Can this gate accept (additional) controls? Everything unitary can;
+    initialisation and termination are control-neutral (creating an ancilla
+    in |0> commutes with any control), so they are let through unchanged;
+    the rest cannot appear in a controlled block. *)
+type controllability = Controllable | Control_neutral | Not_controllable of string
+
+let controllability = function
+  | Gate _ | Rot _ | Phase _ | Subroutine _ -> Controllable
+  | Init _ | Term _ | Comment _ -> Control_neutral
+  | Discard _ -> Not_controllable "discard"
+  | Measure _ -> Not_controllable "measure"
+  | Cgate { name; _ } -> Not_controllable ("classical gate " ^ name)
+
+(** Add controls to a gate. Precondition: [controllability] allowed it. *)
+let add_controls extra gate =
+  if extra = [] then gate
+  else
+    match gate with
+    | Gate g -> Gate { g with controls = g.controls @ extra }
+    | Rot r -> Rot { r with controls = r.controls @ extra }
+    | Phase p -> Phase { p with controls = p.controls @ extra }
+    | Subroutine s -> Subroutine { s with controls = s.controls @ extra }
+    | Init _ | Term _ | Comment _ -> gate
+    | Discard _ | Measure _ | Cgate _ ->
+        Errors.raise_
+          (Not_controllable
+             (match gate with
+             | Discard _ -> "discard"
+             | Measure _ -> "measure"
+             | _ -> "classical gate"))
+
+(* ------------------------------------------------------------------ *)
+(* Renaming (used when inlining boxed subcircuits)                     *)
+
+let rename_control f c = { c with cwire = f c.cwire }
+
+let rename f = function
+  | Gate g ->
+      Gate
+        { g with
+          targets = List.map f g.targets;
+          controls = List.map (rename_control f) g.controls }
+  | Rot r ->
+      Rot
+        { r with
+          targets = List.map f r.targets;
+          controls = List.map (rename_control f) r.controls }
+  | Phase p -> Phase { p with controls = List.map (rename_control f) p.controls }
+  | Init i -> Init { i with wire = f i.wire }
+  | Term t -> Term { t with wire = f t.wire }
+  | Discard d -> Discard { d with wire = f d.wire }
+  | Measure { wire } -> Measure { wire = f wire }
+  | Cgate c -> Cgate { c with out = f c.out; ins = List.map f c.ins }
+  | Subroutine s ->
+      Subroutine
+        { s with
+          inputs = List.map f s.inputs;
+          outputs = List.map f s.outputs;
+          controls = List.map (rename_control f) s.controls }
+  | Comment c ->
+      Comment { c with labels = List.map (fun (w, l) -> (f w, l)) c.labels }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (text format, one gate per line)                    *)
+
+let pp_control ppf c =
+  Fmt.pf ppf "%s%d%s"
+    (if c.positive then "+" else "-")
+    c.cwire
+    (match c.cty with Wire.Q -> "" | Wire.C -> "c")
+
+let pp_controls ppf = function
+  | [] -> ()
+  | cs -> Fmt.pf ppf " with controls=[%a]" Fmt.(list ~sep:(any ",") pp_control) cs
+
+let pp_wires = Fmt.(list ~sep:(any ",") int)
+
+let pp ppf = function
+  | Gate { name; inv; targets; controls } ->
+      Fmt.pf ppf "QGate[%S]%s(%a)%a" name
+        (if inv then "*" else "")
+        pp_wires targets pp_controls controls
+  | Rot { name; angle; inv; targets; controls } ->
+      Fmt.pf ppf "QRot[%S,%g]%s(%a)%a" name angle
+        (if inv then "*" else "")
+        pp_wires targets pp_controls controls
+  | Phase { angle; controls } ->
+      Fmt.pf ppf "GPhase[%g]%a" angle pp_controls controls
+  | Init { ty = Wire.Q; value; wire } ->
+      Fmt.pf ppf "QInit%d(%d)" (Bool.to_int value) wire
+  | Init { ty = Wire.C; value; wire } ->
+      Fmt.pf ppf "CInit%d(%d)" (Bool.to_int value) wire
+  | Term { ty = Wire.Q; value; wire } ->
+      Fmt.pf ppf "QTerm%d(%d)" (Bool.to_int value) wire
+  | Term { ty = Wire.C; value; wire } ->
+      Fmt.pf ppf "CTerm%d(%d)" (Bool.to_int value) wire
+  | Discard { ty = Wire.Q; wire } -> Fmt.pf ppf "QDiscard(%d)" wire
+  | Discard { ty = Wire.C; wire } -> Fmt.pf ppf "CDiscard(%d)" wire
+  | Measure { wire } -> Fmt.pf ppf "QMeas(%d)" wire
+  | Cgate { name; out; ins } ->
+      Fmt.pf ppf "CGate[%S](%d;%a)" name out pp_wires ins
+  | Subroutine { name; inv; inputs; outputs; controls } ->
+      Fmt.pf ppf "Subroutine[%S]%s(%a) -> (%a)%a" name
+        (if inv then "*" else "")
+        pp_wires inputs pp_wires outputs pp_controls controls
+  | Comment { text; labels } ->
+      Fmt.pf ppf "Comment[%S]%a" text
+        Fmt.(
+          list ~sep:nop (fun ppf (w, l) -> Fmt.pf ppf " %d:%S" w l))
+        labels
+
+let to_string = Fmt.to_to_string pp

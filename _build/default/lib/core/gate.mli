@@ -1,0 +1,101 @@
+(** Gates: the vertical elements of a circuit diagram, in Quipper's
+    {e extended} circuit model (paper §4.2).
+
+    Beyond unitary gates with positive and negative controls, the model
+    includes explicit qubit initialisation ("0|-") and {e assertive}
+    termination ("-|0", §4.2.2), plain discards, measurements, classical
+    logic gates, classically-controlled quantum gates (a control list may
+    mix quantum and classical wires), and calls to named boxed subcircuits
+    (§4.4.4). Comments with wire labels are gates too, so they survive
+    transformation and appear in output. *)
+
+type control = { cwire : Wire.t; cty : Wire.ty; positive : bool }
+(** A signed control: [positive = false] is the "empty dot" (fires on 0). *)
+
+val pos_control : Wire.t -> control
+val neg_control : Wire.t -> control
+
+type t =
+  | Gate of {
+      name : string;
+      inv : bool;
+      targets : Wire.t list;
+      controls : control list;
+    }
+      (** A named unitary. Primitive names with built-in semantics:
+          ["not"]/["X"], ["Y"], ["Z"], ["H"], ["S"], ["T"],
+          ["V"] (sqrt of not), ["W"] (the BWT basis change), ["swap"].
+          Other names are user gates: they print, count, reverse and
+          transform, but the simulators reject them. *)
+  | Rot of {
+      name : string;
+      angle : float;
+      inv : bool;
+      targets : Wire.t list;
+      controls : control list;
+    }
+      (** Parameterised rotations: ["exp(-i%Z)"], ["Rz"], ["Rx"],
+          ["R"]/["Ph"] (diag(1, e^{i angle})). *)
+  | Phase of { angle : float; controls : control list }
+      (** Global phase e^{i angle}; physically meaningful when controlled. *)
+  | Init of { ty : Wire.ty; value : bool; wire : Wire.t }
+  | Term of { ty : Wire.ty; value : bool; wire : Wire.t }
+      (** Assertive termination: the programmer asserts the wire is in
+          state [value]; the compiler may rely on it (§4.2.2). *)
+  | Discard of { ty : Wire.ty; wire : Wire.t }
+  | Measure of { wire : Wire.t }
+      (** Turns a qubit wire into a classical wire of the same id. *)
+  | Cgate of { name : string; out : Wire.t; ins : Wire.t list }
+      (** A classical logic gate computing a fresh classical wire;
+          built-in names: ["xor"], ["and"], ["or"], ["not"]. *)
+  | Subroutine of {
+      name : string;
+      inv : bool;
+      inputs : Wire.t list;
+      outputs : Wire.t list;
+      controls : control list;
+    }
+      (** A call to a boxed subcircuit in the enclosing namespace. *)
+  | Comment of { text : string; labels : (Wire.t * string) list }
+
+val primitive_arity : string -> int option
+(** Number of quantum targets a primitive gate name expects, if known. *)
+
+val self_inverse : string -> bool
+
+val controls : t -> control list
+
+val wires : t -> Wire.endpoint list
+(** Every wire the gate touches, with the type each must have when the
+    gate fires (for [Measure], the qubit side). *)
+
+val inverse : t -> t
+(** The inverse gate. [Init] and [Term] swap — the formal content of
+    §4.2.2. Raises {!Errors.Error} [(Not_reversible _)] on measurements,
+    discards and classical gates. *)
+
+val is_comment : t -> bool
+
+type controllability =
+  | Controllable
+  | Control_neutral
+      (** Initialisation/termination/comments: they commute with any
+          control and pass through controlled blocks unchanged. *)
+  | Not_controllable of string
+
+val controllability : t -> controllability
+
+val add_controls : control list -> t -> t
+(** Append controls to a gate; the identity on control-neutral gates;
+    raises on uncontrollable ones. *)
+
+val rename_control : (Wire.t -> Wire.t) -> control -> control
+
+val rename : (Wire.t -> Wire.t) -> t -> t
+(** Apply a wire renaming (used when inlining boxed subcircuits). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line text form, e.g.
+    [QGate["not"](3) with controls=[+1,-2]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,277 @@
+(** Resource counting: Quipper's [-f gatecount] output format (§5.3.1).
+
+    Counts are *aggregated*: every boxed subcircuit is counted once and its
+    per-call cost multiplied by the number of calls, recursively. This is
+    the feature that lets the paper count a 30-trillion-gate circuit in
+    under two minutes on a laptop (§5.4) — the count is a product over the
+    call tree, never an expansion of it. Counts are exact integers; OCaml's
+    63-bit native ints comfortably hold the paper's 3×10^13.
+
+    A count is keyed by gate kind: the gate's name plus its numbers of
+    positive and negative controls, displayed Quipper-style as
+    ["Not", controls a+b] (with [a+0] printed as [a]). Comments are not
+    gates and are not counted. *)
+
+type key = {
+  kind : string;      (** "Not", "H", "Init0", "Term0", "Meas", "W", ... *)
+  inverted : bool;
+  pos_controls : int;
+  neg_controls : int;
+}
+
+module Key = struct
+  type t = key
+  let compare = compare
+end
+
+module Counts = Map.Make (Key)
+
+type t = int Counts.t
+
+let empty : t = Counts.empty
+
+let add (k : key) n (t : t) : t =
+  Counts.update k (function None -> Some n | Some m -> Some (m + n)) t
+
+let merge_scaled factor (sub : t) (acc : t) : t =
+  Counts.fold (fun k n acc -> add k (n * factor) acc) sub acc
+
+let canonical_kind name =
+  (* Quipper prints the not gate capitalised *)
+  match name with
+  | "not" -> "Not"
+  | s -> s
+
+let split_controls (cs : Gate.control list) =
+  List.fold_left
+    (fun (p, n) (c : Gate.control) -> if c.positive then (p + 1, n) else (p, n + 1))
+    (0, 0) cs
+
+let key_of_gate (g : Gate.t) : key option =
+  match g with
+  | Gate.Gate { name; inv; controls; _ } ->
+      let p, n = split_controls controls in
+      Some { kind = canonical_kind name; inverted = inv; pos_controls = p; neg_controls = n }
+  | Gate.Rot { name; inv; controls; _ } ->
+      let p, n = split_controls controls in
+      Some { kind = name; inverted = inv; pos_controls = p; neg_controls = n }
+  | Gate.Phase { controls; _ } ->
+      let p, n = split_controls controls in
+      Some { kind = "GPhase"; inverted = false; pos_controls = p; neg_controls = n }
+  | Gate.Init { ty = Wire.Q; value; _ } ->
+      Some { kind = (if value then "Init1" else "Init0"); inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Init { ty = Wire.C; value; _ } ->
+      Some { kind = (if value then "CInit1" else "CInit0"); inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Term { ty = Wire.Q; value; _ } ->
+      Some { kind = (if value then "Term1" else "Term0"); inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Term { ty = Wire.C; value; _ } ->
+      Some { kind = (if value then "CTerm1" else "CTerm0"); inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Discard { ty = Wire.Q; _ } ->
+      Some { kind = "Discard"; inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Discard { ty = Wire.C; _ } ->
+      Some { kind = "CDiscard"; inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Measure _ ->
+      Some { kind = "Meas"; inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Cgate { name; _ } ->
+      Some { kind = "CGate:" ^ name; inverted = false; pos_controls = 0; neg_controls = 0 }
+  | Gate.Subroutine _ | Gate.Comment _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated counting over the call hierarchy                         *)
+
+(** Counts of a subroutine under inversion: Init<->Term swap, gate [inv]
+    bits flip. *)
+let invert_counts (t : t) : t =
+  Counts.fold
+    (fun k n acc ->
+      let k' =
+        match k.kind with
+        | "Init0" -> { k with kind = "Term0" }
+        | "Init1" -> { k with kind = "Term1" }
+        | "Term0" -> { k with kind = "Init0" }
+        | "Term1" -> { k with kind = "Init1" }
+        | "CInit0" -> { k with kind = "CTerm0" }
+        | "CInit1" -> { k with kind = "CTerm1" }
+        | "CTerm0" -> { k with kind = "CInit0" }
+        | "CTerm1" -> { k with kind = "CInit1" }
+        | name when name = "Not" || Gate.self_inverse name -> k
+        | _ -> { k with inverted = not k.inverted }
+      in
+      add k' n acc)
+    t empty
+
+(** [aggregate b]: gate counts of [b]'s main circuit with every boxed
+    subcircuit recursively inlined — computed without inlining anything.
+    A subroutine call under [k] extra controls contributes its body's counts
+    with [k] controls added to every controllable gate. *)
+let aggregate (b : Circuit.b) : t =
+  (* memoize per (subroutine, added positive controls, added negative) —
+     calls with controls are rare, so the table stays small *)
+  let memo : (string * int * int, t) Hashtbl.t = Hashtbl.create 16 in
+  let rec counts_of_circuit (c : Circuit.t) ~(addp : int) ~(addn : int) : t =
+    Array.fold_left
+      (fun acc g ->
+        match g with
+        | Gate.Comment _ -> acc
+        | Gate.Subroutine { name; inv; controls; _ } ->
+            let p, n = split_controls controls in
+            let sub = counts_of_sub name ~addp:(addp + p) ~addn:(addn + n) in
+            let sub = if inv then invert_counts sub else sub in
+            merge_scaled 1 sub acc
+        | g -> (
+            match key_of_gate g with
+            | None -> acc
+            | Some k ->
+                let k =
+                  (* ambient controls from enclosing controlled calls attach
+                     to every controllable gate of the body *)
+                  match Gate.controllability g with
+                  | Gate.Controllable ->
+                      { k with
+                        pos_controls = k.pos_controls + addp;
+                        neg_controls = k.neg_controls + addn }
+                  | _ -> k
+                in
+                add k 1 acc))
+      empty c.Circuit.gates
+  and counts_of_sub name ~addp ~addn : t =
+    match Hashtbl.find_opt memo (name, addp, addn) with
+    | Some t -> t
+    | None ->
+        let sub = Circuit.find_sub b name in
+        let t = counts_of_circuit sub.Circuit.circ ~addp ~addn in
+        Hashtbl.replace memo (name, addp, addn) t;
+        t
+  in
+  counts_of_circuit b.main ~addp:0 ~addn:0
+
+(** Shallow counts of one circuit (subroutine calls counted as opaque single
+    gates named after the subroutine). *)
+let shallow (c : Circuit.t) : t =
+  Array.fold_left
+    (fun acc g ->
+      match g with
+      | Gate.Comment _ -> acc
+      | Gate.Subroutine { name; inv; controls; _ } ->
+          let p, n = split_controls controls in
+          add
+            { kind = "Subroutine:" ^ name; inverted = inv;
+              pos_controls = p; neg_controls = n }
+            1 acc
+      | g -> (
+          match key_of_gate g with None -> acc | Some k -> add k 1 acc))
+    empty c.Circuit.gates
+
+(* ------------------------------------------------------------------ *)
+(* Totals and qubit counts                                             *)
+
+let is_io_kind k =
+  match k.kind with
+  | "Init0" | "Init1" | "Term0" | "Term1" | "CInit0" | "CInit1" | "CTerm0"
+  | "CTerm1" | "Discard" | "CDiscard" | "Meas" -> true
+  | _ -> false
+
+(** Total gates, counting everything (Quipper's "Total gates" line counts
+    inits and terminations too; the §6 table separates them). *)
+let total (t : t) = Counts.fold (fun _ n acc -> acc + n) t 0
+
+(** Total excluding initialisation/termination/measurement — the "Total" row
+    of the §6 comparison table. *)
+let total_logical (t : t) =
+  Counts.fold (fun k n acc -> if is_io_kind k then acc else acc + n) t 0
+
+let get (t : t) k = match Counts.find_opt k t with Some n -> n | None -> 0
+
+let find_kind (t : t) kind =
+  Counts.fold (fun k n acc -> if k.kind = kind then acc + n else acc) t 0
+
+(** Peak number of simultaneously-live wires ("Qubits in circuit"),
+    computed hierarchically: a subroutine call at a point with [l] live
+    wires can reach [l - arity_in + peak(sub)]. *)
+let peak_wires (b : Circuit.b) : int =
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec peak_of_circuit (c : Circuit.t) : int =
+    let live = ref (List.length c.Circuit.inputs) in
+    let peak = ref !live in
+    Array.iter
+      (fun g ->
+        match g with
+        | Gate.Init _ | Gate.Cgate _ ->
+            incr live;
+            if !live > !peak then peak := !live
+        | Gate.Term _ | Gate.Discard _ -> decr live
+        | Gate.Subroutine { name; inputs; outputs; _ } ->
+            let sub_peak = peak_of_sub name in
+            let reach = !live - List.length inputs + sub_peak in
+            if reach > !peak then peak := reach;
+            live := !live - List.length inputs + List.length outputs;
+            if !live > !peak then peak := !live
+        | _ -> ())
+      c.Circuit.gates;
+    !peak
+  and peak_of_sub name =
+    match Hashtbl.find_opt memo name with
+    | Some p -> p
+    | None ->
+        let sub = Circuit.find_sub b name in
+        let p = peak_of_circuit sub.Circuit.circ in
+        Hashtbl.replace memo name p;
+        p
+  in
+  peak_of_circuit b.main
+
+(* ------------------------------------------------------------------ *)
+(* Summary record and printing, in Quipper's output format             *)
+
+type summary = {
+  counts : t;
+  total : int;
+  total_logical : int;
+  inputs : int;
+  outputs : int;
+  qubits : int;
+}
+
+let summarize (b : Circuit.b) : summary =
+  let counts = aggregate b in
+  {
+    counts;
+    total = total counts;
+    total_logical = total_logical counts;
+    inputs = List.length b.main.Circuit.inputs;
+    outputs = List.length b.main.Circuit.outputs;
+    qubits = peak_wires b;
+  }
+
+(** Aggregated counts for each boxed subcircuit, in definition order —
+    Quipper's [-f gatecount] prints "a gate count for each boxed subcircuit
+    ... together with an aggregated gate count for the circuit with all
+    boxed subcircuits inlined" (§5.3.1). Each subroutine's count has its
+    own nested calls expanded. *)
+let per_subroutine (b : Circuit.b) : (string * summary) list =
+  List.map
+    (fun name ->
+      let sub = Circuit.find_sub b name in
+      let as_b =
+        { Circuit.main = sub.Circuit.circ; subs = b.Circuit.subs;
+          sub_order = b.Circuit.sub_order }
+      in
+      (name, summarize as_b))
+    b.Circuit.sub_order
+
+let pp_key ppf k =
+  let name = if k.inverted then k.kind ^ "*" else k.kind in
+  match (k.pos_controls, k.neg_controls) with
+  | 0, 0 -> Fmt.pf ppf "%S" name
+  | p, 0 -> Fmt.pf ppf "%S, controls %d" name p
+  | p, n -> Fmt.pf ppf "%S, controls %d+%d" name p n
+
+let pp ppf (t : t) =
+  Counts.iter (fun k n -> Fmt.pf ppf "%d: %a@\n" n pp_key k) t
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf "Aggregated gate count:@\n%a" pp s.counts;
+  Fmt.pf ppf "Total gates: %d@\n" s.total;
+  Fmt.pf ppf "Inputs: %d@\n" s.inputs;
+  Fmt.pf ppf "Outputs: %d@\n" s.outputs;
+  Fmt.pf ppf "Qubits in circuit: %d@\n" s.qubits

@@ -1,0 +1,76 @@
+(** Resource counting in Quipper's [-f gatecount] format (paper §5.3.1).
+
+    Counts are {e aggregated}: every boxed subcircuit is counted once and
+    its per-call cost multiplied by the number of calls, recursively —
+    the count is a product over the call tree, never an expansion of it.
+    This is what lets the paper count a 30-trillion-gate circuit in under
+    two minutes (§5.4). Counts are native OCaml integers (63-bit), ample
+    for the paper's 3x10^13. *)
+
+type key = {
+  kind : string;
+      (** Quipper's gate-kind names: ["Not"], ["H"], ["Init0"], ["Term0"],
+          ["Meas"], ["W"], ["exp(-i%Z)"], ... *)
+  inverted : bool;
+  pos_controls : int;
+  neg_controls : int;
+}
+
+module Key : sig
+  type t = key
+
+  val compare : t -> t -> int
+end
+
+module Counts : Map.S with type key = Key.t
+
+type t = int Counts.t
+
+val empty : t
+val add : key -> int -> t -> t
+val merge_scaled : int -> t -> t -> t
+val key_of_gate : Gate.t -> key option
+val invert_counts : t -> t
+
+val aggregate : Circuit.b -> t
+(** Gate counts of the main circuit with every boxed subcircuit
+    recursively inlined — computed without inlining anything. A call under
+    extra controls contributes its body's counts with those controls added
+    to every controllable gate. *)
+
+val shallow : Circuit.t -> t
+(** Counts of one circuit, subroutine calls as opaque single gates. *)
+
+val total : t -> int
+
+val total_logical : t -> int
+(** Total excluding initialisation / termination / measurement — the
+    "Total" row of the paper's §6 table. *)
+
+val get : t -> key -> int
+val find_kind : t -> string -> int
+
+val peak_wires : Circuit.b -> int
+(** Peak number of simultaneously-live wires ("Qubits in circuit"),
+    computed hierarchically. *)
+
+type summary = {
+  counts : t;
+  total : int;
+  total_logical : int;
+  inputs : int;
+  outputs : int;
+  qubits : int;
+}
+
+val summarize : Circuit.b -> summary
+
+val per_subroutine : Circuit.b -> (string * summary) list
+(** Aggregated counts for each boxed subcircuit, in definition order —
+    the per-box section of Quipper's [-f gatecount] output. *)
+
+val pp_key : Format.formatter -> key -> unit
+(** Quipper's format: [ "Not", controls 1+1 ] (and [a+0] printed [a]). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,34 @@
+(** The text output format: one gate per line, Quipper's [.txt] style
+    (§4.4.5, [print_generic] with format [Text]). Subroutine definitions
+    are printed after the main circuit, in definition order, so hierarchical
+    circuits stay hierarchical on disk. *)
+
+let pp_arity ppf (es : Wire.endpoint list) =
+  match es with
+  | [] -> Fmt.pf ppf "none"
+  | es ->
+      Fmt.pf ppf "%a"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (e : Wire.endpoint) ->
+              Fmt.pf ppf "%d:%s" e.Wire.wire
+                (match e.Wire.ty with Wire.Q -> "Qubit" | Wire.C -> "Cbit")))
+        es
+
+let pp_circuit ppf (c : Circuit.t) =
+  Fmt.pf ppf "Inputs: %a@\n" pp_arity c.Circuit.inputs;
+  Array.iter (fun g -> Fmt.pf ppf "%a@\n" Gate.pp g) c.Circuit.gates;
+  Fmt.pf ppf "Outputs: %a@\n" pp_arity c.Circuit.outputs
+
+let pp_bcircuit ppf (b : Circuit.b) =
+  pp_circuit ppf b.Circuit.main;
+  List.iter
+    (fun name ->
+      let sub = Circuit.find_sub b name in
+      Fmt.pf ppf "@\nSubroutine: %S@\nControllable: %b@\n" name
+        sub.Circuit.controllable;
+      pp_circuit ppf sub.Circuit.circ)
+    b.Circuit.sub_order
+
+let to_string (b : Circuit.b) = Fmt.to_to_string pp_bcircuit b
+
+let print (b : Circuit.b) = Fmt.pr "%a@." pp_bcircuit b

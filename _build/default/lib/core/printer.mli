@@ -1,0 +1,10 @@
+(** The text output format: one gate per line, Quipper's [.txt] style
+    (paper §4.4.5, [print_generic]). Subroutine definitions follow the
+    main circuit in definition order, so hierarchical circuits stay
+    hierarchical on disk. *)
+
+val pp_arity : Format.formatter -> Wire.endpoint list -> unit
+val pp_circuit : Format.formatter -> Circuit.t -> unit
+val pp_bcircuit : Format.formatter -> Circuit.b -> unit
+val to_string : Circuit.b -> string
+val print : Circuit.b -> unit

@@ -1,0 +1,75 @@
+(** Shape witnesses: Quipper's [QCData] / [QShape] type classes, in OCaml
+    (paper §4.3.2, §4.5).
+
+    A witness [('b, 'q, 'c) t] relates the three versions of a data type:
+    the {e parameter} version ['b] (booleans, known at circuit generation
+    time), the {e quantum} version ['q] (qubits — possibly mixed with
+    classical wires), and the {e classical input} version ['c] (bits).
+    Haskell derives the relation by type-class induction on types; OCaml
+    passes the induction explicitly as a first-class record built with the
+    combinators below. Note that {!list_of} takes the length as a value:
+    the length of a list is a parameter — the "shape" of the data — which
+    is exactly the paper's point.
+
+    Generic operations ([Circ.qinit], [Circ.measure], [Circ.box], ...)
+    take a witness where the Haskell original takes a [QShape]
+    constraint. *)
+
+type ('b, 'q, 'c) t = {
+  tys : Wire.ty list;  (** wire types of the leaves of the ['q] version *)
+  qleaves : 'q -> Wire.endpoint list;
+  qbuild : Wire.endpoint list -> 'q;
+  cleaves : 'c -> Wire.endpoint list;
+  cbuild : Wire.endpoint list -> 'c;
+  bleaves : 'b -> bool list;
+  bbuild : bool list -> 'b;
+}
+
+val size : ('b, 'q, 'c) t -> int
+(** Number of leaves. *)
+
+val qubit : (bool, Wire.qubit, Wire.bit) t
+val bit : (bool, Wire.bit, Wire.bit) t
+val unit : (unit, unit, unit) t
+
+val pair :
+  ('b1, 'q1, 'c1) t -> ('b2, 'q2, 'c2) t -> ('b1 * 'b2, 'q1 * 'q2, 'c1 * 'c2) t
+
+val triple :
+  ('b1, 'q1, 'c1) t ->
+  ('b2, 'q2, 'c2) t ->
+  ('b3, 'q3, 'c3) t ->
+  ('b1 * 'b2 * 'b3, 'q1 * 'q2 * 'q3, 'c1 * 'c2 * 'c3) t
+
+val quad :
+  ('b1, 'q1, 'c1) t ->
+  ('b2, 'q2, 'c2) t ->
+  ('b3, 'q3, 'c3) t ->
+  ('b4, 'q4, 'c4) t ->
+  ( 'b1 * 'b2 * 'b3 * 'b4,
+    'q1 * 'q2 * 'q3 * 'q4,
+    'c1 * 'c2 * 'c3 * 'c4 )
+  t
+
+val list_of : int -> ('b, 'q, 'c) t -> ('b list, 'q list, 'c list) t
+(** Lists of exactly [n] elements; the length is a generation-time
+    parameter, not an input. *)
+
+val array_of : int -> ('b, 'q, 'c) t -> ('b array, 'q array, 'c array) t
+
+val iso :
+  bto:('b1 -> 'b2) ->
+  bof:('b2 -> 'b1) ->
+  qto:('q1 -> 'q2) ->
+  qof:('q2 -> 'q1) ->
+  cto:('c1 -> 'c2) ->
+  cof:('c2 -> 'c1) ->
+  ('b1, 'q1, 'c1) t ->
+  ('b2, 'q2, 'c2) t
+(** Re-skin a witness through isomorphisms — how library types like
+    [Qdint.t] wrap a raw qubit array into an abstract register whose
+    parameter version is an [int]. *)
+
+val qubit_wires : ('b, 'q, 'c) t -> 'q -> Wire.t list
+(** Qubit wire ids of a purely-quantum structure; raises
+    [Shape_mismatch] on classical leaves. *)

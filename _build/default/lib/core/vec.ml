@@ -1,0 +1,50 @@
+(** Growable vectors.
+
+    The gate buffer of the circuit builder. OCaml 5.1's standard library
+    predates [Dynarray], so we carry a minimal amortised-doubling vector with
+    exactly the operations the builder needs. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let cap = max 8 (2 * Array.length t.data) in
+    let data = Array.make cap x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+(** Truncate to the first [n] elements. *)
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  t.len <- n
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+(** [slice t lo hi] is elements [lo..hi-1] as a fresh array. *)
+let slice t lo hi =
+  if lo < 0 || hi < lo || hi > t.len then invalid_arg "Vec.slice";
+  Array.sub t.data lo (hi - lo)
+
+let clear t = t.len <- 0

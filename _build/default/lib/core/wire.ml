@@ -1,0 +1,37 @@
+(** Wires: the horizontal lines of a circuit diagram.
+
+    A wire is identified by an integer and carries either quantum or
+    classical data (paper §4.2.3: Quipper's extended circuit model freely
+    mixes the two). Wire identities are stable across the lifetime of a
+    circuit-building run: a [Measure] gate keeps the wire id but flips its
+    type from [Q] to [C], matching Quipper's picture of a qubit wire turning
+    into a classical wire.
+
+    The [qubit] and [bit] wrappers are the handles user programs hold; they
+    exist so that the type checker separates quantum from classical wires at
+    the API level (the paper's [Qubit] vs [Bit] distinction, §4.3.2). *)
+
+type t = int
+
+type ty = Q | C
+
+let ty_name = function Q -> "qubit" | C -> "bit"
+
+(** A typed wire endpoint, as occurring in circuit aritys and shape
+    witnesses. *)
+type endpoint = { wire : t; ty : ty }
+
+let qw wire = { wire; ty = Q }
+let cw wire = { wire; ty = C }
+
+type qubit = Qubit of t
+type bit = Bit of t
+
+let qubit_wire (Qubit w) = w
+let bit_wire (Bit w) = w
+
+let pp_endpoint ppf e =
+  Fmt.pf ppf "%s %d" (match e.ty with Q -> "Q" | C -> "C") e.wire
+
+let pp_qubit ppf (Qubit w) = Fmt.pf ppf "q%d" w
+let pp_bit ppf (Bit w) = Fmt.pf ppf "c%d" w

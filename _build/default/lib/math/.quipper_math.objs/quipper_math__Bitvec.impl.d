@@ -1,0 +1,1 @@
+lib/math/bitvec.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/math/bitvec.mli: Format

@@ -1,0 +1,1 @@
+lib/math/cplx.mli: Format

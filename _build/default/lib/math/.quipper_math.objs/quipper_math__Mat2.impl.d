@@ -1,0 +1,1 @@
+lib/math/mat2.ml: Array Cplx Float Fmt

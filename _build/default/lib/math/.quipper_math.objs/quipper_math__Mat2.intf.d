@@ -1,0 +1,1 @@
+lib/math/mat2.mli: Cplx Format

@@ -1,0 +1,1 @@
+lib/math/rng.mli:

@@ -1,0 +1,96 @@
+(** Fixed-width bit vectors.
+
+    Classical values flowing through the library — oracle inputs, integer
+    parameters of quantum registers, basis-state labels — are fixed-width
+    little-endian bit vectors. Index 0 is the least-significant bit. Widths
+    up to 62 bits round-trip through native [int]s; the vector itself may be
+    arbitrarily wide. *)
+
+type t = { width : int; bits : bool array }
+
+let width t = t.width
+
+let create width value =
+  if width < 0 then invalid_arg "Bitvec.create: negative width";
+  { width; bits = Array.make width value }
+
+let zeros width = create width false
+let ones width = create width true
+
+let of_list l = { width = List.length l; bits = Array.of_list l }
+let to_list t = Array.to_list t.bits
+
+let of_array a = { width = Array.length a; bits = Array.copy a }
+let to_array t = Array.copy t.bits
+
+let get t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitvec.get: index out of bounds";
+  t.bits.(i)
+
+let set t i v =
+  if i < 0 || i >= t.width then invalid_arg "Bitvec.set: index out of bounds";
+  let bits = Array.copy t.bits in
+  bits.(i) <- v;
+  { t with bits }
+
+(** [of_int ~width n]: little-endian binary encoding of the non-negative
+    [n] (reduced mod 2^width when [width <= 62]; wider vectors are
+    zero-extended above bit 61). *)
+let of_int ~width n =
+  if width < 0 then invalid_arg "Bitvec.of_int: width";
+  if n < 0 then invalid_arg "Bitvec.of_int: negative value";
+  { width; bits = Array.init width (fun i -> i <= 61 && (n lsr i) land 1 = 1) }
+
+(** [to_int t]: the integer whose little-endian encoding is [t]. Fails if
+    a set bit lies above position 61 (unrepresentable in a native int). *)
+let to_int t =
+  let v = ref 0 in
+  for i = t.width - 1 downto 0 do
+    if t.bits.(i) then
+      if i > 61 then invalid_arg "Bitvec.to_int: too wide"
+      else v := !v lor (1 lsl i)
+  done;
+  !v
+
+let equal a b = a.width = b.width && a.bits = b.bits
+
+let lognot t = { t with bits = Array.map not t.bits }
+
+let map2 op a b =
+  if a.width <> b.width then invalid_arg "Bitvec: width mismatch";
+  { width = a.width; bits = Array.init a.width (fun i -> op a.bits.(i) b.bits.(i)) }
+
+let logxor = map2 (fun x y -> x <> y)
+let logand = map2 (fun x y -> x && y)
+let logor = map2 (fun x y -> x || y)
+
+(** Parity (xor-fold) of all bits. *)
+let parity t = Array.fold_left (fun acc b -> acc <> b) false t.bits
+
+let popcount t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.bits
+
+let append a b =
+  { width = a.width + b.width; bits = Array.append a.bits b.bits }
+
+let sub t pos len =
+  if pos < 0 || len < 0 || pos + len > t.width then
+    invalid_arg "Bitvec.sub";
+  { width = len; bits = Array.sub t.bits pos len }
+
+(** Rotate left by [k] (towards higher indices), as used by the mod-(2^l - 1)
+    doubling trick in the Triangle Finding oracle. *)
+let rotate_left t k =
+  let w = t.width in
+  if w = 0 then t
+  else
+    let k = ((k mod w) + w) mod w in
+    { width = w; bits = Array.init w (fun i -> t.bits.(((i - k) mod w + w) mod w)) }
+
+let pp ppf t =
+  (* print MSB first, as humans read binary *)
+  for i = t.width - 1 downto 0 do
+    Fmt.pf ppf "%c" (if t.bits.(i) then '1' else '0')
+  done
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,42 @@
+(** Fixed-width little-endian bit vectors: the classical values flowing
+    through the library — oracle inputs, integer parameters of quantum
+    registers, basis-state labels. Index 0 is the least-significant bit. *)
+
+type t
+
+val width : t -> int
+val create : int -> bool -> t
+val zeros : int -> t
+val ones : int -> t
+val of_list : bool list -> t
+val to_list : t -> bool list
+val of_array : bool array -> t
+val to_array : t -> bool array
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+
+val of_int : width:int -> int -> t
+(** Little-endian encoding of a non-negative integer (reduced mod 2^width
+    when [width <= 62]; zero-extended above bit 61 otherwise). *)
+
+val to_int : t -> int
+(** Fails if a set bit lies above position 61. *)
+
+val equal : t -> t -> bool
+val lognot : t -> t
+val logxor : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val parity : t -> bool
+val popcount : t -> int
+val append : t -> t -> t
+val sub : t -> int -> int -> t
+
+val rotate_left : t -> int -> t
+(** Rotate towards higher indices — doubling when arithmetic is taken
+    modulo 2^width - 1 (the Triangle Finding oracle's trick). *)
+
+val pp : Format.formatter -> t -> unit
+(** Most-significant bit first. *)
+
+val to_string : t -> string

@@ -1,0 +1,56 @@
+(** Complex numbers, specialised for quantum amplitudes.
+
+    A tiny unboxed-record complex arithmetic kernel. [Stdlib.Complex] exists
+    but lacks the handful of helpers the simulators want ([norm2] without a
+    square root, approximate equality with a tolerance, phase factors), so we
+    keep our own minimal module with the exact operations the statevector
+    simulator performs in its inner loops. *)
+
+type t = { re : float; im : float }
+
+let make re im = { re; im }
+let zero = { re = 0.0; im = 0.0 }
+let one = { re = 1.0; im = 0.0 }
+let i = { re = 0.0; im = 1.0 }
+let re t = t.re
+let im t = t.im
+let of_float re = { re; im = 0.0 }
+
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+let neg a = { re = -.a.re; im = -.a.im }
+let conj a = { re = a.re; im = -.a.im }
+
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im);
+    im = (a.re *. b.im) +. (a.im *. b.re) }
+
+let smul s a = { re = s *. a.re; im = s *. a.im }
+
+(** [norm2 a] is |a|^2, the Born-rule probability weight of amplitude [a]. *)
+let norm2 a = (a.re *. a.re) +. (a.im *. a.im)
+
+let norm a = sqrt (norm2 a)
+
+let div a b =
+  let d = norm2 b in
+  { re = ((a.re *. b.re) +. (a.im *. b.im)) /. d;
+    im = ((a.im *. b.re) -. (a.re *. b.im)) /. d }
+
+(** [polar r theta] is [r * exp(i*theta)]. *)
+let polar r theta = { re = r *. cos theta; im = r *. sin theta }
+
+(** [cis theta] is the unit phase [exp(i*theta)]. *)
+let cis theta = polar 1.0 theta
+
+let is_zero ?(eps = 1e-12) a = norm2 a < eps *. eps
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.re -. b.re) <= eps && Float.abs (a.im -. b.im) <= eps
+
+let pp ppf a =
+  if Float.abs a.im < 1e-12 then Fmt.pf ppf "%g" a.re
+  else if Float.abs a.re < 1e-12 then Fmt.pf ppf "%gi" a.im
+  else Fmt.pf ppf "%g%+gi" a.re a.im
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,35 @@
+(** Complex numbers, specialised for quantum amplitudes: a minimal kernel
+    with the operations the simulators use in their inner loops. *)
+
+type t = { re : float; im : float }
+
+val make : float -> float -> t
+val zero : t
+val one : t
+val i : t
+val re : t -> float
+val im : t -> float
+val of_float : float -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val mul : t -> t -> t
+val smul : float -> t -> t
+
+val norm2 : t -> float
+(** |a|^2: the Born-rule probability weight. *)
+
+val norm : t -> float
+val div : t -> t -> t
+
+val polar : float -> float -> t
+(** [polar r theta] = r e^{i theta}. *)
+
+val cis : float -> t
+(** The unit phase e^{i theta}. *)
+
+val is_zero : ?eps:float -> t -> bool
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,144 @@
+(** 2x2 and 4x4 complex matrices: the unitary semantics of primitive gates.
+
+    The statevector simulator applies gates directly with specialised loops,
+    but tests, the decomposition passes, and gate-semantics checks need the
+    actual matrices (e.g. to verify that the Binary decomposition of a Toffoli
+    into controlled-V gates multiplies out to the original unitary). *)
+
+type t = Cplx.t array array (* row-major, square *)
+
+let dim (m : t) = Array.length m
+
+let make n f : t = Array.init n (fun r -> Array.init n (fun c -> f r c))
+
+let identity n = make n (fun r c -> if r = c then Cplx.one else Cplx.zero)
+
+let of_rows rows : t =
+  let n = Array.length rows in
+  Array.iter (fun r -> if Array.length r <> n then invalid_arg "Mat2.of_rows") rows;
+  Array.map Array.copy rows
+
+let get (m : t) r c = m.(r).(c)
+
+let mul (a : t) (b : t) : t =
+  let n = dim a in
+  if dim b <> n then invalid_arg "Mat2.mul: dimension mismatch";
+  make n (fun r c ->
+      let acc = ref Cplx.zero in
+      for k = 0 to n - 1 do
+        acc := Cplx.add !acc (Cplx.mul a.(r).(k) b.(k).(c))
+      done;
+      !acc)
+
+let adjoint (m : t) : t =
+  let n = dim m in
+  make n (fun r c -> Cplx.conj m.(c).(r))
+
+(** Kronecker product; [kron a b] acts on the tensor of a's space (high bits)
+    with b's space (low bits). *)
+let kron (a : t) (b : t) : t =
+  let na = dim a and nb = dim b in
+  make (na * nb) (fun r c ->
+      Cplx.mul a.(r / nb).(c / nb) b.(r mod nb).(c mod nb))
+
+let smul s (m : t) : t = Array.map (Array.map (Cplx.mul s)) m
+
+let equal ?(eps = 1e-9) (a : t) (b : t) =
+  dim a = dim b
+  && (let ok = ref true in
+      Array.iteri
+        (fun r row ->
+          Array.iteri (fun c x -> if not (Cplx.equal ~eps x b.(r).(c)) then ok := false) row)
+        a;
+      !ok)
+
+(** Equality up to a global phase, the physically meaningful notion. *)
+let equal_up_to_phase ?(eps = 1e-9) (a : t) (b : t) =
+  dim a = dim b
+  &&
+  (* find the first non-negligible entry of [a] and derive the phase *)
+  let n = dim a in
+  let phase = ref None in
+  (try
+     for r = 0 to n - 1 do
+       for c = 0 to n - 1 do
+         if !phase = None && not (Cplx.is_zero ~eps:1e-6 a.(r).(c)) then begin
+           if Cplx.is_zero ~eps:1e-6 b.(r).(c) then raise Exit;
+           phase := Some (Cplx.div b.(r).(c) a.(r).(c))
+         end
+       done
+     done
+   with Exit -> ());
+  match !phase with
+  | None -> equal ~eps a b
+  | Some p ->
+      Float.abs (Cplx.norm p -. 1.0) <= 1e-6 && equal ~eps (smul p a) b
+
+(* Standard gate matrices *)
+
+let sqrt2inv = 1.0 /. sqrt 2.0
+
+let pauli_x : t =
+  of_rows [| [| Cplx.zero; Cplx.one |]; [| Cplx.one; Cplx.zero |] |]
+
+let pauli_y : t =
+  of_rows [| [| Cplx.zero; Cplx.neg Cplx.i |]; [| Cplx.i; Cplx.zero |] |]
+
+let pauli_z : t =
+  of_rows [| [| Cplx.one; Cplx.zero |]; [| Cplx.zero; Cplx.neg Cplx.one |] |]
+
+let hadamard : t =
+  of_rows
+    [| [| Cplx.of_float sqrt2inv; Cplx.of_float sqrt2inv |];
+       [| Cplx.of_float sqrt2inv; Cplx.of_float (-.sqrt2inv) |] |]
+
+let phase_s : t =
+  of_rows [| [| Cplx.one; Cplx.zero |]; [| Cplx.zero; Cplx.i |] |]
+
+let phase_t : t =
+  of_rows
+    [| [| Cplx.one; Cplx.zero |];
+       [| Cplx.zero; Cplx.cis (Float.pi /. 4.0) |] |]
+
+(** V = sqrt(X), the square root of NOT; the paper's Binary decomposition of
+    Toffoli gates uses controlled-V and controlled-V*. *)
+let sqrt_not : t =
+  let h = Cplx.make 0.5 0.5 and hc = Cplx.make 0.5 (-0.5) in
+  of_rows [| [| h; hc |]; [| hc; h |] |]
+
+(** e^{-iZt}: the diffusion phase gate of the Binary Welded Tree timestep. *)
+let exp_minus_izt t : t =
+  of_rows
+    [| [| Cplx.cis (-.t); Cplx.zero |]; [| Cplx.zero; Cplx.cis t |] |]
+
+let rot_x theta : t =
+  let c = Cplx.of_float (cos (theta /. 2.0)) in
+  let s = Cplx.make 0.0 (-.sin (theta /. 2.0)) in
+  of_rows [| [| c; s |]; [| s; c |] |]
+
+let rot_z theta : t =
+  of_rows
+    [| [| Cplx.cis (-.theta /. 2.0); Cplx.zero |];
+       [| Cplx.zero; Cplx.cis (theta /. 2.0) |] |]
+
+(** The W gate of the Binary Welded Tree algorithm: a two-qubit gate that maps
+    |01> -> (|01>+|10>)/sqrt 2, |10> -> (|01>-|10>)/sqrt 2 and fixes |00>,
+    |11>. Basis order |ab> with a the first wire (high bit). *)
+let w_gate : t =
+  let s = Cplx.of_float sqrt2inv in
+  of_rows
+    [| [| Cplx.one; Cplx.zero; Cplx.zero; Cplx.zero |];
+       [| Cplx.zero; s; s; Cplx.zero |];
+       [| Cplx.zero; s; Cplx.neg s; Cplx.zero |];
+       [| Cplx.zero; Cplx.zero; Cplx.zero; Cplx.one |] |]
+
+let pp ppf (m : t) =
+  let n = dim m in
+  for r = 0 to n - 1 do
+    Fmt.pf ppf "[";
+    for c = 0 to n - 1 do
+      if c > 0 then Fmt.pf ppf ", ";
+      Cplx.pp ppf m.(r).(c)
+    done;
+    Fmt.pf ppf "]@\n"
+  done

@@ -1,0 +1,47 @@
+(** Small dense complex matrices: the unitary semantics of primitive
+    gates, used by the simulators, decomposition tests and gate-algebra
+    checks. *)
+
+type t = Cplx.t array array
+
+val dim : t -> int
+val make : int -> (int -> int -> Cplx.t) -> t
+val identity : int -> t
+val of_rows : Cplx.t array array -> t
+val get : t -> int -> int -> Cplx.t
+val mul : t -> t -> t
+val adjoint : t -> t
+
+val kron : t -> t -> t
+(** [kron a b]: [a] on the high bits, [b] on the low bits. *)
+
+val smul : Cplx.t -> t -> t
+val equal : ?eps:float -> t -> t -> bool
+
+val equal_up_to_phase : ?eps:float -> t -> t -> bool
+(** The physically meaningful equality. *)
+
+(** {1 Standard gate matrices} *)
+
+val pauli_x : t
+val pauli_y : t
+val pauli_z : t
+val hadamard : t
+val phase_s : t
+val phase_t : t
+
+val sqrt_not : t
+(** V = sqrt(X): the paper's Binary decomposition of Toffoli uses
+    controlled-V / V*. *)
+
+val exp_minus_izt : float -> t
+(** The diffusion phase gate of the Binary Welded Tree timestep. *)
+
+val rot_x : float -> t
+val rot_z : float -> t
+
+val w_gate : t
+(** The W gate of the BWT algorithm: H on the odd-parity two-qubit
+    subspace, identity on |00> and |11>. *)
+
+val pp : Format.formatter -> t -> unit

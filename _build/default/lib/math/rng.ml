@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    Simulation of quantum measurement is probabilistic (Born rule), but tests
+    and benchmarks must be reproducible, so every measurement in the
+    simulators draws from an explicitly-seeded generator. We implement
+    splitmix64, which is tiny, fast, and has well-understood statistical
+    quality — more than enough for sampling measurement outcomes. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** Uniform int in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection sampling to avoid modulo bias *)
+  let mask =
+    let rec go m = if m >= bound - 1 then m else go ((m lsl 1) lor 1) in
+    go 1
+  in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

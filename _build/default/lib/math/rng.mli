@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Quantum measurement is probabilistic, but tests and benchmarks must be
+    reproducible, so every measurement in the simulators draws from an
+    explicitly-seeded generator. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound); rejection-sampled, no modulo bias. *)
+
+val bool : t -> bool

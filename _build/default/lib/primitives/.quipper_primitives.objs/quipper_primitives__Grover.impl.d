@@ -1,0 +1,1 @@
+lib/primitives/grover.ml: Circ Float Fun List Quipper Wire

@@ -1,0 +1,1 @@
+lib/primitives/grover.mli: Circ Quipper Wire

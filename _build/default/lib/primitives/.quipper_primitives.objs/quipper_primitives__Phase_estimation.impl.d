@@ -1,0 +1,1 @@
+lib/primitives/phase_estimation.ml: Array Circ Fun List Qft Quipper Quipper_arith

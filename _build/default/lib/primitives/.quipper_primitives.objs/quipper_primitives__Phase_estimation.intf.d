@@ -1,0 +1,1 @@
+lib/primitives/phase_estimation.mli: Circ Quipper Quipper_arith

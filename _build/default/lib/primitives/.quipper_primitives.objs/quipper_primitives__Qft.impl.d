@@ -1,0 +1,1 @@
+lib/primitives/qft.ml: Array Circ Fun List Quipper Quipper_arith

@@ -1,0 +1,1 @@
+lib/primitives/qft.mli: Circ Quipper Quipper_arith

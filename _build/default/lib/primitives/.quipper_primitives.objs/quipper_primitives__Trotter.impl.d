@@ -1,0 +1,1 @@
+lib/primitives/trotter.ml: Array Circ Float Fun List Quipper Wire

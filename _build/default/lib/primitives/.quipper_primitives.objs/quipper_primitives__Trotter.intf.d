@@ -1,0 +1,1 @@
+lib/primitives/trotter.mli: Circ Quipper Wire

@@ -1,0 +1,1 @@
+lib/primitives/walk.ml: Circ Grover Quipper Quipper_arith Wire

@@ -1,0 +1,1 @@
+lib/primitives/walk.mli: Circ Quipper Quipper_arith Wire

@@ -1,0 +1,49 @@
+(** Amplitude amplification / Grover search (§3.1).
+
+    The generic machinery behind several of the seven algorithms: given a
+    phase oracle (flip the sign of the marked states), iterate
+    (oracle; diffusion) about pi/4 * sqrt(N/M) times. The diffusion
+    operator is implemented in the standard H / X / multi-controlled-Z / X
+    / H sandwich, with the multi-controlled Z realised as a
+    multi-controlled not conjugated by a Hadamard on the last qubit. *)
+
+open Quipper
+open Circ
+
+(** Phase-flip the |11...1> state of [qs]: a Z on the last qubit controlled
+    by all the others. *)
+let phase_flip_all_ones (qs : Wire.qubit list) : unit Circ.t =
+  match List.rev qs with
+  | [] -> global_phase Float.pi
+  | last :: rest ->
+      let* _ = gate_Z last |> controlled (List.map ctl rest) in
+      return ()
+
+(** The Grover diffusion operator ("inversion about the mean") on a
+    register, in place. *)
+let diffusion (qs : Wire.qubit list) : unit Circ.t =
+  let* () = iterm hadamard_ qs in
+  let* () = iterm qnot_ qs in
+  let* () = phase_flip_all_ones qs in
+  let* () = iterm qnot_ qs in
+  iterm hadamard_ qs
+
+(** Number of Grover iterations for [n] qubits with [marked] solutions. *)
+let iterations ~n ~marked =
+  if marked <= 0 then 0
+  else
+    let nn = Float.of_int (1 lsl n) and m = Float.of_int marked in
+    max 1 (int_of_float (Float.round (Float.pi /. 4.0 *. sqrt (nn /. m))))
+
+(** Full Grover search: prepare the uniform superposition, iterate the
+    phase [oracle] and the diffusion. The oracle receives the register and
+    must flip the phase of marked basis states (e.g. via
+    [Quipper_template.Oracle.classical_to_phase]). *)
+let search ~(iterations : int) (oracle : Wire.qubit list -> unit Circ.t)
+    (qs : Wire.qubit list) : unit Circ.t =
+  let* () = iterm hadamard_ qs in
+  iterm
+    (fun _ ->
+      let* () = oracle qs in
+      diffusion qs)
+    (List.init iterations Fun.id)

@@ -1,0 +1,20 @@
+(** Amplitude amplification / Grover search (paper §3.1). *)
+
+open Quipper
+
+val phase_flip_all_ones : Wire.qubit list -> unit Circ.t
+(** Phase-flip the |1...1> component. *)
+
+val diffusion : Wire.qubit list -> unit Circ.t
+(** Inversion about the mean, in place. *)
+
+val iterations : n:int -> marked:int -> int
+(** ~ pi/4 sqrt(2^n / marked). *)
+
+val search :
+  iterations:int ->
+  (Wire.qubit list -> unit Circ.t) ->
+  Wire.qubit list ->
+  unit Circ.t
+(** Prepare the uniform superposition, iterate the phase oracle and
+    diffusion. *)

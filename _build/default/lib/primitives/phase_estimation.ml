@@ -1,0 +1,30 @@
+(** Quantum phase estimation (§3.1).
+
+    Estimates the eigenphase of a unitary U on an eigenvector |u>: prepare
+    a t-qubit counting register in uniform superposition, apply
+    controlled-U^(2^k) for each counting qubit k, then the inverse QFT on
+    the counting register. The caller supplies U as a circuit-producing
+    function and (for efficiency) may supply a fast power; by default
+    U^(2^k) is 2^k sequential applications, which is what generic quantum
+    simulation of Hamiltonians does anyway (Trotterized time slices). *)
+
+open Quipper
+open Circ
+
+(** [estimate ~bits ~u target]: returns the counting register (to be
+    measured by the caller; little-endian, the estimated phase is
+    [value / 2^bits] of a turn). [u ~power target] must apply U^power to
+    the target, and will be called with powers 1, 2, 4, ..., each wrapped
+    in a control on one counting qubit. *)
+let estimate ~(bits : int) ~(u : power:int -> unit Circ.t) :
+    Quipper_arith.Qureg.t Circ.t =
+  let* counting = Quipper_arith.Qureg.init_zero ~width:bits in
+  let* () = Quipper_arith.Qureg.hadamard_all counting in
+  let* () =
+    iterm
+      (fun k ->
+        u ~power:(1 lsl k) |> controlled [ ctl counting.(k) ])
+      (List.init bits Fun.id)
+  in
+  let* () = Qft.qft_inverse counting in
+  return counting

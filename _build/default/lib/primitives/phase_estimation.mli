@@ -1,0 +1,10 @@
+(** Quantum phase estimation (paper §3.1): uniform counting register,
+    controlled-U^{2^k} ladder, inverse QFT. *)
+
+open Quipper
+
+val estimate :
+  bits:int -> u:(power:int -> unit Circ.t) -> Quipper_arith.Qureg.t Circ.t
+(** Returns the counting register (measure it; the estimated phase is
+    value / 2^bits of a turn). [u ~power] must apply U^power to its
+    target and is called with powers 1, 2, 4, ..., each under one control. *)

@@ -1,0 +1,43 @@
+(** The quantum Fourier transform (§3.1).
+
+    Standard textbook construction: for each qubit, a Hadamard followed by
+    controlled phase rotations R_k against the lower-order qubits, then a
+    wire-order reversal. The register convention is little-endian,
+    matching {!Quipper_arith.Qureg}. *)
+
+open Quipper
+open Circ
+
+(** Apply the QFT to a little-endian register, in place. If [swaps] is
+    false the final order-reversing swaps are skipped (callers that consume
+    the output in reversed order, like phase estimation, save n/2 swap
+    gates). *)
+let qft ?(swaps = true) (r : Quipper_arith.Qureg.t) : unit Circ.t =
+  let n = Array.length r in
+  let rotate j : unit Circ.t =
+    (* Hadamard on the j-th most significant, then controlled R_k's *)
+    let tgt = r.(n - 1 - j) in
+    let* () = hadamard_ tgt in
+    iterm
+      (fun k ->
+        (* control: qubit k+1 positions below tgt *)
+        let src = r.(n - 1 - j - k) in
+        gate_R (k + 1) tgt |> controlled [ ctl src ])
+      (List.init (n - 1 - j) (fun i -> i + 1))
+  in
+  let* () = iterm rotate (List.init n Fun.id) in
+  if swaps then
+    iterm (fun i -> swap r.(i) r.(n - 1 - i)) (List.init (n / 2) Fun.id)
+  else return ()
+
+(** Inverse QFT, in place. *)
+let qft_inverse ?(swaps = true) (r : Quipper_arith.Qureg.t) : unit Circ.t =
+  let w = Quipper_arith.Qureg.shape (Array.length r) in
+  let* _ =
+    reverse_simple w
+      (fun r ->
+        let* () = qft ~swaps r in
+        return r)
+      r
+  in
+  return ()

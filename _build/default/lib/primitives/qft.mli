@@ -1,0 +1,10 @@
+(** The quantum Fourier transform (paper §3.1): the textbook H +
+    controlled-R_k construction on little-endian registers, verified
+    against the DFT matrix by the test suite. *)
+
+open Quipper
+
+val qft : ?swaps:bool -> Quipper_arith.Qureg.t -> unit Circ.t
+(** In place; [swaps:false] skips the final order-reversing swaps. *)
+
+val qft_inverse : ?swaps:bool -> Quipper_arith.Qureg.t -> unit Circ.t

@@ -1,0 +1,77 @@
+(** Trotterized Hamiltonian simulation (§3.1, "quantum simulation"; §3.4
+    "iteration (e.g., Trotterization)").
+
+    A Hamiltonian is given as a sum of Pauli terms, H = sum_j c_j P_j with
+    each P_j a tensor product of Pauli operators on a few qubits. One
+    first-order Trotter step of duration dt applies exp(-i c_j P_j dt) for
+    each term; the standard circuit conjugates an exp(-i Z t) rotation on
+    the last involved qubit by basis changes (H for X, S†-H for Y) and a
+    CNOT parity ladder. This is the workhorse of the Ground State
+    Estimation algorithm. *)
+
+open Quipper
+open Circ
+
+type pauli = I | X | Y | Z
+
+type term = { coeff : float; paulis : (int * pauli) list }
+(** [paulis]: (qubit index, operator), identity positions omitted. *)
+
+type hamiltonian = { nqubits : int; terms : term list }
+
+let basis_in (q : Wire.qubit) = function
+  | X -> hadamard_ q
+  | Y ->
+      (* rotate Y eigenbasis to Z: apply S† then H *)
+      let* () = gate_S_inv q in
+      hadamard_ q
+  | Z | I -> return ()
+
+let basis_out (q : Wire.qubit) = function
+  | X -> hadamard_ q
+  | Y ->
+      let* () = hadamard_ q in
+      let* _ = gate_S q in
+      return ()
+  | Z | I -> return ()
+
+(** Apply exp(-i * coeff * P * dt) for one Pauli term. *)
+let exp_pauli_term (qs : Wire.qubit array) (t : term) ~(dt : float) : unit Circ.t =
+  let involved = List.filter (fun (_, p) -> p <> I) t.paulis in
+  match involved with
+  | [] -> global_phase (-.(t.coeff *. dt))
+  | _ ->
+      let wires = List.map (fun (i, p) -> (qs.(i), p)) involved in
+      let* () = iterm (fun (q, p) -> basis_in q p) wires in
+      (* parity ladder onto the last wire *)
+      let rec ladder = function
+        | [ (last, _) ] -> return last
+        | (q, _) :: tl ->
+            let* target = ladder tl in
+            let* () = cnot ~control:q ~target in
+            return target
+        | [] -> assert false
+      in
+      let* last = ladder wires in
+      let* () = rot_expZt (t.coeff *. dt) last in
+      (* undo ladder *)
+      let rec unladder = function
+        | [ _ ] -> return ()
+        | (q, _) :: tl ->
+            let target, _ = List.nth tl (List.length tl - 1) in
+            let* () = unladder tl in
+            cnot ~control:q ~target
+        | [] -> assert false
+      in
+      let* () = unladder wires in
+      iterm (fun (q, p) -> basis_out q p) wires
+
+(** One first-order Trotter step exp(-i H dt) ~ prod_j exp(-i c_j P_j dt). *)
+let step (h : hamiltonian) (qs : Wire.qubit array) ~(dt : float) : unit Circ.t =
+  iterm (fun t -> exp_pauli_term qs t ~dt) h.terms
+
+(** [evolve h qs ~time ~steps]: exp(-i H time) via [steps] Trotter slices. *)
+let evolve (h : hamiltonian) (qs : Wire.qubit array) ~(time : float)
+    ~(steps : int) : unit Circ.t =
+  let dt = time /. Float.of_int steps in
+  iterm (fun _ -> step h qs ~dt) (List.init steps Fun.id)

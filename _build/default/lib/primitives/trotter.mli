@@ -1,0 +1,20 @@
+(** Trotterized Hamiltonian simulation (paper §3.1, §3.4): Hamiltonians
+    as sums of Pauli terms; exp(-i c P dt) by the standard basis-change /
+    CNOT-ladder / exp(-iZt) construction. The workhorse of Ground State
+    Estimation. *)
+
+open Quipper
+
+type pauli = I | X | Y | Z
+
+type term = { coeff : float; paulis : (int * pauli) list }
+(** Identity positions omitted. *)
+
+type hamiltonian = { nqubits : int; terms : term list }
+
+val exp_pauli_term : Wire.qubit array -> term -> dt:float -> unit Circ.t
+val step : hamiltonian -> Wire.qubit array -> dt:float -> unit Circ.t
+
+val evolve :
+  hamiltonian -> Wire.qubit array -> time:float -> steps:int -> unit Circ.t
+(** exp(-i H time) by first-order Trotter slices. *)

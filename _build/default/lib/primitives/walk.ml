@@ -1,0 +1,30 @@
+(** Quantum walk building blocks (§3.1).
+
+    Two styles appear in the paper's algorithm suite: continuous-time walks
+    simulated by Trotterizing the graph Hamiltonian (Binary Welded Tree),
+    and discrete Grover-based walks over a product state space (Triangle
+    Finding's walk on the Hamming graph). The pieces shared by both live
+    here; the algorithm-specific steps live with their algorithms. *)
+
+open Quipper
+open Circ
+
+(** Diffusion of a choice register: Hadamard everything — the a7_DIFFUSE
+    step of §5.3.2, which "arbitrarily chooses" an index and a node by
+    placing the registers in uniform superposition. *)
+let diffuse (r : Quipper_arith.Qureg.t) : unit Circ.t =
+  Quipper_arith.Qureg.hadamard_all r
+
+(** A coined discrete-time walk step on a cycle of 2^n nodes: one Hadamard
+    coin, then a controlled increment / decrement of the position register.
+    Small enough to simulate, rich enough to exercise arithmetic under
+    quantum control — used by tests and an example. *)
+let cycle_step ~(coin : Wire.qubit) ~(pos : Quipper_arith.Qureg.t) : unit Circ.t =
+  let* _ = hadamard coin in
+  let* () = Quipper_arith.Qdint.increment pos |> controlled [ ctl coin ] in
+  Quipper_arith.Qdint.decrement pos |> controlled [ ctl_neg coin ]
+
+(** Reflection about the uniform superposition of a register — the
+    "inversion about the mean" reflection used between walk segments. *)
+let reflect_uniform (r : Quipper_arith.Qureg.t) : unit Circ.t =
+  Grover.diffusion (Quipper_arith.Qureg.to_list r)

@@ -1,0 +1,14 @@
+(** Quantum walk building blocks (paper §3.1) shared by the
+    algorithm-specific walks. *)
+
+open Quipper
+
+val diffuse : Quipper_arith.Qureg.t -> unit Circ.t
+(** Hadamard a choice register into uniform superposition — the
+    a7_DIFFUSE step of §5.3.2. *)
+
+val cycle_step : coin:Wire.qubit -> pos:Quipper_arith.Qureg.t -> unit Circ.t
+(** One coined discrete-time walk step on a cycle: Hadamard coin,
+    controlled increment/decrement. *)
+
+val reflect_uniform : Quipper_arith.Qureg.t -> unit Circ.t

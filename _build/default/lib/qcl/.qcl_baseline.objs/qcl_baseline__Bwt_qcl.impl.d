@@ -1,0 +1,1 @@
+lib/qcl/bwt_qcl.ml: Algo_bwt Array Circ Circuit Fun List Qcl Quipper Quipper_arith Wire

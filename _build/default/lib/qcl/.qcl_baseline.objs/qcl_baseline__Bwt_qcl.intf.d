@@ -1,0 +1,1 @@
+lib/qcl/bwt_qcl.mli: Algo_bwt Circ Circuit Qcl Quipper Quipper_arith Wire

@@ -1,0 +1,1 @@
+lib/qcl/qcl.ml: Array Circ Fun Gate List Quipper Quipper_arith Wire

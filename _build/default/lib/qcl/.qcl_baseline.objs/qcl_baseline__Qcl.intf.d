@@ -1,0 +1,1 @@
+lib/qcl/qcl.mli: Circ Gate Quipper Quipper_arith Wire

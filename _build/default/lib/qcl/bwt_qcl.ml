@@ -1,0 +1,127 @@
+(** The Binary Welded Tree algorithm, generated QCL-style (paper §6,
+    "QCL direct" column).
+
+    This is the same algorithm as {!Algo_bwt} — same parameters, same
+    oracle semantics, same Figure-1 diffusion — pushed through the
+    QCL-style code generator of {!Qcl}: conditions are materialised into
+    scratch bits at every use, conditioned blocks control every gate,
+    multi-controlled gates expand inline, and scratch is global and never
+    terminated. The point of the experiment is precisely that the same
+    source-level algorithm costs an order of magnitude more when generated
+    this way. *)
+
+open Quipper
+open Circ
+module Qureg = Quipper_arith.Qureg
+
+type params = Algo_bwt.params = { n : int; s : int; dt : float }
+
+let default_params = Algo_bwt.default_params
+
+(* ------------------------------------------------------------------ *)
+(* The oracle, in QCL's pseudo-classical style: one condition
+   materialisation per assignment, arguments fanned out. *)
+
+let oracle_forward (h : Qcl.heap) ~(p : params) ~(color : int) (a : Qureg.t)
+    (b : Qureg.t) (r : Wire.qubit) : unit Circ.t =
+  let m = Algo_bwt.label_width p in
+  (* QCL operators receive fanned-out copies of their arguments *)
+  let* ac = Qcl.fanout h a in
+  let* () =
+    match color with
+    | 0 | 1 ->
+        (* b := 2a + color, one conditioned write per bit *)
+        let* () =
+          iterm
+            (fun i -> Qcl.assign_xor h b.(i + 1) [ ctl ac.(i) ])
+            (List.init (m - 1) Fun.id)
+        in
+        let* () = if color = 1 then qnot_ b.(0) else return () in
+        Qcl.assign_xor h r [ ctl_neg ac.(m - 1) ]
+    | 2 ->
+        let* () =
+          iterm
+            (fun i -> Qcl.assign_xor h b.(i) [ ctl ac.(i + 1) ])
+            (List.init (m - 1) Fun.id)
+        in
+        (* r := a <> 0 above bit 0: negative-controlled cascade, then not *)
+        let* () =
+          Qcl.mcnot h r (List.map (fun i -> ctl_neg ac.(i + 1)) (List.init (m - 1) Fun.id))
+        in
+        qnot_ r
+    | _ ->
+        (* weld involution: copy, constant xor, three mixing rounds; every
+           mixed bit's two-literal condition is materialised separately *)
+        let* () =
+          iterm (fun i -> Qcl.assign_xor h b.(i) [ ctl ac.(i) ]) (List.init m Fun.id)
+        in
+        let* () = Qureg.xor_const (Algo_bwt.weld_mask ~m ~color) b in
+        let* () =
+          iterm
+            (fun round ->
+              iterm
+                (fun i ->
+                  let j = (i + 1 + round) mod m and k = (i + 3 + round) mod m in
+                  if j <> i && k <> i && j <> k then
+                    Qcl.assign_xor h b.(i) [ ctl ac.(j); ctl_neg ac.(k) ]
+                  else return ())
+                (List.init m Fun.id))
+            [ 0; 1; 2 ]
+        in
+        let* () = Qcl.assign_xor h r [ ctl ac.(m - 1); ctl_neg ac.(m - 2) ] in
+        Qcl.assign_xor h r [ ctl_neg ac.(m - 1); ctl ac.(m - 2) ]
+  in
+  Qcl.unfanout h a ac
+
+(** QCL has no circuit reversal operator usable mid-program: the inverse of
+    a pseudo-classical operator is obtained by running the (self-inverse)
+    computation again, at full cost. *)
+let oracle_backward = oracle_forward
+
+(* ------------------------------------------------------------------ *)
+(* The timestep, QCL-style                                             *)
+
+let timestep (h : Qcl.heap) ~(dt : float) (a : Qureg.t) (b : Qureg.t)
+    (r : Wire.qubit) : unit Circ.t =
+  let m = Array.length a in
+  let* zs = Qcl.acquire h 1 in
+  let z = List.hd zs in
+  let pairs = List.init m Fun.id in
+  let* () = iterm (fun i -> gate_W a.(i) b.(i)) pairs in
+  let* () =
+    iterm (fun i -> Qcl.assign_xor h z [ ctl a.(i); ctl_neg b.(i) ]) pairs
+  in
+  let* () = Qcl.conditioned_rot h [ ctl_neg r ] (rot_expZt dt z) in
+  let* () =
+    iterm (fun i -> Qcl.assign_xor h z [ ctl a.(i); ctl_neg b.(i) ]) pairs
+  in
+  let* () = iterm (fun i -> gate_W_inv a.(i) b.(i)) pairs in
+  Qcl.release h zs
+
+(* ------------------------------------------------------------------ *)
+
+(** The whole QCL-style BWT circuit: registers a, b, r are global (as are
+    all scratch qubits — nothing is ever assertively terminated, so the
+    final circuit's width is the global high-water mark). *)
+let whole ~(p : params) : Wire.bit array Circ.t =
+  let m = Algo_bwt.label_width p in
+  let h = Qcl.new_heap () in
+  let* a = Qureg.init ~width:m Algo_bwt.entrance in
+  let* b = Qureg.init_zero ~width:m in
+  let* r = qinit_bit false in
+  let* () =
+    iterm
+      (fun _step ->
+        iterm
+          (fun color ->
+            let* () = oracle_forward h ~p ~color a b r in
+            let* () = timestep h ~dt:p.dt a b r in
+            oracle_backward h ~p ~color a b r)
+          [ 0; 1; 2; 3 ])
+      (List.init p.s Fun.id)
+  in
+  measure (Qureg.shape m) a
+
+let generate ?(p = default_params) () : Circuit.b =
+  let b, _ = Circ.generate_unit (whole ~p) in
+  b

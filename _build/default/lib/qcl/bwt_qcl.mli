@@ -1,0 +1,37 @@
+(** The Binary Welded Tree algorithm generated QCL-style — the "QCL
+    direct" column of the paper's §6 table. Same algorithm as
+    {!Algo_bwt}, same parameters, same Figure-1 diffusion; an order of
+    magnitude more gates, which is the experiment's point. *)
+
+open Quipper
+
+type params = Algo_bwt.params = { n : int; s : int; dt : float }
+
+val default_params : params
+
+val oracle_forward :
+  Qcl.heap ->
+  p:params ->
+  color:int ->
+  Quipper_arith.Qureg.t ->
+  Quipper_arith.Qureg.t ->
+  Wire.qubit ->
+  unit Circ.t
+
+val oracle_backward :
+  Qcl.heap ->
+  p:params ->
+  color:int ->
+  Quipper_arith.Qureg.t ->
+  Quipper_arith.Qureg.t ->
+  Wire.qubit ->
+  unit Circ.t
+(** QCL obtains the inverse by running the self-inverse computation
+    again, at full cost. *)
+
+val timestep :
+  Qcl.heap -> dt:float -> Quipper_arith.Qureg.t -> Quipper_arith.Qureg.t ->
+  Wire.qubit -> unit Circ.t
+
+val whole : p:params -> Wire.bit array Circ.t
+val generate : ?p:params -> unit -> Circuit.b

@@ -1,0 +1,40 @@
+(** A QCL-style code generator: the baseline of the paper's §6
+    comparison. Reproduces QCL's documented compilation strategy — global
+    unscoped scratch (the "quheap"), condition materialisation per
+    statement, no control trimming, X-conjugated negative controls, eager
+    multi-control expansion. See DESIGN.md's substitution table. *)
+
+open Quipper
+
+type heap = { mutable free : Wire.qubit list; mutable total : int }
+(** The quheap: scratch qubits are acquired in |0>, released back to the
+    pool, and never assertively terminated — they stay live to the end of
+    the circuit, like QCL's global temporaries. *)
+
+val new_heap : unit -> heap
+val acquire : heap -> int -> Wire.qubit list Circ.t
+val release : heap -> Wire.qubit list -> unit Circ.t
+
+val positivize :
+  Gate.control list -> (Gate.control list -> unit Circ.t) -> unit Circ.t
+(** QCL has no negative controls: conjugate them with X gates. *)
+
+val mcnot : heap -> Wire.qubit -> Gate.control list -> unit Circ.t
+(** Multi-controlled not, QCL-style: X-conjugation plus an inline AND
+    cascade over freshly acquired scratch for more than two controls. *)
+
+val assign_xor : heap -> Wire.qubit -> Gate.control list -> unit Circ.t
+(** The pseudo-classical XOR-assignment [target ^= AND(conds)]: evaluate
+    the right-hand side into a temporary, copy, uncompute — per statement,
+    no sharing. *)
+
+val quantum_if : heap -> Gate.control list -> unit Circ.t -> unit Circ.t
+(** Materialise the condition into a scratch bit and control every gate
+    of the body on it — nothing trimmed. *)
+
+val conditioned_rot : heap -> Gate.control list -> unit Circ.t -> unit Circ.t
+
+val fanout : heap -> Quipper_arith.Qureg.t -> Quipper_arith.Qureg.t Circ.t
+(** QCL's pseudo-classical argument passing: operators receive copies. *)
+
+val unfanout : heap -> Quipper_arith.Qureg.t -> Quipper_arith.Qureg.t -> unit Circ.t

@@ -1,0 +1,1 @@
+lib/sim/classical.ml: Array Circ Circuit Errors Fmt Fun Gate Hashtbl List Qdata Quipper Wire

@@ -1,0 +1,1 @@
+lib/sim/classical.mli: Circ Circuit Gate Qdata Quipper Wire

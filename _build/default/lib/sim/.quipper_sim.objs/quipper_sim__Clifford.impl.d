@@ -1,0 +1,1 @@
+lib/sim/clifford.ml: Array Bytes Circ Circuit Errors Fmt Fun Gate Hashtbl List Qdata Quipper Quipper_math Wire

@@ -1,0 +1,1 @@
+lib/sim/clifford.mli: Circ Circuit Gate Qdata Quipper Wire

@@ -1,0 +1,1 @@
+lib/sim/statevector.ml: Array Circ Circuit Cplx Errors Fmt Fun Gate Hashtbl List Mat2 Qdata Quipper Quipper_math Wire

@@ -1,0 +1,1 @@
+lib/sim/statevector.mli: Circ Circuit Gate Qdata Quipper Quipper_math Wire

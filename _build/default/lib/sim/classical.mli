@@ -1,0 +1,40 @@
+(** Classical (boolean) simulation: the paper's [run_classical_generic]
+    (§4.4.5). Circuits whose gates act classically on basis states —
+    not/X with any controls, swap, init, assertive term, measurement,
+    classical logic — simulate in linear time with one boolean per wire.
+    "Especially useful in testing oracles": the test suite validates every
+    arithmetic and oracle circuit against its classical specification
+    through this module. *)
+
+open Quipper
+
+type state
+
+val create : unit -> state
+val read : state -> Wire.t -> bool
+val write : state -> Wire.t -> bool -> unit
+
+val apply_gate : state -> Gate.t -> unit
+(** Raises [Simulation _] on gates with no classical action (H, W,
+    rotations) and on subroutine calls (inline first). *)
+
+type readout = { read : 'b 'q 'c. ('b, 'q, 'c) Qdata.t -> 'q -> 'b }
+(** Polymorphic readout of live wire values after a {!run_fun}. *)
+
+val run_fun :
+  in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> 'r * readout
+(** Run a circuit-producing function on boolean inputs, evaluating every
+    gate as it is emitted. Dynamic lifting works: classical values are
+    always available. *)
+
+val run_oracle :
+  in_:('b, 'q, 'c) Qdata.t ->
+  out:('b2, 'q2, 'c2) Qdata.t ->
+  'b ->
+  ('q -> 'q2 Circ.t) ->
+  'b2
+(** Run a classical circuit-producing function as a boolean function. *)
+
+val run_circuit : Circuit.b -> bool list -> bool list
+(** Walk an already-generated (hierarchical) circuit on given input
+    booleans; returns the outputs in output-arity order. *)

@@ -1,0 +1,367 @@
+(** Stabilizer (Clifford) simulation, after Aaronson–Gottesman's CHP.
+
+    The paper's [run_clifford_generic] (§4.4.5): circuits built from
+    Clifford gates (H, S, CNOT, the Paulis, swap, and V = HSH up to phase)
+    can be simulated in polynomial time by tracking the stabilizer group of
+    the state instead of its amplitudes. Quipper offers this as one of the
+    specialised run functions, "especially useful in testing oracles" on
+    superposition inputs that the classical simulator cannot handle.
+
+    We keep the standard tableau: for [n] qubits, [2n] rows of X/Z bit
+    pairs plus a sign bit; rows [0..n-1] are destabilizers, [n..2n-1]
+    stabilizers. Qubits are allocated dynamically: [Init] appends a column
+    in state |value>, assertive [Term] verifies that measuring the qubit
+    would deterministically give the asserted value (raising
+    [Termination_assertion] otherwise) and retires the column. *)
+
+open Quipper
+
+type state = {
+  mutable cap : int; (* allocated columns *)
+  mutable x : Bytes.t array; (* row-major bit matrices, one byte per bit *)
+  mutable z : Bytes.t array;
+  mutable r : Bytes.t; (* sign bit per row, length 2*cap *)
+  mutable n : int; (* live columns (monotone; retired columns stay) *)
+  mutable col : (Wire.t * int) list; (* wire -> column *)
+  cenv : (Wire.t, bool) Hashtbl.t;
+  rng : Quipper_math.Rng.t;
+}
+
+let getb b i = Bytes.get b i <> '\000'
+let setb b i v = Bytes.set b i (if v then '\001' else '\000')
+
+let create ?(seed = 1) () =
+  {
+    cap = 0;
+    x = [||];
+    z = [||];
+    r = Bytes.create 0;
+    n = 0;
+    col = [];
+    cenv = Hashtbl.create 16;
+    rng = Quipper_math.Rng.create seed;
+  }
+
+let column st w =
+  match List.assoc_opt w st.col with
+  | Some c -> c
+  | None ->
+      Errors.raise_ (Simulation (Fmt.str "clifford: wire %d is not a live qubit" w))
+
+let read_bit st w =
+  match Hashtbl.find_opt st.cenv w with
+  | Some v -> v
+  | None ->
+      Errors.raise_ (Simulation (Fmt.str "clifford: wire %d has no classical value" w))
+
+(** Grow capacity to at least [cap'] columns, preserving contents. *)
+let grow st cap' =
+  if cap' > st.cap then begin
+    let cap' = max cap' (max 8 (2 * st.cap)) in
+    let rows = 2 * cap' in
+    let x = Array.init rows (fun _ -> Bytes.make cap' '\000') in
+    let z = Array.init rows (fun _ -> Bytes.make cap' '\000') in
+    let r = Bytes.make rows '\000' in
+    (* old rows: destabilizers 0..n-1 move to 0.., stabilizers n..2n-1 move
+       to cap'.. *)
+    for i = 0 to st.n - 1 do
+      Bytes.blit st.x.(i) 0 x.(i) 0 st.n;
+      Bytes.blit st.z.(i) 0 z.(i) 0 st.n;
+      setb r i (getb st.r i);
+      Bytes.blit st.x.(st.cap + i) 0 x.(cap' + i) 0 st.n;
+      Bytes.blit st.z.(st.cap + i) 0 z.(cap' + i) 0 st.n;
+      setb r (cap' + i) (getb st.r (st.cap + i))
+    done;
+    st.x <- x;
+    st.z <- z;
+    st.r <- r;
+    st.cap <- cap'
+  end
+
+(* With the layout above, destabilizer row i lives at index i and
+   stabilizer row i at index cap + i. *)
+let drow _st i = i
+let srow st i = st.cap + i
+
+let add_qubit st (w : Wire.t) (value : bool) =
+  grow st (st.n + 1);
+  let q = st.n in
+  st.n <- st.n + 1;
+  (* re-home rows: with capacity-based layout, rows need no move; the new
+     qubit's destabilizer is X_q, stabilizer is (-1)^value Z_q *)
+  setb st.x.(drow st q) q true;
+  setb st.z.(srow st q) q true;
+  setb st.r (srow st q) value;
+  st.col <- (w, q) :: st.col
+
+(* ------------------------------------------------------------------ *)
+(* The CHP update rules                                                *)
+
+let hadamard st q =
+  for i = 0 to (2 * st.cap) - 1 do
+    let xi = getb st.x.(i) q and zi = getb st.z.(i) q in
+    if xi && zi then setb st.r i (not (getb st.r i));
+    setb st.x.(i) q zi;
+    setb st.z.(i) q xi
+  done
+
+let phase_s st q =
+  for i = 0 to (2 * st.cap) - 1 do
+    let xi = getb st.x.(i) q and zi = getb st.z.(i) q in
+    if xi && zi then setb st.r i (not (getb st.r i));
+    setb st.z.(i) q (xi <> zi)
+  done
+
+let cnot st a b =
+  for i = 0 to (2 * st.cap) - 1 do
+    let xa = getb st.x.(i) a and za = getb st.z.(i) a in
+    let xb = getb st.x.(i) b and zb = getb st.z.(i) b in
+    if xa && zb && xb = za then setb st.r i (not (getb st.r i));
+    setb st.x.(i) b (xb <> xa);
+    setb st.z.(i) a (za <> zb)
+  done
+
+let gate_x st q =
+  (* X = H Z H = H S S H *)
+  hadamard st q; phase_s st q; phase_s st q; hadamard st q
+
+let gate_z st q = phase_s st q; phase_s st q
+let gate_y st q = gate_z st q; gate_x st q (* up to global phase *)
+let gate_s_inv st q = phase_s st q; phase_s st q; phase_s st q
+let gate_v st q = hadamard st q; phase_s st q; hadamard st q (* up to phase *)
+let gate_v_inv st q = hadamard st q; gate_s_inv st q; hadamard st q
+let swap st a b = cnot st a b; cnot st b a; cnot st a b
+
+(* rowsum (Aaronson-Gottesman): row h += row i, tracking the sign *)
+let rowsum st h i =
+  let g x1 z1 x2 z2 =
+    (* exponent of i contributed when multiplying Paulis *)
+    match (x1, z1) with
+    | false, false -> 0
+    | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+    | true, false -> if z2 && x2 then 1 else if z2 then -1 else 0
+    | false, true -> if x2 && z2 then -1 else if x2 then 1 else 0
+  in
+  let acc = ref ((if getb st.r h then 2 else 0) + if getb st.r i then 2 else 0) in
+  for j = 0 to st.n - 1 do
+    acc := !acc + g (getb st.x.(i) j) (getb st.z.(i) j) (getb st.x.(h) j) (getb st.z.(h) j);
+    setb st.x.(h) j (getb st.x.(h) j <> getb st.x.(i) j);
+    setb st.z.(h) j (getb st.z.(h) j <> getb st.z.(i) j)
+  done;
+  let m = ((!acc mod 4) + 4) mod 4 in
+  if m = 0 then setb st.r h false
+  else if m = 2 then setb st.r h true
+  else Errors.raise_ (Simulation "clifford: rowsum produced imaginary sign")
+
+(** Measure column [q]. Returns (outcome, was_deterministic). *)
+let measure_col st q : bool * bool =
+  (* is some stabilizer row's x bit set at q? *)
+  let p = ref (-1) in
+  for i = 0 to st.n - 1 do
+    if !p < 0 && getb st.x.(srow st i) q then p := i
+  done;
+  if !p >= 0 then begin
+    (* random outcome *)
+    let p = !p in
+    let sp = srow st p in
+    (* every other row with x bit at q gets row p multiplied in *)
+    for i = 0 to st.n - 1 do
+      let d = drow st i and s = srow st i in
+      if d <> sp && getb st.x.(d) q then rowsum st d sp;
+      if s <> sp && getb st.x.(s) q then rowsum st s sp
+    done;
+    (* destabilizer p := old stabilizer p *)
+    let dp = drow st p in
+    Bytes.blit st.x.(sp) 0 st.x.(dp) 0 st.n;
+    Bytes.blit st.z.(sp) 0 st.z.(dp) 0 st.n;
+    setb st.r dp (getb st.r sp);
+    (* stabilizer p := +/- Z_q with random sign *)
+    Bytes.fill st.x.(sp) 0 st.cap '\000';
+    Bytes.fill st.z.(sp) 0 st.cap '\000';
+    setb st.z.(sp) q true;
+    let outcome = Quipper_math.Rng.bool st.rng in
+    setb st.r sp outcome;
+    (outcome, false)
+  end
+  else begin
+    (* deterministic: accumulate into a scratch row *)
+    let scratch_x = Bytes.make st.cap '\000' in
+    let scratch_z = Bytes.make st.cap '\000' in
+    let scratch_r = ref false in
+    (* emulate rowsum into scratch *)
+    let g x1 z1 x2 z2 =
+      match (x1, z1) with
+      | false, false -> 0
+      | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+      | true, false -> if z2 && x2 then 1 else if z2 then -1 else 0
+      | false, true -> if x2 && z2 then -1 else if x2 then 1 else 0
+    in
+    let addrow i =
+      let acc = ref ((if !scratch_r then 2 else 0) + if getb st.r i then 2 else 0) in
+      for j = 0 to st.n - 1 do
+        acc :=
+          !acc + g (getb st.x.(i) j) (getb st.z.(i) j) (getb scratch_x j) (getb scratch_z j);
+        setb scratch_x j (getb scratch_x j <> getb st.x.(i) j);
+        setb scratch_z j (getb scratch_z j <> getb st.z.(i) j)
+      done;
+      let m = ((!acc mod 4) + 4) mod 4 in
+      scratch_r := m = 2
+    in
+    for i = 0 to st.n - 1 do
+      if getb st.x.(drow st i) q then addrow (srow st i)
+    done;
+    (!scratch_r, true)
+  end
+
+let retire st w =
+  st.col <- List.filter (fun (w', _) -> w' <> w) st.col
+
+(* ------------------------------------------------------------------ *)
+
+let resolve_classical_controls st (cs : Gate.control list) =
+  (* split classical controls (evaluate) from quantum ones *)
+  let sat = ref true in
+  let qctl =
+    List.filter
+      (fun (c : Gate.control) ->
+        match c.cty with
+        | Wire.C ->
+            if read_bit st c.cwire <> c.positive then sat := false;
+            false
+        | Wire.Q -> true)
+      cs
+  in
+  (!sat, qctl)
+
+let apply_gate st (g : Gate.t) =
+  let not_clifford what =
+    Errors.raise_ (Simulation (Fmt.str "clifford: %s is not a Clifford operation" what))
+  in
+  match g with
+  | Gate.Gate { name; inv; targets; controls } -> (
+      let sat, qctl = resolve_classical_controls st controls in
+      if sat then
+        match (name, targets, qctl) with
+        | "not", [ t ], [] | "X", [ t ], [] -> gate_x st (column st t)
+        | "not", [ t ], [ c ] | "X", [ t ], [ c ] ->
+            let cc = column st c.Gate.cwire and ct = column st t in
+            if c.Gate.positive then cnot st cc ct
+            else begin
+              gate_x st cc; cnot st cc ct; gate_x st cc
+            end
+        | ("not" | "X"), _, _ -> not_clifford "multiply-controlled not"
+        | "Y", [ t ], [] -> gate_y st (column st t)
+        | "Z", [ t ], [] -> gate_z st (column st t)
+        | "Z", [ t ], [ c ] when c.Gate.positive ->
+            (* CZ = H(t); CNOT; H(t) *)
+            let ct = column st t in
+            hadamard st ct;
+            cnot st (column st c.Gate.cwire) ct;
+            hadamard st ct
+        | "H", [ t ], [] -> hadamard st (column st t)
+        | "S", [ t ], [] ->
+            if inv then gate_s_inv st (column st t) else phase_s st (column st t)
+        | "V", [ t ], [] ->
+            if inv then gate_v_inv st (column st t) else gate_v st (column st t)
+        | "swap", [ a; b ], [] -> swap st (column st a) (column st b)
+        | (n, _, _) -> not_clifford n)
+  | Gate.Rot { name; _ } -> not_clifford name
+  | Gate.Phase _ -> () (* global phase: stabilizer state unchanged *)
+  | Gate.Init { ty = Wire.Q; value; wire } -> add_qubit st wire value
+  | Gate.Init { ty = Wire.C; value; wire } -> Hashtbl.replace st.cenv wire value
+  | Gate.Term { ty = Wire.Q; value; wire } ->
+      let q = column st wire in
+      let outcome, deterministic = measure_col st q in
+      if not deterministic then
+        Errors.raise_ (Termination_assertion { wire; expected = value })
+      else if outcome <> value then
+        Errors.raise_ (Termination_assertion { wire; expected = value })
+      else retire st wire
+  | Gate.Term { ty = Wire.C; value; wire } ->
+      if read_bit st wire <> value then
+        Errors.raise_ (Termination_assertion { wire; expected = value });
+      Hashtbl.remove st.cenv wire
+  | Gate.Discard { ty = Wire.Q; wire } ->
+      let q = column st wire in
+      ignore (measure_col st q);
+      retire st wire
+  | Gate.Discard { ty = Wire.C; wire } -> Hashtbl.remove st.cenv wire
+  | Gate.Measure { wire } ->
+      let q = column st wire in
+      let outcome, deterministic = measure_col st q in
+      let outcome =
+        if deterministic then outcome
+        else outcome (* measure_col already sampled via rng *)
+      in
+      retire st wire;
+      Hashtbl.replace st.cenv wire outcome
+  | Gate.Cgate { name; out; ins } ->
+      let vs = List.map (read_bit st) ins in
+      let v =
+        match (name, vs) with
+        | "not", [ a ] -> not a
+        | "xor", vs -> List.fold_left ( <> ) false vs
+        | "and", vs -> List.for_all Fun.id vs
+        | "or", vs -> List.exists Fun.id vs
+        | _ -> Errors.raise_ (Simulation (Fmt.str "unknown classical gate %s" name))
+      in
+      Hashtbl.replace st.cenv out v
+  | Gate.Subroutine { name; _ } ->
+      Errors.raise_ (Simulation (Fmt.str "clifford: subroutine call %s (inline first)" name))
+  | Gate.Comment _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+(** Execute a circuit-producing function under stabilizer semantics, gate
+    by gate, with dynamic lifting available. *)
+let run_fun ?seed ~(in_ : ('b, 'q, 'c) Qdata.t) (input : 'b)
+    (f : 'q -> 'r Circ.t) : state * 'r =
+  let st = create ?seed () in
+  let ctx =
+    Circ.create_ctx ~boxing:false ~on_emit:(apply_gate st)
+      ~lift:(fun _ w -> read_bit st w)
+      ()
+  in
+  let ins =
+    List.map (fun ty -> { Wire.wire = Circ.alloc_input ctx ty; ty }) in_.Qdata.tys
+  in
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      match e.Wire.ty with
+      | Wire.Q -> add_qubit st e.Wire.wire v
+      | Wire.C -> Hashtbl.replace st.cenv e.Wire.wire v)
+    ins (in_.Qdata.bleaves input);
+  let x = in_.Qdata.qbuild ins in
+  let r = f x ctx in
+  (st, r)
+
+(** Measure every leaf of [q] and read the boolean result. *)
+let measure_and_read st (w : ('b, 'q, 'c) Qdata.t) (q : 'q) : 'b =
+  let bools =
+    List.map
+      (fun (e : Wire.endpoint) ->
+        match e.Wire.ty with
+        | Wire.Q ->
+            let c = column st e.Wire.wire in
+            let outcome, _ = measure_col st c in
+            retire st e.Wire.wire;
+            Hashtbl.replace st.cenv e.Wire.wire outcome;
+            outcome
+        | Wire.C -> read_bit st e.Wire.wire)
+      (w.Qdata.qleaves q)
+  in
+  w.Qdata.bbuild bools
+
+let run_circuit ?seed (b : Circuit.b) (inputs : bool list) : state =
+  let flat = Circuit.inline b in
+  let st = create ?seed () in
+  (if List.length inputs <> List.length flat.Circuit.inputs then
+     Errors.raise_ (Shape_mismatch "clifford run: input arity"));
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      match e.Wire.ty with
+      | Wire.Q -> add_qubit st e.Wire.wire v
+      | Wire.C -> Hashtbl.replace st.cenv e.Wire.wire v)
+    flat.Circuit.inputs inputs;
+  Array.iter (apply_gate st) flat.Circuit.gates;
+  st

@@ -1,0 +1,22 @@
+(** Stabilizer (Clifford) simulation after Aaronson–Gottesman's CHP: the
+    paper's [run_clifford_generic] (§4.4.5). Circuits from H, S, CNOT,
+    the Paulis, swap and V simulate in polynomial time; qubits allocate
+    dynamically, assertive terminations verify determinism of the
+    asserted outcome. *)
+
+open Quipper
+
+type state
+
+val create : ?seed:int -> unit -> state
+val read_bit : state -> Wire.t -> bool
+
+val apply_gate : state -> Gate.t -> unit
+(** Raises [Simulation _] on non-Clifford gates (T, rotations,
+    multiply-controlled gates) and subroutine calls. *)
+
+val run_fun :
+  ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+
+val measure_and_read : state -> ('b, 'q, 'c) Qdata.t -> 'q -> 'b
+val run_circuit : ?seed:int -> Circuit.b -> bool list -> state

@@ -1,0 +1,48 @@
+(** Dense statevector simulation: the paper's [run_generic] (§4.4.5) —
+    "necessarily inefficient on a classical computer", indispensable for
+    validation and for running small algorithm instances.
+
+    Implements the extended circuit model (§4.2): [Init] grows the state,
+    assertive [Term] checks that the wire really is disentangled in the
+    asserted basis state (raising [Termination_assertion] otherwise —
+    catching wrong uncomputation) and shrinks the state, measurements
+    collapse probabilistically (seeded) and move the wire to a classical
+    environment consulted by classically-controlled gates. *)
+
+open Quipper
+
+val max_qubits : int
+
+type state
+
+val create : ?seed:int -> unit -> state
+val num_qubits : state -> int
+
+val read_bit : state -> Wire.t -> bool
+(** Value of a classical wire. *)
+
+val prob_one : state -> Wire.t -> float
+(** Probability that the qubit would measure 1 (no collapse). *)
+
+val measure : state -> Wire.t -> bool
+(** Born-rule sample; collapses; the wire becomes classical. *)
+
+val apply_gate : state -> Gate.t -> unit
+
+val run_fun :
+  ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+(** Execute a circuit-producing function gate by gate as emitted —
+    Knill's QRAM model (§2.1), including dynamic lifting (§4.3.1). *)
+
+val measure_and_read : state -> ('b, 'q, 'c) Qdata.t -> 'q -> 'b
+(** Measure every qubit leaf and read the boolean result. *)
+
+val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+(** Run a generated (hierarchical) circuit on basis-state inputs. *)
+
+val amplitude : state -> Wire.t list -> bool list -> Quipper_math.Cplx.t
+(** Amplitude of a basis state; the wire list must cover all live qubits. *)
+
+val output_vector : ?seed:int -> Circuit.b -> bool list -> Quipper_math.Cplx.t array
+(** Output amplitudes of a circuit on a basis input, indexed little-endian
+    over the output arity — the workhorse of semantics-equality tests. *)

@@ -1,0 +1,1 @@
+lib/template/build.ml: Circ List Quipper Wire

@@ -1,0 +1,1 @@
+lib/template/build.mli: Circ Quipper Wire

@@ -1,0 +1,1 @@
+lib/template/oracle.ml: Circ List Qdata Quipper Wire

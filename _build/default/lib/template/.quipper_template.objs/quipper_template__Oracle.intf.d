@@ -1,0 +1,1 @@
+lib/template/oracle.mli: Circ Qdata Quipper Wire

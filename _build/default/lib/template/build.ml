@@ -1,0 +1,101 @@
+(** The circuit-lifting DSL: our substitute for [build_circuit] (§4.6.1).
+
+    The paper lifts classical Haskell programs into circuit-generating
+    functions with Template Haskell: every boolean operation of the source
+    becomes a gate on fresh "scratch space" qubits. OCaml has no Template
+    Haskell, so we expose the *target* of that translation directly: a
+    library of lifted boolean operations on qubits. A classical program
+    written against these operators (plain OCaml control flow over values
+    of type [Wire.qubit]) *is* its own template — steps 2 and 3 of the
+    paper's four-step oracle recipe (classical program → classical circuit
+    → quantum circuit with scratch ancillas) happen as the program runs,
+    and step 4 is [Oracle.classical_to_reversible].
+
+    Every operation allocates fresh output qubits and never mutates its
+    arguments, so lifted code is referentially transparent exactly like the
+    classical program it mirrors; all intermediate qubits are collected by
+    the enclosing [with_computed]/[classical_to_reversible]. *)
+
+open Quipper
+open Circ
+
+type bool_q = Wire.qubit
+
+(** A lifted boolean constant. *)
+let bconst (v : bool) : bool_q t = qinit_bit v
+
+(** Logical not: fresh q = 1 XOR a. *)
+let bnot (a : bool_q) : bool_q t =
+  let* q = qinit_bit true in
+  let* () = cnot ~control:a ~target:q in
+  return q
+
+(** Exclusive or: fresh q = a XOR b (the paper's [bool_xor]). *)
+let bxor (a : bool_q) (b : bool_q) : bool_q t =
+  let* q = qinit_bit false in
+  let* () = cnot ~control:a ~target:q in
+  let* () = cnot ~control:b ~target:q in
+  return q
+
+(** Conjunction: fresh q = a AND b, one Toffoli. *)
+let band (a : bool_q) (b : bool_q) : bool_q t =
+  let* q = qinit_bit false in
+  let* () = toffoli ~c1:a ~c2:b ~target:q in
+  return q
+
+(** Disjunction via De Morgan: q = NOT (NOT a AND NOT b) — one
+    negatively-controlled Toffoli on a |1>-initialised ancilla. *)
+let bor (a : bool_q) (b : bool_q) : bool_q t =
+  let* q = qinit_bit true in
+  let* () = qnot_ q |> controlled [ ctl_neg a; ctl_neg b ] in
+  return q
+
+(** Equivalence: q = NOT (a XOR b). *)
+let beq (a : bool_q) (b : bool_q) : bool_q t =
+  let* q = qinit_bit true in
+  let* () = cnot ~control:a ~target:q in
+  let* () = cnot ~control:b ~target:q in
+  return q
+
+(** Multiplexer: q = if c then t else e. *)
+let bif (c : bool_q) ~(then_ : bool_q) ~(else_ : bool_q) : bool_q t =
+  let* q = qinit_bit false in
+  let* () = toffoli ~c1:c ~c2:then_ ~target:q in
+  let* () = qnot_ q |> controlled [ ctl_neg c; ctl else_ ] in
+  return q
+
+(** n-ary conjunction: one multiply-controlled not. *)
+let band_list (l : bool_q list) : bool_q t =
+  match l with
+  | [] -> bconst true
+  | l ->
+      let* q = qinit_bit false in
+      let* () = qnot_ q |> controlled (List.map ctl l) in
+      return q
+
+(** n-ary disjunction. *)
+let bor_list (l : bool_q list) : bool_q t =
+  match l with
+  | [] -> bconst false
+  | l ->
+      let* q = qinit_bit true in
+      let* () = qnot_ q |> controlled (List.map ctl_neg l) in
+      return q
+
+(** n-ary xor: CNOT cascade into one fresh qubit. *)
+let bxor_list (l : bool_q list) : bool_q t =
+  let* q = qinit_bit false in
+  let* () = iterm (fun a -> cnot ~control:a ~target:q) l in
+  return q
+
+(** The parity function of §4.6.1, lifted: the recursion is ordinary OCaml
+    recursion, the xor is the lifted [bxor]. Applied to a list of [n]
+    qubits it produces the circuit of the paper's figure: n-1 fresh wires
+    of which the last is the output and the rest are scratch. *)
+let rec parity (as_ : bool_q list) : bool_q t =
+  match as_ with
+  | [] -> bconst false
+  | [ h ] -> return h (* as in the paper: [f [h] = h], no fresh wire *)
+  | h :: t ->
+      let* rest = parity t in
+      bxor h rest

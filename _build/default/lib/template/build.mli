@@ -1,0 +1,41 @@
+(** The circuit-lifting DSL: our substitute for the paper's
+    [build_circuit] (§4.6.1).
+
+    The paper lifts classical Haskell programs into circuit-generating
+    functions with Template Haskell; we expose the {e target} of that
+    translation directly — lifted boolean operations on qubits. A
+    classical program written against these operators (ordinary OCaml
+    control flow over [Wire.qubit] values) {e is} its own template: steps
+    2 and 3 of the paper's oracle recipe happen as it runs, and step 4 is
+    {!Oracle.classical_to_reversible}.
+
+    Every operation allocates fresh output qubits and never mutates its
+    arguments — lifted code is referentially transparent like the
+    classical program it mirrors; intermediate qubits are collected by the
+    enclosing [with_computed]. *)
+
+open Quipper
+
+type bool_q = Wire.qubit
+
+val bconst : bool -> bool_q Circ.t
+val bnot : bool_q -> bool_q Circ.t
+
+val bxor : bool_q -> bool_q -> bool_q Circ.t
+(** The paper's [bool_xor]. *)
+
+val band : bool_q -> bool_q -> bool_q Circ.t
+val bor : bool_q -> bool_q -> bool_q Circ.t
+val beq : bool_q -> bool_q -> bool_q Circ.t
+
+val bif : bool_q -> then_:bool_q -> else_:bool_q -> bool_q Circ.t
+(** Multiplexer. *)
+
+val band_list : bool_q list -> bool_q Circ.t
+val bor_list : bool_q list -> bool_q Circ.t
+val bxor_list : bool_q list -> bool_q Circ.t
+
+val parity : bool_q list -> bool_q Circ.t
+(** The paper's worked example: the parity recursion of §4.6.1, lifted.
+    On [n] inputs it produces the paper's circuit exactly: n-1 fresh
+    wires, the last one the output. *)

@@ -1,0 +1,22 @@
+(** Reversible oracle synthesis: step 4 of the paper's recipe (§4.6.1). *)
+
+open Quipper
+
+val classical_to_reversible :
+  out:('b2, 'q2, 'c2) Qdata.t ->
+  ('qa -> 'q2 Circ.t) ->
+  'qa * 'q2 ->
+  ('qa * 'q2) Circ.t
+(** The paper's [classical_to_reversible f : (a, b) -> (a, b XOR f a)]:
+    compute [f] with all its scratch, CNOT the result into the target,
+    uncompute — every ancilla returns to |0> and is assertively
+    terminated (simulator-verified). *)
+
+val classical_to_phase : ('qa -> Wire.qubit Circ.t) -> 'qa -> 'qa Circ.t
+(** Phase-oracle form: flip the sign of marked basis states — the shape
+    Grover-type algorithms need. *)
+
+val compute_copy_uncompute :
+  out:('b2, 'q2, 'c2) Qdata.t -> ('qa -> 'q2 Circ.t) -> 'qa -> 'q2 Circ.t
+(** Compute, copy the result into fresh wires, uncompute: an out-of-place
+    oracle whose output register is independent of the input. *)

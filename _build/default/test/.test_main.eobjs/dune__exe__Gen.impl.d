@@ -1,0 +1,1 @@
+test/gen.ml: Array Circ Circuit List QCheck2 Qdata Quipper Wire

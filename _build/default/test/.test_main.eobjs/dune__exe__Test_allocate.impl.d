@@ -1,0 +1,1 @@
+test/test_allocate.ml: Alcotest Algo_tf Allocate Array Circ Circuit Gatecount Gen List QCheck2 QCheck_alcotest Qdata Quipper Quipper_math Quipper_sim

@@ -1,0 +1,1 @@
+test/test_alternatives.ml: Alcotest Algo_tf Array Circ Circuit Fmt Gatecount List Qdata Quipper Quipper_arith Quipper_math Quipper_sim

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Algo_tf Circ Circuit Float Fmt Gatecount List QCheck2 QCheck_alcotest Qdata Quipper Quipper_arith Quipper_sim Stdlib

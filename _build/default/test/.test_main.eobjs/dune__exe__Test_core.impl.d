@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ascii Astring_contains Circ Circuit Errors Fun Gate Gatecount Gen List Printer QCheck2 QCheck_alcotest Qdata Quipper Quipper_sim Reverse Seq Transform Wire

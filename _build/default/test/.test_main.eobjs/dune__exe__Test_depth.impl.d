@@ -1,0 +1,1 @@
+test/test_depth.ml: Alcotest Algo_tf Array Circ Circuit Depth Fun Gatecount Gen List QCheck2 QCheck_alcotest Qdata Quipper

@@ -1,0 +1,1 @@
+test/test_gatecount.ml: Alcotest Astring_contains Circ Circuit Fmt Gatecount Gen List QCheck2 QCheck_alcotest Qdata Quipper Sys

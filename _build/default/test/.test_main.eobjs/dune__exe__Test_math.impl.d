@@ -1,0 +1,1 @@
+test/test_math.ml: Alcotest Bitvec Cplx Float List Mat2 QCheck2 QCheck_alcotest Quipper_math Rng

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Algo_tf Array Circ Circuit Errors Filename Fun Gatecount Gen Parser Printer QCheck2 QCheck_alcotest Qdata Quipper Sys

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Bool Circ Float Fmt Gate List Qdata Quipper Quipper_arith Quipper_math Quipper_primitives Quipper_sim Stdlib Wire

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Circ Errors Float Gate List QCheck2 QCheck_alcotest Qdata Quipper Quipper_sim Wire

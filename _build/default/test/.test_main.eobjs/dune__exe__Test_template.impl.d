@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Circ Circuit Fmt Fun Gatecount Gen List QCheck2 QCheck_alcotest Qdata Quipper Quipper_sim Quipper_template Test Wire

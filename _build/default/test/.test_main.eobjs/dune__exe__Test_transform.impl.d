@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Circ Circuit Decompose Fun Gatecount Gen List QCheck2 QCheck_alcotest Qdata Quipper Quipper_math Quipper_sim Transform Wire

@@ -1,0 +1,132 @@
+(* Random circuit-program generators shared by the property tests.
+
+   A generated "program" is a reversible circuit-producing function on a
+   fixed register of qubits: a sequence of primitive unitary operations,
+   ancilla blocks, controlled blocks and compute/uncompute sandwiches —
+   enough structural variety to exercise the builder, reversal,
+   decomposition, counting and the simulators, while staying unitary so
+   every whole-circuit operator applies. *)
+
+open Quipper
+open Circ
+
+type op =
+  | H of int
+  | X of int
+  | T of int
+  | S of int
+  | CNot of int * int
+  | Toffoli of int * bool * int * bool * int (* (c1, sign1, c2, sign2, target) *)
+  | Swap of int * int
+  | Controlled_block of int * op list
+  | Ancilla_block of int * op list (* control index for a CNOT onto the ancilla *)
+
+let rec op_gen ~n ~depth : op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = int_range 0 (n - 1) in
+  let distinct2 =
+    pair idx idx >|= fun (a, b) -> (a, if b = a then (b + 1) mod n else b)
+  in
+  let distinct3 =
+    triple idx idx idx >|= fun (a, b, c) ->
+    let b = if b = a then (b + 1) mod n else b in
+    let c = if c = a || c = b then (max a b + 1) mod n else c in
+    let c = if c = a || c = b then (c + 1 + max a b) mod n else c in
+    (a, b, c)
+  in
+  let base =
+    [
+      (3, idx >|= fun i -> H i);
+      (3, idx >|= fun i -> X i);
+      (2, idx >|= fun i -> T i);
+      (2, idx >|= fun i -> S i);
+      (3, distinct2 >|= fun (a, b) -> CNot (a, b));
+      (2, distinct2 >|= fun (a, b) -> Swap (a, b));
+      ( 2,
+        pair distinct3 (pair bool bool) >|= fun ((a, b, c), (s1, s2)) ->
+        Toffoli (a, s1, b, s2, c) );
+    ]
+  in
+  let recursive =
+    if depth <= 0 then []
+    else
+      [
+        ( 1,
+          pair idx (list_size (int_range 1 4) (op_gen ~n ~depth:(depth - 1)))
+          >|= fun (c, ops) -> Controlled_block (c, ops) );
+        ( 1,
+          pair idx (list_size (int_range 1 3) (op_gen ~n ~depth:(depth - 1)))
+          >|= fun (c, ops) -> Ancilla_block (c, ops) );
+      ]
+  in
+  frequency (base @ recursive)
+
+let program_gen ~n : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 15) (op_gen ~n ~depth:2))
+
+(* distinctness after the mod arithmetic is not guaranteed; filter when
+   interpreting *)
+let rec interp (qs : Wire.qubit array) (o : op) : unit Circ.t =
+  let n = Array.length qs in
+  let ok3 a b c = a <> b && b <> c && a <> c in
+  match o with
+  | H i -> hadamard_ qs.(i mod n)
+  | X i -> qnot_ qs.(i mod n)
+  | T i ->
+      let* _ = gate_T qs.(i mod n) in
+      return ()
+  | S i ->
+      let* _ = gate_S qs.(i mod n) in
+      return ()
+  | CNot (a, b) ->
+      let a = a mod n and b = b mod n in
+      if a <> b then cnot ~control:qs.(a) ~target:qs.(b) else return ()
+  | Swap (a, b) ->
+      let a = a mod n and b = b mod n in
+      if a <> b then swap qs.(a) qs.(b) else return ()
+  | Toffoli (a, s1, b, s2, c) ->
+      let a = a mod n and b = b mod n and c = c mod n in
+      if ok3 a b c then
+        qnot_ qs.(c)
+        |> controlled
+             [ (if s1 then ctl qs.(a) else ctl_neg qs.(a));
+               (if s2 then ctl qs.(b) else ctl_neg qs.(b)) ]
+      else return ()
+  | Controlled_block (c, ops) ->
+      let c = c mod n in
+      (* avoid self-controls: restrict the block to the other wires *)
+      let others = Array.of_list (List.filteri (fun i _ -> i <> c) (Array.to_list qs)) in
+      if Array.length others = 0 then return ()
+      else with_controls [ ctl qs.(c) ] (iterm (interp others) ops)
+  | Ancilla_block (c, ops) ->
+      let c = c mod n in
+      with_ancilla (fun anc ->
+          let* () = cnot ~control:qs.(c) ~target:anc in
+          let extended = Array.append qs [| anc |] in
+          let* () = iterm (interp extended) ops in
+          (* undo everything acting on the ancilla so it terminates at |0>:
+             replay the ops in reverse via the library reversal *)
+          let* _ =
+            reverse_fun
+              ~in_:(Qdata.list_of (Array.length extended) Qdata.qubit)
+              ~out:(Qdata.list_of (Array.length extended) Qdata.qubit)
+              (fun ql ->
+                let arr = Array.of_list ql in
+                let* () = iterm (interp arr) ops in
+                return (Array.to_list arr))
+              (Array.to_list extended)
+          in
+          cnot ~control:qs.(c) ~target:anc)
+
+let program (ops : op list) (qs : Wire.qubit array) : unit Circ.t =
+  iterm (interp qs) ops
+
+(** Generate the circuit of a random program on [n] qubits. *)
+let circuit_of_program ~n (ops : op list) : Circuit.b =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
+        let qs = Array.of_list ql in
+        let* () = program ops qs in
+        return ql)
+  in
+  b

@@ -1,0 +1,105 @@
+(* Tests for the ancilla-pool wire allocator (paper 4.2.1's
+   register-allocation phase). *)
+
+open Quipper
+open Circ
+module Sv = Quipper_sim.Statevector
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_sequential_ancillas_share_id () =
+  (* two ancillas used one after the other must land on the same physical
+     wire — the paper's "it does not actually matter whether the two later
+     ancillas are 'equal' to the earlier ancillas" *)
+  let b, _ =
+    Circ.generate ~in_:Qdata.qubit (fun q ->
+        let* () = with_ancilla (fun a -> cnot ~control:q ~target:a >> cnot ~control:q ~target:a) in
+        let* () = with_ancilla (fun a -> cnot ~control:q ~target:a >> cnot ~control:q ~target:a) in
+        return q)
+  in
+  let c = Allocate.compact_circuit b.Circuit.main in
+  Circuit.validate c;
+  checki "width = 2 (input + one pooled ancilla)" 2 (Allocate.width_of c);
+  checki "width before compaction was 3" 3 (Allocate.width_of b.Circuit.main)
+
+let test_width_equals_peak () =
+  let p = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let flat = Circuit.inline b in
+  let compacted = Allocate.compact_circuit flat in
+  Circuit.validate compacted;
+  checki "compacted width = hierarchical peak"
+    (Gatecount.peak_wires b)
+    (Allocate.width_of compacted)
+
+let test_semantics_preserved () =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 3 Qdata.qubit) (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = hadamard_ qs.(0) in
+        let* () = with_ancilla (fun a ->
+            let* () = cnot ~control:qs.(0) ~target:a in
+            let* () = cnot ~control:a ~target:qs.(1) in
+            cnot ~control:qs.(0) ~target:a)
+        in
+        let* _ = gate_T qs.(2) in
+        let* () = with_ancilla (fun a ->
+            let* () = toffoli ~c1:qs.(1) ~c2:qs.(2) ~target:a in
+            let* () = cnot ~control:a ~target:qs.(0) in
+            toffoli ~c1:qs.(1) ~c2:qs.(2) ~target:a)
+        in
+        return (Array.to_list qs))
+  in
+  let c = Allocate.compact b in
+  Circuit.validate_b c;
+  for v = 0 to 7 do
+    let ins = [ v land 1 = 1; v land 2 = 2; v land 4 = 4 ] in
+    let v1 = Sv.output_vector b ins and v2 = Sv.output_vector c ins in
+    check "amplitudes equal" true
+      (Array.for_all2 (fun a b -> Quipper_math.Cplx.equal ~eps:1e-9 a b) v1 v2)
+  done
+
+let test_counts_invariant () =
+  let p = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let c = Allocate.compact b in
+  Circuit.validate_b c;
+  check "gate counts unchanged" true
+    (Gatecount.Counts.equal ( = ) (Gatecount.aggregate b) (Gatecount.aggregate c));
+  checki "peak unchanged" (Gatecount.peak_wires b) (Gatecount.peak_wires c)
+
+let prop_compaction_valid =
+  QCheck2.Test.make ~name:"compaction of random circuits is valid and tight"
+    ~count:60 (Gen.program_gen ~n:4)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:4 ops in
+      let flat = Circuit.inline b in
+      let c = Allocate.compact_circuit flat in
+      Circuit.validate c;
+      (* tightness: width equals the live peak of the flat circuit *)
+      let peak = Gatecount.peak_wires (Circuit.of_main flat) in
+      Allocate.width_of c = peak)
+
+let prop_compaction_semantics =
+  QCheck2.Test.make ~name:"compaction preserves semantics" ~count:30
+    (Gen.program_gen ~n:3)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:3 ops in
+      let c = Allocate.compact b in
+      List.for_all
+        (fun v ->
+          let ins = [ v land 1 = 1; v land 2 = 2; v land 4 = 4 ] in
+          let v1 = Sv.output_vector b ins and v2 = Sv.output_vector c ins in
+          Array.for_all2 (fun a b -> Quipper_math.Cplx.equal ~eps:1e-9 a b) v1 v2)
+        [ 0; 3; 5; 7 ])
+
+let suite =
+  [
+    Alcotest.test_case "sequential ancillas pooled" `Quick test_sequential_ancillas_share_id;
+    Alcotest.test_case "width = peak" `Quick test_width_equals_peak;
+    Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+    Alcotest.test_case "counts invariant" `Quick test_counts_invariant;
+    QCheck_alcotest.to_alcotest prop_compaction_valid;
+    QCheck_alcotest.to_alcotest prop_compaction_semantics;
+  ]

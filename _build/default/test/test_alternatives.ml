@@ -1,0 +1,124 @@
+(* Tests that the Alternatives module's drop-in replacements (paper 5.2)
+   agree with the primary implementations. *)
+
+open Quipper
+open Circ
+module Cs = Quipper_sim.Classical
+module Sv = Quipper_sim.Statevector
+module Qureg = Quipper_arith.Qureg
+module Alt = Algo_tf.Alternatives
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_select_swap_qram () =
+  (* both qrams fetch the same entries for every address, and leave the
+     table untouched *)
+  let p = { Algo_tf.Oracle.l = 3; n = 2; r = 2 } in
+  let entries = [ 1; 3; 0; 2 ] in
+  let shape =
+    Qdata.triple (Qdata.list_of 4 (Qureg.shape 2)) (Qureg.shape 2) (Qureg.shape 2)
+  in
+  List.iteri
+    (fun addr expect ->
+      let tt', _, fetched =
+        Cs.run_oracle ~in_:shape ~out:shape (entries, addr, 0)
+          (fun (tt, i, ttd) ->
+            let* () = Alt.qram_fetch_swap ~p i (Array.of_list tt) ttd in
+            return (tt, i, ttd))
+      in
+      checki (Fmt.str "select-swap fetch tt[%d]" addr) expect fetched;
+      check "table restored" true (tt' = entries))
+    entries
+
+let test_select_swap_gate_profile () =
+  (* the point of the alternative: no control wider than 1 *)
+  let p = { Algo_tf.Oracle.l = 3; n = 2; r = 3 } in
+  let shape =
+    Qdata.triple (Qdata.list_of 8 (Qureg.shape 2)) (Qureg.shape 3) (Qureg.shape 2)
+  in
+  let b, _ =
+    Circ.generate ~in_:shape (fun (tt, i, ttd) ->
+        let* () = Alt.qram_fetch_swap ~p i (Array.of_list tt) ttd in
+        return (tt, i, ttd))
+  in
+  let counts = Gatecount.aggregate b in
+  check "only single controls" true
+    (Gatecount.Counts.for_all
+       (fun k _ -> k.Gatecount.pos_controls + k.Gatecount.neg_controls <= 1)
+       counts);
+  (* the direct qram needs r+1-wide controls *)
+  let b2, _ =
+    Circ.generate ~in_:shape (fun (tt, i, ttd) ->
+        let* () = Algo_tf.Qwtfp.qram_fetch ~p i (Array.of_list tt) ttd in
+        return (tt, i, ttd))
+  in
+  let counts2 = Gatecount.aggregate b2 in
+  check "direct qram uses wide controls" true
+    (Gatecount.Counts.exists
+       (fun k _ -> k.Gatecount.pos_controls + k.Gatecount.neg_controls >= 3)
+       counts2)
+
+let test_pow17_naive_agrees () =
+  let l = 3 in
+  let shape = Qureg.shape l in
+  for x = 0 to 7 do
+    let _, a =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape shape) x (fun x ->
+          Algo_tf.Oracle.o4_POW17 ~l x)
+    in
+    let _, b =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape shape) x (fun x ->
+          Alt.o4_POW17_naive ~l x)
+    in
+    checki (Fmt.str "pow17 variants agree on %d" x) a b
+  done
+
+let test_pow17_naive_costs_more () =
+  let l = 4 in
+  let total f =
+    let b, _ = Circ.generate ~in_:(Qureg.shape l) f in
+    Gatecount.total (Gatecount.aggregate b)
+  in
+  let chain = total (fun x -> Algo_tf.Oracle.o4_POW17 ~l x) in
+  let naive = total (fun x -> Alt.o4_POW17_naive ~l x) in
+  check "square chain beats naive powering" true (naive > chain)
+
+let test_a5_variants_agree () =
+  (* both triangle tests are diagonal +-1 operators; compare their output
+     vectors on basis inputs with and without a triangle *)
+  let p = { Algo_tf.Oracle.l = 2; n = 1; r = 2 } in
+  let shape = Algo_tf.Qwtfp.regs_shape p in
+  let circ_of f =
+    let b, _ = Circ.generate ~in_:shape f in
+    b
+  in
+  let b1 = circ_of (fun regs -> Algo_tf.Qwtfp.a5_TestTriangleEdges ~p regs) in
+  let b2 = circ_of (fun regs -> Alt.a5_test_accumulate ~p regs) in
+  let n_in = List.length b1.Circuit.main.Circuit.inputs in
+  checki "same arity" n_in (List.length b2.Circuit.main.Circuit.inputs);
+  (* ee wires are the last 6 inputs (tuple of 4 nodes -> C(4,2) = 6) *)
+  let test_ee ee_bits =
+    let ins =
+      List.init n_in (fun i ->
+          if i >= n_in - 6 then List.nth ee_bits (i - (n_in - 6)) else false)
+    in
+    let v1 = Sv.output_vector b1 ins and v2 = Sv.output_vector b2 ins in
+    Array.for_all2 (fun a b -> Quipper_math.Cplx.equal ~eps:1e-9 a b) v1 v2
+  in
+  (* a triangle among nodes 0,1,2: edges (1,0), (2,0), (2,1) = indices 0,1,2 *)
+  check "triangle case" true
+    (test_ee [ true; true; true; false; false; false ]);
+  check "no-triangle case" true
+    (test_ee [ true; true; false; false; false; false ]);
+  check "different triangle" true
+    (test_ee [ false; false; false; true; true; true ])
+
+let suite =
+  [
+    Alcotest.test_case "select-swap qram fetches" `Quick test_select_swap_qram;
+    Alcotest.test_case "select-swap gate profile" `Quick test_select_swap_gate_profile;
+    Alcotest.test_case "pow17 variants agree" `Quick test_pow17_naive_agrees;
+    Alcotest.test_case "naive pow17 costs more" `Quick test_pow17_naive_costs_more;
+    Alcotest.test_case "a5 variants agree" `Quick test_a5_variants_agree;
+  ]

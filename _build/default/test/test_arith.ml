@@ -1,0 +1,369 @@
+(* Tests for quantum arithmetic: QDInt (mod 2^n), QIntTF (mod 2^l - 1) and
+   FPReal, all validated against integer / float reference semantics via
+   the classical simulator, exhaustively at small widths and by qcheck at
+   larger widths. *)
+
+open Quipper
+open Circ
+module Qdint = Quipper_arith.Qdint
+module Qinttf = Quipper_arith.Qinttf
+module Qureg = Quipper_arith.Qureg
+module Fpreal = Quipper_arith.Fpreal
+module Cs = Quipper_sim.Classical
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let w2 n = Qdata.pair (Qdint.shape n) (Qdint.shape n)
+
+let run_add n (x, y) =
+  Cs.run_oracle ~in_:(w2 n) ~out:(w2 n) (x, y) (fun (x, y) ->
+      let* () = Qdint.add_in_place ~x ~y () in
+      return (x, y))
+
+(* ------------------------------------------------------------------ *)
+(* QDInt *)
+
+let test_add_exhaustive_4bit () =
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let x', y' = run_add 4 (x, y) in
+      checki "x preserved" x x';
+      checki "sum" ((x + y) land 15) y'
+    done
+  done
+
+let test_add_carry_out () =
+  let shape = Qdata.pair (w2 4) Qdata.qubit in
+  List.iter
+    (fun (x, y) ->
+      let (_, _), c =
+        Cs.run_oracle ~in_:shape ~out:shape ((x, y), false) (fun ((x, y), c) ->
+            let* () = Qdint.add_in_place ~carry_out:c ~x ~y () in
+            return ((x, y), c))
+      in
+      check "overflow bit" true (c = (x + y >= 16)))
+    [ (15, 1); (8, 8); (7, 8); (0, 0); (15, 15) ]
+
+let prop_add_10bit =
+  QCheck2.Test.make ~name:"10-bit adder matches integer addition" ~count:200
+    QCheck2.Gen.(pair (int_range 0 1023) (int_range 0 1023))
+    (fun (x, y) ->
+      let x', y' = run_add 10 (x, y) in
+      x' = x && y' = (x + y) land 1023)
+
+let prop_sub_then_add_identity =
+  QCheck2.Test.make ~name:"subtract then add is identity" ~count:100
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 255))
+    (fun (x, y) ->
+      let _, y' =
+        Cs.run_oracle ~in_:(w2 8) ~out:(w2 8) (x, y) (fun (x, y) ->
+            let* () = Qdint.sub_in_place ~x ~y in
+            let* () = Qdint.add_in_place ~x ~y () in
+            return (x, y))
+      in
+      y' = y)
+
+let prop_add_const =
+  QCheck2.Test.make ~name:"constant adder" ~count:200
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 511))
+    (fun (x, k) ->
+      let x' =
+        Cs.run_oracle ~in_:(Qdint.shape 8) ~out:(Qdint.shape 8) x (fun r ->
+            let* () = Qdint.add_const k r in
+            return r)
+      in
+      x' = (x + k) land 255)
+
+let test_increment_decrement () =
+  for x = 0 to 31 do
+    let x' =
+      Cs.run_oracle ~in_:(Qdint.shape 5) ~out:(Qdint.shape 5) x (fun r ->
+          let* () = Qdint.increment r in
+          let* () = Qdint.increment r in
+          let* () = Qdint.decrement r in
+          return r)
+    in
+    checki "inc inc dec" ((x + 1) land 31) x'
+  done
+
+let prop_mult =
+  QCheck2.Test.make ~name:"multiplier matches integer multiplication" ~count:100
+    QCheck2.Gen.(pair (int_range 0 127) (int_range 0 127))
+    (fun (x, y) ->
+      let out_shape = Qdata.pair (w2 7) (Qdint.shape 7) in
+      let (x', y'), p =
+        Cs.run_oracle ~in_:(w2 7) ~out:out_shape (x, y) (fun (x, y) ->
+            let* p = Qdint.mult ~x ~y () in
+            return ((x, y), p))
+      in
+      x' = x && y' = y && p = x * y land 127)
+
+let prop_mult_full_width =
+  QCheck2.Test.make ~name:"double-width multiplier is exact" ~count:100
+    QCheck2.Gen.(pair (int_range 0 63) (int_range 0 63))
+    (fun (x, y) ->
+      let out_shape = Qdata.pair (w2 6) (Qdint.shape 12) in
+      let _, p =
+        Cs.run_oracle ~in_:(w2 6) ~out:out_shape (x, y) (fun (x, y) ->
+            let* p = Qdint.mult ~out_width:12 ~x ~y () in
+            return ((x, y), p))
+      in
+      p = x * y)
+
+let prop_square =
+  QCheck2.Test.make ~name:"squarer (copy-mult-uncopy)" ~count:100
+    QCheck2.Gen.(int_range 0 63)
+    (fun x ->
+      let out_shape = Qdata.pair (Qdint.shape 6) (Qdint.shape 12) in
+      let _, p =
+        Cs.run_oracle ~in_:(Qdint.shape 6) ~out:out_shape x (fun x ->
+            let* p = Qdint.square ~out_width:12 x in
+            return (x, p))
+      in
+      p = x * x)
+
+let prop_less_than =
+  QCheck2.Test.make ~name:"comparator" ~count:200
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 255))
+    (fun (x, y) ->
+      let shape = Qdata.pair (w2 8) Qdata.qubit in
+      let _, b =
+        Cs.run_oracle ~in_:shape ~out:shape ((x, y), false) (fun ((x, y), b) ->
+            let* () = Qdint.less_than ~x ~y ~target:b in
+            return ((x, y), b))
+      in
+      b = (x < y))
+
+let prop_equals =
+  QCheck2.Test.make ~name:"equality test" ~count:200
+    QCheck2.Gen.(pair (int_range 0 63) (int_range 0 63))
+    (fun (x, y) ->
+      let shape = Qdata.pair (w2 6) Qdata.qubit in
+      let _, b =
+        Cs.run_oracle ~in_:shape ~out:shape ((x, y), false) (fun ((x, y), b) ->
+            let* () = Qdint.equals ~x ~y ~target:b in
+            return ((x, y), b))
+      in
+      b = (x = y))
+
+let prop_equals_const =
+  QCheck2.Test.make ~name:"constant equality (quantum test)" ~count:200
+    QCheck2.Gen.(pair (int_range 0 63) (int_range 0 63))
+    (fun (x, k) ->
+      let shape = Qdata.pair (Qdint.shape 6) Qdata.qubit in
+      let _, b =
+        Cs.run_oracle ~in_:shape ~out:shape (x, false) (fun (x, b) ->
+            let* () = Qdint.equals_const k ~x ~target:b in
+            return (x, b))
+      in
+      b = (x = k))
+
+let test_controlled_adder () =
+  (* additions under quantum control: fires only when the control is set *)
+  let shape = Qdata.pair (w2 5) Qdata.qubit in
+  List.iter
+    (fun c ->
+      let (x', y'), _ =
+        Cs.run_oracle ~in_:shape ~out:shape ((11, 7), c) (fun ((x, y), cq) ->
+            let* () = Qdint.add_in_place ~x ~y () |> controlled [ ctl cq ] in
+            return ((x, y), cq))
+      in
+      checki "x kept" 11 x';
+      checki "controlled sum" (if c then 18 else 7) y')
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* QIntTF *)
+
+let tf2 l = Qdata.pair (Qinttf.shape l) (Qinttf.shape l)
+
+let test_tf_add_exhaustive () =
+  let l = 4 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let (x', y'), s =
+        Cs.run_oracle ~in_:(tf2 l) ~out:(Qdata.pair (tf2 l) (Qinttf.shape l)) (x, y)
+          (fun (x, y) ->
+            let* s = Qinttf.add ~x ~y () in
+            return ((x, y), s))
+      in
+      check "inputs preserved" true (x' = x && y' = y);
+      checki "end-around-carry sum" (Qinttf.add_sem ~l x y) s
+    done
+  done
+
+let test_tf_add_controlled () =
+  let l = 4 in
+  let shape = Qdata.pair (tf2 l) Qdata.qubit in
+  for x = 0 to 15 do
+    List.iter
+      (fun c ->
+        let y = (x * 7 + 3) mod 16 in
+        let _, s =
+          Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape (Qinttf.shape l)) ((x, y), c)
+            (fun ((x, y), cq) ->
+              let* s = Qinttf.add ~ctl:cq ~x ~y () in
+              return (((x, y), cq), s))
+        in
+        checki "controlled tf add" (if c then Qinttf.add_sem ~l x y else y) s)
+      [ false; true ]
+  done
+
+let test_tf_double_is_rotation () =
+  let l = 5 in
+  let b, _ =
+    Circ.generate ~in_:(Qinttf.shape l) (fun x -> return (Qinttf.double x))
+  in
+  checki "double emits no gates" 0 (Gatecount.total (Gatecount.aggregate b))
+
+let prop_tf_double_sem =
+  QCheck2.Test.make ~name:"double_TF semantics: 2x mod 2^l-1" ~count:100
+    QCheck2.Gen.(int_range 0 31)
+    (fun x ->
+      let l = 5 in
+      let m = (1 lsl l) - 1 in
+      let d = Qinttf.double_sem ~l x in
+      if x = m then d = m else d mod m = 2 * x mod m)
+
+let prop_tf_mul =
+  QCheck2.Test.make ~name:"TF multiplier mod 2^l-1" ~count:60
+    QCheck2.Gen.(pair (int_range 0 31) (int_range 0 31))
+    (fun (x, y) ->
+      let l = 5 in
+      let m = (1 lsl l) - 1 in
+      let _, p =
+        Cs.run_oracle ~in_:(tf2 l) ~out:(Qdata.pair (tf2 l) (Qinttf.shape l)) (x, y)
+          (fun (x, y) ->
+            let* p = Qinttf.mul ~x ~y () in
+            return ((x, y), p))
+      in
+      let expect = x mod m * (y mod m) mod m in
+      p mod m = expect || (p = m && expect = 0))
+
+let test_tf_equals_zero () =
+  let l = 4 in
+  let shape = Qdata.pair (Qinttf.shape l) Qdata.qubit in
+  for x = 0 to 15 do
+    let _, b =
+      Cs.run_oracle ~in_:shape ~out:shape (x, false) (fun (x, b) ->
+          let* () = Qinttf.equals_zero ~x ~target:b in
+          return (x, b))
+    in
+    check "two zero representations" true (b = (x = 0 || x = 15))
+  done
+
+let test_pow17_semantics () =
+  (* the boxed POW17 against the bit-exact reference, small width *)
+  let l = 4 in
+  let p = { Algo_tf.Oracle.l; n = 3; r = 2 } in
+  ignore p;
+  for x = 0 to 15 do
+    let _, x17 =
+      Cs.run_oracle ~in_:(Qinttf.shape l)
+        ~out:(Qdata.pair (Qinttf.shape l) (Qinttf.shape l))
+        x
+        (fun x -> Algo_tf.Oracle.o4_POW17 ~l x)
+    in
+    (* reference via the same shift-add semantics *)
+    let mul a b =
+      let rec go i xr acc =
+        if i = l then acc
+        else
+          let acc = if (b lsr i) land 1 = 1 then Qinttf.add_sem ~l xr acc else acc in
+          go (i + 1) (Qinttf.double_sem ~l xr) acc
+      in
+      go 0 a 0
+    in
+    let sq a = mul a a in
+    let expect = mul x (sq (sq (sq (sq x)))) in
+    checki (Fmt.str "pow17(%d)" x) expect x17
+  done
+
+(* ------------------------------------------------------------------ *)
+(* FPReal *)
+
+let fp ~ib ~fb = Fpreal.shape ~int_bits:ib ~frac_bits:fb
+
+let test_fp_add () =
+  let shape = Qdata.pair (fp ~ib:4 ~fb:8) (fp ~ib:4 ~fb:8) in
+  List.iter
+    (fun (x, y) ->
+      let _, y' =
+        Cs.run_oracle ~in_:shape ~out:shape (x, y) (fun (x, y) ->
+            let* () = Fpreal.add_in_place ~x ~y in
+            return (x, y))
+      in
+      check "fp add" true (Float.abs (y' -. (x +. y)) < 0.01))
+    [ (1.5, 2.25); (0.125, 0.0625); (3.0, 4.5) ]
+
+let prop_fp_mult =
+  QCheck2.Test.make ~name:"fixed-point multiplier" ~count:50
+    QCheck2.Gen.(pair (float_range 0.0 3.0) (float_range 0.0 3.0))
+    (fun (x, y) ->
+      let shape = fp ~ib:4 ~fb:8 in
+      let _, p =
+        Cs.run_oracle ~in_:(Qdata.pair shape shape)
+          ~out:(Qdata.pair (Qdata.pair shape shape) shape)
+          (x, y)
+          (fun (x, y) ->
+            let* p = Fpreal.mult ~x ~y in
+            return ((x, y), p))
+      in
+      (* quantisation: inputs rounded to 1/256, product truncated *)
+      Float.abs (p -. (x *. y)) < 0.05)
+
+let test_fp_sin_cos_accuracy () =
+  let shape = fp ~ib:3 ~fb:12 in
+  List.iter
+    (fun x ->
+      let _, s =
+        Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape shape) x (fun xq ->
+            let* s = Fpreal.sin xq in
+            return (xq, s))
+      in
+      check (Fmt.str "sin %.3f" x) true (Float.abs (s -. Stdlib.sin x) < 0.01);
+      let _, c =
+        Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape shape) x (fun xq ->
+            let* c = Fpreal.cos xq in
+            return (xq, c))
+      in
+      check (Fmt.str "cos %.3f" x) true (Float.abs (c -. Stdlib.cos x) < 0.02))
+    [ 0.0; 0.2; 0.5; 0.8; 1.1; 1.4 ]
+
+let test_fp_circuits_validate () =
+  let shape = fp ~ib:3 ~fb:5 in
+  let b, _ =
+    Circ.generate ~in_:shape (fun x ->
+        let* s = Fpreal.sin x in
+        return (x, s))
+  in
+  Circuit.validate_b b
+
+let suite =
+  [
+    Alcotest.test_case "4-bit adder exhaustive" `Quick test_add_exhaustive_4bit;
+    Alcotest.test_case "carry out" `Quick test_add_carry_out;
+    QCheck_alcotest.to_alcotest prop_add_10bit;
+    QCheck_alcotest.to_alcotest prop_sub_then_add_identity;
+    QCheck_alcotest.to_alcotest prop_add_const;
+    Alcotest.test_case "increment/decrement" `Quick test_increment_decrement;
+    QCheck_alcotest.to_alcotest prop_mult;
+    QCheck_alcotest.to_alcotest prop_mult_full_width;
+    QCheck_alcotest.to_alcotest prop_square;
+    QCheck_alcotest.to_alcotest prop_less_than;
+    QCheck_alcotest.to_alcotest prop_equals;
+    QCheck_alcotest.to_alcotest prop_equals_const;
+    Alcotest.test_case "controlled adder" `Quick test_controlled_adder;
+    Alcotest.test_case "TF adder exhaustive" `Quick test_tf_add_exhaustive;
+    Alcotest.test_case "TF controlled adder" `Quick test_tf_add_controlled;
+    Alcotest.test_case "double_TF is gate-free" `Quick test_tf_double_is_rotation;
+    QCheck_alcotest.to_alcotest prop_tf_double_sem;
+    QCheck_alcotest.to_alcotest prop_tf_mul;
+    Alcotest.test_case "TF zero representations" `Quick test_tf_equals_zero;
+    Alcotest.test_case "POW17 against reference" `Slow test_pow17_semantics;
+    Alcotest.test_case "fp add" `Quick test_fp_add;
+    QCheck_alcotest.to_alcotest prop_fp_mult;
+    Alcotest.test_case "fp sin/cos accuracy" `Quick test_fp_sin_cos_accuracy;
+    Alcotest.test_case "fp circuits validate" `Quick test_fp_circuits_validate;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for the hierarchical resource counter — the machinery behind the
+   paper's trillion-gate counts (4.4.4, 5.4). *)
+
+open Quipper
+open Circ
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* exponential blowup: box k calls box (k-1) twice *)
+let rec tower k q =
+  if k = 0 then hadamard q
+  else
+    box (Fmt.str "tower%d" k) ~in_:Qdata.qubit ~out:Qdata.qubit
+      (fun q ->
+        let* q = tower (k - 1) q in
+        tower (k - 1) q)
+      q
+
+let test_exponential_counting () =
+  let b = fst (Circ.generate ~in_:Qdata.qubit (tower 40)) in
+  let counts = Gatecount.aggregate b in
+  (* 2^40 Hadamards, counted without inlining *)
+  checki "2^40 hadamards" (1 lsl 40) (Gatecount.find_kind counts "H");
+  (* the materialised representation stays tiny *)
+  check "small representation" true (List.length b.Circuit.sub_order = 40)
+
+let test_trillions_fast () =
+  let t0 = Sys.time () in
+  let b = fst (Circ.generate ~in_:Qdata.qubit (tower 45)) in
+  let counts = Gatecount.aggregate b in
+  let elapsed = Sys.time () -. t0 in
+  checki "2^45 = 35 trillion gates" (1 lsl 45) (Gatecount.total counts);
+  check "counted in well under a second" true (elapsed < 1.0)
+
+let test_inverse_subroutine_counts () =
+  (* a box containing Init/T: its inverse counts Term/T* *)
+  let sub =
+    box "itsub" ~in_:Qdata.qubit ~out:(Qdata.pair Qdata.qubit Qdata.qubit)
+      (fun q ->
+        let* a = qinit_bit false in
+        let* a = gate_T a in
+        return (q, a))
+  in
+  let b =
+    fst
+      (Circ.generate ~in_:Qdata.qubit (fun q ->
+           let* q, a = sub q in
+           (* uncompute via the reversed function *)
+           let* q =
+             reverse_fun ~in_:Qdata.qubit ~out:(Qdata.pair Qdata.qubit Qdata.qubit)
+               sub (q, a)
+           in
+           return q))
+  in
+  let counts = Gatecount.aggregate b in
+  checki "one init" 1 (Gatecount.find_kind counts "Init0");
+  checki "one term" 1 (Gatecount.find_kind counts "Term0");
+  checki "one T" 1
+    (Gatecount.get counts
+       { Gatecount.kind = "T"; inverted = false; pos_controls = 0; neg_controls = 0 });
+  checki "one T*" 1
+    (Gatecount.get counts
+       { Gatecount.kind = "T"; inverted = true; pos_controls = 0; neg_controls = 0 })
+
+let test_controlled_call_counts () =
+  (* a controlled subroutine call adds the control to every body gate *)
+  let sub =
+    box "csub" ~in_:Qdata.qubit ~out:Qdata.qubit (fun q ->
+        let* q = hadamard q in
+        let* () = qnot_ q in
+        return q)
+  in
+  let b =
+    fst
+      (Circ.generate ~in_:(Qdata.pair Qdata.qubit Qdata.qubit) (fun (c, q) ->
+           with_controls [ ctl c ] (sub q)))
+  in
+  let counts = Gatecount.aggregate b in
+  checki "controlled H" 1
+    (Gatecount.get counts
+       { Gatecount.kind = "H"; inverted = false; pos_controls = 1; neg_controls = 0 });
+  checki "controlled not" 1
+    (Gatecount.get counts
+       { Gatecount.kind = "Not"; inverted = false; pos_controls = 1; neg_controls = 0 })
+
+let test_peak_wires_hierarchical () =
+  (* a subroutine that needs 3 local ancillas at once: peak = caller live +
+     callee peak *)
+  let sub =
+    box "wide" ~in_:Qdata.qubit ~out:Qdata.qubit (fun q ->
+        with_ancilla_init [ false; false; false ] (fun _ancs -> return q))
+  in
+  let b =
+    fst
+      (Circ.generate ~in_:(Qdata.pair Qdata.qubit Qdata.qubit) (fun (a, q) ->
+           let* q = sub q in
+           return (a, q)))
+  in
+  (* 2 inputs live + 3 ancillas inside the call *)
+  checki "peak" 5 (Gatecount.peak_wires b)
+
+let test_peak_wires_flat () =
+  let b =
+    fst
+      (Circ.generate_unit
+         (let* a = qinit_bit false in
+          let* b = qinit_bit false in
+          let* () = qterm_bit false b in
+          let* c = qinit_bit false in
+          let* () = qterm_bit false c in
+          qterm_bit false a))
+  in
+  checki "flat peak" 2 (Gatecount.peak_wires b)
+
+let test_summary_fields () =
+  let b =
+    fst
+      (Circ.generate ~in_:Qdata.qubit (fun q ->
+           let* q = hadamard q in
+           let* m = measure_qubit q in
+           return m))
+  in
+  let s = Gatecount.summarize b in
+  checki "total" 2 s.Gatecount.total;
+  checki "logical excludes meas" 1 s.Gatecount.total_logical;
+  checki "inputs" 1 s.Gatecount.inputs;
+  checki "outputs" 1 s.Gatecount.outputs
+
+let test_quipper_print_format () =
+  let b =
+    fst
+      (Circ.generate ~in_:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+         (fun (a, b, c) ->
+           let* () = qnot_ c |> controlled [ ctl a; ctl_neg b ] in
+           return (a, b, c)))
+  in
+  let s = Fmt.str "%a" Gatecount.pp (Gatecount.aggregate b) in
+  check "a+b control format" true (Astring_contains.contains s "\"Not\", controls 1+1")
+
+let prop_aggregate_equals_inline =
+  QCheck2.Test.make ~name:"aggregate counts = inlined counts (random circuits)"
+    ~count:60 (Gen.program_gen ~n:4)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:4 ops in
+      let agg = Gatecount.aggregate b in
+      let flat = Gatecount.shallow (Circuit.inline b) in
+      Gatecount.Counts.equal ( = ) agg flat)
+
+let suite =
+  [
+    Alcotest.test_case "exponential aggregate counting" `Quick test_exponential_counting;
+    Alcotest.test_case "trillions counted fast" `Quick test_trillions_fast;
+    Alcotest.test_case "inverse subroutine counts" `Quick test_inverse_subroutine_counts;
+    Alcotest.test_case "controlled call counts" `Quick test_controlled_call_counts;
+    Alcotest.test_case "hierarchical peak wires" `Quick test_peak_wires_hierarchical;
+    Alcotest.test_case "flat peak wires" `Quick test_peak_wires_flat;
+    Alcotest.test_case "summary fields" `Quick test_summary_fields;
+    Alcotest.test_case "Quipper count format" `Quick test_quipper_print_format;
+    QCheck_alcotest.to_alcotest prop_aggregate_equals_inline;
+  ]

@@ -1,0 +1,19 @@
+(* Test runner: every suite in one alcotest binary ([dune runtest]). *)
+
+let () =
+  Alcotest.run "quipper"
+    [
+      ("math", Test_math.suite);
+      ("core", Test_core.suite);
+      ("gatecount", Test_gatecount.suite);
+      ("transform", Test_transform.suite);
+      ("sim", Test_sim.suite);
+      ("template", Test_template.suite);
+      ("arith", Test_arith.suite);
+      ("primitives", Test_primitives.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("depth", Test_depth.suite);
+      ("parser", Test_parser.suite);
+      ("allocate", Test_allocate.suite);
+      ("alternatives", Test_alternatives.suite);
+    ]

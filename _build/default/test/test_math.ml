@@ -1,0 +1,151 @@
+(* Unit and property tests for the math substrate. *)
+
+open Quipper_math
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Cplx *)
+
+let test_cplx_basic () =
+  check "one * i = i" true Cplx.(equal (mul one i) i);
+  check "i * i = -1" true Cplx.(equal (mul i i) (of_float (-1.0)));
+  check "conj i = -i" true Cplx.(equal (conj i) (neg i));
+  check "norm2 of 3+4i" true (Float.abs (Cplx.norm2 (Cplx.make 3.0 4.0) -. 25.0) < 1e-12);
+  check "cis pi = -1" true Cplx.(equal ~eps:1e-12 (cis Float.pi) (of_float (-1.0)))
+
+let test_cplx_div () =
+  let a = Cplx.make 3.0 4.0 and b = Cplx.make 1.0 (-2.0) in
+  check "a/b*b = a" true Cplx.(equal ~eps:1e-12 (mul (div a b) b) a)
+
+let cplx_arb =
+  QCheck2.Gen.(map2 Cplx.make (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+
+let prop_cplx_mul_comm =
+  QCheck2.Test.make ~name:"cplx multiplication commutes" ~count:200
+    QCheck2.Gen.(pair cplx_arb cplx_arb)
+    (fun (a, b) -> Cplx.equal ~eps:1e-9 (Cplx.mul a b) (Cplx.mul b a))
+
+let prop_cplx_conj_mul =
+  QCheck2.Test.make ~name:"conj distributes over mul" ~count:200
+    QCheck2.Gen.(pair cplx_arb cplx_arb)
+    (fun (a, b) ->
+      Cplx.equal ~eps:1e-9 (Cplx.conj (Cplx.mul a b)) (Cplx.mul (Cplx.conj a) (Cplx.conj b)))
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec *)
+
+let test_bitvec_roundtrip () =
+  for v = 0 to 255 do
+    checki "int roundtrip" v Bitvec.(to_int (of_int ~width:8 v))
+  done
+
+let test_bitvec_ops () =
+  let a = Bitvec.of_int ~width:8 0b10110100 in
+  let b = Bitvec.of_int ~width:8 0b01010101 in
+  checki "xor" (0b10110100 lxor 0b01010101) Bitvec.(to_int (logxor a b));
+  checki "and" (0b10110100 land 0b01010101) Bitvec.(to_int (logand a b));
+  checki "or" (0b10110100 lor 0b01010101) Bitvec.(to_int (logor a b));
+  checki "popcount" 4 (Bitvec.popcount a);
+  check "parity" true (Bitvec.parity a = (Bitvec.popcount a mod 2 = 1))
+
+let test_bitvec_rotate () =
+  let a = Bitvec.of_int ~width:5 0b10011 in
+  checki "rotl 1" 0b00111 Bitvec.(to_int (rotate_left a 1));
+  checki "rotl 5 = id" 0b10011 Bitvec.(to_int (rotate_left a 5));
+  checki "rotl -1 = rotl 4" Bitvec.(to_int (rotate_left a 4)) Bitvec.(to_int (rotate_left a (-1)))
+
+let prop_bitvec_rotate_inverse =
+  QCheck2.Test.make ~name:"rotate_left k then -k is identity" ~count:200
+    QCheck2.Gen.(pair (int_range 0 1023) (int_range 1 20))
+    (fun (v, k) ->
+      let a = Bitvec.of_int ~width:10 v in
+      Bitvec.equal a (Bitvec.rotate_left (Bitvec.rotate_left a k) (-k)))
+
+let prop_bitvec_append_sub =
+  QCheck2.Test.make ~name:"append then sub recovers halves" ~count:200
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 255))
+    (fun (x, y) ->
+      let a = Bitvec.of_int ~width:8 x and b = Bitvec.of_int ~width:8 y in
+      let c = Bitvec.append a b in
+      Bitvec.equal a (Bitvec.sub c 0 8) && Bitvec.equal b (Bitvec.sub c 8 8))
+
+(* ------------------------------------------------------------------ *)
+(* Mat2 *)
+
+let test_mat2_unitaries () =
+  let open Mat2 in
+  check "H^2 = I" true (equal (mul hadamard hadamard) (identity 2));
+  check "X^2 = I" true (equal (mul pauli_x pauli_x) (identity 2));
+  check "S^2 = Z" true (equal (mul phase_s phase_s) pauli_z);
+  check "T^2 = S" true (equal ~eps:1e-9 (mul phase_t phase_t) phase_s);
+  check "V^2 = X" true (equal ~eps:1e-9 (mul sqrt_not sqrt_not) pauli_x);
+  check "W^2 = I" true (equal ~eps:1e-9 (mul w_gate w_gate) (identity 4));
+  check "HXH = Z" true (equal ~eps:1e-9 (mul hadamard (mul pauli_x hadamard)) pauli_z)
+
+let test_mat2_adjoint_unitary () =
+  List.iter
+    (fun (name, m) ->
+      let open Mat2 in
+      Alcotest.(check bool) (name ^ " is unitary") true
+        (equal ~eps:1e-9 (mul m (adjoint m)) (identity (dim m))))
+    [ ("H", Mat2.hadamard); ("S", Mat2.phase_s); ("T", Mat2.phase_t);
+      ("V", Mat2.sqrt_not); ("W", Mat2.w_gate); ("Rz", Mat2.rot_z 0.7);
+      ("Rx", Mat2.rot_x 1.3); ("expZt", Mat2.exp_minus_izt 0.4) ]
+
+let test_mat2_phase_equal () =
+  let open Mat2 in
+  let m = smul (Quipper_math.Cplx.cis 0.8) hadamard in
+  check "equal up to phase" true (equal_up_to_phase m hadamard);
+  check "not equal exactly" false (equal m hadamard);
+  check "X and Z differ" false (equal_up_to_phase pauli_x pauli_z)
+
+let test_mat2_kron () =
+  let open Mat2 in
+  let xi = kron pauli_x (identity 2) in
+  Alcotest.(check int) "kron dim" 4 (dim xi);
+  check "kron entry" true (Quipper_math.Cplx.equal (get xi 0 2) Quipper_math.Cplx.one)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" true (Rng.float a = Rng.float b)
+  done
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    check "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "cplx basics" `Quick test_cplx_basic;
+    Alcotest.test_case "cplx division" `Quick test_cplx_div;
+    QCheck_alcotest.to_alcotest prop_cplx_mul_comm;
+    QCheck_alcotest.to_alcotest prop_cplx_conj_mul;
+    Alcotest.test_case "bitvec roundtrip" `Quick test_bitvec_roundtrip;
+    Alcotest.test_case "bitvec logic ops" `Quick test_bitvec_ops;
+    Alcotest.test_case "bitvec rotate" `Quick test_bitvec_rotate;
+    QCheck_alcotest.to_alcotest prop_bitvec_rotate_inverse;
+    QCheck_alcotest.to_alcotest prop_bitvec_append_sub;
+    Alcotest.test_case "gate matrices" `Quick test_mat2_unitaries;
+    Alcotest.test_case "adjoints / unitarity" `Quick test_mat2_adjoint_unitary;
+    Alcotest.test_case "equality up to phase" `Quick test_mat2_phase_equal;
+    Alcotest.test_case "kronecker product" `Quick test_mat2_kron;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+  ]

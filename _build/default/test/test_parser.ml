@@ -1,0 +1,117 @@
+(* Round-trip tests for circuit (de)serialisation: Printer -> Parser. *)
+
+open Quipper
+open Circ
+
+let check = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let roundtrip b =
+  let s = Printer.to_string b in
+  let b' = Parser.parse s in
+  (s, b')
+
+let test_simple_roundtrip () =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.pair Qdata.qubit Qdata.qubit) (fun (a, b) ->
+        let* a = hadamard a in
+        let* () = cnot ~control:a ~target:b in
+        let* () = rot_expZt 0.375 b in
+        let* () = qnot_ a |> controlled [ ctl_neg b ] in
+        let* m = measure_qubit b in
+        let* () = qnot_ a |> controlled [ ctl_bit m ] in
+        return (a, m))
+  in
+  let s, b' = roundtrip b in
+  checks "print-parse-print idempotent" s (Printer.to_string b');
+  Circuit.validate_b b'
+
+let test_gate_variety_roundtrip () =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+      (fun (a, b, c) ->
+        let* () = gate_W a b in
+        let* () = gate_W_inv b c in
+        let* () = swap a c in
+        let* _ = gate_T a in
+        let* () = gate_T_inv a in
+        let* () = gate_R 3 b in
+        let* () = global_phase 0.25 in
+        let* x = qinit_bit true in
+        let* () = comment_with_label "checkpoint" Qdata.qubit x "anc" in
+        let* () = qterm_bit true x in
+        let* () = qdiscard c in
+        return (a, b))
+  in
+  let s, b' = roundtrip b in
+  checks "idempotent over all gate kinds" s (Printer.to_string b')
+
+let test_subroutine_roundtrip () =
+  let p = { Algo_tf.Oracle.l = 3; n = 2; r = 1 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let s, b' = roundtrip b in
+  checks "boxed circuit with comments roundtrips" s (Printer.to_string b');
+  Circuit.validate_b b';
+  (* semantics preserved: same classical behaviour *)
+  let flat = Circuit.inline b and flat' = Circuit.inline b' in
+  check "same inlined gate count" true
+    (Array.length flat.Circuit.gates = Array.length flat'.Circuit.gates);
+  check "same aggregated counts" true
+    (Gatecount.Counts.equal ( = ) (Gatecount.aggregate b) (Gatecount.aggregate b'))
+
+let test_cgate_roundtrip () =
+  let b, _ =
+    Circ.generate ~in_:Qdata.qubit (fun q ->
+        let* m = measure_qubit q in
+        let* n = cgate_not m in
+        let* x = cgate_xor [ m; n ] in
+        return x)
+  in
+  let s, b' = roundtrip b in
+  checks "classical gates roundtrip" s (Printer.to_string b')
+
+let test_parse_file () =
+  let b, _ =
+    Circ.generate ~in_:Qdata.qubit (fun q ->
+        let* q = hadamard q in
+        return q)
+  in
+  let path = Filename.temp_file "quipper" ".qc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Printer.to_string b);
+      close_out oc;
+      let b' = Parser.parse_file path in
+      checks "file roundtrip" (Printer.to_string b) (Printer.to_string b'))
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Parser.parse s with
+    | exception Errors.Error (Errors.Invalid _) -> ()
+    | _ -> Alcotest.failf "expected a parse error on %S" s
+  in
+  expect_fail "garbage";
+  expect_fail "Inputs: 0:Qubit\nQGate[oops](0)\nOutputs: 0:Qubit";
+  expect_fail "Inputs: 0:Qubit\nQGate[\"H\"](0)"
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"print-parse-print idempotent on random circuits"
+    ~count:80 (Gen.program_gen ~n:4)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:4 ops in
+      let s = Printer.to_string b in
+      let b' = Parser.parse s in
+      s = Printer.to_string b')
+
+let suite =
+  [
+    Alcotest.test_case "simple roundtrip" `Quick test_simple_roundtrip;
+    Alcotest.test_case "all gate kinds" `Quick test_gate_variety_roundtrip;
+    Alcotest.test_case "boxed circuits" `Quick test_subroutine_roundtrip;
+    Alcotest.test_case "classical gates" `Quick test_cgate_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_parse_file;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

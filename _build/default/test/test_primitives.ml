@@ -1,0 +1,245 @@
+(* Tests for the quantum primitives: QFT against the discrete Fourier
+   transform, Grover search success probabilities, phase estimation on
+   known eigenphases, and Trotterized evolution against exact
+   exponentials. *)
+
+open Quipper
+open Circ
+module Sv = Quipper_sim.Statevector
+module Qureg = Quipper_arith.Qureg
+module Qft = Quipper_primitives.Qft
+module Grover = Quipper_primitives.Grover
+module Pe = Quipper_primitives.Phase_estimation
+module Trotter = Quipper_primitives.Trotter
+module Cplx = Quipper_math.Cplx
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* QFT *)
+
+let qft_circuit n =
+  fst
+    (Circ.generate ~in_:(Qureg.shape n) (fun r ->
+         let* () = Qft.qft r in
+         return r))
+
+let test_qft_matches_dft () =
+  (* column k of the QFT must be the DFT vector (1/sqrt N) e^{2 pi i jk/N} *)
+  let n = 3 in
+  let nn = 1 lsl n in
+  let b = qft_circuit n in
+  for k = 0 to nn - 1 do
+    let ins = List.init n (fun i -> (k lsr i) land 1 = 1) in
+    let v = Sv.output_vector b ins in
+    for j = 0 to nn - 1 do
+      let expect =
+        Cplx.polar (1.0 /. sqrt (Float.of_int nn))
+          (2.0 *. Float.pi *. Float.of_int (j * k) /. Float.of_int nn)
+      in
+      check (Fmt.str "QFT[%d][%d]" j k) true (Cplx.equal ~eps:1e-9 v.(j) expect)
+    done
+  done
+
+let test_qft_inverse_roundtrip () =
+  let n = 4 in
+  let b =
+    fst
+      (Circ.generate ~in_:(Qureg.shape n) (fun r ->
+           let* () = Qft.qft r in
+           let* () = Qft.qft_inverse r in
+           return r))
+  in
+  for k = 0 to (1 lsl n) - 1 do
+    let ins = List.init n (fun i -> (k lsr i) land 1 = 1) in
+    let v = Sv.output_vector b ins in
+    Array.iteri
+      (fun j a ->
+        let expect = if j = k then Cplx.one else Cplx.zero in
+        check "inverse roundtrip" true (Cplx.equal ~eps:1e-9 a expect))
+      v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Grover *)
+
+let test_grover_marked_element () =
+  let n = 4 in
+  let marked = 0b1010 in
+  let oracle qs =
+    (* phase flip on the marked element: Z with sign pattern *)
+    let qs = Array.of_list qs in
+    let last = qs.(n - 1) in
+    let ctls =
+      List.init (n - 1) (fun i ->
+          if (marked lsr i) land 1 = 1 then ctl qs.(i) else ctl_neg qs.(i))
+    in
+    let* _ =
+      (if (marked lsr (n - 1)) land 1 = 1 then gate_Z last
+       else
+         let* () = qnot_ last in
+         let* q = gate_Z last in
+         let* () = qnot_ last in
+         return q)
+      |> controlled ctls
+    in
+    return ()
+  in
+  let iters = Grover.iterations ~n ~marked:1 in
+  let hits = ref 0 in
+  for seed = 1 to 50 do
+    let st, qs =
+      Sv.run_fun ~seed ~in_:(Qdata.list_of n Qdata.qubit)
+        (List.init n (fun _ -> false))
+        (fun qs ->
+          let* () = Grover.search ~iterations:iters oracle qs in
+          return qs)
+    in
+    let bits = Sv.measure_and_read st (Qdata.list_of n Qdata.qubit) qs in
+    let v = List.fold_left (fun acc b -> (acc lsl 1) lor Bool.to_int b) 0 (List.rev bits) in
+    if v = marked then incr hits
+  done;
+  check "Grover finds the marked element >80% of runs" true (!hits > 40)
+
+let test_grover_iterations_formula () =
+  Alcotest.(check int) "16 elements, 1 marked" 3 (Grover.iterations ~n:4 ~marked:1);
+  Alcotest.(check int) "no marked elements" 0 (Grover.iterations ~n:4 ~marked:0)
+
+let test_diffusion_preserves_uniform () =
+  (* the diffusion operator fixes the uniform superposition (up to phase) *)
+  let n = 3 in
+  let st, qs =
+    Sv.run_fun ~seed:1 ~in_:(Qdata.list_of n Qdata.qubit)
+      (List.init n (fun _ -> false))
+      (fun qs ->
+        let* () = iterm hadamard_ qs in
+        let* () = Grover.diffusion qs in
+        return qs)
+  in
+  List.iter
+    (fun q ->
+      check "still uniform" true
+        (Float.abs (Sv.prob_one st (Wire.qubit_wire q) -. 0.5) < 1e-9))
+    qs
+
+(* ------------------------------------------------------------------ *)
+(* Phase estimation *)
+
+let test_phase_estimation_exact () =
+  (* U = R(2 pi * 5/16) on |1>: 4-bit PE must read exactly 5 *)
+  let bits = 4 in
+  let phase_num = 5 in
+  let st, counting =
+    Sv.run_fun ~seed:1 ~in_:Qdata.qubit true (fun target ->
+        Pe.estimate ~bits ~u:(fun ~power ->
+            let theta =
+              2.0 *. Float.pi
+              *. Float.of_int (phase_num * power mod (1 lsl bits))
+              /. Float.of_int (1 lsl bits)
+            in
+            (* relative phase theta on the |1> eigenstate: an R gate *)
+            fun c ->
+              Circ.emit c
+                (Gate.Rot
+                   { name = "R"; angle = theta; inv = false;
+                     targets = [ Wire.qubit_wire target ]; controls = [] })))
+  in
+  let v = Sv.measure_and_read st (Qureg.shape bits) counting in
+  Alcotest.(check int) "exact eigenphase" phase_num v
+
+let test_phase_estimation_statistics () =
+  (* a non-representable phase: estimates concentrate on the two
+     neighbouring grid points *)
+  let bits = 3 in
+  let phase = 0.3 in
+  let near = ref 0 in
+  for seed = 1 to 40 do
+    let st, counting =
+      Sv.run_fun ~seed ~in_:Qdata.qubit true (fun target ->
+          Pe.estimate ~bits ~u:(fun ~power ->
+              let theta = 2.0 *. Float.pi *. phase *. Float.of_int power in
+              fun c ->
+                Circ.emit c
+                  (Gate.Rot
+                     { name = "R"; angle = theta; inv = false;
+                       targets = [ Wire.qubit_wire target ]; controls = [] })))
+    in
+    let v = Sv.measure_and_read st (Qureg.shape bits) counting in
+    let est = Float.of_int v /. 8.0 in
+    if Float.abs (est -. phase) <= 0.125 +. 1e-9 then incr near
+  done;
+  check "estimates near the true phase" true (!near > 30)
+
+(* ------------------------------------------------------------------ *)
+(* Trotter *)
+
+let test_trotter_single_z () =
+  (* exp(-i Z t) on |+>: <X> = cos 2t; measure in X basis statistics *)
+  let t = 0.4 in
+  let h = { Trotter.nqubits = 1; terms = [ { Trotter.coeff = 1.0; paulis = [ (0, Trotter.Z) ] } ] } in
+  let st, q =
+    Sv.run_fun ~seed:1 ~in_:Qdata.qubit false (fun q ->
+        let* q = hadamard q in
+        let* () = Trotter.evolve h [| q |] ~time:t ~steps:1 in
+        hadamard q)
+  in
+  (* P(0) = (1 + cos 2t)/2 *)
+  let p0 = 1.0 -. Sv.prob_one st (Wire.qubit_wire q) in
+  check "single-Z evolution" true
+    (Float.abs (p0 -. ((1.0 +. Stdlib.cos (2.0 *. t)) /. 2.0)) < 1e-9)
+
+let test_trotter_xx_agrees_small_dt () =
+  (* XX evolution for small t: compare against exact 2-qubit amplitudes *)
+  let t = 0.3 in
+  let h =
+    { Trotter.nqubits = 2;
+      terms = [ { Trotter.coeff = 1.0; paulis = [ (0, Trotter.X); (1, Trotter.X) ] } ] }
+  in
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 2 Qdata.qubit) (fun qs ->
+        let* () = Trotter.evolve h (Array.of_list qs) ~time:t ~steps:1 in
+        return qs)
+  in
+  let v = Sv.output_vector b [ false; false ] in
+  (* exp(-i XX t)|00> = cos t |00> - i sin t |11> *)
+  check "cos component" true
+    (Cplx.equal ~eps:1e-9 v.(0) (Cplx.of_float (Stdlib.cos t)));
+  check "sin component" true
+    (Cplx.equal ~eps:1e-9 v.(3) (Cplx.make 0.0 (-.Stdlib.sin t)))
+
+let test_trotter_commuting_terms_exact () =
+  (* Z0 and Z1 commute: one Trotter step is exact; evolve and undo must
+     give identity on arbitrary product states *)
+  let h =
+    { Trotter.nqubits = 2;
+      terms =
+        [ { Trotter.coeff = 0.7; paulis = [ (0, Trotter.Z) ] };
+          { Trotter.coeff = -0.4; paulis = [ (1, Trotter.Z) ] } ] }
+  in
+  let st, qs =
+    Sv.run_fun ~seed:1 ~in_:(Qdata.list_of 2 Qdata.qubit) [ false; false ]
+      (fun qs ->
+        let* () = iterm hadamard_ qs in
+        let arr = Array.of_list qs in
+        let* () = Trotter.evolve h arr ~time:0.9 ~steps:1 in
+        let* () = Trotter.evolve h arr ~time:(-0.9) ~steps:1 in
+        let* () = iterm hadamard_ qs in
+        return qs)
+  in
+  List.iter
+    (fun q -> check "identity" true (Sv.prob_one st (Wire.qubit_wire q) < 1e-9))
+    qs
+
+let suite =
+  [
+    Alcotest.test_case "QFT = DFT matrix" `Quick test_qft_matches_dft;
+    Alcotest.test_case "QFT inverse roundtrip" `Quick test_qft_inverse_roundtrip;
+    Alcotest.test_case "Grover finds marked element" `Slow test_grover_marked_element;
+    Alcotest.test_case "Grover iteration formula" `Quick test_grover_iterations_formula;
+    Alcotest.test_case "diffusion fixes uniform state" `Quick test_diffusion_preserves_uniform;
+    Alcotest.test_case "phase estimation, exact phase" `Quick test_phase_estimation_exact;
+    Alcotest.test_case "phase estimation, statistics" `Slow test_phase_estimation_statistics;
+    Alcotest.test_case "Trotter: single Z" `Quick test_trotter_single_z;
+    Alcotest.test_case "Trotter: XX exact" `Quick test_trotter_xx_agrees_small_dt;
+    Alcotest.test_case "Trotter: commuting terms" `Quick test_trotter_commuting_terms_exact;
+  ]

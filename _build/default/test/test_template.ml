@@ -1,0 +1,271 @@
+(* Tests for the circuit-lifting DSL and reversible oracle synthesis
+   (paper 4.6): every lifted operator against its truth table, the parity
+   example's exact wire budget, and classical_to_reversible's uncompute
+   guarantees — checked under both the classical and the statevector
+   simulators (the latter verifies the ancilla assertions on
+   superposition inputs). *)
+
+open Quipper
+open Circ
+module Build = Quipper_template.Build
+module Oracle = Quipper_template.Oracle
+module Cs = Quipper_sim.Classical
+module Sv = Quipper_sim.Statevector
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let pair2 = Qdata.pair Qdata.qubit Qdata.qubit
+
+let run2 f (a, b) =
+  Cs.run_oracle ~in_:pair2 ~out:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+    (a, b)
+    (fun (a, b) ->
+      let* r = f a b in
+      return (a, b, r))
+
+let table2 name f spec =
+  List.iter
+    (fun (a, b) ->
+      let a', b', r = run2 f (a, b) in
+      check (Fmt.str "%s(%b,%b) preserves inputs" name a b) true (a' = a && b' = b);
+      check (Fmt.str "%s(%b,%b)" name a b) true (r = spec a b))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_bxor () = table2 "bxor" Build.bxor ( <> )
+let test_band () = table2 "band" Build.band ( && )
+let test_bor () = table2 "bor" Build.bor ( || )
+let test_beq () = table2 "beq" Build.beq ( = )
+
+let test_bnot () =
+  List.iter
+    (fun a ->
+      let _, r =
+        Cs.run_oracle ~in_:Qdata.qubit ~out:pair2 a (fun a ->
+            let* r = Build.bnot a in
+            return (a, r))
+      in
+      check "bnot" true (r = not a))
+    [ false; true ]
+
+let test_bif () =
+  let shape = Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit in
+  for v = 0 to 7 do
+    let c = v land 1 = 1 and t = v land 2 = 2 and e = v land 4 = 4 in
+    let _, r =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape Qdata.qubit) (c, t, e)
+        (fun (c, t, e) ->
+          let* r = Build.bif c ~then_:t ~else_:e in
+          return ((c, t, e), r))
+    in
+    check "bif" true (r = if c then t else e)
+  done
+
+let test_list_ops () =
+  let n = 5 in
+  let shape = Qdata.list_of n Qdata.qubit in
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = List.init n (fun i -> (v lsr i) land 1 = 1) in
+    let band_r =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape Qdata.qubit) bits (fun qs ->
+          let* r = Build.band_list qs in
+          return (qs, r))
+      |> snd
+    in
+    check "band_list" true (band_r = List.for_all Fun.id bits);
+    let bor_r =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape Qdata.qubit) bits (fun qs ->
+          let* r = Build.bor_list qs in
+          return (qs, r))
+      |> snd
+    in
+    check "bor_list" true (bor_r = List.exists Fun.id bits);
+    let bxor_r =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape Qdata.qubit) bits (fun qs ->
+          let* r = Build.bxor_list qs in
+          return (qs, r))
+      |> snd
+    in
+    check "bxor_list" true (bxor_r = List.fold_left ( <> ) false bits)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The parity example (paper 4.6.1)                                    *)
+
+let test_parity_wire_budget () =
+  (* paper: 4 inputs, 1 output, 2 scratch = 7 wires *)
+  let b, _ = Circ.generate ~in_:(Qdata.list_of 4 Qdata.qubit) Build.parity in
+  let s = Gatecount.summarize b in
+  checki "7 wires" 7 s.Gatecount.qubits;
+  checki "4 inputs" 4 s.Gatecount.inputs;
+  checki "7 outputs (nothing terminated)" 7 s.Gatecount.outputs
+
+let test_parity_semantics () =
+  let n = 6 in
+  let shape = Qdata.list_of n Qdata.qubit in
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = List.init n (fun i -> (v lsr i) land 1 = 1) in
+    let r =
+      Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape Qdata.qubit) bits (fun qs ->
+          let* r = Build.parity qs in
+          return (qs, r))
+      |> snd
+    in
+    check "parity" true (r = List.fold_left ( <> ) false bits)
+  done
+
+let test_classical_to_reversible_parity () =
+  (* (x, y) |-> (x, y xor parity x), all scratch uncomputed: exactly 5
+     persistent wires *)
+  let n = 4 in
+  let shape = Qdata.pair (Qdata.list_of n Qdata.qubit) Qdata.qubit in
+  let rev = Oracle.classical_to_reversible ~out:Qdata.qubit Build.parity in
+  let b, _ = Circ.generate ~in_:shape rev in
+  Circuit.validate_b b;
+  let s = Gatecount.summarize b in
+  checki "5 persistent wires" 5 s.Gatecount.outputs;
+  checki "inits = terms" (Gatecount.find_kind s.Gatecount.counts "Init0")
+    (Gatecount.find_kind s.Gatecount.counts "Term0")
+
+let test_reversible_oracle_on_superpositions () =
+  (* run the reversible parity oracle on a uniform superposition: every
+     scratch assertion must hold in every branch *)
+  let n = 3 in
+  let shape = Qdata.pair (Qdata.list_of n Qdata.qubit) Qdata.qubit in
+  let rev = Oracle.classical_to_reversible ~out:Qdata.qubit Build.parity in
+  let st, (xs, y) =
+    Sv.run_fun ~seed:2 ~in_:shape
+      (List.init n (fun _ -> false), false)
+      (fun (xs, y) ->
+        let* () = iterm hadamard_ xs in
+        rev (xs, y))
+  in
+  (* measure: y must equal parity of xs in every collapsed branch *)
+  let bits, yv = Sv.measure_and_read st shape (xs, y) in
+  check "oracle consistent on superposition" true
+    (yv = List.fold_left ( <> ) false bits)
+
+let test_phase_oracle () =
+  (* classical_to_phase flips sign exactly on marked states: check via
+     interference — (phase-oracle of "always false") is identity *)
+  let st, q =
+    Sv.run_fun ~seed:1 ~in_:Qdata.qubit false (fun q ->
+        let* q = hadamard q in
+        let* _ = Oracle.classical_to_phase (fun q -> Build.bconst false >>= fun f -> ignore q; return f) q in
+        hadamard q)
+  in
+  check "trivial phase oracle = identity" true (Sv.prob_one st (Wire.qubit_wire q) < 1e-9)
+
+let test_compute_copy_uncompute () =
+  let n = 4 in
+  let shape = Qdata.list_of n Qdata.qubit in
+  let b, _ =
+    Circ.generate ~in_:shape
+      (Oracle.compute_copy_uncompute ~out:Qdata.qubit Build.parity)
+  in
+  Circuit.validate_b b;
+  let s = Gatecount.summarize b in
+  checki "n inputs + 1 fresh output" (n + 1) s.Gatecount.outputs
+
+let prop_random_boolean_formula =
+  (* random lifted formulas agree with their classical evaluation *)
+  let open QCheck2 in
+  let rec formula_gen depth =
+    let open Gen in
+    if depth = 0 then map (fun i -> `Var i) (int_range 0 3)
+    else
+      frequency
+        [
+          (2, map (fun i -> `Var i) (int_range 0 3));
+          (1, map (fun b -> `Const b) bool);
+          (2, map2 (fun a b -> `And (a, b)) (formula_gen (depth - 1)) (formula_gen (depth - 1)));
+          (2, map2 (fun a b -> `Or (a, b)) (formula_gen (depth - 1)) (formula_gen (depth - 1)));
+          (2, map2 (fun a b -> `Xor (a, b)) (formula_gen (depth - 1)) (formula_gen (depth - 1)));
+          (1, map (fun a -> `Not a) (formula_gen (depth - 1)));
+        ]
+  in
+  let rec eval env = function
+    | `Var i -> List.nth env i
+    | `Const b -> b
+    | `And (a, b) -> eval env a && eval env b
+    | `Or (a, b) -> eval env a || eval env b
+    | `Xor (a, b) -> eval env a <> eval env b
+    | `Not a -> not (eval env a)
+  in
+  let rec lift qs = function
+    | `Var i -> let* q = qinit_bit false in
+        let* () = cnot ~control:(List.nth qs i) ~target:q in
+        return q
+    | `Const b -> Build.bconst b
+    | `And (a, b) ->
+        let* x = lift qs a in
+        let* y = lift qs b in
+        Build.band x y
+    | `Or (a, b) ->
+        let* x = lift qs a in
+        let* y = lift qs b in
+        Build.bor x y
+    | `Xor (a, b) ->
+        let* x = lift qs a in
+        let* y = lift qs b in
+        Build.bxor x y
+    | `Not a ->
+        let* x = lift qs a in
+        Build.bnot x
+  in
+  Test.make ~name:"random lifted formulas match classical evaluation" ~count:100
+    Gen.(pair (formula_gen 3) (list_repeat 4 bool))
+    (fun (f, env) ->
+      let shape = Qdata.list_of 4 Qdata.qubit in
+      let r =
+        Cs.run_oracle ~in_:shape ~out:(Qdata.pair shape Qdata.qubit) env
+          (fun qs ->
+            let* r = lift qs f in
+            return (qs, r))
+        |> snd
+      in
+      r = eval env f)
+
+let prop_reversible_formula_uncomputes =
+  (* the same random formulas through classical_to_reversible validate and
+     leave exactly n+1 wires *)
+  let open QCheck2 in
+  Test.make ~name:"classical_to_reversible uncomputes random formulas" ~count:50
+    (Gen.list_size (Gen.int_range 1 6) (Gen.int_range 0 3))
+    (fun vars ->
+      let f qs =
+        (* chain of xors and ands over selected variables *)
+        let rec go acc = function
+          | [] -> return acc
+          | v :: tl ->
+              let* x = Build.band acc (List.nth qs v) in
+              let* y = Build.bxor x (List.nth qs ((v + 1) mod 4)) in
+              go y tl
+        in
+        let* init = Build.bconst true in
+        go init vars
+      in
+      let shape = Qdata.pair (Qdata.list_of 4 Qdata.qubit) Qdata.qubit in
+      let rev = Oracle.classical_to_reversible ~out:Qdata.qubit f in
+      let b, _ = Circ.generate ~in_:shape rev in
+      Circuit.validate_b b;
+      List.length b.Circuit.main.Circuit.outputs = 5)
+
+let suite =
+  [
+    Alcotest.test_case "bxor table" `Quick test_bxor;
+    Alcotest.test_case "band table" `Quick test_band;
+    Alcotest.test_case "bor table" `Quick test_bor;
+    Alcotest.test_case "beq table" `Quick test_beq;
+    Alcotest.test_case "bnot" `Quick test_bnot;
+    Alcotest.test_case "bif (mux)" `Quick test_bif;
+    Alcotest.test_case "n-ary and/or/xor" `Quick test_list_ops;
+    Alcotest.test_case "parity wire budget (paper figure)" `Quick test_parity_wire_budget;
+    Alcotest.test_case "parity semantics" `Quick test_parity_semantics;
+    Alcotest.test_case "classical_to_reversible parity" `Quick test_classical_to_reversible_parity;
+    Alcotest.test_case "reversible oracle on superpositions" `Quick test_reversible_oracle_on_superpositions;
+    Alcotest.test_case "phase oracle" `Quick test_phase_oracle;
+    Alcotest.test_case "compute-copy-uncompute" `Quick test_compute_copy_uncompute;
+    QCheck_alcotest.to_alcotest prop_random_boolean_formula;
+    QCheck_alcotest.to_alcotest prop_reversible_formula_uncomputes;
+  ]

@@ -1,0 +1,239 @@
+(* Tests for the whole-circuit transformers: gate-base decomposition
+   (semantics-preserving, checked against the statevector simulator) and
+   peephole inverse-cancellation. *)
+
+open Quipper
+open Circ
+module Sv = Quipper_sim.Statevector
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* semantic equality of two circuits: equal output vectors on every basis
+   input (up to nothing — exact amplitudes; both are deterministic) *)
+let same_semantics ?(eps = 1e-9) (a : Circuit.b) (b : Circuit.b) =
+  let n = List.length a.Circuit.main.Circuit.inputs in
+  (try
+     List.iter2
+       (fun (x : Wire.endpoint) (y : Wire.endpoint) ->
+         if x.Wire.ty <> y.Wire.ty then failwith "arity mismatch")
+       a.Circuit.main.Circuit.inputs b.Circuit.main.Circuit.inputs
+   with _ -> failwith "arity mismatch");
+  List.for_all
+    (fun v ->
+      let ins = List.init n (fun i -> (v lsr i) land 1 = 1) in
+      let va = Sv.output_vector a ins and vb = Sv.output_vector b ins in
+      Array.length va = Array.length vb
+      && Array.for_all2 (fun x y -> Quipper_math.Cplx.equal ~eps x y) va vb)
+    (List.init (1 lsl n) Fun.id)
+
+let gen_shape n f = fst (Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) f)
+
+(* ------------------------------------------------------------------ *)
+
+let test_binary_toffoli () =
+  let b =
+    gen_shape 3 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = toffoli ~c1:qs.(0) ~c2:qs.(1) ~target:qs.(2) in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  Circuit.validate_b d;
+  check "binary decomposition preserves semantics" true (same_semantics b d);
+  (* only 1-control gates remain *)
+  let counts = Gatecount.aggregate d in
+  check "no multi-controlled gates" true
+    (Gatecount.Counts.for_all
+       (fun k _ -> k.Gatecount.pos_controls + k.Gatecount.neg_controls <= 1)
+       counts)
+
+let test_binary_signed_toffoli () =
+  let b =
+    gen_shape 3 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = qnot_ qs.(2) |> controlled [ ctl qs.(0); ctl_neg qs.(1) ] in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  Circuit.validate_b d;
+  check "signed toffoli decomposition" true (same_semantics b d)
+
+let test_toffoli_base_multi_control () =
+  let b =
+    gen_shape 5 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () =
+          qnot_ qs.(4)
+          |> controlled [ ctl qs.(0); ctl_neg qs.(1); ctl qs.(2); ctl qs.(3) ]
+        in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Toffoli b in
+  Circuit.validate_b d;
+  check "4-controlled not -> toffoli base, same semantics" true (same_semantics b d);
+  let counts = Gatecount.aggregate d in
+  check "at most 2 controls" true
+    (Gatecount.Counts.for_all
+       (fun k _ -> k.Gatecount.pos_controls + k.Gatecount.neg_controls <= 2)
+       counts)
+
+let test_binary_multi_control () =
+  let b =
+    gen_shape 4 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = qnot_ qs.(3) |> controlled [ ctl qs.(0); ctl qs.(1); ctl qs.(2) ] in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  Circuit.validate_b d;
+  check "3-controlled not -> binary" true (same_semantics b d)
+
+let test_controlled_w_binary () =
+  let b =
+    gen_shape 3 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = gate_W qs.(0) qs.(1) |> controlled [ ctl qs.(2) ] in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  Circuit.validate_b d;
+  check "controlled W -> binary, same semantics" true (same_semantics b d)
+
+let test_w_binary () =
+  let b =
+    gen_shape 2 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = gate_W qs.(0) qs.(1) in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  check "W = CNOT; CH; CNOT" true (same_semantics b d)
+
+let test_fredkin () =
+  let b =
+    gen_shape 3 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = swap qs.(1) qs.(2) |> controlled [ ctl qs.(0) ] in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Toffoli b in
+  Circuit.validate_b d;
+  check "controlled swap -> toffoli base" true (same_semantics b d);
+  let d2 = Decompose.decompose_generic Decompose.Binary b in
+  check "controlled swap -> binary base" true (same_semantics b d2)
+
+let test_controlled_rotation () =
+  let b =
+    gen_shape 3 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () =
+          rot_expZt 0.37 qs.(2) |> controlled [ ctl qs.(0); ctl_neg qs.(1) ]
+        in
+        return (Array.to_list qs))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  Circuit.validate_b d;
+  check "multiply-controlled rotation" true (same_semantics b d)
+
+let test_decompose_hierarchical () =
+  (* decomposition rewrites subroutine bodies in place *)
+  let b =
+    fst
+      (Circ.generate ~in_:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+         (fun (a, bq, c) ->
+           let tof =
+             box "tof" ~in_:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+               ~out:(Qdata.triple Qdata.qubit Qdata.qubit Qdata.qubit)
+               (fun (a, b, c) ->
+                 let* () = toffoli ~c1:a ~c2:b ~target:c in
+                 return (a, b, c))
+           in
+           let* x = tof (a, bq, c) in
+           tof x))
+  in
+  let d = Decompose.decompose_generic Decompose.Binary b in
+  Circuit.validate_b d;
+  check "hierarchy preserved" true (Circuit.Namespace.mem "tof" d.Circuit.subs);
+  check "hierarchical decomposition semantics" true (same_semantics b d)
+
+(* ------------------------------------------------------------------ *)
+(* Peephole                                                            *)
+
+let test_cancel_adjacent () =
+  let b =
+    gen_shape 2 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = hadamard_ qs.(0) in
+        let* () = hadamard_ qs.(0) in
+        let* () = cnot ~control:qs.(0) ~target:qs.(1) in
+        let* () = cnot ~control:qs.(0) ~target:qs.(1) in
+        let* _ = gate_T qs.(1) in
+        let* () = gate_T_inv qs.(1) in
+        return (Array.to_list qs))
+  in
+  let o = Transform.cancel_inverses b in
+  checki "all gates cancelled" 0 (Circuit.gate_count_shallow o.Circuit.main)
+
+let test_cancel_fixed_point () =
+  (* H X X H cancels only after the inner pair goes *)
+  let b =
+    gen_shape 1 (fun qs ->
+        let q = List.hd qs in
+        let* () = hadamard_ q in
+        let* () = qnot_ q in
+        let* () = qnot_ q in
+        let* () = hadamard_ q in
+        return qs)
+  in
+  let o = Transform.cancel_inverses b in
+  checki "nested cancellation" 0 (Circuit.gate_count_shallow o.Circuit.main)
+
+let test_cancel_preserves_noncancelling () =
+  let b =
+    gen_shape 2 (fun qs ->
+        let qs = Array.of_list qs in
+        let* () = hadamard_ qs.(0) in
+        let* () = cnot ~control:qs.(0) ~target:qs.(1) in
+        let* () = hadamard_ qs.(0) in
+        return (Array.to_list qs))
+  in
+  let o = Transform.cancel_inverses b in
+  checki "nothing wrongly removed" 3 (Circuit.gate_count_shallow o.Circuit.main);
+  check "semantics preserved" true (same_semantics b o)
+
+let prop_decompose_binary_semantics =
+  QCheck2.Test.make ~name:"binary decomposition preserves random-circuit semantics"
+    ~count:40 (Gen.program_gen ~n:3)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:3 ops in
+      let d = Decompose.decompose_generic Decompose.Binary b in
+      Circuit.validate_b d;
+      same_semantics b d)
+
+let prop_cancel_semantics =
+  QCheck2.Test.make ~name:"peephole cancellation preserves semantics" ~count:40
+    (Gen.program_gen ~n:3)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:3 ops in
+      let o = Transform.cancel_inverses b in
+      Circuit.validate_b o;
+      same_semantics b o)
+
+let suite =
+  [
+    Alcotest.test_case "toffoli -> binary (V ladder)" `Quick test_binary_toffoli;
+    Alcotest.test_case "signed toffoli -> binary" `Quick test_binary_signed_toffoli;
+    Alcotest.test_case "4-control -> toffoli base" `Quick test_toffoli_base_multi_control;
+    Alcotest.test_case "3-control -> binary base" `Quick test_binary_multi_control;
+    Alcotest.test_case "controlled W -> binary" `Quick test_controlled_w_binary;
+    Alcotest.test_case "W -> binary" `Quick test_w_binary;
+    Alcotest.test_case "fredkin decompositions" `Quick test_fredkin;
+    Alcotest.test_case "controlled rotations" `Quick test_controlled_rotation;
+    Alcotest.test_case "hierarchical decomposition" `Quick test_decompose_hierarchical;
+    Alcotest.test_case "peephole: adjacent inverses" `Quick test_cancel_adjacent;
+    Alcotest.test_case "peephole: fixed point" `Quick test_cancel_fixed_point;
+    Alcotest.test_case "peephole: soundness" `Quick test_cancel_preserves_noncancelling;
+    QCheck_alcotest.to_alcotest prop_decompose_binary_semantics;
+    QCheck_alcotest.to_alcotest prop_cancel_semantics;
+  ]
