@@ -391,6 +391,116 @@ let ablations () =
     (Gatecount.total (Gatecount.aggregate b))
 
 (* ================================================================== *)
+(* N1: the robustness stack — fault-site enumeration, Pauli injection,
+   noise channels and the resilient trial runner (EXPERIMENTS.md N1) *)
+
+let noise () =
+  section "N1: fault injection + noise (assertive-termination coverage)";
+  let module Qdint = Quipper_arith.Qdint in
+  let module Sv = Quipper_sim.Statevector in
+  let module Noise = Quipper_sim.Noise in
+  let module Inject = Quipper_sim.Inject in
+  let shape = Qdata.pair (Qdint.shape 3) (Qdint.shape 3) in
+  let adder, _ =
+    Circ.generate ~in_:shape (fun (x, y) ->
+        Circ.bind (Qdint.add_in_place ~x ~y ()) (fun () -> Circ.return (x, y)))
+  in
+  let inputs = shape.Qdata.bleaves (5, 4) in
+  (* y := y + x mod 8, so (5, 4) |-> (5, 1) *)
+  let expected = shape.Qdata.bleaves (5, 1) in
+  (* 1. fault-site enumeration throughput *)
+  let reps = 100 in
+  let sites, t_enum =
+    time (fun () ->
+        let s = ref [] in
+        for _ = 1 to reps do
+          s := Faultsite.enumerate adder
+        done;
+        !s)
+  in
+  Fmt.pr "  3-bit in-place adder: %d fault sites; enumerate %.1f us/call@."
+    (List.length sites)
+    (t_enum /. float_of_int reps *. 1e6);
+  (* 2. exhaustive single-fault campaign: X/Y/Z at every site *)
+  let r, t_rep = time (fun () -> Inject.report ~seed:1 adder inputs) in
+  Fmt.pr "%a" Inject.pp_report r;
+  Fmt.pr "  campaign: %.2f s total, %.2f ms/fault@." t_rep
+    (t_rep /. float_of_int r.Inject.faults *. 1e3);
+  (* 3. per-run noisy overhead vs the clean statevector path *)
+  let shots = 200 in
+  let (), t_clean =
+    time (fun () ->
+        for seed = 1 to shots do
+          ignore (Sv.run_circuit ~seed adder inputs)
+        done)
+  in
+  let cfg = Noise.depolarizing 0.01 in
+  let (), t_noisy =
+    time (fun () ->
+        for seed = 1 to shots do
+          try ignore (Noise.run_circuit ~seed cfg adder inputs)
+          with Errors.Error (Errors.Termination_assertion _) -> ()
+        done)
+  in
+  Fmt.pr "  per-run: clean %.3f ms, noisy (depol 1%%) %.3f ms (x%.2f overhead)@."
+    (t_clean /. float_of_int shots *. 1e3)
+    (t_noisy /. float_of_int shots *. 1e3)
+    (t_noisy /. t_clean);
+  (* 4. resilient trial runner on the adder *)
+  let s =
+    Noise.run_trials ~master_seed:2026 ~trials:100 ~max_failures:3
+      (Noise.depolarizing 0.01) adder inputs ~expected
+  in
+  Fmt.pr "  adder under depolarizing 1%%, 100 trials, <=3 retries:@.  %a@."
+    Noise.pp_stats s;
+  (* 5. Grover under depolarizing noise (slow: skipped by `quick`) *)
+  if quick then Fmt.pr "  (quick: skipping Grover-under-noise trials)@."
+  else begin
+    let module Grover = Quipper_primitives.Grover in
+    let module Build = Quipper_template.Build in
+    let module Oracle = Quipper_template.Oracle in
+    let open Circ in
+    let gn = 5 and marked = 0b10110 in
+    let predicate qs =
+      let* bit_tests =
+        mapm
+          (fun (i, q) ->
+            if (marked lsr i) land 1 = 1 then
+              let* t = qinit_bit false in
+              let* () = cnot ~control:q ~target:t in
+              return t
+            else Build.bnot q)
+          (List.mapi (fun i q -> (i, q)) qs)
+      in
+      match bit_tests with
+      | [] -> Build.bconst true
+      | t :: rest -> foldm Build.band t rest
+    in
+    let phase_oracle qs =
+      let* _ = Oracle.classical_to_phase predicate qs in
+      return ()
+    in
+    let search =
+      let* qs = mapm (fun _ -> qinit_bit false) (List.init gn Fun.id) in
+      let* () =
+        Grover.search ~iterations:(Grover.iterations ~n:gn ~marked:1) phase_oracle qs
+      in
+      return qs
+    in
+    let gb, _ = Circ.generate_unit search in
+    let g_expected = List.init gn (fun i -> (marked lsr i) land 1 = 1) in
+    let gs, t_g =
+      time (fun () ->
+          Noise.run_trials ~master_seed:7 ~trials:30 ~max_failures:3
+            (Noise.depolarizing 0.001) gb [] ~expected:g_expected)
+    in
+    Fmt.pr "  Grover n=%d marked=%d under depolarizing 0.1%%, 30 trials:@.  %a@."
+      gn marked Noise.pp_stats gs;
+    Fmt.pr "  %.2f s (%d attempts, %.1f ms/attempt)@." t_g gs.Noise.attempts
+      (t_g /. float_of_int gs.Noise.attempts *. 1e3)
+  end
+
+(* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 
 let benchmarks () =
@@ -471,5 +581,6 @@ let () =
   e7 ();
   figures ();
   ablations ();
+  noise ();
   benchmarks ();
   Fmt.pr "@.Done.@."

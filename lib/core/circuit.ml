@@ -146,11 +146,15 @@ let validate_b (b : b) =
 (* Inlining                                                            *)
 
 (** Expand every [Subroutine] gate of [b]'s main circuit recursively,
-    producing a flat circuit. Fresh ids for the callee's internal wires are
-    drawn from [fresh]. Only feasible for small circuits, but invaluable
-    for testing that hierarchical operations (counting, reversal,
-    simulation) agree with their flat counterparts. *)
-let inline (b : b) : t =
+    producing a flat circuit together with, for each emitted gate, the
+    stack of subroutine names it was inlined out of (outermost first; []
+    for gates of the main circuit). Fresh ids for the callee's internal
+    wires are drawn from [fresh]. Only feasible for small circuits, but
+    invaluable for testing that hierarchical operations (counting,
+    reversal, simulation) agree with their flat counterparts, and for
+    fault-site enumeration, which must report where in the hierarchy a
+    fault lands. *)
+let inline_provenance (b : b) : t * string list array =
   let fresh =
     ref
       (List.fold_left
@@ -159,7 +163,8 @@ let inline (b : b) : t =
   in
   let bump w = if w >= !fresh then fresh := w + 1 in
   let out = Vec.create () in
-  let rec emit_circuit (c : t) (rename : Wire.t -> Wire.t) =
+  let prov = Vec.create () in
+  let rec emit_circuit (c : t) (rename : Wire.t -> Wire.t) (path : string list) =
     Array.iter
       (fun g ->
         let g = Gate.rename rename g in
@@ -200,14 +205,15 @@ let inline (b : b) : t =
             (* inline recursively, adding the call's controls to every
                controllable gate of the body *)
             let before = Vec.length out in
-            emit_circuit sub rename';
+            emit_circuit sub rename' (path @ [ name ]);
             if controls <> [] then
               for i = before to Vec.length out - 1 do
                 Vec.set out i (Gate.add_controls controls (Vec.get out i))
               done
         | g ->
             List.iter (fun (e : Wire.endpoint) -> bump e.wire) (Gate.wires g);
-            Vec.push out g)
+            Vec.push out g;
+            Vec.push prov path)
       c.gates
   in
   List.iter (fun (e : Wire.endpoint) -> bump e.wire) b.main.inputs;
@@ -216,5 +222,8 @@ let inline (b : b) : t =
   Array.iter
     (fun g -> List.iter (fun (e : Wire.endpoint) -> bump e.wire) (Gate.wires g))
     b.main.gates;
-  emit_circuit b.main (fun w -> w);
-  { inputs = b.main.inputs; gates = Vec.to_array out; outputs = b.main.outputs }
+  emit_circuit b.main (fun w -> w) [];
+  ( { inputs = b.main.inputs; gates = Vec.to_array out; outputs = b.main.outputs },
+    Vec.to_array prov )
+
+let inline (b : b) : t = fst (inline_provenance b)

@@ -46,3 +46,9 @@ val inline : b -> t
 (** Expand every subroutine call recursively into a flat circuit, renaming
     internal wires apart. Only feasible for small circuits; invaluable for
     testing that hierarchical operations agree with flat ones. *)
+
+val inline_provenance : b -> t * string list array
+(** Like {!inline}, also returning, for each emitted gate, the stack of
+    subroutine names it was inlined out of (outermost first; [[]] for
+    gates of the main circuit). Fault-site enumeration uses this to
+    report where in the hierarchy each site lives. *)

@@ -1,0 +1,80 @@
+(** Fault-site enumeration over hierarchical circuits.
+
+    A {e fault site} is a point in a circuit's execution where a single
+    Pauli error could strike: a specific live qubit wire, immediately
+    after a specific gate (or on an input, before any gate). The
+    fault-injection engine ({!Quipper_sim.Inject}) enumerates every site
+    of a circuit, injects an X/Y/Z at each, and classifies the damage —
+    quantifying how much protection the assertive terminations of the
+    extended circuit model (paper §4.2.2) actually buy.
+
+    Enumeration recurses through boxed subroutines via
+    {!Circuit.inline_provenance}, so every site carries the subroutine
+    call path it lives in; a fault "inside o8, inside o4" is reported as
+    such even though injection happens on the flattened execution. *)
+
+type site = {
+  index : int;
+      (** Flat gate index (into [Circuit.inline]'s gate array) after
+          which the fault strikes; [-1] means on an input wire, before
+          the first gate. *)
+  wire : Wire.t;  (** The live qubit wire the Pauli hits. *)
+  path : string list;
+      (** Subroutine call stack of the gate at [index], outermost first;
+          [[]] for main-circuit gates and inputs. *)
+  after : string;  (** Printable form of the gate at [index]. *)
+}
+
+let pp_site ppf s =
+  let pp_path ppf = function
+    | [] -> ()
+    | p -> Fmt.pf ppf " [%s]" (String.concat "/" p)
+  in
+  if s.index < 0 then Fmt.pf ppf "input wire %d" s.wire
+  else Fmt.pf ppf "wire %d after gate %d (%s)%a" s.wire s.index s.after pp_path s.path
+
+(** The qubit wires a gate touches that are still live qubits once the
+    gate has fired — the places a fault right after this gate can land.
+    Termination, discard and measurement kill (or reclassify) their wire,
+    so they expose no site; initialisation exposes the fresh wire. *)
+let exposed_wires (g : Gate.t) : Wire.t list =
+  let quantum_controls cs =
+    List.filter_map
+      (fun (c : Gate.control) ->
+        match c.cty with Wire.Q -> Some c.cwire | Wire.C -> None)
+      cs
+  in
+  match g with
+  | Gate.Gate { targets; controls; _ } | Gate.Rot { targets; controls; _ } ->
+      targets @ quantum_controls controls
+  | Gate.Phase { controls; _ } -> quantum_controls controls
+  | Gate.Init { ty = Wire.Q; wire; _ } -> [ wire ]
+  | Gate.Init { ty = Wire.C; _ } -> []
+  | Gate.Term _ | Gate.Discard _ | Gate.Measure _ -> []
+  | Gate.Cgate _ | Gate.Subroutine _ | Gate.Comment _ -> []
+
+(** Every fault site of [b], in execution order: one per qubit input,
+    then one per (gate, touched-live-qubit-wire) pair of the inlined
+    circuit. *)
+let enumerate (b : Circuit.b) : site list =
+  let flat, prov = Circuit.inline_provenance b in
+  let sites = ref [] in
+  List.iter
+    (fun (e : Wire.endpoint) ->
+      match e.ty with
+      | Wire.Q ->
+          sites := { index = -1; wire = e.wire; path = []; after = "input" } :: !sites
+      | Wire.C -> ())
+    flat.Circuit.inputs;
+  Array.iteri
+    (fun i g ->
+      List.iter
+        (fun w ->
+          sites :=
+            { index = i; wire = w; path = prov.(i); after = Gate.to_string g }
+            :: !sites)
+        (exposed_wires g))
+    flat.Circuit.gates;
+  List.rev !sites
+
+let count (b : Circuit.b) : int = List.length (enumerate b)

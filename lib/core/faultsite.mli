@@ -1,0 +1,30 @@
+(** Fault-site enumeration over hierarchical circuits.
+
+    A fault site is a (gate position, live qubit wire) pair where a
+    single Pauli error could strike. Enumeration recurses through boxed
+    subroutines (via {!Circuit.inline_provenance}), tagging each site
+    with its subroutine call path. The fault-injection engine
+    ({!Quipper_sim.Inject}) classifies the damage an injected Pauli at
+    each site does — measuring how much protection assertive termination
+    (paper §4.2.2) buys. *)
+
+type site = {
+  index : int;
+      (** Flat gate index after which the fault strikes; [-1] = on an
+          input, before the first gate. *)
+  wire : Wire.t;
+  path : string list;  (** Subroutine call stack, outermost first. *)
+  after : string;  (** Printable form of the gate at [index]. *)
+}
+
+val pp_site : Format.formatter -> site -> unit
+
+val exposed_wires : Gate.t -> Wire.t list
+(** The qubit wires a gate touches that remain live qubits after it
+    fires — where a fault immediately after the gate can land. Also used
+    by the noise channels to decide which wires each gate's noise hits. *)
+
+val enumerate : Circuit.b -> site list
+(** Every fault site, in execution order of the inlined circuit. *)
+
+val count : Circuit.b -> int

@@ -41,3 +41,26 @@ let int t bound =
   draw ()
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* ------------------------------------------------------------------ *)
+(* Seed splitting.
+
+   Trial-based noisy simulation needs one independent stream per trial,
+   all derived from a single master seed so a whole experiment replays
+   from one number. Deriving child state by a splitmix64 mix of
+   (state, index) decorrelates the children from the master and from
+   each other — the same construction splitmix64 itself uses to split. *)
+
+let of_int64 state = { state }
+
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative stream index";
+  let tmp =
+    { state = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L) }
+  in
+  { state = next_int64 tmp }
+
+let derive master i =
+  if i < 0 then invalid_arg "Rng.derive: negative stream index";
+  let tmp = split (create master) i in
+  Int64.to_int (Int64.shift_right_logical (next_int64 tmp) 2)

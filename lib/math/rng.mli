@@ -17,3 +17,17 @@ val int : t -> int -> int
 (** Uniform in [0, bound); rejection-sampled, no modulo bias. *)
 
 val bool : t -> bool
+
+val of_int64 : int64 -> t
+(** A generator starting from a raw 64-bit state. *)
+
+val split : t -> int -> t
+(** [split t i] is an independent generator for stream [i], derived from
+    [t]'s current state without advancing [t]. Distinct indices give
+    decorrelated streams (splitmix64's own splitting construction). *)
+
+val derive : int -> int -> int
+(** [derive master i] is the [i]-th child seed of [master]: the pure
+    seed-level form of {!split}, for APIs that take integer seeds. The
+    noisy simulators use it to give every trial of an experiment its own
+    reproducible stream. *)

@@ -234,8 +234,17 @@ let resolve_classical_controls st (cs : Gate.control list) =
   (!sat, qctl)
 
 let apply_gate st (g : Gate.t) =
-  let not_clifford what =
-    Errors.raise_ (Simulation (Fmt.str "clifford: %s is not a Clifford operation" what))
+  (* name the offending gate AND its wire(s): "clifford: T on wire 3 is
+     not a Clifford operation" pinpoints the rejection in a big circuit *)
+  let not_clifford ?(wires = []) what =
+    let pp_wires ppf = function
+      | [] -> ()
+      | [ w ] -> Fmt.pf ppf " on wire %d" w
+      | ws -> Fmt.pf ppf " on wires %s" (String.concat "," (List.map string_of_int ws))
+    in
+    Errors.raise_
+      (Simulation
+         (Fmt.str "clifford: %s%a is not a Clifford operation" what pp_wires wires))
   in
   match g with
   | Gate.Gate { name; inv; targets; controls } -> (
@@ -249,7 +258,7 @@ let apply_gate st (g : Gate.t) =
             else begin
               gate_x st cc; cnot st cc ct; gate_x st cc
             end
-        | ("not" | "X"), _, _ -> not_clifford "multiply-controlled not"
+        | ("not" | "X"), ts, _ -> not_clifford ~wires:ts "multiply-controlled not"
         | "Y", [ t ], [] -> gate_y st (column st t)
         | "Z", [ t ], [] -> gate_z st (column st t)
         | "Z", [ t ], [ c ] when c.Gate.positive ->
@@ -264,8 +273,8 @@ let apply_gate st (g : Gate.t) =
         | "V", [ t ], [] ->
             if inv then gate_v_inv st (column st t) else gate_v st (column st t)
         | "swap", [ a; b ], [] -> swap st (column st a) (column st b)
-        | (n, _, _) -> not_clifford n)
-  | Gate.Rot { name; _ } -> not_clifford name
+        | (n, ts, _) -> not_clifford ~wires:ts n)
+  | Gate.Rot { name; targets; _ } -> not_clifford ~wires:targets name
   | Gate.Phase _ -> () (* global phase: stabilizer state unchanged *)
   | Gate.Init { ty = Wire.Q; value; wire } -> add_qubit st wire value
   | Gate.Init { ty = Wire.C; value; wire } -> Hashtbl.replace st.cenv wire value

@@ -1,0 +1,165 @@
+(** Single-fault Pauli injection and outcome classification.
+
+    The extended circuit model's assertive terminations ("-|0", §4.2.2)
+    are a programmer {e claim} that uncomputation succeeded, and the
+    simulators are the only thing that checks it. This engine measures
+    how much protection that checking buys: enumerate every fault site of
+    a circuit ({!Quipper.Faultsite}, recursing through boxed
+    subroutines), inject a single Pauli at each, re-run, and classify:
+
+    - {e detected}: a [Termination_assertion] fired — the fault flipped a
+      wire whose asserted termination the simulator checks;
+    - {e corrupted}: the run completed but the output state differs —
+      silent wrong answer, the dangerous class;
+    - {e masked}: the output state is unchanged (e.g. a Z on a wire in a
+      basis state, or a flip that later logic cancels).
+
+    States are compared as full amplitude vectors up to global phase
+    (plus classical outputs), so phase damage that would be observable by
+    any further interference counts as corruption. Clean and faulty runs
+    share one seed, so any measurements draw identically and the
+    comparison isolates the fault's effect. *)
+
+open Quipper
+module Sv = Statevector
+
+type pauli = X | Y | Z
+
+let pauli_name = function X -> "X" | Y -> "Y" | Z -> "Z"
+let all_paulis = [ X; Y; Z ]
+
+type outcome = Detected | Corrupted | Masked
+
+let outcome_name = function
+  | Detected -> "detected"
+  | Corrupted -> "corrupted"
+  | Masked -> "masked"
+
+type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
+
+type report = {
+  gates : int;  (** gate count of the inlined circuit *)
+  sites : int;
+  faults : int;
+  detected : int;
+  corrupted : int;
+  masked : int;
+  findings : finding list;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let apply_pauli st p w =
+  Sv.apply_gate st
+    (Gate.Gate { name = pauli_name p; inv = false; targets = [ w ]; controls = [] })
+
+(** Execute the inlined [flat] circuit, optionally striking [pauli] on
+    [wire] right after gate [index] ([-1] = before the first gate). *)
+let execute ~seed (flat : Circuit.t) (inputs : bool list)
+    ~(inject : (int * Wire.t * pauli) option) : Sv.state =
+  let st = Sv.create ~seed () in
+  (if List.length inputs <> List.length flat.Circuit.inputs then
+     Errors.raise_ (Shape_mismatch "fault injection: input arity"));
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      Sv.apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+    flat.Circuit.inputs inputs;
+  (match inject with Some (-1, w, p) -> apply_pauli st p w | _ -> ());
+  Array.iteri
+    (fun i g ->
+      Sv.apply_gate st g;
+      match inject with
+      | Some (j, w, p) when j = i -> apply_pauli st p w
+      | _ -> ())
+    flat.Circuit.gates;
+  st
+
+(** The observable content of a final state: the amplitude vector plus
+    the classical output bits. *)
+let signature (flat : Circuit.t) (st : Sv.state) =
+  let cbits =
+    List.filter_map
+      (fun (e : Wire.endpoint) ->
+        match e.Wire.ty with
+        | Wire.C -> Some (Sv.read_bit st e.Wire.wire)
+        | Wire.Q -> None)
+      flat.Circuit.outputs
+  in
+  (Sv.amplitudes st, cbits)
+
+(** Amplitude vectors equal up to a global phase (tolerance [eps] per
+    component). *)
+let equal_up_to_phase ?(eps = 1e-6) (a : Quipper_math.Cplx.t array)
+    (b : Quipper_math.Cplx.t array) =
+  let open Quipper_math in
+  Array.length a = Array.length b
+  &&
+  (* reference component: the largest of [a] *)
+  let k = ref 0 in
+  Array.iteri (fun i x -> if Cplx.norm2 x > Cplx.norm2 a.(!k) then k := i) a;
+  let ak = a.(!k) and bk = b.(!k) in
+  if Cplx.norm bk < eps then Cplx.norm ak < eps
+  else begin
+    (* phase factor aligning b to a, unit modulus only if |ak| ~ |bk| *)
+    let f = Cplx.smul (1.0 /. Cplx.norm2 bk) (Cplx.mul ak (Cplx.conj bk)) in
+    abs_float (Cplx.norm f -. 1.0) < eps
+    && Array.for_all2 (fun x y -> Cplx.norm (Cplx.sub x (Cplx.mul f y)) < eps) a b
+  end
+
+let classify ~seed flat inputs ~clean (site : Faultsite.site) (p : pauli) : outcome =
+  match execute ~seed flat inputs ~inject:(Some (site.Faultsite.index, site.Faultsite.wire, p)) with
+  | exception Errors.Error (Errors.Termination_assertion _) -> Detected
+  | st ->
+      let amps, cbits = signature flat st in
+      let clean_amps, clean_cbits = clean in
+      if cbits = clean_cbits && equal_up_to_phase amps clean_amps then Masked
+      else Corrupted
+
+let run_site ?(seed = 1) (b : Circuit.b) (inputs : bool list) (site : Faultsite.site)
+    (p : pauli) : outcome =
+  let flat = Circuit.inline b in
+  let clean = signature flat (execute ~seed flat inputs ~inject:None) in
+  classify ~seed flat inputs ~clean site p
+
+(** Exhaustive single-fault campaign: every site × every Pauli in
+    [paulis]. *)
+let report ?(seed = 1) ?(paulis = all_paulis) (b : Circuit.b) (inputs : bool list) :
+    report =
+  let flat = Circuit.inline b in
+  let sites = Faultsite.enumerate b in
+  let clean = signature flat (execute ~seed flat inputs ~inject:None) in
+  let findings =
+    List.concat_map
+      (fun site ->
+        List.map
+          (fun p -> { site; fault = p; outcome = classify ~seed flat inputs ~clean site p })
+          paulis)
+      sites
+  in
+  let count o =
+    List.fold_left (fun acc f -> if f.outcome = o then acc + 1 else acc) 0 findings
+  in
+  {
+    gates = Array.length flat.Circuit.gates;
+    sites = List.length sites;
+    faults = List.length findings;
+    detected = count Detected;
+    corrupted = count Corrupted;
+    masked = count Masked;
+    findings;
+  }
+
+let pct part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let pp_report ppf r =
+  Fmt.pf ppf "fault injection: %d sites x %d paulis = %d faults over %d gates@."
+    r.sites
+    (if r.sites = 0 then 0 else r.faults / r.sites)
+    r.faults r.gates;
+  Fmt.pf ppf "  detected  %5d (%5.1f%%)  Termination_assertion fired@." r.detected
+    (pct r.detected r.faults);
+  Fmt.pf ppf "  corrupted %5d (%5.1f%%)  silent wrong output@." r.corrupted
+    (pct r.corrupted r.faults);
+  Fmt.pf ppf "  masked    %5d (%5.1f%%)  output unchanged@." r.masked
+    (pct r.masked r.faults)

@@ -1,0 +1,44 @@
+(** Single-fault Pauli injection: enumerate every fault site of a circuit
+    ({!Quipper.Faultsite}), inject X/Y/Z at each, re-run on the
+    statevector simulator, and classify the outcome — measuring how much
+    protection assertive termination (paper §4.2.2) actually buys. *)
+
+open Quipper
+
+type pauli = X | Y | Z
+
+val pauli_name : pauli -> string
+val all_paulis : pauli list
+
+type outcome =
+  | Detected  (** a [Termination_assertion] fired during the faulty run *)
+  | Corrupted  (** completed, but the output state differs: silent damage *)
+  | Masked  (** output state unchanged (up to global phase) *)
+
+val outcome_name : outcome -> string
+
+type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
+
+type report = {
+  gates : int;
+  sites : int;
+  faults : int;
+  detected : int;
+  corrupted : int;
+  masked : int;
+  findings : finding list;
+}
+
+val equal_up_to_phase :
+  ?eps:float -> Quipper_math.Cplx.t array -> Quipper_math.Cplx.t array -> bool
+(** Amplitude vectors equal up to one global phase factor. *)
+
+val run_site : ?seed:int -> Circuit.b -> bool list -> Faultsite.site -> pauli -> outcome
+(** Inject one fault at one site and classify it against the clean run
+    (same seed, so measurements draw identically). *)
+
+val report : ?seed:int -> ?paulis:pauli list -> Circuit.b -> bool list -> report
+(** Exhaustive single-fault campaign over every site and every Pauli in
+    [paulis] (default all three). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,182 @@
+(** Noise channels over the statevector simulator.
+
+    The clean simulators check the extended circuit model's promises
+    (assertive termination, §4.2.2) only on clean runs. This module
+    deliberately breaks that idyll: configurable per-gate/per-wire noise
+    channels — bit flip, phase flip, depolarizing, measurement readout
+    error — applied during statevector execution, every random choice
+    drawn from a {!Quipper_math.Rng} stream derived from one master seed
+    so that every noisy run replays exactly.
+
+    Channel semantics, applied after each gate to every qubit wire the
+    gate touched that is still live (see {!Quipper.Faultsite.exposed_wires}):
+    - [bit_flip p]: X with probability p;
+    - [phase_flip p]: Z with probability p;
+    - [depolarizing p]: with probability p, one of X/Y/Z uniformly;
+    - [readout p]: each measurement's recorded outcome flips with
+      probability p (the collapse itself is faithful — only the classical
+      record lies, as real readout errors do).
+
+    Seed discipline: the statevector's own measurement stream uses the
+    given seed unchanged, so a configuration with all probabilities zero
+    is {e bit-identical} to the plain [Statevector] run; noise decisions
+    draw from the derived child stream [Rng.derive seed 1]. *)
+
+open Quipper
+module Sv = Statevector
+module Rng = Quipper_math.Rng
+
+type config = {
+  bit_flip : float;
+  phase_flip : float;
+  depolarizing : float;
+  readout : float;
+}
+
+let none = { bit_flip = 0.0; phase_flip = 0.0; depolarizing = 0.0; readout = 0.0 }
+let bit_flip p = { none with bit_flip = p }
+let phase_flip p = { none with phase_flip = p }
+let depolarizing p = { none with depolarizing = p }
+let readout p = { none with readout = p }
+
+let is_noiseless c =
+  c.bit_flip = 0.0 && c.phase_flip = 0.0 && c.depolarizing = 0.0 && c.readout = 0.0
+
+let pp_config ppf c =
+  Fmt.pf ppf "{bit_flip=%g; phase_flip=%g; depolarizing=%g; readout=%g}" c.bit_flip
+    c.phase_flip c.depolarizing c.readout
+
+(* ------------------------------------------------------------------ *)
+(* Noisy execution                                                     *)
+
+let pauli st name w =
+  Sv.apply_gate st (Gate.Gate { name; inv = false; targets = [ w ]; controls = [] })
+
+(* One noise "kick" on wire [w]: each enabled channel fires
+   independently. Zero-probability channels draw nothing, keeping the
+   stream (and hence any enabled channel's decisions) independent of
+   which other channels are configured off. *)
+let kick rng cfg st w =
+  if cfg.bit_flip > 0.0 && Rng.float rng < cfg.bit_flip then pauli st "X" w;
+  if cfg.phase_flip > 0.0 && Rng.float rng < cfg.phase_flip then pauli st "Z" w;
+  if cfg.depolarizing > 0.0 && Rng.float rng < cfg.depolarizing then
+    pauli st (match Rng.int rng 3 with 0 -> "X" | 1 -> "Y" | _ -> "Z") w
+
+let flip_readout rng cfg st w =
+  if cfg.readout > 0.0 && Rng.float rng < cfg.readout then
+    Sv.set_bit st w (not (Sv.read_bit st w))
+
+let step rng cfg st (g : Gate.t) =
+  match g with
+  | Gate.Measure { wire } ->
+      Sv.apply_gate st g;
+      flip_readout rng cfg st wire
+  | g ->
+      Sv.apply_gate st g;
+      List.iter (kick rng cfg st) (Faultsite.exposed_wires g)
+
+(** Run the inlined [flat] circuit noisily; returns the state and the
+    noise stream (still needed for readout errors on final measurements). *)
+let exec ~seed cfg (flat : Circuit.t) (inputs : bool list) : Sv.state * Rng.t =
+  let st = Sv.create ~seed () in
+  let rng = Rng.create (Rng.derive seed 1) in
+  (if List.length inputs <> List.length flat.Circuit.inputs then
+     Errors.raise_ (Shape_mismatch "noisy run: input arity"));
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      Sv.apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+    flat.Circuit.inputs inputs;
+  Array.iter (step rng cfg st) flat.Circuit.gates;
+  (st, rng)
+
+let run_circuit ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : Sv.state =
+  fst (exec ~seed cfg (Circuit.inline b) inputs)
+
+let measure_outputs rng cfg st (flat : Circuit.t) : bool list =
+  List.map
+    (fun (e : Wire.endpoint) ->
+      match e.Wire.ty with
+      | Wire.Q ->
+          let v = Sv.measure st e.Wire.wire in
+          if cfg.readout > 0.0 && Rng.float rng < cfg.readout then not v else v
+      | Wire.C -> Sv.read_bit st e.Wire.wire)
+    flat.Circuit.outputs
+
+let run_and_measure ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : bool list =
+  let flat = Circuit.inline b in
+  let st, rng = exec ~seed cfg flat inputs in
+  measure_outputs rng cfg st flat
+
+(* ------------------------------------------------------------------ *)
+(* Trial-based resilient running                                       *)
+
+type trial_outcome =
+  | Success of int  (** right answer after this many attempts *)
+  | Wrong of int  (** completed, silently wrong, after this many attempts *)
+  | Gave_up  (** every allowed attempt ended in a detected failure *)
+
+type stats = {
+  trials : int;
+  successes : int;
+  wrong : int;
+  gave_up : int;
+  attempts : int;  (** total attempts across all trials *)
+  detected_failures : int;
+      (** attempts aborted by a [Termination_assertion] — the noise
+          tripped an uncomputation claim, and the run knew it failed *)
+  outcomes : trial_outcome array;  (** per-trial, for determinism checks *)
+}
+
+let success_rate s =
+  if s.trials = 0 then 0.0 else float_of_int s.successes /. float_of_int s.trials
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d/%d trials succeeded (%.1f%%), %d wrong, %d gave up; %d attempts, %d detected failures"
+    s.successes s.trials (100.0 *. success_rate s) s.wrong s.gave_up s.attempts
+    s.detected_failures
+
+(** [run_trials ~trials ~max_failures cfg b inputs ~expected]: run the
+    circuit noisily [trials] times, each trial drawing its seeds from
+    [Rng.derive master_seed] so the whole experiment replays from one
+    number. An attempt whose noise trips an assertive termination is a
+    {e detected} failure and is retried (up to [max_failures] retries per
+    trial) — the runtime analogue of "the assertion told us the run went
+    wrong, so run it again". Attempts that complete are compared against
+    [expected]; silent corruption is counted, not retried (nothing at run
+    time can see it — that asymmetry is the point of the experiment). *)
+let run_trials ?(master_seed = 1) ~trials ~max_failures cfg (b : Circuit.b)
+    (inputs : bool list) ~(expected : bool list) : stats =
+  if trials <= 0 then invalid_arg "Noise.run_trials: trials must be positive";
+  if max_failures < 0 then invalid_arg "Noise.run_trials: negative max_failures";
+  let flat = Circuit.inline b in
+  let attempts = ref 0 and detected = ref 0 in
+  let one_trial t =
+    let rec go a =
+      if a > max_failures then Gave_up
+      else begin
+        incr attempts;
+        let seed = Rng.derive master_seed ((t * (max_failures + 1)) + a + 2) in
+        match
+          let st, rng = exec ~seed cfg flat inputs in
+          measure_outputs rng cfg st flat
+        with
+        | bits -> if bits = expected then Success (a + 1) else Wrong (a + 1)
+        | exception Errors.Error (Errors.Termination_assertion _) ->
+            incr detected;
+            go (a + 1)
+      end
+    in
+    go 0
+  in
+  let outcomes = Array.init trials one_trial in
+  let count f = Array.fold_left (fun acc o -> if f o then acc + 1 else acc) 0 outcomes in
+  {
+    trials;
+    successes = count (function Success _ -> true | _ -> false);
+    wrong = count (function Wrong _ -> true | _ -> false);
+    gave_up = count (function Gave_up -> true | _ -> false);
+    attempts = !attempts;
+    detected_failures = !detected;
+    outcomes;
+  }

@@ -1,0 +1,71 @@
+(** Noise channels over the statevector simulator: bit flip, phase flip,
+    depolarizing and measurement readout error, applied per-gate/per-wire
+    during execution, with every random choice drawn from streams derived
+    from one master seed ({!Quipper_math.Rng.derive}) — every noisy run
+    replays exactly.
+
+    A configuration with all probabilities zero is bit-identical to the
+    plain {!Statevector} run on the same seed (property-tested). *)
+
+open Quipper
+
+type config = {
+  bit_flip : float;  (** X after each gate, per touched wire *)
+  phase_flip : float;  (** Z after each gate, per touched wire *)
+  depolarizing : float;  (** X/Y/Z uniformly, per touched wire *)
+  readout : float;  (** recorded measurement outcome flips *)
+}
+
+val none : config
+val bit_flip : float -> config
+val phase_flip : float -> config
+val depolarizing : float -> config
+val readout : float -> config
+val is_noiseless : config -> bool
+val pp_config : Format.formatter -> config -> unit
+
+val run_circuit : ?seed:int -> config -> Circuit.b -> bool list -> Statevector.state
+(** Run a generated circuit noisily on basis-state inputs. Raises
+    [Termination_assertion] if noise breaks an uncomputation claim — the
+    checks of the extended circuit model keep firing under noise. *)
+
+val run_and_measure : ?seed:int -> config -> Circuit.b -> bool list -> bool list
+(** {!run_circuit}, then measure every output (readout noise applies to
+    those final measurements too); returns outputs in arity order. *)
+
+(** Outcome of one trial of {!run_trials}. *)
+type trial_outcome =
+  | Success of int  (** right answer after this many attempts *)
+  | Wrong of int  (** completed, silently wrong — undetectable at run time *)
+  | Gave_up  (** every allowed attempt ended in a detected failure *)
+
+type stats = {
+  trials : int;
+  successes : int;
+  wrong : int;
+  gave_up : int;
+  attempts : int;
+  detected_failures : int;
+      (** attempts aborted by [Termination_assertion]: failures the
+          assertive terminations caught at run time *)
+  outcomes : trial_outcome array;
+}
+
+val success_rate : stats -> float
+val pp_stats : Format.formatter -> stats -> unit
+
+val run_trials :
+  ?master_seed:int ->
+  trials:int ->
+  max_failures:int ->
+  config ->
+  Circuit.b ->
+  bool list ->
+  expected:bool list ->
+  stats
+(** Resilient trial runner: [trials] independent noisy runs, per-trial
+    seeds derived from [master_seed]. A trial retries (at most
+    [max_failures] times) whenever an assertive termination detects the
+    failure; completed-but-wrong answers are counted, not retried —
+    quantifying exactly what detection buys. Deterministic for a fixed
+    master seed. *)

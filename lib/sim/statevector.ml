@@ -52,6 +52,15 @@ let read_bit st w =
   | Some v -> v
   | None -> Errors.raise_ (Simulation (Fmt.str "statevector: wire %d has no classical value" w))
 
+let set_bit st w v = Hashtbl.replace st.cenv w v
+
+let amplitudes st =
+  Array.init (Array.length st.re) (fun i -> Quipper_math.Cplx.make st.re.(i) st.im.(i))
+
+let probabilities st =
+  Array.init (Array.length st.re)
+    (fun i -> (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i)))
+
 (* ------------------------------------------------------------------ *)
 (* State surgery                                                       *)
 

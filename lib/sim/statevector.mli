@@ -21,6 +21,18 @@ val num_qubits : state -> int
 val read_bit : state -> Wire.t -> bool
 (** Value of a classical wire. *)
 
+val set_bit : state -> Wire.t -> bool -> unit
+(** Overwrite a classical wire's value. The noise channels use this to
+    model measurement readout errors. *)
+
+val amplitudes : state -> Quipper_math.Cplx.t array
+(** Copy of the full amplitude vector, indexed in the simulator's
+    internal qubit order. Used by equality-to-the-bit tests (e.g. that a
+    zero-probability noise configuration perturbs nothing). *)
+
+val probabilities : state -> float array
+(** [norm2] of each amplitude, same indexing as {!amplitudes}. *)
+
 val prob_one : state -> Wire.t -> float
 (** Probability that the qubit would measure 1 (no collapse). *)
 

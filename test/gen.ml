@@ -64,6 +64,90 @@ let rec op_gen ~n ~depth : op QCheck2.Gen.t =
 let program_gen ~n : op list QCheck2.Gen.t =
   QCheck2.Gen.(list_size (int_range 1 15) (op_gen ~n ~depth:2))
 
+(* Restricted op generators for the differential-simulation harness:
+   each simulator pair is exercised on the fragment of the gate set both
+   sides implement. *)
+
+(* Basis-state-preserving ops (any controls allowed): the classical
+   simulator's whole world. Blocks stay in the subset recursively. *)
+let rec classical_op_gen ~n ~depth : op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = int_range 0 (n - 1) in
+  let distinct2 =
+    pair idx idx >|= fun (a, b) -> (a, if b = a then (b + 1) mod n else b)
+  in
+  let distinct3 =
+    triple idx idx idx >|= fun (a, b, c) ->
+    let b = if b = a then (b + 1) mod n else b in
+    let c = if c = a || c = b then (max a b + 1) mod n else c in
+    let c = if c = a || c = b then (c + 1 + max a b) mod n else c in
+    (a, b, c)
+  in
+  let base =
+    [
+      (3, idx >|= fun i -> X i);
+      (3, distinct2 >|= fun (a, b) -> CNot (a, b));
+      (2, distinct2 >|= fun (a, b) -> Swap (a, b));
+      ( 2,
+        pair distinct3 (pair bool bool) >|= fun ((a, b, c), (s1, s2)) ->
+        Toffoli (a, s1, b, s2, c) );
+    ]
+  in
+  let recursive =
+    if depth <= 0 then []
+    else
+      [
+        ( 1,
+          pair idx (list_size (int_range 1 4) (classical_op_gen ~n ~depth:(depth - 1)))
+          >|= fun (c, ops) -> Controlled_block (c, ops) );
+        ( 1,
+          pair idx (list_size (int_range 1 3) (classical_op_gen ~n ~depth:(depth - 1)))
+          >|= fun (c, ops) -> Ancilla_block (c, ops) );
+      ]
+  in
+  frequency (base @ recursive)
+
+let classical_program_gen ~n : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 15) (classical_op_gen ~n ~depth:2))
+
+(* Flat Clifford ops (H, S, X, CNOT, swap). No blocks: an extra control
+   on a CNOT would leave the Clifford group. *)
+let clifford_op_gen ~n : op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = int_range 0 (n - 1) in
+  let distinct2 =
+    pair idx idx >|= fun (a, b) -> (a, if b = a then (b + 1) mod n else b)
+  in
+  frequency
+    [
+      (3, idx >|= fun i -> H i);
+      (2, idx >|= fun i -> X i);
+      (2, idx >|= fun i -> S i);
+      (3, distinct2 >|= fun (a, b) -> CNot (a, b));
+      (1, distinct2 >|= fun (a, b) -> Swap (a, b));
+    ]
+
+let clifford_program_gen ~n : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 25) (clifford_op_gen ~n))
+
+(* The classical ∩ Clifford fragment: wire permutations and parity
+   (X, CNOT, swap) — runnable on all three simulators at once. *)
+let permutation_op_gen ~n : op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = int_range 0 (n - 1) in
+  let distinct2 =
+    pair idx idx >|= fun (a, b) -> (a, if b = a then (b + 1) mod n else b)
+  in
+  frequency
+    [
+      (2, idx >|= fun i -> X i);
+      (3, distinct2 >|= fun (a, b) -> CNot (a, b));
+      (1, distinct2 >|= fun (a, b) -> Swap (a, b));
+    ]
+
+let permutation_program_gen ~n : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 1 25) (permutation_op_gen ~n))
+
 (* distinctness after the mod arithmetic is not guaranteed; filter when
    interpreting *)
 let rec interp (qs : Wire.qubit array) (o : op) : unit Circ.t =
@@ -128,5 +212,22 @@ let circuit_of_program ~n (ops : op list) : Circuit.b =
         let qs = Array.of_list ql in
         let* () = program ops qs in
         return ql)
+  in
+  b
+
+(** The circuit of [ops] followed by its library-generated reverse: maps
+    every basis input to itself, in any correct simulator — the
+    differential harness's deterministic observable. *)
+let roundtrip_circuit_of_program ~n (ops : op list) : Circuit.b =
+  let w = Qdata.list_of n Qdata.qubit in
+  let prog ql =
+    let qs = Array.of_list ql in
+    let* () = program ops qs in
+    return (Array.to_list qs)
+  in
+  let b, _ =
+    Circ.generate ~in_:w (fun ql ->
+        let* ql = prog ql in
+        reverse_simple w prog ql)
   in
   b

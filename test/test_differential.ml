@@ -1,0 +1,81 @@
+(* The differential-simulation harness: the same random circuits run
+   through statevector vs. classical vs. Clifford simulators on the gate
+   fragments the pairs share, failing on any divergence. Each property
+   runs 40+ random circuits, so one [dune runtest] crosses well over 100
+   circuits across three simulator pairs. *)
+
+open Quipper
+module Sv = Quipper_sim.Statevector
+module Cl = Quipper_sim.Clifford
+module Cs = Quipper_sim.Classical
+
+let inputs_gen n = QCheck2.Gen.(list_repeat n bool)
+
+let bit_prob b = if b then 1.0 else 0.0
+
+(* classical vs statevector: on basis-state-preserving circuits the
+   dense simulator must land exactly on the boolean simulator's output
+   basis state *)
+let prop_classical_vs_statevector =
+  let n = 5 in
+  QCheck2.Test.make ~name:"differential: classical vs statevector" ~count:40
+    QCheck2.Gen.(pair (Gen.classical_program_gen ~n) (inputs_gen n))
+    (fun (ops, inputs) ->
+      let b = Gen.circuit_of_program ~n ops in
+      let expected = Cs.run_circuit b inputs in
+      let st = Sv.run_circuit ~seed:7 b inputs in
+      List.for_all2
+        (fun (e : Wire.endpoint) bit ->
+          abs_float (Sv.prob_one st e.Wire.wire -. bit_prob bit) < 1e-9)
+        b.Circuit.main.Circuit.outputs expected)
+
+(* classical vs Clifford: the permutation/parity fragment (X, CNOT,
+   swap) runs on both; the tableau's measurements must be deterministic
+   and equal to the boolean run *)
+let prop_classical_vs_clifford =
+  let n = 5 in
+  QCheck2.Test.make ~name:"differential: classical vs clifford" ~count:40
+    QCheck2.Gen.(pair (Gen.permutation_program_gen ~n) (inputs_gen n))
+    (fun (ops, inputs) ->
+      let b = Gen.circuit_of_program ~n ops in
+      let expected = Cs.run_circuit b inputs in
+      let st = Cl.run_circuit ~seed:5 b inputs in
+      let qs =
+        List.map (fun (e : Wire.endpoint) -> Wire.Qubit e.Wire.wire)
+          b.Circuit.main.Circuit.outputs
+      in
+      Cl.measure_and_read st (Qdata.list_of n Qdata.qubit) qs = expected)
+
+(* statevector vs Clifford: random Clifford programs followed by their
+   library-generated reverse must map every basis input to itself in
+   both simulators — a deterministic observable that exercises
+   superposition-generating gates (H, S) on both sides *)
+let prop_statevector_vs_clifford_roundtrip =
+  let n = 4 in
+  QCheck2.Test.make ~name:"differential: statevector vs clifford (roundtrips)"
+    ~count:40
+    QCheck2.Gen.(pair (Gen.clifford_program_gen ~n) (inputs_gen n))
+    (fun (ops, inputs) ->
+      let b = Gen.roundtrip_circuit_of_program ~n ops in
+      let st = Sv.run_circuit ~seed:11 b inputs in
+      let sv_ok =
+        List.for_all2
+          (fun (e : Wire.endpoint) bit ->
+            abs_float (Sv.prob_one st e.Wire.wire -. bit_prob bit) < 1e-9)
+          b.Circuit.main.Circuit.outputs inputs
+      in
+      let stc = Cl.run_circuit ~seed:11 b inputs in
+      let qs =
+        List.map (fun (e : Wire.endpoint) -> Wire.Qubit e.Wire.wire)
+          b.Circuit.main.Circuit.outputs
+      in
+      let cl_ok = Cl.measure_and_read stc (Qdata.list_of n Qdata.qubit) qs = inputs in
+      sv_ok && cl_ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_classical_vs_statevector;
+      prop_classical_vs_clifford;
+      prop_statevector_vs_clifford_roundtrip;
+    ]

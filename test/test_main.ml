@@ -16,4 +16,6 @@ let () =
       ("parser", Test_parser.suite);
       ("allocate", Test_allocate.suite);
       ("alternatives", Test_alternatives.suite);
+      ("noise", Test_noise.suite);
+      ("differential", Test_differential.suite);
     ]

@@ -130,6 +130,26 @@ let test_rng_float_range () =
     check "in [0,1)" true (v >= 0.0 && v < 1.0)
   done
 
+let test_rng_split () =
+  (* splitting is deterministic, distinct indices give distinct streams,
+     and splitting leaves the parent stream untouched *)
+  let parent = Rng.create 42 in
+  let a = Rng.split parent 0 and a' = Rng.split parent 0 in
+  let b = Rng.split parent 1 in
+  check "split deterministic" true (Rng.float a = Rng.float a');
+  check "distinct indices diverge" true (Rng.float (Rng.split parent 0) <> Rng.float b);
+  let fresh = Rng.create 42 in
+  for _ = 1 to 50 do
+    check "parent untouched by split" true (Rng.float parent = Rng.float fresh)
+  done
+
+let test_rng_derive () =
+  check "derive deterministic" true (Rng.derive 7 3 = Rng.derive 7 3);
+  check "derive distinct indices" true (Rng.derive 7 3 <> Rng.derive 7 4);
+  check "derive distinct masters" true (Rng.derive 7 3 <> Rng.derive 8 3);
+  check "derive non-negative" true
+    (List.for_all (fun i -> Rng.derive 123 i >= 0) [ 0; 1; 2; 3; 100; 1000 ])
+
 let suite =
   [
     Alcotest.test_case "cplx basics" `Quick test_cplx_basic;
@@ -148,4 +168,6 @@ let suite =
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
     Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng seed splitting" `Quick test_rng_split;
+    Alcotest.test_case "rng seed derivation" `Quick test_rng_derive;
   ]

@@ -115,6 +115,16 @@ let test_sv_rotation_angles () =
   in
   checkf "Rx(pi) flips" 1.0 (Sv.prob_one st (Wire.qubit_wire q))
 
+let test_sv_capacity_guard () =
+  (* one qubit past [max_qubits] must raise Simulation, not allocate *)
+  let n = Sv.max_qubits + 1 in
+  let b, _ = Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql -> return ql) in
+  match Sv.run_circuit ~seed:1 b (List.init n (fun _ -> false)) with
+  | exception Errors.Error (Errors.Simulation msg) ->
+      check "message names the limit" true
+        (Astring_contains.contains msg (string_of_int Sv.max_qubits))
+  | _ -> Alcotest.fail "expected the capacity guard to fire"
+
 let test_sv_inverse_gates () =
   (* T then T* is identity; S* S also *)
   let st, q =
@@ -223,6 +233,21 @@ let test_clifford_rejects_t () =
   match Cl.run_fun ~seed:1 ~in_:Qdata.qubit false (fun q -> gate_T q) with
   | exception Errors.Error (Errors.Simulation _) -> ()
   | _ -> Alcotest.fail "expected simulation error on T"
+
+let test_clifford_rejection_names_gate_and_wire () =
+  (* the rejection message must name the offending gate and its wire *)
+  (match Cl.run_fun ~seed:1 ~in_:Qdata.qubit false (fun q -> gate_T q) with
+  | exception Errors.Error (Errors.Simulation msg) ->
+      check "names T and its wire" true (Astring_contains.contains msg "T on wire 0")
+  | _ -> Alcotest.fail "expected rejection");
+  match
+    Cl.run_fun ~seed:1 ~in_:Qdata.qubit false (fun q ->
+        let* () = rot_X 0.3 q in
+        return q)
+  with
+  | exception Errors.Error (Errors.Simulation msg) ->
+      check "names Rx and its wire" true (Astring_contains.contains msg "Rx on wire 0")
+  | _ -> Alcotest.fail "expected rejection"
 
 let test_clifford_ghz () =
   for seed = 1 to 20 do
@@ -340,6 +365,7 @@ let suite =
     Alcotest.test_case "sv: controlled phase visible" `Quick test_sv_controlled_phase_visible;
     Alcotest.test_case "sv: W gate" `Quick test_sv_w_gate;
     Alcotest.test_case "sv: rotations" `Quick test_sv_rotation_angles;
+    Alcotest.test_case "sv: capacity guard" `Quick test_sv_capacity_guard;
     Alcotest.test_case "sv: inverse gates" `Quick test_sv_inverse_gates;
     Alcotest.test_case "classical: rejects H" `Quick test_classical_rejects_hadamard;
     Alcotest.test_case "classical: toffoli table" `Quick test_classical_toffoli_table;
@@ -349,6 +375,8 @@ let suite =
     Alcotest.test_case "clifford: bell" `Quick test_clifford_bell;
     Alcotest.test_case "clifford: deterministic gates" `Quick test_clifford_deterministic;
     Alcotest.test_case "clifford: rejects T" `Quick test_clifford_rejects_t;
+    Alcotest.test_case "clifford: rejection names gate and wire" `Quick
+      test_clifford_rejection_names_gate_and_wire;
     Alcotest.test_case "clifford: GHZ" `Quick test_clifford_ghz;
     Alcotest.test_case "clifford: assertions" `Quick test_clifford_term_assertions;
     Alcotest.test_case "clifford vs sv roundtrips" `Quick test_clifford_vs_statevector_deterministic;
