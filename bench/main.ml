@@ -394,6 +394,44 @@ let ablations () =
 (* N1: the robustness stack — fault-site enumeration, Pauli injection,
    noise channels and the resilient trial runner (EXPERIMENTS.md N1) *)
 
+(* Grover search over [gn] qubits for the [marked] basis state, with the
+   phase oracle built from a classical predicate (ancilla-heavy: the
+   predicate computes and uncomputes its bit tests every iteration).
+   Shared by N1 (noise trials) and N2 (engine timings). *)
+let grover_circuit ~gn ~marked =
+  let module Grover = Quipper_primitives.Grover in
+  let module Build = Quipper_template.Build in
+  let module Oracle = Quipper_template.Oracle in
+  let open Circ in
+  let predicate qs =
+    let* bit_tests =
+      mapm
+        (fun (i, q) ->
+          if (marked lsr i) land 1 = 1 then
+            let* t = qinit_bit false in
+            let* () = cnot ~control:q ~target:t in
+            return t
+          else Build.bnot q)
+        (List.mapi (fun i q -> (i, q)) qs)
+    in
+    match bit_tests with
+    | [] -> Build.bconst true
+    | t :: rest -> foldm Build.band t rest
+  in
+  let phase_oracle qs =
+    let* _ = Oracle.classical_to_phase predicate qs in
+    return ()
+  in
+  let search =
+    let* qs = mapm (fun _ -> qinit_bit false) (List.init gn Fun.id) in
+    let* () =
+      Grover.search ~iterations:(Grover.iterations ~n:gn ~marked:1) phase_oracle qs
+    in
+    return qs
+  in
+  let gb, _ = Circ.generate_unit search in
+  gb
+
 let noise () =
   section "N1: fault injection + noise (assertive-termination coverage)";
   let module Qdint = Quipper_arith.Qdint in
@@ -456,38 +494,8 @@ let noise () =
   (* 5. Grover under depolarizing noise (slow: skipped by `quick`) *)
   if quick then Fmt.pr "  (quick: skipping Grover-under-noise trials)@."
   else begin
-    let module Grover = Quipper_primitives.Grover in
-    let module Build = Quipper_template.Build in
-    let module Oracle = Quipper_template.Oracle in
-    let open Circ in
     let gn = 5 and marked = 0b10110 in
-    let predicate qs =
-      let* bit_tests =
-        mapm
-          (fun (i, q) ->
-            if (marked lsr i) land 1 = 1 then
-              let* t = qinit_bit false in
-              let* () = cnot ~control:q ~target:t in
-              return t
-            else Build.bnot q)
-          (List.mapi (fun i q -> (i, q)) qs)
-      in
-      match bit_tests with
-      | [] -> Build.bconst true
-      | t :: rest -> foldm Build.band t rest
-    in
-    let phase_oracle qs =
-      let* _ = Oracle.classical_to_phase predicate qs in
-      return ()
-    in
-    let search =
-      let* qs = mapm (fun _ -> qinit_bit false) (List.init gn Fun.id) in
-      let* () =
-        Grover.search ~iterations:(Grover.iterations ~n:gn ~marked:1) phase_oracle qs
-      in
-      return qs
-    in
-    let gb, _ = Circ.generate_unit search in
+    let gb = grover_circuit ~gn ~marked in
     let g_expected = List.init gn (fun i -> (marked lsr i) land 1 = 1) in
     let gs, t_g =
       time (fun () ->
@@ -499,6 +507,153 @@ let noise () =
     Fmt.pr "  %.2f s (%d attempts, %.1f ms/attempt)@." t_g gs.Noise.attempts
       (t_g /. float_of_int gs.Noise.attempts *. 1e3)
   end
+
+(* ================================================================== *)
+(* N2: the fast statevector engine vs the preserved seed engine
+   (EXPERIMENTS.md N2) — same circuits, same seeds, bit-identical
+   amplitudes, wall-clock side by side *)
+
+let n2 () =
+  section "N2: fast statevector engine (in-place kernels) vs seed engine";
+  let module Sv = Quipper_sim.Statevector in
+  let module Ref = Quipper_sim.Reference in
+  let module Rng = Quipper_math.Rng in
+  let open Circ in
+  (* min-of-3: a single run of either engine can eat a scheduler stall
+     or a page-fault burst; the minimum is the honest per-engine cost *)
+  let time_best f =
+    let x0, t0 = time f in
+    let r = ref x0 and best = ref t0 in
+    for _ = 1 to 2 do
+      let x, t = time f in
+      r := x;
+      if t < !best then best := t
+    done;
+    (!r, !best)
+  in
+  let speed label t_old t_new bitident =
+    Fmt.pr "  %-36s %8.3f s -> %7.3f s  %6.1fx  %s@." label t_old t_new
+      (t_old /. t_new)
+      (if bitident then "[bit-identical]" else "[MISMATCH]")
+  in
+  Fmt.pr "  %-36s %10s %12s %7s@." "" "seed" "fast" "speedup";
+  (* 1. random dense circuit: the whole register in superposition, a
+     Clifford+T-weighted mix (T-heavy, as fault-tolerant circuits are)
+     of the specialised kernels — T/S/CZ/CNOT/X/H — plus an occasional
+     compute/uncompute sandwich nesting a pair of ancillas above the
+     register, all at full vector size *)
+  let n = if quick then 14 else 18 in
+  let gates = if quick then 200 else 600 in
+  let dense =
+    let rng = Rng.create 42 in
+    let b, _ =
+      Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
+          let qs = Array.of_list ql in
+          let* () = iterm hadamard_ ql in
+          let* () =
+            iterm
+              (fun _ ->
+                let i = Rng.int rng n in
+                match Rng.int rng 24 with
+                | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 ->
+                    let* _ = gate_T qs.(i) in
+                    return ()
+                | 8 | 9 ->
+                    let* _ = gate_S qs.(i) in
+                    return ()
+                | 10 | 11 | 12 | 13 | 14 | 15 ->
+                    (* CZ is symmetric: put the target on the higher wire,
+                       where the diagonal kernel's runs are longest *)
+                    let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+                    let c = if i < j then i else j and t = if i < j then j else i in
+                    let* _ = with_controls [ ctl qs.(c) ] (gate_Z qs.(t)) in
+                    return ()
+                | 16 ->
+                    let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+                    cnot ~control:qs.(i) ~target:qs.(j)
+                | 17 -> qnot_ qs.(i)
+                | 18 -> hadamard_ qs.(i)
+                | 19 -> rot_Z (0.1 +. Rng.float rng) qs.(i)
+                | _ ->
+                    (* a nested compute/uncompute pair of ancillas, as a
+                       Toffoli-cascade oracle would allocate *)
+                    with_computed
+                      (let* a = qinit Qdata.qubit false in
+                       let* () = cnot ~control:qs.(i) ~target:a in
+                       let* b = qinit Qdata.qubit false in
+                       return (a, b))
+                      (fun _ -> return ()))
+              (List.init (gates - n) Fun.id)
+          in
+          return ql)
+    in
+    b
+  in
+  let zeros k = List.init k (fun _ -> false) in
+  let st, t_new = time_best (fun () -> Sv.run_circuit ~seed:1 dense (zeros n)) in
+  let rst, t_old = time_best (fun () -> Ref.run_circuit ~seed:1 dense (zeros n)) in
+  speed
+    (Fmt.str "dense random, %d qubits x %d gates" n gates)
+    t_old t_new
+    (Sv.amplitudes st = Ref.amplitudes rst);
+  (* 2. ancilla churn: the pure Init/Term ablation — repeated
+     [with_computed] whose compute block just allocates an ancilla, so
+     each round is exactly one Init and one assertive Term above a dense
+     [live]-qubit state. This isolates the allocation machinery: per
+     round the seed engine allocates a double-size vector, copies, then
+     reduces |0>-probability with a boxed full scan, allocates the
+     half-size vector and copies back; the fast engine fills the upper
+     half of its high-water buffer in place and shrinks for free. An X
+     every 8th round keeps the live state changing. *)
+  let live = if quick then 12 else 20 in
+  let rounds = if quick then 40 else 100 in
+  let churn =
+    let b, _ =
+      Circ.generate ~in_:(Qdata.list_of live Qdata.qubit) (fun ql ->
+          let qs = Array.of_list ql in
+          let* () = iterm hadamard_ ql in
+          let* () =
+            iterm
+              (fun r ->
+                let* () =
+                  with_computed
+                    (qinit Qdata.qubit false)
+                    (fun _ -> return ())
+                in
+                if r mod 8 = 0 then qnot_ qs.(r mod live) else return ())
+              (List.init rounds Fun.id)
+          in
+          return ql)
+    in
+    b
+  in
+  let st, t_new = time_best (fun () -> Sv.run_circuit ~seed:1 churn (zeros live)) in
+  let rst, t_old = time_best (fun () -> Ref.run_circuit ~seed:1 churn (zeros live)) in
+  speed
+    (Fmt.str "ancilla churn, %d live x %d rounds" live rounds)
+    t_old t_new
+    (Sv.amplitudes st = Ref.amplitudes rst);
+  (* 3. a real algorithm: Grover with its ancilla-heavy phase oracle *)
+  let gn = 5 and marked = 0b10110 in
+  let gb = grover_circuit ~gn ~marked in
+  let shots = if quick then 10 else 40 in
+  let run run_one () =
+    for seed = 1 to shots do
+      run_one seed
+    done
+  in
+  let (), t_new = time_best (run (fun seed -> ignore (Sv.run_circuit ~seed gb []))) in
+  let (), t_old = time_best (run (fun seed -> ignore (Ref.run_circuit ~seed gb []))) in
+  speed
+    (Fmt.str "Grover n=%d, %d runs" gn shots)
+    t_old t_new
+    (Sv.amplitudes (Sv.run_circuit ~seed:1 gb [])
+    = Ref.amplitudes (Ref.run_circuit ~seed:1 gb []));
+  Fmt.pr
+    "  Same floats out of both engines on every circuit above: the fast@.\
+    \  kernels replay the seed's arithmetic exactly, they just skip its@.\
+    \  allocations (max_qubits is now %d; the seed capped at %d).@."
+    Sv.max_qubits Ref.max_qubits
 
 (* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
@@ -582,5 +737,6 @@ let () =
   figures ();
   ablations ();
   noise ();
+  n2 ();
   benchmarks ();
   Fmt.pr "@.Done.@."

@@ -63,6 +63,44 @@ let self_inverse = function
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Kernel classification                                               *)
+
+type fast_class =
+  | Fast_x
+  | Fast_y
+  | Fast_z
+  | Fast_s of bool
+  | Fast_t of bool
+  | Fast_h
+  | Fast_swap
+  | Fast_w
+  | Fast_diag of float * float
+  | Fast_generic
+
+(** Classify a unitary gate for simulator kernel dispatch. Cheap: one
+    match on the name, no matrix construction. Controls are irrelevant
+    here — the statevector simulator folds them into one (mask, value)
+    pair regardless of the kernel chosen. *)
+let fast_class = function
+  | Gate { name = "not" | "X"; _ } -> Fast_x
+  | Gate { name = "Y"; _ } -> Fast_y
+  | Gate { name = "Z"; _ } -> Fast_z
+  | Gate { name = "S"; inv; _ } -> Fast_s inv
+  | Gate { name = "T"; inv; _ } -> Fast_t inv
+  | Gate { name = "H"; _ } -> Fast_h
+  | Gate { name = "swap"; _ } -> Fast_swap
+  | Gate { name = "W"; _ } -> Fast_w
+  | Rot { name = "R" | "Ph"; angle; inv; _ } ->
+      Fast_diag (0.0, if inv then -.angle else angle)
+  | Rot { name = "Rz"; angle; inv; _ } ->
+      let a = if inv then -.angle else angle in
+      Fast_diag (-.a /. 2.0, a /. 2.0)
+  | Rot { name = "exp(-i%Z)"; angle; inv; _ } ->
+      let a = if inv then -.angle else angle in
+      Fast_diag (-.a, a)
+  | _ -> Fast_generic
+
+(* ------------------------------------------------------------------ *)
 (* Wire accessors                                                      *)
 
 let controls = function

@@ -58,6 +58,30 @@ type t =
       (** A call to a boxed subcircuit in the enclosing namespace. *)
   | Comment of { text : string; labels : (Wire.t * string) list }
 
+(** A cheap classification of unitary gates, used by the statevector
+    simulator to dispatch to specialised in-place kernels instead of the
+    generic matrix path. Permutation-like gates ([Fast_x], [Fast_swap],
+    which also cover CNOT/Toffoli/controlled-swap once controls are
+    folded into an index mask) become index swaps; diagonal gates become
+    phase multiplies; only H and W need a butterfly. *)
+type fast_class =
+  | Fast_x  (** not/X: swap the pair of amplitudes *)
+  | Fast_y
+  | Fast_z
+  | Fast_s of bool  (** [true] = the adjoint S* *)
+  | Fast_t of bool  (** [true] = the adjoint T* *)
+  | Fast_h  (** the 1-qubit butterfly *)
+  | Fast_swap
+  | Fast_w  (** the BWT basis change: a butterfly on the odd subspace *)
+  | Fast_diag of float * float
+      (** [Fast_diag (a0, a1)] is diag(e^{i a0}, e^{i a1}): the R/Ph, Rz
+          and exp(-i%Z) rotations, inversion already folded in *)
+  | Fast_generic  (** anything else: full 2x2/4x4 matrix application *)
+
+val fast_class : t -> fast_class
+(** Classify a [Gate]/[Rot] for kernel dispatch; every non-unitary
+    constructor and every unrecognised name is [Fast_generic]. *)
+
 val primitive_arity : string -> int option
 (** Number of quantum targets a primitive gate name expects, if known. *)
 

@@ -1,0 +1,194 @@
+(** The unified simulator interface.
+
+    Quipper's paper describes a family of [run_*_generic] functions
+    (§4.4.5) — classical, stabilizer, and full statevector simulation —
+    that share a shape: build a state, feed it gates, measure, read.
+    This module makes that shape a first-class contract: {!S} is the
+    module type every simulator implements, and {!Classical},
+    {!Statevector} and {!Clifford} are its instances as first-class
+    modules, so differential tests, noise channels and fault-injection
+    campaigns can be written once and pointed at any backend whose gate
+    set permits.
+
+    Backends differ in what a final state {e is} — a boolean per wire, a
+    stabilizer tableau, an amplitude vector — so cross-run comparison goes
+    through {!observation}: each backend renders its state into a
+    comparable value, and {!equal_observation} knows the right equivalence
+    for each (bit-for-bit for booleans, canonical-form equality for
+    tableaux, equality up to one global phase for amplitude vectors). *)
+
+open Quipper
+
+(** What a backend can tell you about a final state. Observations are
+    only comparable between runs of the same circuit structure (same
+    allocation order), on the same backend. *)
+type observation =
+  | Obs_bits of (Wire.t * bool) list
+      (** classical backend: all live wire values, sorted by wire *)
+  | Obs_tableau of string
+      (** stabilizer backend: canonical stabilizer generators *)
+  | Obs_amplitudes of Quipper_math.Cplx.t array
+      (** statevector backend: the amplitude vector in internal order *)
+
+(** Amplitude vectors equal up to a global phase (tolerance [eps] per
+    component). *)
+let equal_up_to_phase ?(eps = 1e-6) (a : Quipper_math.Cplx.t array)
+    (b : Quipper_math.Cplx.t array) =
+  let open Quipper_math in
+  Array.length a = Array.length b
+  &&
+  (* reference component: the largest of [a] *)
+  let k = ref 0 in
+  Array.iteri (fun i x -> if Cplx.norm2 x > Cplx.norm2 a.(!k) then k := i) a;
+  let ak = a.(!k) and bk = b.(!k) in
+  if Cplx.norm bk < eps then Cplx.norm ak < eps
+  else begin
+    (* phase factor aligning b to a, unit modulus only if |ak| ~ |bk| *)
+    let f = Cplx.smul (1.0 /. Cplx.norm2 bk) (Cplx.mul ak (Cplx.conj bk)) in
+    abs_float (Cplx.norm f -. 1.0) < eps
+    && Array.for_all2 (fun x y -> Cplx.norm (Cplx.sub x (Cplx.mul f y)) < eps) a b
+  end
+
+(** The right equivalence per observation kind; observations of different
+    kinds are never equal. *)
+let equal_observation ?eps (a : observation) (b : observation) =
+  match (a, b) with
+  | Obs_bits x, Obs_bits y -> x = y
+  | Obs_tableau x, Obs_tableau y -> String.equal x y
+  | Obs_amplitudes x, Obs_amplitudes y -> equal_up_to_phase ?eps x y
+  | _ -> false
+
+(** The simulator contract. [run_fun] executes a circuit-producing
+    function gate by gate as emitted (the QRAM picture, dynamic lifting
+    included); [run_circuit] walks an already-generated circuit. Backends
+    raise [Errors.Error (Simulation _)] on gates outside their gate set
+    and [Termination_assertion _] on violated assertive terminations. *)
+module type S = sig
+  val name : string
+
+  type state
+
+  val create : ?seed:int -> unit -> state
+  val apply_gate : state -> Gate.t -> unit
+
+  val measure : state -> Wire.t -> bool
+  (** Measure a live qubit; the wire becomes classical. Deterministic on
+      the classical backend; seeded sampling elsewhere. *)
+
+  val read_bit : state -> Wire.t -> bool
+  val set_bit : state -> Wire.t -> bool -> unit
+
+  val observe : state -> observation
+  (** Render the quantum part of the state for comparison with another
+      run of the same circuit structure on this backend. *)
+
+  val run_fun :
+    ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+
+  val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                           *)
+
+module Statevector : S with type state = Statevector.state = struct
+  let name = "statevector"
+
+  type state = Statevector.state
+
+  let create = Statevector.create
+  let apply_gate = Statevector.apply_gate
+  let measure = Statevector.measure
+  let read_bit = Statevector.read_bit
+  let set_bit = Statevector.set_bit
+  let observe st = Obs_amplitudes (Statevector.amplitudes st)
+  let run_fun = Statevector.run_fun
+  let run_circuit = Statevector.run_circuit
+end
+
+module Clifford : S with type state = Clifford.state = struct
+  let name = "clifford"
+
+  type state = Clifford.state
+
+  let create = Clifford.create
+  let apply_gate = Clifford.apply_gate
+  let measure = Clifford.measure
+  let read_bit = Clifford.read_bit
+  let set_bit = Clifford.set_bit
+  let observe st = Obs_tableau (Clifford.canonical st)
+  let run_fun = Clifford.run_fun
+  let run_circuit = Clifford.run_circuit
+end
+
+module Classical : S with type state = Classical.state = struct
+  let name = "classical"
+
+  type state = Classical.state
+
+  let create ?seed:_ () = Classical.create ()
+  let apply_gate = Classical.apply_gate
+
+  (* classically, measurement just reads the basis-state value; the wire
+     keeps it as its classical value *)
+  let measure = Classical.read
+  let read_bit = Classical.read
+  let set_bit = Classical.write
+  let observe st = Obs_bits (Classical.bindings st)
+
+  let run_fun ?seed:_ ~(in_ : ('b, 'q, 'c) Qdata.t) (input : 'b)
+      (f : 'q -> 'r Circ.t) : state * 'r =
+    let st = Classical.create () in
+    let ctx =
+      Circ.create_ctx ~boxing:false ~on_emit:(Classical.apply_gate st)
+        ~lift:(fun _ w -> Classical.read st w)
+        ()
+    in
+    let ins =
+      List.map (fun ty -> { Wire.wire = Circ.alloc_input ctx ty; ty }) in_.Qdata.tys
+    in
+    List.iter2
+      (fun (e : Wire.endpoint) v -> Classical.write st e.Wire.wire v)
+      ins (in_.Qdata.bleaves input);
+    let x = in_.Qdata.qbuild ins in
+    let r = f x ctx in
+    (st, r)
+
+  let run_circuit ?seed:_ (b : Circuit.b) (inputs : bool list) : state =
+    let flat = Circuit.inline b in
+    let st = Classical.create () in
+    (if List.length inputs <> List.length flat.Circuit.inputs then
+       Errors.raise_ (Shape_mismatch "classical run: input arity"));
+    List.iter2
+      (fun (e : Wire.endpoint) v -> Classical.write st e.Wire.wire v)
+      flat.Circuit.inputs inputs;
+    Array.iter (Classical.apply_gate st) flat.Circuit.gates;
+    st
+end
+
+(* ------------------------------------------------------------------ *)
+
+let all : (module S) list =
+  [ (module Classical); (module Clifford); (module Statevector) ]
+
+let find name : (module S) =
+  match
+    List.find_opt (fun (module B : S) -> String.equal B.name name) all
+  with
+  | Some b -> b
+  | None ->
+      Errors.raise_ (Simulation (Fmt.str "backend: no simulator named %s" name))
+
+(** Run a circuit and measure every qubit output (classical outputs are
+    read), in output-arity order — the common differential-test move,
+    written once over the contract. *)
+let run_and_measure (module B : S) ?seed (b : Circuit.b) (inputs : bool list) :
+    bool list =
+  let flat = Circuit.inline b in
+  let st = B.run_circuit ?seed b inputs in
+  List.map
+    (fun (e : Wire.endpoint) ->
+      match e.Wire.ty with
+      | Wire.Q -> B.measure st e.Wire.wire
+      | Wire.C -> B.read_bit st e.Wire.wire)
+    flat.Circuit.outputs

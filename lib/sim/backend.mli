@@ -1,0 +1,78 @@
+(** The unified simulator interface: the paper's family of
+    [run_*_generic] functions (§4.4.5) as one first-class contract.
+
+    {!S} is the module type every simulator implements; {!Classical},
+    {!Clifford} and {!Statevector} are its instances. Code that runs
+    circuits and compares outcomes — differential tests, noise channels,
+    fault-injection campaigns — takes a [(module S)] and works on any
+    backend whose gate set permits the circuit.
+
+    Final states are compared through {!observation}: each backend
+    renders its state into a comparable value ({!equal_observation}
+    applies the right equivalence per kind — exact for booleans and
+    canonical tableaux, up-to-global-phase for amplitude vectors). *)
+
+open Quipper
+
+type observation =
+  | Obs_bits of (Wire.t * bool) list
+      (** classical: all live wire values, sorted by wire *)
+  | Obs_tableau of string
+      (** stabilizer: canonical generators, see {!Clifford.canonical} *)
+  | Obs_amplitudes of Quipper_math.Cplx.t array
+      (** statevector: amplitudes in internal qubit order *)
+
+val equal_up_to_phase :
+  ?eps:float -> Quipper_math.Cplx.t array -> Quipper_math.Cplx.t array -> bool
+(** Amplitude vectors equal up to one global phase factor. *)
+
+val equal_observation : ?eps:float -> observation -> observation -> bool
+(** Equality for observations of the same circuit structure on the same
+    backend; observations of different kinds are never equal. [eps] only
+    affects amplitude comparison. *)
+
+(** The simulator contract. Backends raise
+    [Errors.Error (Simulation _)] on gates outside their gate set and
+    [Termination_assertion _] on violated assertive terminations. *)
+module type S = sig
+  val name : string
+
+  type state
+
+  val create : ?seed:int -> unit -> state
+  val apply_gate : state -> Gate.t -> unit
+
+  val measure : state -> Wire.t -> bool
+  (** Measure a live qubit; the wire becomes classical. Deterministic on
+      the classical backend; seeded sampling elsewhere. *)
+
+  val read_bit : state -> Wire.t -> bool
+  val set_bit : state -> Wire.t -> bool -> unit
+
+  val observe : state -> observation
+  (** Render the quantum part of the state for comparison with another
+      run of the same circuit structure on this backend. *)
+
+  val run_fun :
+    ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+  (** Execute a circuit-producing function gate by gate as emitted (the
+      QRAM picture, §2.1, dynamic lifting included). *)
+
+  val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+  (** Walk an already-generated (hierarchical) circuit on basis-state
+      inputs. *)
+end
+
+module Statevector : S with type state = Statevector.state
+module Clifford : S with type state = Clifford.state
+module Classical : S with type state = Classical.state
+
+val all : (module S) list
+(** Every backend, cheapest first: classical, clifford, statevector. *)
+
+val find : string -> (module S)
+(** Look a backend up by {!S.name}; raises [Simulation _] if unknown. *)
+
+val run_and_measure : (module S) -> ?seed:int -> Circuit.b -> bool list -> bool list
+(** Run a circuit, then measure every qubit output (classical outputs
+    are read), in output-arity order. *)

@@ -28,6 +28,9 @@ let read st w =
 
 let write st w v = Hashtbl.replace st.values w v
 
+let bindings st =
+  List.sort compare (Hashtbl.fold (fun w v acc -> (w, v) :: acc) st.values [])
+
 let controls_sat st (cs : Gate.control list) =
   List.for_all (fun (c : Gate.control) -> read st c.cwire = c.positive) cs
 

@@ -14,6 +14,10 @@ val create : unit -> state
 val read : state -> Wire.t -> bool
 val write : state -> Wire.t -> bool -> unit
 
+val bindings : state -> (Wire.t * bool) list
+(** All live wire values, sorted by wire id — the classical analogue of a
+    state observation for the {!Backend} interface. *)
+
 val apply_gate : state -> Gate.t -> unit
 (** Raises [Simulation _] on gates with no classical action (H, W,
     rotations) and on subroutine calls (inline first). *)

@@ -216,6 +216,86 @@ let measure_col st q : bool * bool =
 let retire st w =
   st.col <- List.filter (fun (w', _) -> w' <> w) st.col
 
+let set_bit st w v = Hashtbl.replace st.cenv w v
+
+(** Measure wire [w]: sample (or read off the deterministic outcome),
+    retire the column, move the wire to the classical environment. *)
+let measure st (w : Wire.t) : bool =
+  let q = column st w in
+  let outcome, _ = measure_col st q in
+  retire st w;
+  Hashtbl.replace st.cenv w outcome;
+  outcome
+
+(** Canonical form of the stabilizer group, over all allocated columns
+    (live and retired): Gauss–Jordan reduction of the stabilizer rows to
+    the unique reduced row-echelon basis — X pivots first, then Z pivots —
+    with signs tracked by the same Pauli-product bookkeeping as [rowsum].
+    Two states of identically-allocated runs describe the same stabilizer
+    group iff their canonical strings are equal; this is what lets the
+    fault-injection engine compare Clifford states without amplitudes. *)
+let canonical st : string =
+  let n = st.n in
+  let xs = Array.init n (fun i -> Array.init n (fun j -> getb st.x.(srow st i) j)) in
+  let zs = Array.init n (fun i -> Array.init n (fun j -> getb st.z.(srow st i) j)) in
+  let rs = Array.init n (fun i -> getb st.r (srow st i)) in
+  let g x1 z1 x2 z2 =
+    match (x1, z1) with
+    | false, false -> 0
+    | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+    | true, false -> if z2 && x2 then 1 else if z2 then -1 else 0
+    | false, true -> if x2 && z2 then -1 else if x2 then 1 else 0
+  in
+  (* dst := dst * src, in the copied row set *)
+  let rowmul dst src =
+    let acc = ref ((if rs.(dst) then 2 else 0) + if rs.(src) then 2 else 0) in
+    for j = 0 to n - 1 do
+      acc := !acc + g xs.(src).(j) zs.(src).(j) xs.(dst).(j) zs.(dst).(j);
+      xs.(dst).(j) <- xs.(dst).(j) <> xs.(src).(j);
+      zs.(dst).(j) <- zs.(dst).(j) <> zs.(src).(j)
+    done;
+    rs.(dst) <- ((!acc mod 4) + 4) mod 4 = 2
+  in
+  let swap_rows i k =
+    if i <> k then begin
+      let t = xs.(i) in xs.(i) <- xs.(k); xs.(k) <- t;
+      let t = zs.(i) in zs.(i) <- zs.(k); zs.(k) <- t;
+      let t = rs.(i) in rs.(i) <- rs.(k); rs.(k) <- t
+    end
+  in
+  let rank = ref 0 in
+  let reduce sel =
+    for j = 0 to n - 1 do
+      let pivot = ref (-1) in
+      for i = !rank to n - 1 do
+        if !pivot < 0 && sel i j then pivot := i
+      done;
+      if !pivot >= 0 then begin
+        swap_rows !rank !pivot;
+        for i = 0 to n - 1 do
+          if i <> !rank && sel i j then rowmul i !rank
+        done;
+        incr rank
+      end
+    done
+  in
+  reduce (fun i j -> xs.(i).(j));
+  reduce (fun i j -> zs.(i).(j));
+  let buf = Buffer.create ((n + 2) * n) in
+  for i = 0 to n - 1 do
+    Buffer.add_char buf (if rs.(i) then '-' else '+');
+    for j = 0 to n - 1 do
+      Buffer.add_char buf
+        (match (xs.(i).(j), zs.(i).(j)) with
+        | false, false -> 'I'
+        | true, false -> 'X'
+        | false, true -> 'Z'
+        | true, true -> 'Y')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 
 let resolve_classical_controls st (cs : Gate.control list) =
@@ -295,15 +375,7 @@ let apply_gate st (g : Gate.t) =
       ignore (measure_col st q);
       retire st wire
   | Gate.Discard { ty = Wire.C; wire } -> Hashtbl.remove st.cenv wire
-  | Gate.Measure { wire } ->
-      let q = column st wire in
-      let outcome, deterministic = measure_col st q in
-      let outcome =
-        if deterministic then outcome
-        else outcome (* measure_col already sampled via rng *)
-      in
-      retire st wire;
-      Hashtbl.replace st.cenv wire outcome
+  | Gate.Measure { wire } -> ignore (measure st wire)
   | Gate.Cgate { name; out; ins } ->
       let vs = List.map (read_bit st) ins in
       let v =
@@ -350,12 +422,7 @@ let measure_and_read st (w : ('b, 'q, 'c) Qdata.t) (q : 'q) : 'b =
     List.map
       (fun (e : Wire.endpoint) ->
         match e.Wire.ty with
-        | Wire.Q ->
-            let c = column st e.Wire.wire in
-            let outcome, _ = measure_col st c in
-            retire st e.Wire.wire;
-            Hashtbl.replace st.cenv e.Wire.wire outcome;
-            outcome
+        | Wire.Q -> measure st e.Wire.wire
         | Wire.C -> read_bit st e.Wire.wire)
       (w.Qdata.qleaves q)
   in

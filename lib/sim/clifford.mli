@@ -11,6 +11,21 @@ type state
 val create : ?seed:int -> unit -> state
 val read_bit : state -> Wire.t -> bool
 
+val set_bit : state -> Wire.t -> bool -> unit
+(** Overwrite a classical wire's value (used by readout noise). *)
+
+val measure : state -> Wire.t -> bool
+(** Measure a live qubit: deterministic outcomes are read off the
+    tableau (no randomness consumed), random ones sample the seeded
+    stream; the wire becomes classical. *)
+
+val canonical : state -> string
+(** Unique canonical form of the stabilizer group over all allocated
+    columns (Gauss–Jordan reduced generators with signs, one row per
+    line). Two identically-allocated runs have equal canonical strings
+    iff they are in the same stabilizer state — the Clifford analogue of
+    comparing amplitude vectors. *)
+
 val apply_gate : state -> Gate.t -> unit
 (** Raises [Simulation _] on non-Clifford gates (T, rotations,
     multiply-controlled gates) and subroutine calls. *)

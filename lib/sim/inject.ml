@@ -14,14 +14,18 @@
     - {e masked}: the output state is unchanged (e.g. a Z on a wire in a
       basis state, or a flip that later logic cancels).
 
-    States are compared as full amplitude vectors up to global phase
-    (plus classical outputs), so phase damage that would be observable by
-    any further interference counts as corruption. Clean and faulty runs
-    share one seed, so any measurements draw identically and the
-    comparison isolates the fault's effect. *)
+    Campaigns are generic over a {!Backend.S}: the injected Paulis are
+    Clifford operations, so circuits within the stabilizer gate set can
+    run their campaign on the polynomial-time Clifford backend — states
+    are then compared by canonical stabilizer form instead of amplitude
+    vectors. On the statevector backend, states are compared as full
+    amplitude vectors up to global phase (plus classical outputs), so
+    phase damage that would be observable by any further interference
+    counts as corruption. Clean and faulty runs share one seed, so any
+    measurements draw identically and the comparison isolates the
+    fault's effect. *)
 
 open Quipper
-module Sv = Statevector
 
 type pauli = X | Y | Z
 
@@ -49,90 +53,86 @@ type report = {
 
 (* ------------------------------------------------------------------ *)
 
-let apply_pauli st p w =
-  Sv.apply_gate st
+let apply_pauli (type s) (module B : Backend.S with type state = s) (st : s) p w =
+  B.apply_gate st
     (Gate.Gate { name = pauli_name p; inv = false; targets = [ w ]; controls = [] })
 
 (** Execute the inlined [flat] circuit, optionally striking [pauli] on
     [wire] right after gate [index] ([-1] = before the first gate). *)
-let execute ~seed (flat : Circuit.t) (inputs : bool list)
-    ~(inject : (int * Wire.t * pauli) option) : Sv.state =
-  let st = Sv.create ~seed () in
+let execute_on (type s) (module B : Backend.S with type state = s) ~seed
+    (flat : Circuit.t) (inputs : bool list)
+    ~(inject : (int * Wire.t * pauli) option) : s =
+  let st = B.create ~seed () in
   (if List.length inputs <> List.length flat.Circuit.inputs then
      Errors.raise_ (Shape_mismatch "fault injection: input arity"));
   List.iter2
     (fun (e : Wire.endpoint) v ->
-      Sv.apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+      B.apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
     flat.Circuit.inputs inputs;
-  (match inject with Some (-1, w, p) -> apply_pauli st p w | _ -> ());
+  (match inject with Some (-1, w, p) -> apply_pauli (module B) st p w | _ -> ());
   Array.iteri
     (fun i g ->
-      Sv.apply_gate st g;
+      B.apply_gate st g;
       match inject with
-      | Some (j, w, p) when j = i -> apply_pauli st p w
+      | Some (j, w, p) when j = i -> apply_pauli (module B) st p w
       | _ -> ())
     flat.Circuit.gates;
   st
 
-(** The observable content of a final state: the amplitude vector plus
-    the classical output bits. *)
-let signature (flat : Circuit.t) (st : Sv.state) =
+(** The observable content of a final state: the backend's observation of
+    the quantum part plus the classical output bits. *)
+let signature_on (type s) (module B : Backend.S with type state = s)
+    (flat : Circuit.t) (st : s) : Backend.observation * bool list =
   let cbits =
     List.filter_map
       (fun (e : Wire.endpoint) ->
         match e.Wire.ty with
-        | Wire.C -> Some (Sv.read_bit st e.Wire.wire)
+        | Wire.C -> Some (B.read_bit st e.Wire.wire)
         | Wire.Q -> None)
       flat.Circuit.outputs
   in
-  (Sv.amplitudes st, cbits)
+  (B.observe st, cbits)
 
-(** Amplitude vectors equal up to a global phase (tolerance [eps] per
-    component). *)
-let equal_up_to_phase ?(eps = 1e-6) (a : Quipper_math.Cplx.t array)
-    (b : Quipper_math.Cplx.t array) =
-  let open Quipper_math in
-  Array.length a = Array.length b
-  &&
-  (* reference component: the largest of [a] *)
-  let k = ref 0 in
-  Array.iteri (fun i x -> if Cplx.norm2 x > Cplx.norm2 a.(!k) then k := i) a;
-  let ak = a.(!k) and bk = b.(!k) in
-  if Cplx.norm bk < eps then Cplx.norm ak < eps
-  else begin
-    (* phase factor aligning b to a, unit modulus only if |ak| ~ |bk| *)
-    let f = Cplx.smul (1.0 /. Cplx.norm2 bk) (Cplx.mul ak (Cplx.conj bk)) in
-    abs_float (Cplx.norm f -. 1.0) < eps
-    && Array.for_all2 (fun x y -> Cplx.norm (Cplx.sub x (Cplx.mul f y)) < eps) a b
-  end
+let equal_up_to_phase = Backend.equal_up_to_phase
 
-let classify ~seed flat inputs ~clean (site : Faultsite.site) (p : pauli) : outcome =
-  match execute ~seed flat inputs ~inject:(Some (site.Faultsite.index, site.Faultsite.wire, p)) with
+let classify_on (module B : Backend.S) ~seed flat inputs ~clean
+    (site : Faultsite.site) (p : pauli) : outcome =
+  match
+    execute_on (module B) ~seed flat inputs
+      ~inject:(Some (site.Faultsite.index, site.Faultsite.wire, p))
+  with
   | exception Errors.Error (Errors.Termination_assertion _) -> Detected
   | st ->
-      let amps, cbits = signature flat st in
-      let clean_amps, clean_cbits = clean in
-      if cbits = clean_cbits && equal_up_to_phase amps clean_amps then Masked
+      let obs, cbits = signature_on (module B) flat st in
+      let clean_obs, clean_cbits = clean in
+      if cbits = clean_cbits && Backend.equal_observation obs clean_obs then Masked
       else Corrupted
 
-let run_site ?(seed = 1) (b : Circuit.b) (inputs : bool list) (site : Faultsite.site)
-    (p : pauli) : outcome =
+let run_site_on (module B : Backend.S) ?(seed = 1) (b : Circuit.b)
+    (inputs : bool list) (site : Faultsite.site) (p : pauli) : outcome =
   let flat = Circuit.inline b in
-  let clean = signature flat (execute ~seed flat inputs ~inject:None) in
-  classify ~seed flat inputs ~clean site p
+  let clean =
+    signature_on (module B) flat (execute_on (module B) ~seed flat inputs ~inject:None)
+  in
+  classify_on (module B) ~seed flat inputs ~clean site p
 
 (** Exhaustive single-fault campaign: every site × every Pauli in
     [paulis]. *)
-let report ?(seed = 1) ?(paulis = all_paulis) (b : Circuit.b) (inputs : bool list) :
-    report =
+let report_on (module B : Backend.S) ?(seed = 1) ?(paulis = all_paulis)
+    (b : Circuit.b) (inputs : bool list) : report =
   let flat = Circuit.inline b in
   let sites = Faultsite.enumerate b in
-  let clean = signature flat (execute ~seed flat inputs ~inject:None) in
+  let clean =
+    signature_on (module B) flat (execute_on (module B) ~seed flat inputs ~inject:None)
+  in
   let findings =
     List.concat_map
       (fun site ->
         List.map
-          (fun p -> { site; fault = p; outcome = classify ~seed flat inputs ~clean site p })
+          (fun p ->
+            { site;
+              fault = p;
+              outcome = classify_on (module B) ~seed flat inputs ~clean site p })
           paulis)
       sites
   in
@@ -148,6 +148,16 @@ let report ?(seed = 1) ?(paulis = all_paulis) (b : Circuit.b) (inputs : bool lis
     masked = count Masked;
     findings;
   }
+
+(* The historical statevector-fixed entry points. *)
+
+let run_site ?(seed = 1) (b : Circuit.b) (inputs : bool list)
+    (site : Faultsite.site) (p : pauli) : outcome =
+  run_site_on (module Backend.Statevector) ~seed b inputs site p
+
+let report ?(seed = 1) ?(paulis = all_paulis) (b : Circuit.b) (inputs : bool list) :
+    report =
+  report_on (module Backend.Statevector) ~seed ~paulis b inputs
 
 let pct part whole =
   if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole

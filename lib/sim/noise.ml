@@ -1,12 +1,12 @@
-(** Noise channels over the statevector simulator.
+(** Noise channels over the simulation backends.
 
     The clean simulators check the extended circuit model's promises
     (assertive termination, §4.2.2) only on clean runs. This module
     deliberately breaks that idyll: configurable per-gate/per-wire noise
     channels — bit flip, phase flip, depolarizing, measurement readout
-    error — applied during statevector execution, every random choice
-    drawn from a {!Quipper_math.Rng} stream derived from one master seed
-    so that every noisy run replays exactly.
+    error — applied during execution, every random choice drawn from a
+    {!Quipper_math.Rng} stream derived from one master seed so that every
+    noisy run replays exactly.
 
     Channel semantics, applied after each gate to every qubit wire the
     gate touched that is still live (see {!Quipper.Faultsite.exposed_wires}):
@@ -17,10 +17,16 @@
       probability p (the collapse itself is faithful — only the classical
       record lies, as real readout errors do).
 
-    Seed discipline: the statevector's own measurement stream uses the
-    given seed unchanged, so a configuration with all probabilities zero
-    is {e bit-identical} to the plain [Statevector] run; noise decisions
-    draw from the derived child stream [Rng.derive seed 1]. *)
+    Noisy execution is generic over a {!Backend.S}: the Pauli kicks are
+    Clifford operations, so campaigns run on the stabilizer backend too
+    where the circuit's own gates permit. The historical entry points
+    ([run_circuit], [run_and_measure], [run_trials]) remain, fixed to the
+    statevector backend, and behave bit-identically to before.
+
+    Seed discipline: the backend's own measurement stream uses the given
+    seed unchanged, so a configuration with all probabilities zero is
+    {e bit-identical} to the plain backend run; noise decisions draw from
+    the derived child stream [Rng.derive seed 1]. *)
 
 open Quipper
 module Sv = Statevector
@@ -47,65 +53,79 @@ let pp_config ppf c =
     c.phase_flip c.depolarizing c.readout
 
 (* ------------------------------------------------------------------ *)
-(* Noisy execution                                                     *)
+(* Noisy execution, generic over the backend                           *)
 
-let pauli st name w =
-  Sv.apply_gate st (Gate.Gate { name; inv = false; targets = [ w ]; controls = [] })
+let pauli (type s) (module B : Backend.S with type state = s) (st : s) name w =
+  B.apply_gate st
+    (Gate.Gate { name; inv = false; targets = [ w ]; controls = [] })
 
 (* One noise "kick" on wire [w]: each enabled channel fires
    independently. Zero-probability channels draw nothing, keeping the
    stream (and hence any enabled channel's decisions) independent of
    which other channels are configured off. *)
-let kick rng cfg st w =
-  if cfg.bit_flip > 0.0 && Rng.float rng < cfg.bit_flip then pauli st "X" w;
-  if cfg.phase_flip > 0.0 && Rng.float rng < cfg.phase_flip then pauli st "Z" w;
+let kick (type s) (module B : Backend.S with type state = s) rng cfg (st : s) w =
+  if cfg.bit_flip > 0.0 && Rng.float rng < cfg.bit_flip then pauli (module B) st "X" w;
+  if cfg.phase_flip > 0.0 && Rng.float rng < cfg.phase_flip then pauli (module B) st "Z" w;
   if cfg.depolarizing > 0.0 && Rng.float rng < cfg.depolarizing then
-    pauli st (match Rng.int rng 3 with 0 -> "X" | 1 -> "Y" | _ -> "Z") w
+    pauli (module B) st (match Rng.int rng 3 with 0 -> "X" | 1 -> "Y" | _ -> "Z") w
 
-let flip_readout rng cfg st w =
+let flip_readout (type s) (module B : Backend.S with type state = s) rng cfg (st : s) w =
   if cfg.readout > 0.0 && Rng.float rng < cfg.readout then
-    Sv.set_bit st w (not (Sv.read_bit st w))
+    B.set_bit st w (not (B.read_bit st w))
 
-let step rng cfg st (g : Gate.t) =
+let step (type s) (module B : Backend.S with type state = s) rng cfg (st : s)
+    (g : Gate.t) =
   match g with
   | Gate.Measure { wire } ->
-      Sv.apply_gate st g;
-      flip_readout rng cfg st wire
+      B.apply_gate st g;
+      flip_readout (module B) rng cfg st wire
   | g ->
-      Sv.apply_gate st g;
-      List.iter (kick rng cfg st) (Faultsite.exposed_wires g)
+      B.apply_gate st g;
+      List.iter (kick (module B) rng cfg st) (Faultsite.exposed_wires g)
 
 (** Run the inlined [flat] circuit noisily; returns the state and the
     noise stream (still needed for readout errors on final measurements). *)
-let exec ~seed cfg (flat : Circuit.t) (inputs : bool list) : Sv.state * Rng.t =
-  let st = Sv.create ~seed () in
+let exec_on (type s) (module B : Backend.S with type state = s) ~seed cfg
+    (flat : Circuit.t) (inputs : bool list) : s * Rng.t =
+  let st = B.create ~seed () in
   let rng = Rng.create (Rng.derive seed 1) in
   (if List.length inputs <> List.length flat.Circuit.inputs then
      Errors.raise_ (Shape_mismatch "noisy run: input arity"));
   List.iter2
     (fun (e : Wire.endpoint) v ->
-      Sv.apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+      B.apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
     flat.Circuit.inputs inputs;
-  Array.iter (step rng cfg st) flat.Circuit.gates;
+  Array.iter (step (module B) rng cfg st) flat.Circuit.gates;
   (st, rng)
 
-let run_circuit ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : Sv.state =
-  fst (exec ~seed cfg (Circuit.inline b) inputs)
+let run_circuit_on (type s) (module B : Backend.S with type state = s) ?(seed = 1)
+    cfg (b : Circuit.b) (inputs : bool list) : s =
+  fst (exec_on (module B) ~seed cfg (Circuit.inline b) inputs)
 
-let measure_outputs rng cfg st (flat : Circuit.t) : bool list =
+let measure_outputs (type s) (module B : Backend.S with type state = s) rng cfg
+    (st : s) (flat : Circuit.t) : bool list =
   List.map
     (fun (e : Wire.endpoint) ->
       match e.Wire.ty with
       | Wire.Q ->
-          let v = Sv.measure st e.Wire.wire in
+          let v = B.measure st e.Wire.wire in
           if cfg.readout > 0.0 && Rng.float rng < cfg.readout then not v else v
-      | Wire.C -> Sv.read_bit st e.Wire.wire)
+      | Wire.C -> B.read_bit st e.Wire.wire)
     flat.Circuit.outputs
 
-let run_and_measure ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : bool list =
+let run_and_measure_on (module B : Backend.S) ?(seed = 1) cfg (b : Circuit.b)
+    (inputs : bool list) : bool list =
   let flat = Circuit.inline b in
-  let st, rng = exec ~seed cfg flat inputs in
-  measure_outputs rng cfg st flat
+  let st, rng = exec_on (module B) ~seed cfg flat inputs in
+  measure_outputs (module B) rng cfg st flat
+
+(* The historical statevector-fixed entry points. *)
+
+let run_circuit ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : Sv.state =
+  run_circuit_on (module Backend.Statevector) ~seed cfg b inputs
+
+let run_and_measure ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : bool list =
+  run_and_measure_on (module Backend.Statevector) ~seed cfg b inputs
 
 (* ------------------------------------------------------------------ *)
 (* Trial-based resilient running                                       *)
@@ -136,16 +156,17 @@ let pp_stats ppf s =
     s.successes s.trials (100.0 *. success_rate s) s.wrong s.gave_up s.attempts
     s.detected_failures
 
-(** [run_trials ~trials ~max_failures cfg b inputs ~expected]: run the
-    circuit noisily [trials] times, each trial drawing its seeds from
-    [Rng.derive master_seed] so the whole experiment replays from one
+(** [run_trials_on backend ~trials ~max_failures cfg b inputs ~expected]:
+    run the circuit noisily [trials] times, each trial drawing its seeds
+    from [Rng.derive master_seed] so the whole experiment replays from one
     number. An attempt whose noise trips an assertive termination is a
     {e detected} failure and is retried (up to [max_failures] retries per
     trial) — the runtime analogue of "the assertion told us the run went
     wrong, so run it again". Attempts that complete are compared against
     [expected]; silent corruption is counted, not retried (nothing at run
     time can see it — that asymmetry is the point of the experiment). *)
-let run_trials ?(master_seed = 1) ~trials ~max_failures cfg (b : Circuit.b)
+let run_trials_on (module B : Backend.S) ?(master_seed = 1) ~trials ~max_failures
+    cfg (b : Circuit.b)
     (inputs : bool list) ~(expected : bool list) : stats =
   if trials <= 0 then invalid_arg "Noise.run_trials: trials must be positive";
   if max_failures < 0 then invalid_arg "Noise.run_trials: negative max_failures";
@@ -158,8 +179,8 @@ let run_trials ?(master_seed = 1) ~trials ~max_failures cfg (b : Circuit.b)
         incr attempts;
         let seed = Rng.derive master_seed ((t * (max_failures + 1)) + a + 2) in
         match
-          let st, rng = exec ~seed cfg flat inputs in
-          measure_outputs rng cfg st flat
+          let st, rng = exec_on (module B) ~seed cfg flat inputs in
+          measure_outputs (module B) rng cfg st flat
         with
         | bits -> if bits = expected then Success (a + 1) else Wrong (a + 1)
         | exception Errors.Error (Errors.Termination_assertion _) ->
@@ -180,3 +201,8 @@ let run_trials ?(master_seed = 1) ~trials ~max_failures cfg (b : Circuit.b)
     detected_failures = !detected;
     outcomes;
   }
+
+let run_trials ?(master_seed = 1) ~trials ~max_failures cfg (b : Circuit.b)
+    (inputs : bool list) ~(expected : bool list) : stats =
+  run_trials_on (module Backend.Statevector) ~master_seed ~trials ~max_failures cfg b
+    inputs ~expected

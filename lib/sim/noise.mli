@@ -1,11 +1,17 @@
-(** Noise channels over the statevector simulator: bit flip, phase flip,
+(** Noise channels over the simulation backends: bit flip, phase flip,
     depolarizing and measurement readout error, applied per-gate/per-wire
     during execution, with every random choice drawn from streams derived
     from one master seed ({!Quipper_math.Rng.derive}) — every noisy run
     replays exactly.
 
+    Noisy execution is generic over {!Backend.S} (the Pauli kicks are
+    Clifford operations, so campaigns also run on the stabilizer backend
+    where the circuit's own gates permit); the [_on] functions take the
+    backend explicitly, the historical names are fixed to the
+    statevector backend and behave exactly as before.
+
     A configuration with all probabilities zero is bit-identical to the
-    plain {!Statevector} run on the same seed (property-tested). *)
+    plain backend run on the same seed (property-tested). *)
 
 open Quipper
 
@@ -24,14 +30,28 @@ val readout : float -> config
 val is_noiseless : config -> bool
 val pp_config : Format.formatter -> config -> unit
 
+val run_circuit_on :
+  (module Backend.S with type state = 's) ->
+  ?seed:int ->
+  config ->
+  Circuit.b ->
+  bool list ->
+  's
+(** Run a generated circuit noisily on basis-state inputs, on the given
+    backend. Raises [Termination_assertion] if noise breaks an
+    uncomputation claim — the checks of the extended circuit model keep
+    firing under noise. *)
+
+val run_and_measure_on :
+  (module Backend.S) -> ?seed:int -> config -> Circuit.b -> bool list -> bool list
+(** {!run_circuit_on}, then measure every output (readout noise applies
+    to those final measurements too); returns outputs in arity order. *)
+
 val run_circuit : ?seed:int -> config -> Circuit.b -> bool list -> Statevector.state
-(** Run a generated circuit noisily on basis-state inputs. Raises
-    [Termination_assertion] if noise breaks an uncomputation claim — the
-    checks of the extended circuit model keep firing under noise. *)
+(** {!run_circuit_on} fixed to the statevector backend. *)
 
 val run_and_measure : ?seed:int -> config -> Circuit.b -> bool list -> bool list
-(** {!run_circuit}, then measure every output (readout noise applies to
-    those final measurements too); returns outputs in arity order. *)
+(** {!run_and_measure_on} fixed to the statevector backend. *)
 
 (** Outcome of one trial of {!run_trials}. *)
 type trial_outcome =
@@ -54,6 +74,23 @@ type stats = {
 val success_rate : stats -> float
 val pp_stats : Format.formatter -> stats -> unit
 
+val run_trials_on :
+  (module Backend.S) ->
+  ?master_seed:int ->
+  trials:int ->
+  max_failures:int ->
+  config ->
+  Circuit.b ->
+  bool list ->
+  expected:bool list ->
+  stats
+(** Resilient trial runner on the given backend: [trials] independent
+    noisy runs, per-trial seeds derived from [master_seed]. A trial
+    retries (at most [max_failures] times) whenever an assertive
+    termination detects the failure; completed-but-wrong answers are
+    counted, not retried — quantifying exactly what detection buys.
+    Deterministic for a fixed master seed. *)
+
 val run_trials :
   ?master_seed:int ->
   trials:int ->
@@ -63,9 +100,4 @@ val run_trials :
   bool list ->
   expected:bool list ->
   stats
-(** Resilient trial runner: [trials] independent noisy runs, per-trial
-    seeds derived from [master_seed]. A trial retries (at most
-    [max_failures] times) whenever an assertive termination detects the
-    failure; completed-but-wrong answers are counted, not retried —
-    quantifying exactly what detection buys. Deterministic for a fixed
-    master seed. *)
+(** {!run_trials_on} fixed to the statevector backend. *)

@@ -1,0 +1,33 @@
+(** The seed statevector engine, preserved as a reference oracle.
+
+    The original reallocate-and-copy implementation that {!Statevector}
+    replaced: every [Init]/[Term] allocates a fresh [2^n] amplitude array
+    and every gate goes through the generic matrix loop. Kept for the
+    bit-for-bit property tests (the fast engine must reproduce exactly
+    these floats) and for the old-vs-new timings of bench section N2.
+    Deliberately slow — do not use it for anything else. *)
+
+open Quipper
+
+val max_qubits : int
+(** The seed's original limit (22). *)
+
+type state
+
+val create : ?seed:int -> unit -> state
+val num_qubits : state -> int
+
+val qubit_index : state -> Wire.t -> int
+(** Bit position of a live qubit in the amplitude index; same ordering
+    discipline as {!Statevector.qubit_index}. *)
+
+val read_bit : state -> Wire.t -> bool
+val amplitudes : state -> Quipper_math.Cplx.t array
+val prob_one : state -> Wire.t -> float
+val measure : state -> Wire.t -> bool
+val apply_gate : state -> Gate.t -> unit
+
+val run_fun :
+  ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+
+val run_circuit : ?seed:int -> Circuit.b -> bool list -> state

@@ -14,38 +14,66 @@
     environment, and classically-controlled gates consult that environment.
 
     The state is stored as two unboxed float arrays (real and imaginary
-    parts) of length 2^n for n live qubits; qubit k of the internal order
-    corresponds to bit k of the amplitude index. *)
+    parts); qubit k of the internal order corresponds to bit k of the
+    amplitude index. The arrays are {e capacity-managed}: only the first
+    [2^n] elements are live, and the arrays grow geometrically and never
+    shrink, so the [Init]/[Term] ancilla churn typical of Quipper circuits
+    (§4.2.2) costs a fill or a blit instead of an allocate-and-copy per
+    gate. Gates dispatch on {!Gate.fast_class} to the specialised in-place
+    kernels of {!Kernel} — index swaps for X/CNOT/Toffoli, diagonal
+    multiplies for the phase family, butterflies only for H and W — with
+    the generic matrix path as fallback. All kernel results are bit-for-bit
+    identical to the seed engine preserved in {!Reference}; probability
+    reductions stay sequential so sampled outcomes are independent of the
+    domain count. *)
 
 open Quipper
 
-let max_qubits = 22 (* 4M amplitudes * 16 bytes = 64 MB; plenty for tests *)
+let max_qubits = 25 (* 32M amplitudes * 16 bytes = 512 MB *)
 
 type state = {
-  mutable re : float array;
+  mutable re : float array; (* capacity-managed: length >= size *)
   mutable im : float array;
   mutable n : int; (* number of live qubits *)
+  mutable size : int; (* = 2^n, the live prefix of re/im *)
+  mutable zeros_from : int;
+      (* watermark: re.(i) = im.(i) = 0.0 exactly for every i in
+         [zeros_from, capacity). Lets [add_qubit false] skip the
+         upper-half fill when the region is still zero from a previous
+         round, and a top-position [Term false] skip the assertion scan
+         (a sum of exact zeros is exactly 0.0, the same float the full
+         scan returns) — so a clean Init/Term ancilla cycle that never
+         touches the ancilla costs O(1). *)
   mutable pos : (Wire.t * int) list; (* wire -> bit position, assoc list *)
   cenv : (Wire.t, bool) Hashtbl.t; (* classical wires *)
   rng : Quipper_math.Rng.t;
 }
 
+let initial_capacity = 16
+
 let create ?(seed = 1) () =
+  let re = Array.make initial_capacity 0.0 in
+  re.(0) <- 1.0;
   {
-    re = [| 1.0 |];
-    im = [| 0.0 |];
+    re;
+    im = Array.make initial_capacity 0.0;
     n = 0;
+    size = 1;
+    zeros_from = 1;
     pos = [];
     cenv = Hashtbl.create 16;
     rng = Quipper_math.Rng.create seed;
   }
 
 let num_qubits st = st.n
+let capacity st = Array.length st.re
 
 let position st w =
   match List.assoc_opt w st.pos with
   | Some p -> p
   | None -> Errors.raise_ (Simulation (Fmt.str "statevector: wire %d is not a live qubit" w))
+
+let qubit_index = position
 
 let read_bit st w =
   match Hashtbl.find_opt st.cenv w with
@@ -54,63 +82,127 @@ let read_bit st w =
 
 let set_bit st w v = Hashtbl.replace st.cenv w v
 
+(* Gates are about to write somewhere in [0, size): the zero watermark
+   can no longer vouch for anything below [size]. *)
+let dirty st = if st.zeros_from < st.size then st.zeros_from <- st.size
+
 let amplitudes st =
-  Array.init (Array.length st.re) (fun i -> Quipper_math.Cplx.make st.re.(i) st.im.(i))
+  Array.init st.size (fun i -> Quipper_math.Cplx.make st.re.(i) st.im.(i))
 
 let probabilities st =
-  Array.init (Array.length st.re)
-    (fun i -> (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i)))
+  Array.init st.size (fun i -> (st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i)))
 
 (* ------------------------------------------------------------------ *)
-(* State surgery                                                       *)
+(* State surgery: in place, amortised by capacity                      *)
+
+let ensure_capacity st want =
+  if Array.length st.re < want then begin
+    (* [want] is a power of two >= 2*size, so this is geometric growth;
+       capacity never shrinks, which is what makes ancilla churn cheap *)
+    let re = Array.make want 0.0 and im = Array.make want 0.0 in
+    Array.blit st.re 0 re 0 st.size;
+    Array.blit st.im 0 im 0 st.size;
+    st.re <- re;
+    st.im <- im;
+    (* the fresh arrays are zero beyond the blit, and any zero suffix of
+       the live prefix was copied verbatim *)
+    if st.zeros_from > st.size then st.zeros_from <- st.size
+  end
 
 let add_qubit st (w : Wire.t) (value : bool) =
   if st.n >= max_qubits then
     Errors.raise_
       (Simulation (Fmt.str "statevector: more than %d live qubits" max_qubits));
-  let size = Array.length st.re in
-  let re = Array.make (2 * size) 0.0 and im = Array.make (2 * size) 0.0 in
+  let size = st.size in
+  ensure_capacity st (2 * size);
   (* new qubit occupies the highest bit position st.n *)
-  let off = if value then size else 0 in
-  Array.blit st.re 0 re off size;
-  Array.blit st.im 0 im off size;
-  st.re <- re;
-  st.im <- im;
+  if value then begin
+    (* amplitude j moves to j + size; Array.blit handles the overlap *)
+    Array.blit st.re 0 st.re size size;
+    Array.blit st.im 0 st.im size size;
+    Array.fill st.re 0 size 0.0;
+    Array.fill st.im 0 size 0.0;
+    if st.zeros_from < 2 * size then st.zeros_from <- 2 * size
+  end
+  else begin
+    (* the new upper half must be exactly 0.0; skip whatever suffix the
+       watermark already vouches for (typically all of it, when the
+       previous ancilla at this position terminated untouched) *)
+    if st.zeros_from > size then begin
+      let stop = if st.zeros_from < 2 * size then st.zeros_from else 2 * size in
+      Array.fill st.re size (stop - size) 0.0;
+      Array.fill st.im size (stop - size) 0.0
+    end;
+    if st.zeros_from <= 2 * size && st.zeros_from > size then
+      st.zeros_from <- size
+  end;
   st.pos <- (w, st.n) :: st.pos;
-  st.n <- st.n + 1
+  st.n <- st.n + 1;
+  st.size <- 2 * size
 
 (** Remove qubit [w], which must be in the computational basis state
     [value] (up to [eps] in probability). Used by [Term] and after
-    measurement collapse. *)
+    measurement collapse. Compacts the kept half forward in place: the
+    read index never precedes the write index, so a single ascending
+    pass is safe. Stale data beyond the new [size] is dead; the next
+    [add_qubit] overwrites it. *)
 let remove_qubit ?(on_assert_fail : (unit -> unit) option) st (w : Wire.t) (value : bool) =
   let p = position st w in
-  let size = Array.length st.re in
+  let size = st.size in
   let mask = 1 lsl p in
-  (* probability that qubit p is NOT in [value] *)
-  let bad = ref 0.0 in
-  for i = 0 to size - 1 do
-    let bit = i land mask <> 0 in
-    if bit <> value then bad := !bad +. ((st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i)))
-  done;
-  if !bad > 1e-9 then begin
+  (* probability that qubit p is NOT in [value]. This sum only faces
+     the 1e-9 assertion threshold — it never reaches amplitudes or
+     sampling — so the lane-parallel reduction is safe here. When the
+     qubit holds the top position, [value = false] and the watermark
+     covers the whole upper half, the bad amplitudes are all exactly
+     0.0 and the scan is skipped (a sum of exact zeros is 0.0). *)
+  let bad =
+    if (not value) && 2 * mask = size && st.zeros_from <= size / 2 then 0.0
+    else
+      Kernel.sum_norm2_half_unord ~re:st.re ~im:st.im ~size ~bit:mask
+        ~want:(not value)
+  in
+  if bad > 1e-9 then begin
     (match on_assert_fail with Some f -> f () | None -> ());
     Errors.raise_ (Termination_assertion { wire = w; expected = value })
   end;
-  let re = Array.make (size / 2) 0.0 and im = Array.make (size / 2) 0.0 in
+  let re = st.re and im = st.im in
+  let half = size / 2 in
   let lowmask = mask - 1 in
-  for j = 0 to (size / 2) - 1 do
-    let i = j land lowmask lor ((j land lnot lowmask) lsl 1) lor (if value then mask else 0) in
-    re.(j) <- st.re.(i);
-    im.(j) <- st.im.(i)
-  done;
-  st.re <- re;
-  st.im <- im;
+  let voff = if value then mask else 0 in
+  (* compaction writes into [0, half) unless it is the no-move case
+     (top position, value = false, src = dst throughout) *)
+  if (voff <> 0 || mask <> half) && st.zeros_from < half then
+    st.zeros_from <- half;
+  if mask >= 32 then begin
+    (* run-wise compaction: every run of [mask] kept amplitudes is
+       contiguous, and reads never precede writes, so ascending memmoves
+       are safe. Terminating the top-position qubit (the with_ancilla
+       LIFO case) at [value = false] moves nothing at all. *)
+    let j = ref 0 in
+    while !j < half do
+      let src = ((!j land lnot lowmask) lsl 1) lor (!j land lowmask) lor voff in
+      let len = let r = half - !j in if mask < r then mask else r in
+      if src <> !j then begin
+        Array.blit re src re !j len;
+        Array.blit im src im !j len
+      end;
+      j := !j + len
+    done
+  end
+  else
+    for j = 0 to half - 1 do
+      let i = ((j land lnot lowmask) lsl 1) lor (j land lowmask) lor voff in
+      Array.unsafe_set re j (Array.unsafe_get re i *. 1.0);
+      Array.unsafe_set im j (Array.unsafe_get im i *. 1.0)
+    done;
   st.pos <-
     List.filter_map
       (fun (w', p') ->
         if w' = w then None else Some (w', if p' > p then p' - 1 else p'))
       st.pos;
-  st.n <- st.n - 1
+  st.n <- st.n - 1;
+  st.size <- size / 2
 
 (* ------------------------------------------------------------------ *)
 (* Gate application                                                    *)
@@ -132,79 +224,62 @@ let resolve_controls st (cs : Gate.control list) : (int * int) option =
   in
   go 0 0 cs
 
-let apply_1q st (m : Quipper_math.Mat2.t) (w : Wire.t) (cs : Gate.control list) =
+(** Resolve controls and target, then run a single-qubit kernel. *)
+let with_1q st (t : Wire.t) (cs : Gate.control list)
+    (k :
+      re:float array ->
+      im:float array ->
+      size:int ->
+      bit:int ->
+      cmask:int ->
+      cwant:int ->
+      unit) =
   match resolve_controls st cs with
   | None -> ()
   | Some (cmask, cwant) ->
-      let p = position st w in
-      let bit = 1 lsl p in
-      let size = Array.length st.re in
-      let open Quipper_math in
-      let a = Mat2.get m 0 0 and b = Mat2.get m 0 1 in
-      let c = Mat2.get m 1 0 and d = Mat2.get m 1 1 in
-      let a_re = Cplx.re a and a_im = Cplx.im a in
-      let b_re = Cplx.re b and b_im = Cplx.im b in
-      let c_re = Cplx.re c and c_im = Cplx.im c in
-      let d_re = Cplx.re d and d_im = Cplx.im d in
-      (* straightforward loop over pairs *)
-      for i0 = 0 to size - 1 do
-        if i0 land bit = 0 then begin
-          let i1 = i0 lor bit in
-          (* controls must hold on the pair (control bits are the same for
-             i0 and i1 since p is not a control) *)
-          if i0 land cmask = cwant then begin
-            let x_re = st.re.(i0) and x_im = st.im.(i0) in
-            let y_re = st.re.(i1) and y_im = st.im.(i1) in
-            st.re.(i0) <- (a_re *. x_re) -. (a_im *. x_im) +. (b_re *. y_re) -. (b_im *. y_im);
-            st.im.(i0) <- (a_re *. x_im) +. (a_im *. x_re) +. (b_re *. y_im) +. (b_im *. y_re);
-            st.re.(i1) <- (c_re *. x_re) -. (c_im *. x_im) +. (d_re *. y_re) -. (d_im *. y_im);
-            st.im.(i1) <- (c_re *. x_im) +. (c_im *. x_re) +. (d_re *. y_im) +. (d_im *. y_re)
-          end
-        end
-      done
+      let bit = 1 lsl position st t in
+      dirty st;
+      k ~re:st.re ~im:st.im ~size:st.size ~bit ~cmask ~cwant
 
-let apply_2q st (m : Quipper_math.Mat2.t) (wa : Wire.t) (wb : Wire.t)
-    (cs : Gate.control list) =
+(** Resolve controls and targets, then run a two-qubit kernel; [ba] is
+    the first wire's bit (the high bit of the |ab> basis order). *)
+let with_2q st (wa : Wire.t) (wb : Wire.t) (cs : Gate.control list)
+    (k :
+      re:float array ->
+      im:float array ->
+      size:int ->
+      ba:int ->
+      bb:int ->
+      cmask:int ->
+      cwant:int ->
+      unit) =
   match resolve_controls st cs with
   | None -> ()
   | Some (cmask, cwant) ->
-      let pa = position st wa and pb = position st wb in
-      let ba = 1 lsl pa and bb = 1 lsl pb in
-      let size = Array.length st.re in
-      let open Quipper_math in
-      (* basis order |ab>: index 2*bit_a + bit_b *)
-      let entry r c = Mat2.get m r c in
-      for i = 0 to size - 1 do
-        if i land ba = 0 && i land bb = 0 && i land cmask = cwant then begin
-          let idx = [| i; i lor bb; i lor ba; i lor ba lor bb |] in
-          let xr = Array.map (fun j -> st.re.(j)) idx in
-          let xi = Array.map (fun j -> st.im.(j)) idx in
-          for r = 0 to 3 do
-            let acc_re = ref 0.0 and acc_im = ref 0.0 in
-            for c = 0 to 3 do
-              let e = entry r c in
-              let er = Cplx.re e and ei = Cplx.im e in
-              acc_re := !acc_re +. (er *. xr.(c)) -. (ei *. xi.(c));
-              acc_im := !acc_im +. (er *. xi.(c)) +. (ei *. xr.(c))
-            done;
-            st.re.(idx.(r)) <- !acc_re;
-            st.im.(idx.(r)) <- !acc_im
-          done
-        end
-      done
+      let ba = 1 lsl position st wa and bb = 1 lsl position st wb in
+      dirty st;
+      k ~re:st.re ~im:st.im ~size:st.size ~ba ~bb ~cmask ~cwant
+
+let apply_1q st (m : Quipper_math.Mat2.t) (w : Wire.t) (cs : Gate.control list) =
+  with_1q st w cs (fun ~re ~im ~size ~bit ~cmask ~cwant ->
+      Kernel.k1_generic ~re ~im ~size ~bit ~cmask ~cwant m)
+
+(** Diagonal gate: take the two diagonal entries from the {e same} matrix
+    construction the generic path would use, so specialised and generic
+    results agree to the bit, and hand them to the diagonal kernel. *)
+let apply_diag st (m : Quipper_math.Mat2.t) (w : Wire.t) (cs : Gate.control list) =
+  let open Quipper_math in
+  let d0 = Mat2.get m 0 0 and d1 = Mat2.get m 1 1 in
+  with_1q st w cs (fun ~re ~im ~size ~bit ~cmask ~cwant ->
+      Kernel.kdiag ~re ~im ~size ~bit ~cmask ~cwant ~d0_re:(Cplx.re d0)
+        ~d0_im:(Cplx.im d0) ~d1_re:(Cplx.re d1) ~d1_im:(Cplx.im d1))
 
 let apply_phase st angle (cs : Gate.control list) =
   match resolve_controls st cs with
   | None -> ()
   | Some (cmask, cwant) ->
-      let pr = cos angle and pi = sin angle in
-      for i = 0 to Array.length st.re - 1 do
-        if i land cmask = cwant then begin
-          let x_re = st.re.(i) and x_im = st.im.(i) in
-          st.re.(i) <- (pr *. x_re) -. (pi *. x_im);
-          st.im.(i) <- (pr *. x_im) +. (pi *. x_re)
-        end
-      done
+      dirty st;
+      Kernel.kphase ~re:st.re ~im:st.im ~size:st.size ~cmask ~cwant ~angle
 
 let gate_matrix name inv : Quipper_math.Mat2.t option =
   let open Quipper_math.Mat2 in
@@ -238,31 +313,33 @@ let rot_matrix name angle inv : Quipper_math.Mat2.t option =
   | _ -> None
 
 (** Measure qubit [w]: Born-rule sample, collapse, move the wire to the
-    classical environment. Returns the outcome. *)
+    classical environment. Returns the outcome. The probability sum is
+    sequential (ordered float addition), so the sampled outcome is the
+    same on any machine and domain count; the elementwise collapse may
+    run in parallel. *)
 let measure st (w : Wire.t) : bool =
   let p = position st w in
   let mask = 1 lsl p in
-  let size = Array.length st.re in
-  let p1 = ref 0.0 in
-  for i = 0 to size - 1 do
-    if i land mask <> 0 then
-      p1 := !p1 +. ((st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i)))
-  done;
-  let outcome = Quipper_math.Rng.float st.rng < !p1 in
+  let size = st.size in
+  let p1 = Kernel.sum_norm2_half ~re:st.re ~im:st.im ~size ~bit:mask ~want:true in
+  let outcome = Quipper_math.Rng.float st.rng < p1 in
   (* collapse: zero the other branch and renormalise *)
-  let keep_prob = if outcome then !p1 else 1.0 -. !p1 in
+  let keep_prob = if outcome then p1 else 1.0 -. p1 in
   let scale = 1.0 /. sqrt (max keep_prob 1e-300) in
-  for i = 0 to size - 1 do
-    let bit = i land mask <> 0 in
-    if bit <> outcome then begin
-      st.re.(i) <- 0.0;
-      st.im.(i) <- 0.0
-    end
-    else begin
-      st.re.(i) <- st.re.(i) *. scale;
-      st.im.(i) <- st.im.(i) *. scale
-    end
-  done;
+  let re = st.re and im = st.im in
+  dirty st;
+  Kernel.par_range size (fun lo hi ->
+      for i = lo to hi - 1 do
+        let bit = i land mask <> 0 in
+        if bit <> outcome then begin
+          re.(i) <- 0.0;
+          im.(i) <- 0.0
+        end
+        else begin
+          re.(i) <- re.(i) *. scale;
+          im.(i) <- im.(i) *. scale
+        end
+      done);
   remove_qubit st w outcome;
   Hashtbl.replace st.cenv w outcome;
   outcome
@@ -271,40 +348,37 @@ let measure st (w : Wire.t) : bool =
 let prob_one st (w : Wire.t) : float =
   let p = position st w in
   let mask = 1 lsl p in
-  let acc = ref 0.0 in
-  for i = 0 to Array.length st.re - 1 do
-    if i land mask <> 0 then
-      acc := !acc +. ((st.re.(i) *. st.re.(i)) +. (st.im.(i) *. st.im.(i)))
-  done;
-  !acc
+  Kernel.sum_norm2_half ~re:st.re ~im:st.im ~size:st.size ~bit:mask ~want:true
 
 (* ------------------------------------------------------------------ *)
 
 let apply_gate st (g : Gate.t) =
   match g with
   | Gate.Gate { name = "swap"; inv = _; targets = [ a; b ]; controls } ->
-      (* swap = 3 CNOTs; do it directly as a permutation *)
-      apply_2q st
-        Quipper_math.Mat2.(
-          of_rows
-            [| [| Quipper_math.Cplx.one; Quipper_math.Cplx.zero; Quipper_math.Cplx.zero; Quipper_math.Cplx.zero |];
-               [| Quipper_math.Cplx.zero; Quipper_math.Cplx.zero; Quipper_math.Cplx.one; Quipper_math.Cplx.zero |];
-               [| Quipper_math.Cplx.zero; Quipper_math.Cplx.one; Quipper_math.Cplx.zero; Quipper_math.Cplx.zero |];
-               [| Quipper_math.Cplx.zero; Quipper_math.Cplx.zero; Quipper_math.Cplx.zero; Quipper_math.Cplx.one |] |])
-        a b controls
+      with_2q st a b controls Kernel.kswap
   | Gate.Gate { name = "W"; inv = _; targets = [ a; b ]; controls } ->
-      apply_2q st Quipper_math.Mat2.w_gate a b controls
+      with_2q st a b controls Kernel.kw
   | Gate.Gate { name; inv; targets = [ t ]; controls } -> (
-      match gate_matrix name inv with
-      | Some m -> apply_1q st m t controls
-      | None ->
-          Errors.raise_ (Simulation (Fmt.str "statevector: unknown gate %s" name)))
+      match Gate.fast_class g with
+      | Gate.Fast_x -> with_1q st t controls Kernel.kx
+      | Gate.Fast_y -> with_1q st t controls Kernel.ky
+      | Gate.Fast_h -> with_1q st t controls Kernel.kh
+      | Gate.Fast_z | Gate.Fast_s _ | Gate.Fast_t _ -> (
+          match gate_matrix name inv with
+          | Some m -> apply_diag st m t controls
+          | None -> assert false (* fast_class only matches known names *))
+      | _ -> (
+          match gate_matrix name inv with
+          | Some m -> apply_1q st m t controls
+          | None ->
+              Errors.raise_ (Simulation (Fmt.str "statevector: unknown gate %s" name))))
   | Gate.Gate { name; _ } ->
       Errors.raise_ (Simulation (Fmt.str "statevector: unsupported gate %s" name))
   | Gate.Rot { name; angle; inv; targets = [ t ]; controls } -> (
-      match rot_matrix name angle inv with
-      | Some m -> apply_1q st m t controls
-      | None ->
+      match (Gate.fast_class g, rot_matrix name angle inv) with
+      | Gate.Fast_diag _, Some m -> apply_diag st m t controls
+      | _, Some m -> apply_1q st m t controls
+      | _, None ->
           Errors.raise_ (Simulation (Fmt.str "statevector: unknown rotation %s" name)))
   | Gate.Rot { name; _ } ->
       Errors.raise_ (Simulation (Fmt.str "statevector: unsupported rotation %s" name))

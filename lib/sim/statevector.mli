@@ -7,16 +7,46 @@
     asserted basis state (raising [Termination_assertion] otherwise —
     catching wrong uncomputation) and shrinks the state, measurements
     collapse probabilistically (seeded) and move the wire to a classical
-    environment consulted by classically-controlled gates. *)
+    environment consulted by classically-controlled gates.
+
+    {2 Internal qubit ordering}
+
+    The state is a dense vector of [2^n] complex amplitudes for [n] live
+    qubits, held as two unboxed float arrays (real and imaginary parts).
+    Each live qubit has an {e index}: a bit position in the amplitude's
+    array index, exposed by {!qubit_index}. A freshly initialised qubit
+    always takes the highest position [n]; terminating or measuring a
+    qubit shifts every higher position down by one. So indices are {e not}
+    stable across [Init]/[Term] — query {!qubit_index} at the moment you
+    need it, and interpret {!amplitudes}[(i)] as the basis state whose
+    qubit [w] has value [(i lsr qubit_index st w) land 1].
+
+    The amplitude buffers are capacity-managed: they grow geometrically,
+    never shrink, and [Init]/[Term]/[measure] update them in place, so
+    ancilla churn does not allocate once the high-water mark is reached.
+    Gate application dispatches on {!Quipper.Gate.fast_class} to the
+    specialised kernels in {!Kernel} and falls back to generic matrix
+    application; results are bit-for-bit those of the {!Reference} seed
+    engine, and probability reductions are sequential so sampled outcomes
+    never depend on the machine or domain count. *)
 
 open Quipper
 
 val max_qubits : int
+(** Hard cap on live qubits (25: 32M amplitudes, 512 MB). *)
 
 type state
 
 val create : ?seed:int -> unit -> state
 val num_qubits : state -> int
+
+val capacity : state -> int
+(** Allocated length of the amplitude buffers (>= [2^num_qubits]); grows
+    geometrically and never shrinks. Exposed for the capacity tests. *)
+
+val qubit_index : state -> Wire.t -> int
+(** Bit position of a live qubit in the amplitude index (see the ordering
+    note above). Raises [Simulation _] if [w] is not a live qubit. *)
 
 val read_bit : state -> Wire.t -> bool
 (** Value of a classical wire. *)
@@ -26,9 +56,10 @@ val set_bit : state -> Wire.t -> bool -> unit
     model measurement readout errors. *)
 
 val amplitudes : state -> Quipper_math.Cplx.t array
-(** Copy of the full amplitude vector, indexed in the simulator's
-    internal qubit order. Used by equality-to-the-bit tests (e.g. that a
-    zero-probability noise configuration perturbs nothing). *)
+(** Copy of the live amplitude vector (length [2^num_qubits]), indexed in
+    the simulator's internal qubit order. Used by equality-to-the-bit
+    tests (e.g. that a zero-probability noise configuration perturbs
+    nothing). *)
 
 val probabilities : state -> float array
 (** [norm2] of each amplitude, same indexing as {!amplitudes}. *)

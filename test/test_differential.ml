@@ -1,21 +1,30 @@
 (* The differential-simulation harness: the same random circuits run
-   through statevector vs. classical vs. Clifford simulators on the gate
-   fragments the pairs share, failing on any divergence. Each property
-   runs 40+ random circuits, so one [dune runtest] crosses well over 100
-   circuits across three simulator pairs. *)
+   through every simulator backend whose gate set supports the fragment,
+   failing on any divergence. Written once over the unified
+   {!Quipper_sim.Backend} contract: each property fixes an oracle (the
+   classical simulation, or the identity for roundtrip circuits) and
+   folds a [(module Backend.S)] list over it. Each property runs 40
+   random circuits, so one [dune runtest] crosses well over 100 circuits
+   across the backend pairs. *)
 
 open Quipper
-module Sv = Quipper_sim.Statevector
-module Cl = Quipper_sim.Clifford
+module Backend = Quipper_sim.Backend
 module Cs = Quipper_sim.Classical
 
 let inputs_gen n = QCheck2.Gen.(list_repeat n bool)
 
-let bit_prob b = if b then 1.0 else 0.0
+(* Run [b] on every backend in [backends] (same seed — on these
+   deterministic-outcome circuits the seed only fixes the sampling
+   stream) and check the measured outputs against [expected]. *)
+let agree ~seed backends (b : Circuit.b) inputs expected =
+  List.for_all
+    (fun (module B : Backend.S) ->
+      Backend.run_and_measure (module B) ~seed b inputs = expected)
+    backends
 
-(* classical vs statevector: on basis-state-preserving circuits the
-   dense simulator must land exactly on the boolean simulator's output
-   basis state *)
+(* classical fragment: on basis-state-preserving circuits, every backend
+   that accepts the gates (Toffoli rules out the stabilizer one) must
+   land exactly on the boolean simulator's output basis state *)
 let prop_classical_vs_statevector =
   let n = 5 in
   QCheck2.Test.make ~name:"differential: classical vs statevector" ~count:40
@@ -23,15 +32,12 @@ let prop_classical_vs_statevector =
     (fun (ops, inputs) ->
       let b = Gen.circuit_of_program ~n ops in
       let expected = Cs.run_circuit b inputs in
-      let st = Sv.run_circuit ~seed:7 b inputs in
-      List.for_all2
-        (fun (e : Wire.endpoint) bit ->
-          abs_float (Sv.prob_one st e.Wire.wire -. bit_prob bit) < 1e-9)
-        b.Circuit.main.Circuit.outputs expected)
+      agree ~seed:7
+        [ (module Backend.Classical); (module Backend.Statevector) ]
+        b inputs expected)
 
-(* classical vs Clifford: the permutation/parity fragment (X, CNOT,
-   swap) runs on both; the tableau's measurements must be deterministic
-   and equal to the boolean run *)
+(* permutation/parity fragment (X, CNOT, swap): the intersection of all
+   three gate sets — every backend must agree with the boolean run *)
 let prop_classical_vs_clifford =
   let n = 5 in
   QCheck2.Test.make ~name:"differential: classical vs clifford" ~count:40
@@ -39,17 +45,12 @@ let prop_classical_vs_clifford =
     (fun (ops, inputs) ->
       let b = Gen.circuit_of_program ~n ops in
       let expected = Cs.run_circuit b inputs in
-      let st = Cl.run_circuit ~seed:5 b inputs in
-      let qs =
-        List.map (fun (e : Wire.endpoint) -> Wire.Qubit e.Wire.wire)
-          b.Circuit.main.Circuit.outputs
-      in
-      Cl.measure_and_read st (Qdata.list_of n Qdata.qubit) qs = expected)
+      agree ~seed:5 Backend.all b inputs expected)
 
-(* statevector vs Clifford: random Clifford programs followed by their
-   library-generated reverse must map every basis input to itself in
-   both simulators — a deterministic observable that exercises
-   superposition-generating gates (H, S) on both sides *)
+(* random Clifford programs followed by their library-generated reverse
+   must map every basis input to itself on the quantum backends — a
+   deterministic observable that exercises superposition-generating
+   gates (H, S) on both sides *)
 let prop_statevector_vs_clifford_roundtrip =
   let n = 4 in
   QCheck2.Test.make ~name:"differential: statevector vs clifford (roundtrips)"
@@ -57,20 +58,9 @@ let prop_statevector_vs_clifford_roundtrip =
     QCheck2.Gen.(pair (Gen.clifford_program_gen ~n) (inputs_gen n))
     (fun (ops, inputs) ->
       let b = Gen.roundtrip_circuit_of_program ~n ops in
-      let st = Sv.run_circuit ~seed:11 b inputs in
-      let sv_ok =
-        List.for_all2
-          (fun (e : Wire.endpoint) bit ->
-            abs_float (Sv.prob_one st e.Wire.wire -. bit_prob bit) < 1e-9)
-          b.Circuit.main.Circuit.outputs inputs
-      in
-      let stc = Cl.run_circuit ~seed:11 b inputs in
-      let qs =
-        List.map (fun (e : Wire.endpoint) -> Wire.Qubit e.Wire.wire)
-          b.Circuit.main.Circuit.outputs
-      in
-      let cl_ok = Cl.measure_and_read stc (Qdata.list_of n Qdata.qubit) qs = inputs in
-      sv_ok && cl_ok)
+      agree ~seed:11
+        [ (module Backend.Statevector); (module Backend.Clifford) ]
+        b inputs inputs)
 
 let suite =
   List.map QCheck_alcotest.to_alcotest

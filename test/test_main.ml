@@ -18,4 +18,5 @@ let () =
       ("alternatives", Test_alternatives.suite);
       ("noise", Test_noise.suite);
       ("differential", Test_differential.suite);
+      ("backend", Test_backend.suite);
     ]
