@@ -725,6 +725,38 @@ let benchmarks () =
 
 (* ================================================================== *)
 
+let n3 () =
+  section "N3: peephole optimizer (lib/opt) on the paper's circuits";
+  let module Passes = Quipper_opt.Passes in
+  let module Equiv = Quipper_opt.Equiv in
+  Fmt.pr "  %-24s %10s %10s %8s %7s %7s %8s  %s@." "circuit" "logical"
+    "optimized" "removed" "depth" "depth'" "time" "validation";
+  let row name (b : Circuit.b) =
+    let before = Gatecount.summarize b in
+    let d0 = Depth.depth b in
+    let (b', _), t = time (fun () -> Passes.optimize b) in
+    let after = Gatecount.summarize b' in
+    let verdict =
+      (* translation validation through the simulator backends; the quick
+         run keeps only the structural numbers *)
+      if quick then "-" else Fmt.str "%a" Equiv.pp (Equiv.check b b')
+    in
+    Fmt.pr "  %-24s %10s %10s %8s %7d %7d %7.2fs  %s@." name
+      (commas before.Gatecount.total_logical)
+      (commas after.Gatecount.total_logical)
+      (commas (before.Gatecount.total_logical - after.Gatecount.total_logical))
+      d0 (Depth.depth b') t verdict
+  in
+  let p = { Algo_bwt.default_params with Algo_bwt.n = 3; s = 1 } in
+  row "bwt orthodox" (Algo_bwt.generate ~p ~which:`Orthodox ());
+  row "bwt template" (Algo_bwt.generate ~p ~which:`Template ());
+  row "bwt qcl baseline" (Qcl_baseline.Bwt_qcl.generate ~p ());
+  let tfp = { Algo_tf.Oracle.l = 4; n = 3; r = 2 } in
+  row "tf pow17" (Algo_tf.Qwtfp.generate_pow17 ~p:tfp ());
+  row "tf mul" (Algo_tf.Qwtfp.generate_mul ~p:tfp ())
+
+(* ================================================================== *)
+
 let () =
   Fmt.pr "Quipper-in-OCaml reproduction harness (paper: Green et al., PLDI 2013)@.";
   e1 ();
@@ -738,5 +770,6 @@ let () =
   ablations ();
   noise ();
   n2 ();
+  n3 ();
   benchmarks ();
   Fmt.pr "@.Done.@."

@@ -6,7 +6,7 @@
 open Cmdliner
 open Quipper
 
-let run which format n s =
+let run which format n s optimize verbose =
   let p = { Algo_bwt.n; s; dt = Algo_bwt.default_params.Algo_bwt.dt } in
   let b =
     match which with
@@ -14,6 +14,10 @@ let run which format n s =
     | "template" -> Algo_bwt.generate ~p ~which:`Template ()
     | "qcl" -> Qcl_baseline.Bwt_qcl.generate ~p ()
     | s -> Fmt.failwith "unknown oracle %S (try orthodox, template, qcl)" s
+  in
+  let b =
+    if optimize then Quipper_opt.Passes.optimize_and_report ~verbose Fmt.stdout b
+    else b
   in
   (match format with
   | "gatecount" -> Fmt.pr "%a@." Gatecount.pp_summary (Gatecount.summarize b)
@@ -36,8 +40,21 @@ let format =
 let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Tree depth parameter.")
 let s_arg = Arg.(value & opt int 1 & info [ "s" ] ~docv:"S" ~doc:"Number of timesteps.")
 
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the peephole optimizer (default pipeline) before output, \
+              printing before/after gate-count summaries.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"With $(b,-O), also print per-pass statistics.")
+
 let cmd =
   let doc = "The Binary Welded Tree algorithm (Quipper paper, section 6 comparison)." in
-  Cmd.v (Cmd.info "bwt" ~doc) Term.(const run $ which $ format $ n_arg $ s_arg)
+  Cmd.v (Cmd.info "bwt" ~doc)
+    Term.(const run $ which $ format $ n_arg $ s_arg $ optimize_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

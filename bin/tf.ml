@@ -2,12 +2,15 @@
 
      ./tf -f gatecount -o orthodox -l 31 -n 15 -r 6
      ./tf -s pow17 -l 4 -n 3 -r 2
-     ./tf -f gatecount -O -o orthodox -l 31 -n 15 -r 9
+     ./tf -f gatecount --oracle-only -l 31 -n 15 -r 9
 
    "Its command line interface allows the user, for example, to plug in
    different oracles, show different parts of the circuit, select a gate
    base, select different output formats, and select parameter values for
-   l, n and r." *)
+   l, n and r."
+
+   The paper's [-O] (oracle only) is spelled [--oracle-only] here; [-O]
+   runs the peephole optimizer instead. *)
 
 open Cmdliner
 open Quipper
@@ -26,7 +29,7 @@ let generate ~subroutine ~oracle_only ~p =
       if oracle_only then Algo_tf.Qwtfp.generate_oracle ~p ()
       else Algo_tf.Qwtfp.generate ~p ()
 
-let run format subroutine oracle_only gate_base simulate l n r =
+let run format subroutine oracle_only gate_base simulate optimize verbose l n r =
   let p = { Algo_tf.Oracle.l; n; r } in
   if simulate then
     if Algo_tf.Simulate.run ~p then 0 else 1
@@ -38,6 +41,10 @@ let run format subroutine oracle_only gate_base simulate l n r =
     | Some "toffoli" -> Decompose.decompose_generic Decompose.Toffoli b
     | Some base -> Fmt.failwith "unknown gate base %S (try binary, toffoli)" base
     | None -> b
+  in
+  let b =
+    if optimize then Quipper_opt.Passes.optimize_and_report ~verbose Fmt.stdout b
+    else b
   in
   (match format with
   | Gatecount ->
@@ -82,7 +89,20 @@ let subroutine =
 let oracle_only =
   Arg.(
     value & flag
-    & info [ "O" ] ~doc:"Generate the oracle only (as in the paper's -O).")
+    & info [ "oracle-only" ]
+        ~doc:"Generate the oracle only (the paper's -O).")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the peephole optimizer (default pipeline) before output, \
+              printing before/after gate-count summaries.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"With $(b,-O), also print per-pass statistics.")
 
 let gate_base =
   Arg.(
@@ -107,6 +127,6 @@ let cmd =
     (Cmd.info "tf" ~doc)
     Term.(
       const run $ format $ subroutine $ oracle_only $ gate_base $ simulate
-      $ l_arg $ n_arg $ r_arg)
+      $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg)
 
 let () = exit (Cmd.eval' cmd)

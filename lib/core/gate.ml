@@ -130,6 +130,101 @@ let wires gate : Wire.endpoint list =
   | Comment { labels; _ } -> List.map (fun (w, _) -> Wire.qw w) labels
 
 (* ------------------------------------------------------------------ *)
+(* Rewriting predicates                                                *)
+
+type wire_action = Act_diag | Act_x | Act_other
+
+(** What a unitary gate does to each of its {e target} wires, as far as
+    commutation is concerned. Controls are always [Act_diag]: a control is
+    a projector, diagonal in the computational basis. *)
+let target_action = function
+  | Gate { name = "not" | "X"; _ } -> Act_x
+  | Gate { name = "Z" | "S" | "T"; _ } -> Act_diag
+  | Rot { name = "R" | "Ph" | "Rz" | "exp(-i%Z)"; _ } -> Act_diag
+  | Phase _ -> Act_diag (* no targets; for uniformity *)
+  | _ -> Act_other
+
+let is_unitary = function Gate _ | Rot _ | Phase _ -> true | _ -> false
+
+(** Diagonal in the computational basis (controls included — a controlled
+    diagonal is diagonal). Only unitary gates qualify. *)
+let is_diagonal g = is_unitary g && target_action g = Act_diag
+
+let targets = function
+  | Gate { targets; _ } | Rot { targets; _ } -> targets
+  | _ -> []
+
+let wire_action g w =
+  if List.mem w (targets g) then target_action g else Act_diag
+
+(** Sound syntactic commutation check. Gates on disjoint wire sets always
+    commute. Two diagonal gates commute however they overlap. Otherwise
+    both gates must decompose as sums of per-wire tensor factors (single
+    target, controls being per-wire projectors), and on every shared wire
+    the two factors must commute: diagonal against diagonal, or X against
+    X (so e.g. two CNOTs sharing a target commute, a CNOT's control
+    commutes with a Z or a T on the same wire, but a CNOT's control
+    against another CNOT's target does not). Multi-target non-diagonal
+    gates (swap, W) only commute by disjointness. Conservative [false]
+    everywhere else — never claims commutation that does not hold. *)
+let commutes a b =
+  let wires_of g =
+    List.sort_uniq compare (List.map (fun (e : Wire.endpoint) -> e.Wire.wire) (wires g))
+  in
+  let shared = List.filter (fun w -> List.mem w (wires_of b)) (wires_of a) in
+  if shared = [] then true
+  else if not (is_unitary a && is_unitary b) then false
+  else if is_diagonal a && is_diagonal b then true
+  else
+    let factors g = is_diagonal g || List.length (targets g) <= 1 in
+    factors a && factors b
+    && List.for_all
+         (fun w ->
+           match (wire_action a w, wire_action b w) with
+           | Act_diag, Act_diag | Act_x, Act_x -> true
+           | _ -> false)
+         shared
+
+let same_controls cs1 cs2 =
+  let key c = (c.cwire, c.cty, c.positive) in
+  let sort cs = List.sort compare (List.map key cs) in
+  List.length cs1 = List.length cs2 && sort cs1 = sort cs2
+
+(** Merge two gates acting on the same targets under the same controls
+    into one: [T·T = S], [S·S = Z] (and the starred versions), same-name
+    rotation addition ([Rz(a)·Rz(b) = Rz(a+b)], likewise [R]/[Ph] and
+    [exp(-i%Z)]), and global-phase addition. The result is exact — no
+    global-phase slack — so fusion is safe inside controllable boxed
+    subcircuits. Returns [None] when the pair has no fusion. *)
+let fusion a b =
+  match (a, b) with
+  | Gate ga, Gate gb
+    when ga.targets = gb.targets && same_controls ga.controls gb.controls
+         && ga.name = gb.name && ga.inv = gb.inv -> (
+      match ga.name with
+      | "T" -> Some (Gate { ga with name = "S" })
+      | "S" ->
+          (* S^2 = Z and S*^2 = Z: Z is self-inverse *)
+          Some (Gate { ga with name = "Z"; inv = false })
+      | _ -> None)
+  | Rot ra, Rot rb
+    when ra.name = rb.name && ra.targets = rb.targets
+         && same_controls ra.controls rb.controls ->
+      let eff angle inv = if inv then -.angle else angle in
+      let angle = eff ra.angle ra.inv +. eff rb.angle rb.inv in
+      Some (Rot { ra with angle; inv = false })
+  | Phase pa, Phase pb when same_controls pa.controls pb.controls ->
+      Some (Phase { pa with angle = pa.angle +. pb.angle })
+  | _ -> None
+
+(** Is this gate the identity (a zero-angle rotation or phase)? Fusion can
+    produce these; rewriting drops them. *)
+let is_identity = function
+  | Rot { name = "R" | "Ph" | "Rz" | "exp(-i%Z)"; angle = 0.0; _ } -> true
+  | Phase { angle = 0.0; _ } -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
 (* Inversion                                                           *)
 
 (** The inverse gate. Raises [Errors.Error (Not_reversible _)] for gates

@@ -87,6 +87,45 @@ val primitive_arity : string -> int option
 
 val self_inverse : string -> bool
 
+(** {2 Rewriting predicates}
+
+    The algebraic facts the optimizer subsystem (the DAG-based peephole
+    rewriting in [lib/opt]) relies on. All of them are exact —
+    no global-phase slack — so they are safe inside boxed subcircuits
+    that may be called under controls. *)
+
+(** A unitary gate's action on one of its wires: diagonal in the
+    computational basis (controls always are), an X flip, or anything
+    else. *)
+type wire_action = Act_diag | Act_x | Act_other
+
+val is_unitary : t -> bool
+(** [Gate]/[Rot]/[Phase] — the constructors with unitary semantics. *)
+
+val is_diagonal : t -> bool
+(** Diagonal in the computational basis, controls included. *)
+
+val targets : t -> Wire.t list
+(** Target wires of a [Gate]/[Rot]; [[]] for every other constructor. *)
+
+val wire_action : t -> Wire.t -> wire_action
+(** Action on a specific wire ([Act_diag] for control wires). Only
+    meaningful for wires the gate touches. *)
+
+val commutes : t -> t -> bool
+(** Sound syntactic commutation: [true] only when the two gates provably
+    commute (disjoint wires; both diagonal; or per-shared-wire actions
+    that pairwise commute — diag/diag or X/X). Conservative [false]
+    otherwise. *)
+
+val fusion : t -> t -> t option
+(** Fuse two gates on identical targets and controls into one:
+    [T·T = S], [S·S = Z], same-name rotation-angle addition, global-phase
+    addition. [None] when the pair has no fusion. *)
+
+val is_identity : t -> bool
+(** A zero-angle rotation or phase (fusion can produce these). *)
+
 val controls : t -> control list
 
 val wires : t -> Wire.endpoint list

@@ -59,6 +59,21 @@ let apply (rule : rule) (b : Circuit.b) : Circuit.b =
   in
   { b with Circuit.main; subs }
 
+(** Apply a whole-circuit function to the main circuit and every
+    subroutine body — the hierarchical-application combinator shared by
+    the peephole pass below and the optimizer subsystem's pass manager
+    ([lib/opt]), whose passes need to see a whole [Circuit.t] (their
+    rewrites look across gates) rather than one gate at a time. *)
+let map_circuits (f : Circuit.t -> Circuit.t) (b : Circuit.b) : Circuit.b =
+  {
+    b with
+    Circuit.main = f b.main;
+    subs =
+      Circuit.Namespace.map
+        (fun (s : Circuit.subroutine) -> { s with Circuit.circ = f s.Circuit.circ })
+        b.subs;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Peephole optimisation                                               *)
 
@@ -113,15 +128,7 @@ let cancel_inverses_circuit (c : Circuit.t) : Circuit.t =
   { c with Circuit.gates = pass c.Circuit.gates }
 
 let cancel_inverses (b : Circuit.b) : Circuit.b =
-  {
-    b with
-    Circuit.main = cancel_inverses_circuit b.main;
-    subs =
-      Circuit.Namespace.map
-        (fun (s : Circuit.subroutine) ->
-          { s with Circuit.circ = cancel_inverses_circuit s.Circuit.circ })
-        b.subs;
-  }
+  map_circuits cancel_inverses_circuit b
 
 (* ------------------------------------------------------------------ *)
 (* Inline all boxes (a transformer in its own right)                   *)

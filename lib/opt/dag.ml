@@ -1,0 +1,101 @@
+(** Per-wire gate-adjacency graph: a doubly linked list threaded through
+    the gates of each wire. See the interface for the contract. *)
+
+open Quipper
+
+type t = {
+  gates : Gate.t option array;  (** [None] = removed (comments stay [Some]) *)
+  comment : bool array;
+  node_wires : Wire.t list array;
+  next : (int * Wire.t, int) Hashtbl.t;
+  prev : (int * Wire.t, int) Hashtbl.t;
+  inputs : Wire.endpoint list;
+  outputs : Wire.endpoint list;
+  mutable dirty : bool;
+}
+
+let distinct_wires g =
+  List.sort_uniq compare
+    (List.map (fun (e : Wire.endpoint) -> e.Wire.wire) (Gate.wires g))
+
+let of_circuit (c : Circuit.t) : t =
+  let n = Array.length c.Circuit.gates in
+  let d =
+    {
+      gates = Array.map Option.some c.Circuit.gates;
+      comment = Array.map Gate.is_comment c.Circuit.gates;
+      node_wires = Array.make n [];
+      next = Hashtbl.create (4 * n);
+      prev = Hashtbl.create (4 * n);
+      inputs = c.Circuit.inputs;
+      outputs = c.Circuit.outputs;
+      dirty = false;
+    }
+  in
+  let last : (Wire.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i g ->
+      if not d.comment.(i) then begin
+        let ws = distinct_wires g in
+        d.node_wires.(i) <- ws;
+        List.iter
+          (fun w ->
+            (match Hashtbl.find_opt last w with
+            | Some p ->
+                Hashtbl.replace d.next (p, w) i;
+                Hashtbl.replace d.prev (i, w) p
+            | None -> ());
+            Hashtbl.replace last w i)
+          ws
+      end)
+    c.Circuit.gates;
+  d
+
+let size d = Array.length d.gates
+
+let gate d i = if d.comment.(i) then None else d.gates.(i)
+
+let wires d i = d.node_wires.(i)
+
+let next_on_wire d i w = Hashtbl.find_opt d.next (i, w)
+let prev_on_wire d i w = Hashtbl.find_opt d.prev (i, w)
+
+let remove d i =
+  match d.gates.(i) with
+  | None -> ()
+  | Some _ when d.comment.(i) -> invalid_arg "Dag.remove: comment node"
+  | Some _ ->
+      List.iter
+        (fun w ->
+          let p = Hashtbl.find_opt d.prev (i, w)
+          and n = Hashtbl.find_opt d.next (i, w) in
+          (match (p, n) with
+          | Some p, Some n ->
+              Hashtbl.replace d.next (p, w) n;
+              Hashtbl.replace d.prev (n, w) p
+          | Some p, None -> Hashtbl.remove d.next (p, w)
+          | None, Some n -> Hashtbl.remove d.prev (n, w)
+          | None, None -> ());
+          Hashtbl.remove d.next (i, w);
+          Hashtbl.remove d.prev (i, w))
+        d.node_wires.(i);
+      d.gates.(i) <- None;
+      d.node_wires.(i) <- [];
+      d.dirty <- true
+
+let replace d i g =
+  match d.gates.(i) with
+  | None -> invalid_arg "Dag.replace: removed node"
+  | Some _ when d.comment.(i) -> invalid_arg "Dag.replace: comment node"
+  | Some _ ->
+      if distinct_wires g <> d.node_wires.(i) then
+        invalid_arg "Dag.replace: wire set differs";
+      d.gates.(i) <- Some g;
+      d.dirty <- true
+
+let changed d = d.dirty
+
+let to_circuit d : Circuit.t =
+  let out = Vec.create () in
+  Array.iter (function Some g -> Vec.push out g | None -> ()) d.gates;
+  { Circuit.inputs = d.inputs; gates = Vec.to_array out; outputs = d.outputs }

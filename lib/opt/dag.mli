@@ -1,0 +1,49 @@
+(** Per-wire gate-adjacency graph over a flat circuit.
+
+    The gate array of a {!Quipper.Circuit.t} is one global order; a
+    rewrite that only looks at list-adjacent gates misses every pair
+    separated by gates on other wires. This structure threads a doubly
+    linked list through the gates of each wire, so a rewrite can ask
+    "what is the next gate that touches any wire of this one?" and walk
+    forward past provably-commuting neighbours in O(1) per step.
+
+    Node ids are the original gate-array indices; rewrites never reorder,
+    they only {!remove} nodes and {!replace} gates in place (with a gate
+    on the same wire set), so id order remains a valid emission order and
+    {!to_circuit} is a single pass. Comments are kept out of the wire
+    lists — they are transparent to rewriting — but are preserved at
+    their original positions in the output. *)
+
+open Quipper
+
+type t
+
+val of_circuit : Circuit.t -> t
+
+val to_circuit : t -> Circuit.t
+(** Alive nodes (and comments) in id order, with the original arity. *)
+
+val size : t -> int
+(** Number of node slots (= original gate count, comments included). *)
+
+val gate : t -> int -> Gate.t option
+(** The gate at a node; [None] for removed nodes and comments. *)
+
+val wires : t -> int -> Wire.t list
+(** Distinct wires the node's gate touches (empty once removed). *)
+
+val next_on_wire : t -> int -> Wire.t -> int option
+(** The next alive non-comment node after this one on the given wire. *)
+
+val prev_on_wire : t -> int -> Wire.t -> int option
+
+val remove : t -> int -> unit
+(** Unlink the node from every wire list. Idempotent. *)
+
+val replace : t -> int -> Gate.t -> unit
+(** Swap the node's gate for one touching exactly the same wire set
+    (e.g. a fused rotation, or a control with flipped polarity); raises
+    [Invalid_argument] if the wire set differs or the node is removed. *)
+
+val changed : t -> bool
+(** Has any {!remove} or {!replace} happened since construction? *)

@@ -1,0 +1,90 @@
+open Quipper
+module Backend = Quipper_sim.Backend
+
+type mode = Classical | Statevector
+
+type verdict =
+  | Equivalent of { mode : mode; inputs_checked : int }
+  | Not_equivalent of { input : bool list; detail : string }
+  | Unchecked of string
+
+let classical_gate = function
+  | Gate.Gate { name = "not" | "X" | "swap"; _ } -> true
+  | Gate.Init _ | Gate.Term _ | Gate.Discard _ | Gate.Measure _ | Gate.Cgate _
+  | Gate.Subroutine _ | Gate.Comment _ ->
+      true
+  | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ -> false
+
+let classical_only (b : Circuit.b) =
+  let ok (c : Circuit.t) = Array.for_all classical_gate c.Circuit.gates in
+  ok b.Circuit.main
+  && Circuit.Namespace.for_all (fun _ (s : Circuit.subroutine) -> ok s.Circuit.circ) b.Circuit.subs
+
+let bits_of_int n v = List.init n (fun i -> (v lsr i) land 1 = 1)
+
+let inputs_to_try ~max_inputs ~seed n =
+  if n <= 16 && 1 lsl n <= max_inputs then List.init (1 lsl n) (bits_of_int n)
+  else begin
+    let rng = Quipper_math.Rng.create seed in
+    List.init max_inputs (fun _ ->
+        List.init n (fun _ -> Quipper_math.Rng.int rng 2 = 1))
+  end
+
+let pp_input ppf bits =
+  List.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) bits
+
+let find_counterexample inputs differs =
+  let rec go checked = function
+    | [] -> Ok checked
+    | ins :: rest -> (
+        match differs ins with
+        | None -> go (checked + 1) rest
+        | Some detail -> Error (ins, detail))
+  in
+  go 0 inputs
+
+let check ?(eps = 1e-9) ?(max_sv_qubits = 20) ?(max_inputs = 64) ?(seed = 1)
+    (a : Circuit.b) (b : Circuit.b) : verdict =
+  let tys (c : Circuit.b) =
+    List.map (fun (e : Wire.endpoint) -> e.Wire.ty) c.Circuit.main.Circuit.inputs
+  in
+  if tys a <> tys b then
+    Not_equivalent { input = []; detail = "input arity differs" }
+  else begin
+    let n = List.length a.Circuit.main.Circuit.inputs in
+    let inputs = inputs_to_try ~max_inputs ~seed n in
+    let run mode differs =
+      match find_counterexample inputs differs with
+      | Ok checked -> Equivalent { mode; inputs_checked = checked }
+      | Error (input, detail) -> Not_equivalent { input; detail }
+      | exception Errors.Error r -> Unchecked (Errors.to_string r)
+    in
+    if classical_only a && classical_only b then
+      run Classical (fun ins ->
+          let oa = Backend.run_and_measure (module Backend.Classical) ~seed a ins
+          and ob = Backend.run_and_measure (module Backend.Classical) ~seed b ins in
+          if oa = ob then None else Some "classical outputs differ")
+    else
+      let qa = Gatecount.peak_wires a and qb = Gatecount.peak_wires b in
+      if max qa qb > max_sv_qubits then
+        Unchecked
+          (Printf.sprintf "%d live qubits exceed the statevector bound %d"
+             (max qa qb) max_sv_qubits)
+      else
+        run Statevector (fun ins ->
+            let va = Quipper_sim.Statevector.output_vector ~seed a ins
+            and vb = Quipper_sim.Statevector.output_vector ~seed b ins in
+            if Backend.equal_up_to_phase ~eps va vb then None
+            else Some "amplitudes differ beyond a global phase")
+  end
+
+let equivalent = function Equivalent _ -> true | _ -> false
+
+let pp ppf = function
+  | Equivalent { mode; inputs_checked } ->
+      Format.fprintf ppf "equivalent (%s, %d inputs)"
+        (match mode with Classical -> "classical" | Statevector -> "statevector")
+        inputs_checked
+  | Not_equivalent { input; detail } ->
+      Format.fprintf ppf "NOT equivalent on input %a: %s" pp_input input detail
+  | Unchecked why -> Format.fprintf ppf "unchecked: %s" why

@@ -1,0 +1,39 @@
+(** Translation validation: check that an optimised circuit means the
+    same thing as the original, through the {!Quipper_sim.Backend} API.
+
+    Reversible/classical circuit pairs are compared bit-for-bit on the
+    classical backend (cheap, any size); everything else is compared by
+    statevector amplitudes up to a global phase, which caps the circuits
+    at [max_sv_qubits] live qubits. Basis inputs are enumerated
+    exhaustively when [2^arity <= max_inputs] and sampled otherwise. *)
+
+open Quipper
+
+type mode = Classical | Statevector
+
+type verdict =
+  | Equivalent of { mode : mode; inputs_checked : int }
+  | Not_equivalent of { input : bool list; detail : string }
+  | Unchecked of string
+      (** Too big for the statevector bound, or the simulation itself
+          failed (unknown user gate, violated termination assertion). *)
+
+val classical_only : Circuit.b -> bool
+(** Does every gate (in the main circuit and all boxed subcircuits) fall
+    in the classical backend's gate set? *)
+
+val check :
+  ?eps:float ->
+  ?max_sv_qubits:int ->
+  ?max_inputs:int ->
+  ?seed:int ->
+  Circuit.b ->
+  Circuit.b ->
+  verdict
+(** [check original optimised]. Defaults: [eps = 1e-9],
+    [max_sv_qubits = 20], [max_inputs = 64], [seed = 1]. *)
+
+val equivalent : verdict -> bool
+(** [true] only for [Equivalent _]. *)
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,111 @@
+open Quipper
+
+type pass = { pname : string; descr : string; run : Circuit.t -> Circuit.t }
+
+let builtin =
+  [
+    {
+      pname = "constants";
+      descr = "propagate classical constants from Init0/Init1; drop or kill controls";
+      run = Rewrite.propagate_constants;
+    };
+    {
+      pname = "flip-controls";
+      descr = "X.C(U).X = C'(U): absorb NOT pairs into control polarities";
+      run = (fun c -> Rewrite.flip_controls c);
+    };
+    {
+      pname = "cancel";
+      descr = "cancel inverse gate pairs across commuting neighbours";
+      run = (fun c -> Rewrite.cancel c);
+    };
+    {
+      pname = "fuse";
+      descr = "fuse rotations: Rz(a).Rz(b) = Rz(a+b), T.T = S, S.S = Z";
+      run = (fun c -> Rewrite.fuse c);
+    };
+  ]
+
+let default_pipeline =
+  List.map
+    (fun n -> List.find (fun p -> p.pname = n) builtin)
+    [ "constants"; "flip-controls"; "cancel"; "fuse" ]
+
+let find_pass name =
+  match List.find_opt (fun p -> p.pname = name) builtin with
+  | Some p -> p
+  | None ->
+      Errors.invalidf "unknown optimisation pass %S (known: %s)" name
+        (String.concat ", " (List.map (fun p -> p.pname) builtin))
+
+let pipeline_of_names names = List.map find_pass names
+
+type stat = {
+  spass : string;
+  round : int;
+  gates_before : int;
+  gates_after : int;
+  depth_before : int;
+  depth_after : int;
+  seconds : float;
+}
+
+let optimize ?(passes = default_pipeline) ?(max_rounds = 10) (b : Circuit.b) =
+  let stats = ref [] in
+  let measure b = (Gatecount.total_logical (Gatecount.aggregate b), Depth.depth b) in
+  let rec rounds r b =
+    if r > max_rounds then b
+    else
+      let changed = ref false in
+      let b' =
+        List.fold_left
+          (fun b p ->
+            let gates_before, depth_before = measure b in
+            let t0 = Unix.gettimeofday () in
+            let b' = Transform.map_circuits p.run b in
+            let seconds = Unix.gettimeofday () -. t0 in
+            let gates_after, depth_after = measure b' in
+            stats :=
+              {
+                spass = p.pname;
+                round = r;
+                gates_before;
+                gates_after;
+                depth_before;
+                depth_after;
+                seconds;
+              }
+              :: !stats;
+            if b' <> b then changed := true;
+            b')
+          b passes
+      in
+      if !changed then rounds (r + 1) b' else b'
+  in
+  let b' = rounds 1 b in
+  (b', List.rev !stats)
+
+let pp_stats ppf stats =
+  Format.fprintf ppf "%-14s %5s %12s %12s %8s %7s %7s %9s@\n" "pass" "round"
+    "gates before" "gates after" "removed" "depth" "depth'" "time";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-14s %5d %12d %12d %8d %7d %7d %8.1fms@\n" s.spass
+        s.round s.gates_before s.gates_after
+        (s.gates_before - s.gates_after)
+        s.depth_before s.depth_after (1000. *. s.seconds))
+    stats
+
+let optimize_and_report ?(verbose = false) ppf (b : Circuit.b) =
+  let before = Gatecount.summarize b in
+  let depth_before = Depth.depth b in
+  let b', stats = optimize b in
+  let after = Gatecount.summarize b' in
+  let depth_after = Depth.depth b' in
+  Format.fprintf ppf "Before optimisation:@\n%a@\n" Gatecount.pp_summary before;
+  if verbose then pp_stats ppf stats;
+  Format.fprintf ppf "After optimisation:@\n%a@\n" Gatecount.pp_summary after;
+  Format.fprintf ppf "Optimizer: removed %d of %d logical gates; depth %d -> %d@."
+    (before.Gatecount.total_logical - after.Gatecount.total_logical)
+    before.Gatecount.total_logical depth_before depth_after;
+  b'

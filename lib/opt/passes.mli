@@ -1,0 +1,57 @@
+(** The pass manager: named peephole passes, configurable pipelines, a
+    fixpoint driver, and per-pass statistics.
+
+    Passes run over flat circuits; {!optimize} applies them hierarchically
+    (main circuit and every boxed subroutine body) via
+    {!Quipper.Transform.map_circuits}, repeating the whole pipeline until
+    a round changes nothing or [max_rounds] is hit. *)
+
+open Quipper
+
+type pass = {
+  pname : string;  (** name used on the command line and in statistics *)
+  descr : string;
+  run : Circuit.t -> Circuit.t;
+}
+
+val builtin : pass list
+(** All named passes: ["constants"], ["flip-controls"], ["cancel"],
+    ["fuse"]. *)
+
+val default_pipeline : pass list
+(** [constants; flip-controls; cancel; fuse] — constant propagation first
+    so dropped controls expose X sandwiches, then cancellation, then
+    fusion on whatever rotations remain adjacent-up-to-commutation. *)
+
+val find_pass : string -> pass
+(** Look up a builtin pass by name; raises {!Quipper.Errors.Error} with
+    the known names on an unknown one. *)
+
+val pipeline_of_names : string list -> pass list
+
+type stat = {
+  spass : string;  (** pass name *)
+  round : int;  (** fixpoint round, starting at 1 *)
+  gates_before : int;  (** {!Quipper.Gatecount.total_logical} before *)
+  gates_after : int;
+  depth_before : int;
+  depth_after : int;
+  seconds : float;  (** wall time of this pass application *)
+}
+
+val optimize :
+  ?passes:pass list -> ?max_rounds:int -> Circuit.b -> Circuit.b * stat list
+(** Run the pipeline hierarchically to a fixpoint (at most [max_rounds]
+    rounds, default 10). Statistics come back in application order, one
+    entry per pass per round. *)
+
+val pp_stats : Format.formatter -> stat list -> unit
+(** A table of per-pass statistics: gates and depth before/after, gates
+    removed, wall time. *)
+
+val optimize_and_report : ?verbose:bool -> Format.formatter -> Circuit.b -> Circuit.b
+(** The command-line [-O] entry point: run the default pipeline, print
+    before/after {!Quipper.Gatecount.pp_summary} blocks (with the
+    {!pp_stats} table in between when [verbose]) and a one-line
+    ["Optimizer: removed N of M logical gates; depth a -> b"] summary,
+    and return the optimised circuit. *)

@@ -1,0 +1,267 @@
+(** Peephole rewrites over the per-wire adjacency {!Dag}. Every rewrite
+    is phase-exact (safe under added controls, hence inside controllable
+    boxed subcircuits) and preserves the circuit arity. *)
+
+open Quipper
+
+let default_lookahead = 32
+
+(* ------------------------------------------------------------------ *)
+(* The commuting walk                                                  *)
+
+(* From node [i], visit in order every later gate touching any wire of
+   [i]'s gate, as long as [visit] keeps answering [`Advance] (the caller
+   answers [`Advance] only for gates that provably commute with [i]'s, so
+   reaching node [j] means [i]'s gate can be moved adjacent to [j]'s).
+   Bounded by [lookahead] steps. *)
+let walk d i ~lookahead visit =
+  let cursors : (Wire.t, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      match Dag.next_on_wire d i w with
+      | Some j -> Hashtbl.replace cursors w j
+      | None -> ())
+    (Dag.wires d i);
+  let steps = ref 0 in
+  let rec go () =
+    if Hashtbl.length cursors > 0 && !steps < lookahead then begin
+      incr steps;
+      let j = Hashtbl.fold (fun _ j acc -> min j acc) cursors max_int in
+      match visit j (Option.get (Dag.gate d j)) with
+      | `Stop -> ()
+      | `Advance ->
+          let ws =
+            Hashtbl.fold (fun w j' acc -> if j' = j then w :: acc else acc) cursors []
+          in
+          List.iter
+            (fun w ->
+              match Dag.next_on_wire d j w with
+              | Some k -> Hashtbl.replace cursors w k
+              | None -> Hashtbl.remove cursors w)
+            ws;
+          go ()
+    end
+  in
+  go ()
+
+let finish d c = if Dag.changed d then Dag.to_circuit d else c
+
+(* ------------------------------------------------------------------ *)
+(* Inverse cancellation across commuting neighbours                    *)
+
+let cancel ?(lookahead = default_lookahead) (c : Circuit.t) : Circuit.t =
+  let d = Dag.of_circuit c in
+  for i = 0 to Dag.size d - 1 do
+    match Dag.gate d i with
+    | None -> ()
+    | Some g ->
+        walk d i ~lookahead (fun j gj ->
+            if Transform.gates_cancel g gj then begin
+              Dag.remove d i;
+              Dag.remove d j;
+              `Stop
+            end
+            else if Gate.commutes g gj then `Advance
+            else `Stop)
+  done;
+  finish d c
+
+(* ------------------------------------------------------------------ *)
+(* Rotation fusion across commuting neighbours                         *)
+
+(* Fusion partners are all diagonal with identical targets and controls,
+   so the fused gate commutes with exactly what the original did — it is
+   sound to leave it at the earlier position. *)
+let fuse ?(lookahead = default_lookahead) (c : Circuit.t) : Circuit.t =
+  let d = Dag.of_circuit c in
+  for i = 0 to Dag.size d - 1 do
+    match Dag.gate d i with
+    | None -> ()
+    | Some g ->
+        walk d i ~lookahead (fun j gj ->
+            match Gate.fusion g gj with
+            | Some fused ->
+                Dag.remove d j;
+                if Gate.is_identity fused then Dag.remove d i
+                else Dag.replace d i fused;
+                `Stop
+            | None -> if Gate.commutes g gj then `Advance else `Stop)
+  done;
+  finish d c
+
+(* ------------------------------------------------------------------ *)
+(* NOT-conjugation: X · Λ(U) · X  =  Λ'(U)                             *)
+
+let is_plain_x = function
+  | Gate.Gate { name = "not" | "X"; targets = [ _ ]; controls = []; _ } -> true
+  | _ -> false
+
+(* [w] appears in the gate's control list and nowhere else. *)
+let uses_only_as_control g w =
+  List.exists (fun (c : Gate.control) -> c.cwire = w) (Gate.controls g)
+  &&
+  match g with
+  | Gate.Gate { targets; _ } | Gate.Rot { targets; _ } -> not (List.mem w targets)
+  | Gate.Phase _ -> true
+  | Gate.Subroutine { inputs; outputs; _ } ->
+      not (List.mem w inputs || List.mem w outputs)
+  | _ -> false
+
+let flip_control_on w g =
+  let flip (c : Gate.control) =
+    if c.cwire = w then { c with Gate.positive = not c.positive } else c
+  in
+  match g with
+  | Gate.Gate r -> Gate.Gate { r with controls = List.map flip r.controls }
+  | Gate.Rot r -> Gate.Rot { r with controls = List.map flip r.controls }
+  | Gate.Phase r -> Gate.Phase { r with controls = List.map flip r.controls }
+  | Gate.Subroutine r -> Gate.Subroutine { r with controls = List.map flip r.controls }
+  | g -> g
+
+let flip_controls ?(lookahead = default_lookahead) (c : Circuit.t) : Circuit.t =
+  let d = Dag.of_circuit c in
+  for i = 0 to Dag.size d - 1 do
+    match Dag.gate d i with
+    | Some g when is_plain_x g ->
+        let w = List.hd (Gate.targets g) in
+        (* walk [w]'s chain alone: gates using [w] only as a control pass
+           the X through with a polarity flip; a second plain X closes
+           the sandwich *)
+        let rec scan j sandwiched steps =
+          if steps <= lookahead then
+            match Dag.gate d j with
+            | None -> ()
+            | Some h when is_plain_x h ->
+                List.iter
+                  (fun k ->
+                    Dag.replace d k (flip_control_on w (Option.get (Dag.gate d k))))
+                  sandwiched;
+                Dag.remove d i;
+                Dag.remove d j
+            | Some h when uses_only_as_control h w -> (
+                match Dag.next_on_wire d j w with
+                | Some j' -> scan j' (j :: sandwiched) (steps + 1)
+                | None -> ())
+            | Some _ -> ()
+        in
+        (match Dag.next_on_wire d i w with Some j -> scan j [] 0 | None -> ())
+    | _ -> ()
+  done;
+  finish d c
+
+(* ------------------------------------------------------------------ *)
+(* Classical constant propagation                                      *)
+
+let eval_cgate name (ins : bool list) =
+  match (name, ins) with
+  | "not", [ a ] -> Some (not a)
+  | "and", _ -> Some (List.for_all Fun.id ins)
+  | "or", _ -> Some (List.exists Fun.id ins)
+  | "xor", _ -> Some (List.fold_left ( <> ) false ins)
+  | _ -> None
+
+let propagate_constants (c : Circuit.t) : Circuit.t =
+  let known : (Wire.t, bool) Hashtbl.t = Hashtbl.create 32 in
+  let forget w = Hashtbl.remove known w in
+  let out = Vec.create () in
+  let changed = ref false in
+  let emit g = Vec.push out g in
+  (* split a control list by what the known-value map says about it *)
+  let resolve_controls controls =
+    let dead = ref false in
+    let kept =
+      List.filter
+        (fun (c : Gate.control) ->
+          match Hashtbl.find_opt known c.Gate.cwire with
+          | Some v when v = c.Gate.positive ->
+              changed := true;
+              false (* always fires: drop the control *)
+          | Some _ ->
+              dead := true;
+              false
+          | None -> true)
+        controls
+    in
+    (kept, !dead)
+  in
+  let with_controls g kept =
+    match g with
+    | Gate.Gate r -> Gate.Gate { r with controls = kept }
+    | Gate.Rot r -> Gate.Rot { r with controls = kept }
+    | Gate.Phase r -> Gate.Phase { r with controls = kept }
+    | Gate.Subroutine r -> Gate.Subroutine { r with controls = kept }
+    | g -> g
+  in
+  let apply (g : Gate.t) =
+    match g with
+    | Gate.Init { value; wire; _ } ->
+        Hashtbl.replace known wire value;
+        emit g
+    | Gate.Term { wire; _ } | Gate.Discard { wire; _ } ->
+        forget wire;
+        emit g
+    | Gate.Measure _ ->
+        (* a known wire is in a basis state: measuring preserves the
+           value, the wire merely turns classical *)
+        emit g
+    | Gate.Cgate { name; out = o; ins } ->
+        (match
+           List.map (fun w -> Hashtbl.find_opt known w) ins
+           |> List.fold_left
+                (fun acc v ->
+                  match (acc, v) with Some l, Some x -> Some (x :: l) | _ -> None)
+                (Some [])
+         with
+        | Some vals -> (
+            match eval_cgate name (List.rev vals) with
+            | Some v -> Hashtbl.replace known o v
+            | None -> forget o)
+        | None -> forget o);
+        emit g
+    | Gate.Comment _ -> emit g
+    | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ | Gate.Subroutine _ -> (
+        let kept, dead = resolve_controls (Gate.controls g) in
+        if dead then
+          match g with
+          | Gate.Subroutine { inputs; outputs; _ } when inputs <> outputs ->
+              (* the call never fires, but deleting it would orphan its
+                 output wire ids; keep it untouched *)
+              List.iter forget inputs;
+              List.iter forget outputs;
+              emit g
+          | Gate.Subroutine _ | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ ->
+              (* never fires and targets = outputs: delete *)
+              changed := true
+          | _ -> assert false
+        else
+          let g = with_controls g kept in
+          match g with
+          | Gate.Gate { name = "not" | "X" | "Y"; targets = [ w ]; controls = []; _ }
+            -> (
+              (match Hashtbl.find_opt known w with
+              | Some v -> Hashtbl.replace known w (not v)
+              | None -> ());
+              emit g)
+          | Gate.Gate { name = "swap"; targets = [ a; b ]; controls = []; _ } -> (
+              match (Hashtbl.find_opt known a, Hashtbl.find_opt known b) with
+              | Some va, Some vb when va = vb ->
+                  (* swapping two wires in the same basis state is the
+                     identity: delete *)
+                  changed := true
+              | ka, kb ->
+                  (match ka with Some v -> Hashtbl.replace known b v | None -> forget b);
+                  (match kb with Some v -> Hashtbl.replace known a v | None -> forget a);
+                  emit g)
+          | Gate.Subroutine { inputs; outputs; _ } ->
+              List.iter forget inputs;
+              List.iter forget outputs;
+              emit g
+          | g when Gate.is_diagonal g ->
+              (* a diagonal gate fixes every basis value *)
+              emit g
+          | g ->
+              List.iter forget (Gate.targets g);
+              emit g)
+  in
+  Array.iter apply c.Circuit.gates;
+  if !changed then { c with Circuit.gates = Vec.to_array out } else c

@@ -1,0 +1,49 @@
+(** Peephole rewrites over the per-wire gate-adjacency {!Dag}.
+
+    Every rewrite here is {e phase-exact} — it preserves the circuit's
+    unitary (on the subspace asserted by initialisations and assertive
+    terminations, paper §4.2.2) including global phase, so all of them
+    are safe inside boxed subcircuits that may be called under controls.
+    All preserve the circuit's input/output arity, so they compose with
+    {!Quipper.Transform.map_circuits} for hierarchical application.
+
+    Each function is one bounded pass, not a fixpoint: the pass manager
+    ({!Passes}) iterates pipelines until nothing changes. *)
+
+open Quipper
+
+val default_lookahead : int
+(** How many commuting neighbours a walk will step past (32). *)
+
+val cancel : ?lookahead:int -> Circuit.t -> Circuit.t
+(** Inverse cancellation across commuting neighbours: for each gate, walk
+    forward over the gates touching its wires, stepping past those that
+    provably commute ({!Quipper.Gate.commutes}); if the walk reaches the
+    gate's inverse ({!Quipper.Transform.gates_cancel}), remove both.
+    Subsumes the seed's adjacent-only cancellation, and — because the
+    walk runs on per-wire adjacency — also eliminates [Init]/[Term] and
+    [Term]/[Init] pairs separated by gates on other wires (dead
+    initialisation elimination). *)
+
+val fuse : ?lookahead:int -> Circuit.t -> Circuit.t
+(** Rotation fusion across commuting neighbours: [Rz(a)·Rz(b) = Rz(a+b)]
+    (likewise [R]/[Ph], [exp(-i%Z)] and global phases), [T·T = S],
+    [S·S = Z] ({!Quipper.Gate.fusion}). A fusion to a zero-angle rotation
+    removes both gates. *)
+
+val flip_controls : ?lookahead:int -> Circuit.t -> Circuit.t
+(** The NOT-conjugation rule: [X·Λ(U)·X = Λ'(U)] where the sandwiched
+    gates use the X'ed wire only as a control, and [Λ'] is [Λ] with that
+    control's polarity flipped. Removes both X gates; the QCL-style
+    baseline generator's set/unset NOT pairs around controlled gates melt
+    under this rule. *)
+
+val propagate_constants : Circuit.t -> Circuit.t
+(** Classical constant propagation from [Init0]/[Init1] (and classical
+    [Cgate] evaluation): a control on a wire known to hold the control's
+    polarity is dropped; a control known to contradict it deletes the
+    gate (subroutine calls only when they are in-place, i.e. outputs =
+    inputs — deleting a renaming call would orphan its output wire ids);
+    a [swap] of two known-equal wires is deleted. Known
+    values flow through X/Y flips, diagonal gates, measurements and
+    classical logic, and die at H-like gates and subroutine calls. *)

@@ -138,6 +138,37 @@ let test_quipper_print_format () =
   let s = Fmt.str "%a" Gatecount.pp (Gatecount.aggregate b) in
   check "a+b control format" true (Astring_contains.contains s "\"Not\", controls 1+1")
 
+(* Golden output: the full summary block for a paper algorithm circuit
+   (BWT with the orthodox oracle at the default n=3, s=1), pinned
+   verbatim. Catches any drift in counting or in Quipper's format. *)
+let test_summary_golden () =
+  let p = { Algo_bwt.default_params with Algo_bwt.n = 3; s = 1 } in
+  let b = Algo_bwt.generate ~p ~which:`Orthodox () in
+  let got = Fmt.str "%a" Gatecount.pp_summary (Gatecount.summarize b) in
+  let expected =
+    String.concat "\n"
+      [
+        "Aggregated gate count:";
+        "37: \"Init0\"";
+        "1: \"Init1\"";
+        "6: \"Meas\"";
+        "12: \"Not\"";
+        "4: \"Not\", controls 0+1";
+        "2: \"Not\", controls 0+5";
+        "42: \"Not\", controls 1";
+        "88: \"Not\", controls 1+1";
+        "32: \"Term0\"";
+        "24: \"W\"";
+        "24: \"W*\"";
+        "4: \"exp(-i%Z)\", controls 0+1";
+        "Total gates: 276";
+        "Inputs: 0";
+        "Outputs: 6";
+        "Qubits in circuit: 14";
+      ]
+  in
+  Alcotest.(check string) "golden BWT orthodox summary" expected (String.trim got)
+
 let prop_aggregate_equals_inline =
   QCheck2.Test.make ~name:"aggregate counts = inlined counts (random circuits)"
     ~count:60 (Gen.program_gen ~n:4)
@@ -157,5 +188,6 @@ let suite =
     Alcotest.test_case "flat peak wires" `Quick test_peak_wires_flat;
     Alcotest.test_case "summary fields" `Quick test_summary_fields;
     Alcotest.test_case "Quipper count format" `Quick test_quipper_print_format;
+    Alcotest.test_case "golden summary (BWT orthodox)" `Quick test_summary_golden;
     QCheck_alcotest.to_alcotest prop_aggregate_equals_inline;
   ]

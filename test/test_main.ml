@@ -19,4 +19,5 @@ let () =
       ("noise", Test_noise.suite);
       ("differential", Test_differential.suite);
       ("backend", Test_backend.suite);
+      ("opt", Test_opt.suite);
     ]

@@ -1,0 +1,308 @@
+(* Tests for the optimizer subsystem: the per-wire adjacency DAG, each
+   peephole rewrite on hand-built circuits, the pass manager, and
+   property-based translation validation — every optimized random circuit
+   must validate, mean the same thing (statevector up to global phase, or
+   bit-for-bit classically), never get deeper, and still round-trip
+   through the printer and parser. *)
+
+open Quipper
+open Circ
+module Dag = Quipper_opt.Dag
+module Rewrite = Quipper_opt.Rewrite
+module Passes = Quipper_opt.Passes
+module Equiv = Quipper_opt.Equiv
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let gen_shape n f = fst (Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) f)
+let optimize b = fst (Passes.optimize b)
+let find_kind b k = Gatecount.find_kind (Gatecount.aggregate b) k
+
+(* ------------------------------------------------------------------ *)
+(* The DAG                                                             *)
+
+let test_dag_adjacency () =
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* a = hadamard a in
+          let* () = cnot ~control:a ~target:b in
+          let* _ = gate_T b in
+          return [ a; b ]
+      | _ -> assert false)
+  in
+  let c = b.Circuit.main in
+  let wa = (List.nth c.Circuit.inputs 0).Wire.wire in
+  let wb = (List.nth c.Circuit.inputs 1).Wire.wire in
+  let d = Dag.of_circuit c in
+  checki "three nodes" 3 (Dag.size d);
+  check "H -> CNOT on the control wire" true (Dag.next_on_wire d 0 wa = Some 1);
+  check "CNOT -> T on the target wire" true (Dag.next_on_wire d 1 wb = Some 2);
+  check "H does not touch the target wire" true (Dag.next_on_wire d 0 wb = None);
+  check "T's predecessor on its wire" true (Dag.prev_on_wire d 2 wb = Some 1);
+  Dag.remove d 1;
+  check "removal relinks both wire lists" true
+    (Dag.next_on_wire d 0 wa = None && Dag.prev_on_wire d 2 wb = None);
+  checki "two gates left" 2 (Array.length (Dag.to_circuit d).Circuit.gates);
+  check "change tracked" true (Dag.changed d)
+
+let test_dag_comments_transparent () =
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* q = hadamard q in
+          let* () = comment "between" in
+          let* q = hadamard q in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let c = b.Circuit.main in
+  let w = (List.hd c.Circuit.inputs).Wire.wire in
+  let d = Dag.of_circuit c in
+  check "comment invisible to the wire list" true (Dag.next_on_wire d 0 w = Some 2);
+  check "comment has no gate" true (Dag.gate d 1 = None);
+  (* the H pair cancels across the comment, which itself survives *)
+  let c' = Rewrite.cancel c in
+  checki "only the comment remains" 1 (Array.length c'.Circuit.gates);
+  check "and it is the comment" true (Gate.is_comment c'.Circuit.gates.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Rewrites on hand-built circuits                                     *)
+
+let test_cancel_across_commuting () =
+  (* T and T* sandwich a CNOT controlled on the same wire: the control is
+     diagonal, so the pair cancels across it *)
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* a = gate_T a in
+          let* () = cnot ~control:a ~target:b in
+          let* () = gate_T_inv a in
+          return [ a; b ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.cancel b in
+  Circuit.validate_b b';
+  checki "T pair cancelled" 0 (find_kind b' "T");
+  checki "CNOT stays" 1 (find_kind b' "Not")
+
+let test_cancel_blocked_by_noncommuting () =
+  (* same sandwich but the CNOT *targets* the wire: T does not commute
+     with X, nothing may cancel *)
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* a = gate_T a in
+          let* () = cnot ~control:b ~target:a in
+          let* () = gate_T_inv a in
+          return [ a; b ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.cancel b in
+  checki "T pair must stay" 2 (find_kind b' "T")
+
+let test_dead_init_elimination () =
+  (* an ancilla initialised and terminated without use dies, even with
+     unrelated gates in between in the global order *)
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* x = qinit_bit false in
+          let* q = hadamard q in
+          let* () = qterm_bit false x in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.cancel b in
+  Circuit.validate_b b';
+  checki "Init0 gone" 0 (find_kind b' "Init0");
+  checki "Term0 gone" 0 (find_kind b' "Term0");
+  checki "H stays" 1 (find_kind b' "H")
+
+let test_fusion () =
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* q = gate_T q in
+          let* q = gate_T q in
+          let* () = rot_expZt 0.125 q in
+          let* () = rot_expZt 0.25 q in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.fuse b in
+  Circuit.validate_b b';
+  checki "T.T fused away" 0 (find_kind b' "T");
+  checki "...into one S" 1 (find_kind b' "S");
+  checki "rotations fused into one" 1 (find_kind b' "exp(-i%Z)")
+
+let test_fusion_to_identity () =
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* () = rot_expZt 0.25 q in
+          let* () = rot_expZt (-0.25) q in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.fuse b in
+  Circuit.validate_b b';
+  checki "zero-angle fusion removes both" 0
+    (Array.length b'.Circuit.main.Circuit.gates)
+
+let test_flip_controls () =
+  (* X . CNOT(control) . X = CNOT with negated control *)
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* () = qnot_ b in
+          let* () = cnot ~control:b ~target:a in
+          let* () = qnot_ b in
+          return [ a; b ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.flip_controls b in
+  Circuit.validate_b b';
+  checki "one gate left" 1 (Array.length b'.Circuit.main.Circuit.gates);
+  checki "with a negative control" 1
+    (Gatecount.get (Gatecount.aggregate b')
+       { Gatecount.kind = "Not"; inverted = false; pos_controls = 0; neg_controls = 1 })
+
+let test_propagate_constants () =
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* x = qinit_bit true in
+          (* control known true: dropped *)
+          let* () = qnot_ a |> controlled [ ctl x ] in
+          (* negative control on a known-true wire: gate deleted *)
+          let* () = qnot_ b |> controlled [ ctl_neg x ] in
+          let* () = qterm_bit true x in
+          return [ a; b ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.propagate_constants b in
+  Circuit.validate_b b';
+  checki "one NOT left" 1 (find_kind b' "Not");
+  checki "and it is uncontrolled" 1
+    (Gatecount.get (Gatecount.aggregate b')
+       { Gatecount.kind = "Not"; inverted = false; pos_controls = 0; neg_controls = 0 })
+
+let test_constant_swap_deleted () =
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* x = qinit_bit false in
+          let* y = qinit_bit false in
+          let* () = swap x y in
+          let* () = qterm_bit false x in
+          let* () = qterm_bit false y in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let b' = Transform.map_circuits Rewrite.propagate_constants b in
+  Circuit.validate_b b';
+  checki "swap of equal constants deleted" 0 (find_kind b' "Swap")
+
+(* ------------------------------------------------------------------ *)
+(* The pass manager                                                    *)
+
+let test_pass_manager () =
+  checki "four builtin passes" 4 (List.length Passes.builtin);
+  check "pipeline lookup by name" true
+    (List.map
+       (fun (p : Passes.pass) -> p.Passes.pname)
+       (Passes.pipeline_of_names [ "fuse"; "cancel" ])
+    = [ "fuse"; "cancel" ]);
+  check "unknown pass rejected" true
+    (match Passes.find_pass "inline-everything" with
+    | exception Errors.Error (Errors.Invalid _) -> true
+    | _ -> false)
+
+let test_optimize_reports_stats () =
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* q = hadamard q in
+          let* q = hadamard q in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let b', stats = Passes.optimize b in
+  checki "everything cancelled" 0 (Array.length b'.Circuit.main.Circuit.gates);
+  check "stats cover every pass of round one" true
+    (List.length stats >= List.length Passes.default_pipeline);
+  let cancel_stat =
+    List.find
+      (fun (s : Passes.stat) -> s.Passes.spass = "cancel" && s.Passes.round = 1)
+      stats
+  in
+  checki "cancel removed the H pair" 2
+    (cancel_stat.Passes.gates_before - cancel_stat.Passes.gates_after)
+
+(* ------------------------------------------------------------------ *)
+(* Translation validation on random circuits                           *)
+
+let prop_optimize_statevector =
+  QCheck2.Test.make
+    ~name:"optimized random circuits are equivalent (statevector, up to phase)"
+    ~count:200 (Gen.program_gen ~n:4) (fun ops ->
+      let b = Gen.circuit_of_program ~n:4 ops in
+      let b' = optimize b in
+      Circuit.validate_b b';
+      Equiv.equivalent (Equiv.check b b'))
+
+let prop_optimize_classical =
+  QCheck2.Test.make
+    ~name:"optimized reversible circuits are equivalent (classical, bit-for-bit)"
+    ~count:100
+    (Gen.classical_program_gen ~n:5)
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:5 ops in
+      let b' = optimize b in
+      Circuit.validate_b b';
+      match Equiv.check b b' with
+      | Equiv.Equivalent { mode = Equiv.Classical; _ } -> true
+      | _ -> false)
+
+let prop_optimize_never_deepens =
+  QCheck2.Test.make ~name:"the default pipeline never increases depth" ~count:50
+    (Gen.program_gen ~n:4) (fun ops ->
+      let b = Gen.circuit_of_program ~n:4 ops in
+      let b', stats = Passes.optimize b in
+      Depth.depth b' <= Depth.depth b
+      && List.for_all
+           (fun (s : Passes.stat) -> s.Passes.depth_after <= s.Passes.depth_before)
+           stats)
+
+let prop_optimized_roundtrip =
+  QCheck2.Test.make ~name:"optimized circuits round-trip through print/parse"
+    ~count:100 (Gen.program_gen ~n:4) (fun ops ->
+      let b' = optimize (Gen.circuit_of_program ~n:4 ops) in
+      let s = Printer.to_string b' in
+      let b'' = Parser.parse s in
+      Circuit.validate_b b'';
+      s = Printer.to_string b'')
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "dag adjacency and removal" `Quick test_dag_adjacency;
+    Alcotest.test_case "dag comments transparent" `Quick test_dag_comments_transparent;
+    Alcotest.test_case "cancel across commuting" `Quick test_cancel_across_commuting;
+    Alcotest.test_case "cancel blocked when not commuting" `Quick
+      test_cancel_blocked_by_noncommuting;
+    Alcotest.test_case "dead init elimination" `Quick test_dead_init_elimination;
+    Alcotest.test_case "rotation fusion" `Quick test_fusion;
+    Alcotest.test_case "fusion to identity" `Quick test_fusion_to_identity;
+    Alcotest.test_case "NOT-conjugation flips controls" `Quick test_flip_controls;
+    Alcotest.test_case "constant propagation" `Quick test_propagate_constants;
+    Alcotest.test_case "constant swap deletion" `Quick test_constant_swap_deleted;
+    Alcotest.test_case "pass manager" `Quick test_pass_manager;
+    Alcotest.test_case "per-pass statistics" `Quick test_optimize_reports_stats;
+    QCheck_alcotest.to_alcotest prop_optimize_statevector;
+    QCheck_alcotest.to_alcotest prop_optimize_classical;
+    QCheck_alcotest.to_alcotest prop_optimize_never_deepens;
+    QCheck_alcotest.to_alcotest prop_optimized_roundtrip;
+  ]
