@@ -29,9 +29,67 @@ let generate ~subroutine ~oracle_only ~p =
       if oracle_only then Algo_tf.Qwtfp.generate_oracle ~p ()
       else Algo_tf.Qwtfp.generate ~p ()
 
-let run format subroutine oracle_only gate_base simulate optimize verbose l n r =
+(* Streaming mode: drive the same entry points through
+   [Circ.run_streaming], tee-ing the subroutine-namespace, gate-count and
+   depth sinks so one pass produces the whole gatecount report —
+   byte-identical to the materialized path, with O(1) memory per gate. *)
+let run_stream ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params) =
+  let module Qureg = Quipper_arith.Qureg in
+  let sink () = Sink.tee3 (Sink.subroutines ()) (Sink.gatecount ()) (Sink.depth ()) in
+  let report ((subs, sub_order), summary, depth) =
+    let b0 =
+      { Circuit.main = { Circuit.inputs = []; gates = [||]; outputs = [] };
+        subs; sub_order }
+    in
+    List.iter
+      (fun (name, s) ->
+        Fmt.pr "Subroutine %S: %d gates, %d qubits@." name s.Gatecount.total
+          s.Gatecount.qubits)
+      (Gatecount.per_subroutine b0);
+    Fmt.pr "%a" Gatecount.pp_summary summary;
+    Fmt.pr "Depth (upper bound): %d@." depth
+  in
+  let go : type b q c r. in_:(b, q, c) Qdata.t -> (q -> r Circ.t) -> unit =
+   fun ~in_ f -> report (fst (Circ.run_streaming ~in_ f (sink ())))
+  in
+  (match subroutine with
+  | Some "pow17" ->
+      go ~in_:(Qureg.shape p.l) (fun x -> Algo_tf.Oracle.o4_POW17 ~l:p.l x)
+  | Some "mul" ->
+      go
+        ~in_:(Qdata.pair (Qureg.shape p.l) (Qureg.shape p.l))
+        (fun xy -> Algo_tf.Oracle.o8_MUL ~l:p.l xy)
+  | Some "qwsh" ->
+      go ~in_:(Algo_tf.Qwtfp.regs_shape p) (fun regs -> Algo_tf.Qwtfp.a6_QWSH ~p regs)
+  | Some "oracle" ->
+      let node = Qureg.shape p.n in
+      go
+        ~in_:(Qdata.triple node node Qdata.qubit)
+        (fun (u, w, e) -> Algo_tf.Oracle.o1_ORACLE ~p (u, w, e))
+  | Some s -> Fmt.failwith "unknown subroutine %S (try pow17, mul, qwsh, oracle)" s
+  | None ->
+      if oracle_only then
+        let node = Qureg.shape p.n in
+        go
+          ~in_:(Qdata.triple node node Qdata.qubit)
+          (fun (u, w, e) -> Algo_tf.Oracle.o1_ORACLE ~p (u, w, e))
+      else go ~in_:Qdata.unit (fun () -> Algo_tf.Qwtfp.a1_QWTFP ~p));
+  0
+
+let run format subroutine oracle_only gate_base simulate optimize verbose l n r
+    stream =
   let p = { Algo_tf.Oracle.l; n; r } in
-  if simulate then
+  if stream then begin
+    if simulate || optimize || gate_base <> None then
+      Fmt.failwith
+        "--stream is incompatible with --simulate, -O and --gate-base (they \
+         need the materialized circuit)";
+    (match format with
+    | Gatecount -> ()
+    | _ -> Fmt.failwith "--stream supports the gatecount format only");
+    run_stream ~subroutine ~oracle_only ~p
+  end
+  else if simulate then
     if Algo_tf.Simulate.run ~p then 0 else 1
   else begin
   let b = generate ~subroutine ~oracle_only ~p in
@@ -121,12 +179,20 @@ let l_arg = Arg.(value & opt int 4 & info [ "l" ] ~docv:"L" ~doc:"Oracle integer
 let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Graph has 2^N nodes.")
 let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Hamming tuples have size 2^R.")
 
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:"Stream gates to the consumers instead of materializing the \
+              circuit: O(1) memory per gate, same gatecount output byte \
+              for byte.")
+
 let cmd =
   let doc = "The Triangle Finding algorithm, as implemented in the Quipper paper (section 5)." in
   Cmd.v
     (Cmd.info "tf" ~doc)
     Term.(
       const run $ format $ subroutine $ oracle_only $ gate_base $ simulate
-      $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg)
+      $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg $ stream_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -27,7 +27,18 @@ type ctx = {
   mutable extraction_depth : int;
   inputs : Wire.endpoint Vec.t;
   boxing : bool;
+  materialize : bool;
+      (* when false (streaming runs), top-level gates are not retained in
+         [buf] — except inside [with_computed] sandwiches, see [retain] *)
+  mutable retain : int;
+      (* nesting count of regions whose gates must stay in [buf] even in
+         a non-materializing run, because they are re-read to emit
+         inverses ([with_computed]'s uncompute half). When the count
+         drops to zero the buffer is cleared, bounding streaming memory
+         by the largest sandwich instead of the whole circuit. *)
   on_emit : (Gate.t -> unit) option;
+  on_sub_enter : (string -> unit) option;
+  on_sub_exit : (string -> Circuit.subroutine -> unit) option;
   lift : (ctx -> Wire.t -> bool) option;
 }
 
@@ -54,10 +65,18 @@ let rec mapm (f : 'a -> 'b t) (l : 'a list) : 'b list t =
       let* ys = mapm f tl in
       return (y :: ys)
 
+(* [f x >> iterm f tl] would build the whole chain of per-element
+   closures before the first gate runs — O(total gates) live memory,
+   which defeats streaming on loop-heavy programs. Consume the list at
+   run time instead, so each element's closure is garbage as soon as it
+   has executed. *)
 let rec iterm (f : 'a -> unit t) (l : 'a list) : unit t =
+ fun c ->
   match l with
-  | [] -> return ()
-  | x :: tl -> f x >> iterm f tl
+  | [] -> ()
+  | x :: tl ->
+      f x c;
+      iterm f tl c
 
 let rec foldm (f : 'acc -> 'a -> 'acc t) (acc : 'acc) (l : 'a list) : 'acc t =
   match l with
@@ -83,7 +102,8 @@ let for_ lo hi (f : int -> unit t) : unit t =
 (* ------------------------------------------------------------------ *)
 (* Context management                                                  *)
 
-let create_ctx ?(boxing = true) ?on_emit ?lift () =
+let create_ctx ?(boxing = true) ?(materialize = true) ?on_emit ?on_sub_enter
+    ?on_sub_exit ?lift () =
   {
     fresh = 0;
     live = Hashtbl.create 64;
@@ -94,7 +114,11 @@ let create_ctx ?(boxing = true) ?on_emit ?lift () =
     extraction_depth = 0;
     inputs = Vec.create ();
     boxing;
+    materialize;
+    retain = 0;
     on_emit;
+    on_sub_enter;
+    on_sub_exit;
     lift;
   }
 
@@ -202,10 +226,25 @@ let emit c (g : Gate.t) =
         (fun w (e : Wire.endpoint) -> Hashtbl.replace c.live w e.ty)
         outputs d_out
   | Gate.Comment _ -> ());
-  Vec.push c.buf g;
+  (* a capture in progress ([extraction_depth > 0]) records into its own
+     buffer unconditionally; at top level a non-materializing run keeps
+     gates only inside retained ([with_computed]) regions *)
+  if c.materialize || c.retain > 0 || c.extraction_depth > 0 then
+    Vec.push c.buf g;
   match c.on_emit with
   | Some f when c.extraction_depth = 0 -> f g
   | _ -> ()
+
+(* Bracket a region whose emitted gates are re-read from the buffer (to
+   emit their inverses). In a materializing run this is a no-op; in a
+   streaming run it keeps the sandwich buffered and clears the buffer
+   when the outermost such region closes. *)
+let begin_retain c = c.retain <- c.retain + 1
+
+let end_retain c =
+  c.retain <- c.retain - 1;
+  if c.retain = 0 && (not c.materialize) && c.extraction_depth = 0 then
+    Vec.clear c.buf
 
 (* ------------------------------------------------------------------ *)
 (* Basic gates                                                         *)
@@ -690,26 +729,30 @@ let with_computed (compute : 'a t) (use : 'a -> 'b t) : 'b t =
  fun c ->
   let trimming = !control_trimming in
   let saved_controls = c.controls in
-  if trimming then c.controls <- [];
-  let start = Vec.length c.buf in
-  let a = compute c in
-  let mid = Vec.length c.buf in
-  c.controls <- saved_controls;
-  let b = use a c in
-  (* uncompute: emit the inverses of the compute gates in reverse order.
-     Ambient controls are always cleared here: when trimming is off the
-     recorded gates already carry them. *)
-  c.controls <- [];
-  (try
-     for i = mid - 1 downto start do
-       let g = Vec.get c.buf i in
-       if not (Gate.is_comment g) then emit c (Gate.inverse g)
-     done
-   with e ->
-     c.controls <- saved_controls;
-     raise e);
-  c.controls <- saved_controls;
-  b
+  begin_retain c;
+  Fun.protect
+    ~finally:(fun () -> end_retain c)
+    (fun () ->
+      if trimming then c.controls <- [];
+      let start = Vec.length c.buf in
+      let a = compute c in
+      let mid = Vec.length c.buf in
+      c.controls <- saved_controls;
+      let b = use a c in
+      (* uncompute: emit the inverses of the compute gates in reverse order.
+         Ambient controls are always cleared here: when trimming is off the
+         recorded gates already carry them. *)
+      c.controls <- [];
+      (try
+         for i = mid - 1 downto start do
+           let g = Vec.get c.buf i in
+           if not (Gate.is_comment g) then emit c (Gate.inverse g)
+         done
+       with e ->
+         c.controls <- saved_controls;
+         raise e);
+      c.controls <- saved_controls;
+      b)
 
 (** Paper-style [with_computed_fun x compute use]. *)
 let with_computed_fun (x : 'x) (compute : 'x -> 'a t) (use : 'a -> ('a * 'r) t) :
@@ -719,24 +762,28 @@ let with_computed_fun (x : 'x) (compute : 'x -> 'a t) (use : 'a -> ('a * 'r) t) 
      intermediate value must be returned unchanged by [use]. *)
   let trimming = !control_trimming in
   let saved_controls = c.controls in
-  if trimming then c.controls <- [];
-  let start = Vec.length c.buf in
-  let a = compute x c in
-  let mid = Vec.length c.buf in
-  c.controls <- saved_controls;
-  let a', r = use a c in
-  ignore a';
-  c.controls <- [];
-  (try
-     for i = mid - 1 downto start do
-       let g = Vec.get c.buf i in
-       if not (Gate.is_comment g) then emit c (Gate.inverse g)
-     done
-   with e ->
-     c.controls <- saved_controls;
-     raise e);
-  c.controls <- saved_controls;
-  (x, r)
+  begin_retain c;
+  Fun.protect
+    ~finally:(fun () -> end_retain c)
+    (fun () ->
+      if trimming then c.controls <- [];
+      let start = Vec.length c.buf in
+      let a = compute x c in
+      let mid = Vec.length c.buf in
+      c.controls <- saved_controls;
+      let a', r = use a c in
+      ignore a';
+      c.controls <- [];
+      (try
+         for i = mid - 1 downto start do
+           let g = Vec.get c.buf i in
+           if not (Gate.is_comment g) then emit c (Gate.inverse g)
+         done
+       with e ->
+         c.controls <- saved_controls;
+         raise e);
+      c.controls <- saved_controls;
+      (x, r))
 
 (* ------------------------------------------------------------------ *)
 (* Boxed subcircuits (§4.4.4)                                          *)
@@ -766,10 +813,13 @@ let box name ~(in_ : ('b, 'q, 'c) Qdata.t) ~(out : ('b2, 'q2, 'c2) Qdata.t)
           <> in_.Qdata.tys
         then Errors.raise_ (Subroutine_redefined name)
     | None ->
+        (match c.on_sub_enter with Some f -> f name | None -> ());
         let circ = capture c in_ out f in
         let controllable = subroutine_controllable circ in
-        Hashtbl.replace c.subs name { Circuit.circ; controllable };
-        c.sub_order <- name :: c.sub_order);
+        let sub = { Circuit.circ; controllable } in
+        Hashtbl.replace c.subs name sub;
+        c.sub_order <- name :: c.sub_order;
+        (match c.on_sub_exit with Some f -> f name sub | None -> ()));
     let sub = Hashtbl.find c.subs name in
     let d_in = sub.circ.Circuit.inputs and d_out = sub.circ.Circuit.outputs in
     let actual_ins = in_.Qdata.qleaves x in
@@ -834,3 +884,29 @@ let generate ?(boxing = true) ~(in_ : ('b, 'q, 'c) Qdata.t) (f : 'q -> 'r t) :
 (** Generate a closed computation (no declared inputs). *)
 let generate_unit ?(boxing = true) (m : 'r t) : Circuit.b * 'r =
   generate ~boxing ~in_:Qdata.unit (fun () -> m)
+
+(** Run [f] feeding every top-level gate to [sink] as it is emitted,
+    without materializing the circuit: per-gate O(1) memory, except that
+    [with_computed] sandwiches stay buffered while open (their gates are
+    re-read to emit the uncompute half) and box bodies are captured as
+    usual (they are the namespace, not the stream). The sink sees exactly
+    the gate sequence {!generate} would record in the main circuit, with
+    subroutine definitions delivered before their first call gate. *)
+let run_streaming ?(boxing = true) ~(in_ : ('b, 'q, 'c) Qdata.t)
+    (f : 'q -> 'r t) (sink : 'sr Sink.t) : 'sr * 'r =
+  let c =
+    create_ctx ~boxing ~materialize:false ~on_emit:sink.Sink.on_gate
+      ~on_sub_enter:sink.Sink.on_subroutine_enter
+      ~on_sub_exit:sink.Sink.on_subroutine_exit ()
+  in
+  let ins =
+    List.map (fun ty -> { Wire.wire = alloc_input c ty; ty }) in_.Qdata.tys
+  in
+  sink.Sink.on_inputs ins;
+  let x = in_.Qdata.qbuild ins in
+  let r = f x c in
+  (sink.Sink.finish (live_outputs c), r)
+
+let run_streaming_unit ?(boxing = true) (m : 'r t) (sink : 'sr Sink.t) :
+    'sr * 'r =
+  run_streaming ~boxing ~in_:Qdata.unit (fun () -> m) sink

@@ -43,14 +43,21 @@ val for_ : int -> int -> (int -> unit t) -> unit t
 
 val create_ctx :
   ?boxing:bool ->
+  ?materialize:bool ->
   ?on_emit:(Gate.t -> unit) ->
+  ?on_sub_enter:(string -> unit) ->
+  ?on_sub_exit:(string -> Circuit.subroutine -> unit) ->
   ?lift:(ctx -> Wire.t -> bool) ->
   unit ->
   ctx
 (** A fresh builder. [boxing:false] makes {!box} inline its body (needed
     when gates are executed as emitted); [on_emit] is called on every
-    top-level gate (the execution hook of the simulators); [lift] supplies
-    {!dynamic_lift}. *)
+    top-level gate (the execution hook of the simulators and of
+    {!run_streaming}); [materialize:false] drops top-level gates from the
+    buffer after emission (streaming runs — {!with_computed} regions stay
+    buffered while open, since their gates are re-read to uncompute);
+    [on_sub_enter]/[on_sub_exit] observe box-body capture; [lift]
+    supplies {!dynamic_lift}. *)
 
 val alloc_input : ctx -> Wire.ty -> Wire.t
 (** Allocate a circuit input wire (live, recorded in the input arity). *)
@@ -250,3 +257,26 @@ val generate :
     The outputs are all wires live at the end, in id order. *)
 
 val generate_unit : ?boxing:bool -> 'r t -> Circuit.b * 'r
+
+val run_streaming :
+  ?boxing:bool ->
+  in_:('b, 'q, 'c) Qdata.t ->
+  ('q -> 'r t) ->
+  'sr Sink.t ->
+  'sr * 'r
+(** Run [f] on fresh inputs of shape [in_], feeding every top-level gate
+    to the sink as it is emitted instead of materializing the circuit:
+    per-gate O(1) memory for sink-only consumers (streaming gate counts,
+    depth, printing, simulation — see {!Sink}), which unbounds circuit
+    size from RAM the way the paper's lazy evaluation does (§5.4).
+
+    The sink sees exactly the gate sequence {!generate} records in the
+    main circuit — same order, same wire ids, ambient controls applied —
+    and subroutine definitions arrive (via [on_subroutine_exit]) before
+    the first call gate naming them. Memory caveats: a {!with_computed}
+    sandwich stays buffered until its uncompute half has been emitted
+    (the bound becomes the largest open sandwich), and box bodies are
+    captured as usual — they are the namespace, not the stream. *)
+
+val run_streaming_unit : ?boxing:bool -> 'r t -> 'sr Sink.t -> 'sr * 'r
+(** {!run_streaming} for a closed computation (no declared inputs). *)

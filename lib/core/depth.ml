@@ -18,31 +18,33 @@ type profile = {
   t_gates : int;  (** sequential T-count, a common cost proxy *)
 }
 
-let depth_of_circuit ~(sub_depth : string -> int) (c : Circuit.t) : int =
-  let time : (Wire.t, int) Hashtbl.t = Hashtbl.create 64 in
+(** Advance the per-wire clock [time] by one gate and return the new
+    finish time of that gate (0 for comments) — the step function shared
+    by the whole-circuit walk and the streaming tracker. *)
+let advance_gate ~(sub_depth : string -> int) (time : (Wire.t, int) Hashtbl.t)
+    (g : Gate.t) : int =
   let get w = match Hashtbl.find_opt time w with Some t -> t | None -> 0 in
-  let overall = ref 0 in
   let advance wires dt =
     let t = List.fold_left (fun acc w -> max acc (get w)) 0 wires + dt in
     List.iter (fun w -> Hashtbl.replace time w t) wires;
-    if t > !overall then overall := t
+    t
   in
+  match g with
+  | Gate.Comment _ -> 0
+  | Gate.Subroutine { name; inputs; outputs; controls; _ } ->
+      let wires =
+        inputs @ outputs
+        @ List.map (fun (k : Gate.control) -> k.Gate.cwire) controls
+      in
+      advance (List.sort_uniq compare wires) (sub_depth name)
+  | g ->
+      let wires = List.map (fun (e : Wire.endpoint) -> e.Wire.wire) (Gate.wires g) in
+      advance wires 1
+
+let depth_of_circuit ~(sub_depth : string -> int) (c : Circuit.t) : int =
+  let time : (Wire.t, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun (e : Wire.endpoint) -> Hashtbl.replace time e.Wire.wire 0) c.Circuit.inputs;
-  Array.iter
-    (fun g ->
-      match g with
-      | Gate.Comment _ -> ()
-      | Gate.Subroutine { name; inputs; outputs; controls; _ } ->
-          let wires =
-            inputs @ outputs
-            @ List.map (fun (k : Gate.control) -> k.Gate.cwire) controls
-          in
-          advance (List.sort_uniq compare wires) (sub_depth name)
-      | g ->
-          let wires = List.map (fun (e : Wire.endpoint) -> e.Wire.wire) (Gate.wires g) in
-          advance wires 1)
-    c.Circuit.gates;
-  !overall
+  Array.fold_left (fun acc g -> max acc (advance_gate ~sub_depth time g)) 0 c.Circuit.gates
 
 (** Hierarchical depth of a boxed circuit. *)
 let depth (b : Circuit.b) : int =
@@ -57,6 +59,53 @@ let depth (b : Circuit.b) : int =
         d
   in
   depth_of_circuit ~sub_depth b.Circuit.main
+
+(* ------------------------------------------------------------------ *)
+(* Streaming depth                                                     *)
+
+(** Incremental depth over a gate stream ({!Circ.run_streaming}): the
+    same per-wire clock as [depth_of_circuit], advanced gate by gate,
+    with subroutine depths memoized lazily from definitions recorded as
+    boxes close. Memory is O(live wires + namespace), not O(gates). *)
+type tracker = {
+  time : (Wire.t, int) Hashtbl.t;
+  mutable overall : int;
+  defs : (string, Circuit.t) Hashtbl.t;
+  memo : (string, int) Hashtbl.t;
+}
+
+let tracker () =
+  {
+    time = Hashtbl.create 64;
+    overall = 0;
+    defs = Hashtbl.create 16;
+    memo = Hashtbl.create 16;
+  }
+
+let track_inputs tr (es : Wire.endpoint list) =
+  List.iter (fun (e : Wire.endpoint) -> Hashtbl.replace tr.time e.Wire.wire 0) es
+
+let track_define tr name (sub : Circuit.subroutine) =
+  Hashtbl.replace tr.defs name sub.Circuit.circ
+
+let rec tracked_sub_depth tr name =
+  match Hashtbl.find_opt tr.memo name with
+  | Some d -> d
+  | None ->
+      let c =
+        match Hashtbl.find_opt tr.defs name with
+        | Some c -> c
+        | None -> Errors.raise_ (Unknown_subroutine name)
+      in
+      let d = depth_of_circuit ~sub_depth:(tracked_sub_depth tr) c in
+      Hashtbl.replace tr.memo name d;
+      d
+
+let track_gate tr (g : Gate.t) =
+  let t = advance_gate ~sub_depth:(tracked_sub_depth tr) tr.time g in
+  if t > tr.overall then tr.overall <- t
+
+let tracked_depth tr = tr.overall
 
 (** Sequential T-gate count along the critical path is approximated by the
     total T count; the exact T-depth needs scheduling, so we expose the

@@ -16,3 +16,20 @@ type profile = {
 val depth_of_circuit : sub_depth:(string -> int) -> Circuit.t -> int
 val depth : Circuit.b -> int
 val profile : Circuit.b -> profile
+
+(** {1 Streaming depth}
+
+    The same per-wire clock, advanced gate by gate as a stream arrives
+    ({!Circ.run_streaming}); yields exactly [depth] of the materialized
+    circuit. Memory is O(live wires + namespace), not O(gates). *)
+
+type tracker
+
+val tracker : unit -> tracker
+val track_inputs : tracker -> Wire.endpoint list -> unit
+
+val track_define : tracker -> string -> Circuit.subroutine -> unit
+(** Record a definition; must precede call gates naming it. *)
+
+val track_gate : tracker -> Gate.t -> unit
+val tracked_depth : tracker -> int

@@ -100,50 +100,57 @@ let invert_counts (t : t) : t =
       add k' n acc)
     t empty
 
+(* The aggregation core, shared by the whole-circuit [aggregate] and the
+   streaming counter: parameterized by the subroutine lookup, and by a
+   memo table per (subroutine, added positive controls, added negative
+   controls) — calls with controls are rare, so the table stays small. *)
+
+type memo = (string * int * int, t) Hashtbl.t
+
+let rec count_gate ~(find : string -> Circuit.subroutine) ~(memo : memo)
+    ~(addp : int) ~(addn : int) (acc : t) (g : Gate.t) : t =
+  match g with
+  | Gate.Comment _ -> acc
+  | Gate.Subroutine { name; inv; controls; _ } ->
+      let p, n = split_controls controls in
+      let sub = counts_of_sub ~find ~memo name ~addp:(addp + p) ~addn:(addn + n) in
+      let sub = if inv then invert_counts sub else sub in
+      merge_scaled 1 sub acc
+  | g -> (
+      match key_of_gate g with
+      | None -> acc
+      | Some k ->
+          let k =
+            (* ambient controls from enclosing controlled calls attach
+               to every controllable gate of the body *)
+            match Gate.controllability g with
+            | Gate.Controllable ->
+                { k with
+                  pos_controls = k.pos_controls + addp;
+                  neg_controls = k.neg_controls + addn }
+            | _ -> k
+          in
+          add k 1 acc)
+
+and counts_of_circuit ~find ~memo (c : Circuit.t) ~addp ~addn : t =
+  Array.fold_left (count_gate ~find ~memo ~addp ~addn) empty c.Circuit.gates
+
+and counts_of_sub ~find ~memo name ~addp ~addn : t =
+  match Hashtbl.find_opt memo (name, addp, addn) with
+  | Some t -> t
+  | None ->
+      let sub : Circuit.subroutine = find name in
+      let t = counts_of_circuit ~find ~memo sub.Circuit.circ ~addp ~addn in
+      Hashtbl.replace memo (name, addp, addn) t;
+      t
+
 (** [aggregate b]: gate counts of [b]'s main circuit with every boxed
     subcircuit recursively inlined — computed without inlining anything.
     A subroutine call under [k] extra controls contributes its body's counts
     with [k] controls added to every controllable gate. *)
 let aggregate (b : Circuit.b) : t =
-  (* memoize per (subroutine, added positive controls, added negative) —
-     calls with controls are rare, so the table stays small *)
-  let memo : (string * int * int, t) Hashtbl.t = Hashtbl.create 16 in
-  let rec counts_of_circuit (c : Circuit.t) ~(addp : int) ~(addn : int) : t =
-    Array.fold_left
-      (fun acc g ->
-        match g with
-        | Gate.Comment _ -> acc
-        | Gate.Subroutine { name; inv; controls; _ } ->
-            let p, n = split_controls controls in
-            let sub = counts_of_sub name ~addp:(addp + p) ~addn:(addn + n) in
-            let sub = if inv then invert_counts sub else sub in
-            merge_scaled 1 sub acc
-        | g -> (
-            match key_of_gate g with
-            | None -> acc
-            | Some k ->
-                let k =
-                  (* ambient controls from enclosing controlled calls attach
-                     to every controllable gate of the body *)
-                  match Gate.controllability g with
-                  | Gate.Controllable ->
-                      { k with
-                        pos_controls = k.pos_controls + addp;
-                        neg_controls = k.neg_controls + addn }
-                  | _ -> k
-                in
-                add k 1 acc))
-      empty c.Circuit.gates
-  and counts_of_sub name ~addp ~addn : t =
-    match Hashtbl.find_opt memo (name, addp, addn) with
-    | Some t -> t
-    | None ->
-        let sub = Circuit.find_sub b name in
-        let t = counts_of_circuit sub.Circuit.circ ~addp ~addn in
-        Hashtbl.replace memo (name, addp, addn) t;
-        t
-  in
-  counts_of_circuit b.main ~addp:0 ~addn:0
+  counts_of_circuit ~find:(Circuit.find_sub b) ~memo:(Hashtbl.create 16)
+    b.main ~addp:0 ~addn:0
 
 (** Shallow counts of one circuit (subroutine calls counted as opaque single
     gates named after the subroutine). *)
@@ -185,40 +192,44 @@ let get (t : t) k = match Counts.find_opt k t with Some n -> n | None -> 0
 let find_kind (t : t) kind =
   Counts.fold (fun k n acc -> if k.kind = kind then acc + n else acc) t 0
 
+(** One gate's effect on the (live wires, peak) pair — the step function
+    of both the whole-circuit [peak_wires] and the streaming tracker. A
+    subroutine call at a point with [l] live wires can reach
+    [l - arity_in + peak(sub)]. *)
+let peak_step ~(sub_peak : string -> int) (live, peak) (g : Gate.t) :
+    int * int =
+  match g with
+  | Gate.Init _ | Gate.Cgate _ ->
+      let live = live + 1 in
+      (live, max peak live)
+  | Gate.Term _ | Gate.Discard _ -> (live - 1, peak)
+  | Gate.Subroutine { name; inputs; outputs; _ } ->
+      let reach = live - List.length inputs + sub_peak name in
+      let live = live - List.length inputs + List.length outputs in
+      (live, max (max peak reach) live)
+  | _ -> (live, peak)
+
+let rec peak_of_circuit ~find ~(memo : (string, int) Hashtbl.t)
+    (c : Circuit.t) : int =
+  let start = List.length c.Circuit.inputs in
+  snd
+    (Array.fold_left
+       (peak_step ~sub_peak:(peak_of_sub ~find ~memo))
+       (start, start) c.Circuit.gates)
+
+and peak_of_sub ~find ~memo name =
+  match Hashtbl.find_opt memo name with
+  | Some p -> p
+  | None ->
+      let sub : Circuit.subroutine = find name in
+      let p = peak_of_circuit ~find ~memo sub.Circuit.circ in
+      Hashtbl.replace memo name p;
+      p
+
 (** Peak number of simultaneously-live wires ("Qubits in circuit"),
-    computed hierarchically: a subroutine call at a point with [l] live
-    wires can reach [l - arity_in + peak(sub)]. *)
+    computed hierarchically. *)
 let peak_wires (b : Circuit.b) : int =
-  let memo : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let rec peak_of_circuit (c : Circuit.t) : int =
-    let live = ref (List.length c.Circuit.inputs) in
-    let peak = ref !live in
-    Array.iter
-      (fun g ->
-        match g with
-        | Gate.Init _ | Gate.Cgate _ ->
-            incr live;
-            if !live > !peak then peak := !live
-        | Gate.Term _ | Gate.Discard _ -> decr live
-        | Gate.Subroutine { name; inputs; outputs; _ } ->
-            let sub_peak = peak_of_sub name in
-            let reach = !live - List.length inputs + sub_peak in
-            if reach > !peak then peak := reach;
-            live := !live - List.length inputs + List.length outputs;
-            if !live > !peak then peak := !live
-        | _ -> ())
-      c.Circuit.gates;
-    !peak
-  and peak_of_sub name =
-    match Hashtbl.find_opt memo name with
-    | Some p -> p
-    | None ->
-        let sub = Circuit.find_sub b name in
-        let p = peak_of_circuit sub.Circuit.circ in
-        Hashtbl.replace memo name p;
-        p
-  in
-  peak_of_circuit b.main
+  peak_of_circuit ~find:(Circuit.find_sub b) ~memo:(Hashtbl.create 16) b.main
 
 (* ------------------------------------------------------------------ *)
 (* Summary record and printing, in Quipper's output format             *)
@@ -275,3 +286,73 @@ let pp_summary ppf (s : summary) =
   Fmt.pf ppf "Inputs: %d@\n" s.inputs;
   Fmt.pf ppf "Outputs: %d@\n" s.outputs;
   Fmt.pf ppf "Qubits in circuit: %d@\n" s.qubits
+
+(* ------------------------------------------------------------------ *)
+(* Streaming counting                                                  *)
+
+(** Incremental counter over a gate stream, sharing the aggregation and
+    peak-wires cores above so the result is the one [summarize] gives on
+    the materialized circuit. Subroutine definitions arrive through
+    {!stream_define} (always before the first call gate naming them, the
+    order {!Circ.run_streaming} guarantees); memory is bounded by the
+    number of distinct gate kinds plus the subroutine namespace, not by
+    the gate count. *)
+type stream = {
+  mutable counts : t;
+  mutable live : int;
+  mutable peak : int;
+  mutable input_arity : int;
+  defs : (string, Circuit.subroutine) Hashtbl.t;
+  count_memo : memo;
+  peak_memo : (string, int) Hashtbl.t;
+}
+
+let stream_create () =
+  {
+    counts = empty;
+    live = 0;
+    peak = 0;
+    input_arity = 0;
+    defs = Hashtbl.create 16;
+    count_memo = Hashtbl.create 16;
+    peak_memo = Hashtbl.create 16;
+  }
+
+let stream_find st name =
+  match Hashtbl.find_opt st.defs name with
+  | Some s -> s
+  | None -> Errors.raise_ (Unknown_subroutine name)
+
+let stream_inputs st (es : Wire.endpoint list) =
+  let n = List.length es in
+  st.input_arity <- st.input_arity + n;
+  st.live <- st.live + n;
+  if st.live > st.peak then st.peak <- st.live
+
+let stream_define st name (sub : Circuit.subroutine) =
+  Hashtbl.replace st.defs name sub
+
+let stream_gate st (g : Gate.t) =
+  st.counts <-
+    count_gate ~find:(stream_find st) ~memo:st.count_memo ~addp:0 ~addn:0
+      st.counts g;
+  let live, peak =
+    peak_step
+      ~sub_peak:(fun name ->
+        peak_of_sub ~find:(stream_find st) ~memo:st.peak_memo name)
+      (st.live, st.peak) g
+  in
+  st.live <- live;
+  st.peak <- peak
+
+let stream_counts st = st.counts
+
+let stream_summary st ~outputs =
+  {
+    counts = st.counts;
+    total = total st.counts;
+    total_logical = total_logical st.counts;
+    inputs = st.input_arity;
+    outputs;
+    qubits = st.peak;
+  }

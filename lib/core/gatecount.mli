@@ -74,3 +74,27 @@ val pp_key : Format.formatter -> key -> unit
 
 val pp : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Streaming counting}
+
+    Incremental counting over a gate stream ({!Circ.run_streaming}),
+    sharing the aggregation and peak-wires cores with {!aggregate} and
+    {!peak_wires}, so the resulting {!summary} equals [summarize] of the
+    materialized circuit. Memory is bounded by the number of distinct
+    gate kinds plus the subroutine namespace, never by the gate count. *)
+
+type stream
+
+val stream_create : unit -> stream
+
+val stream_inputs : stream -> Wire.endpoint list -> unit
+(** Declare the circuit inputs (they start the live-wire tally). *)
+
+val stream_define : stream -> string -> Circuit.subroutine -> unit
+(** Record a subroutine definition; must precede call gates naming it. *)
+
+val stream_gate : stream -> Gate.t -> unit
+val stream_counts : stream -> t
+
+val stream_summary : stream -> outputs:int -> summary
+(** The summary so far; [outputs] is the final output arity. *)

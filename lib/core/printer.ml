@@ -14,19 +14,27 @@ let pp_arity ppf (es : Wire.endpoint list) =
                 (match e.Wire.ty with Wire.Q -> "Qubit" | Wire.C -> "Cbit")))
         es
 
+(* The granular pieces of the format, so the streaming printer sink can
+   emit the very same bytes line by line. *)
+
+let pp_inputs ppf (es : Wire.endpoint list) = Fmt.pf ppf "Inputs: %a@\n" pp_arity es
+let pp_gate_line ppf (g : Gate.t) = Fmt.pf ppf "%a@\n" Gate.pp g
+let pp_outputs ppf (es : Wire.endpoint list) = Fmt.pf ppf "Outputs: %a@\n" pp_arity es
+
 let pp_circuit ppf (c : Circuit.t) =
-  Fmt.pf ppf "Inputs: %a@\n" pp_arity c.Circuit.inputs;
-  Array.iter (fun g -> Fmt.pf ppf "%a@\n" Gate.pp g) c.Circuit.gates;
-  Fmt.pf ppf "Outputs: %a@\n" pp_arity c.Circuit.outputs
+  pp_inputs ppf c.Circuit.inputs;
+  Array.iter (pp_gate_line ppf) c.Circuit.gates;
+  pp_outputs ppf c.Circuit.outputs
+
+let pp_subroutine ppf name (sub : Circuit.subroutine) =
+  Fmt.pf ppf "@\nSubroutine: %S@\nControllable: %b@\n" name
+    sub.Circuit.controllable;
+  pp_circuit ppf sub.Circuit.circ
 
 let pp_bcircuit ppf (b : Circuit.b) =
   pp_circuit ppf b.Circuit.main;
   List.iter
-    (fun name ->
-      let sub = Circuit.find_sub b name in
-      Fmt.pf ppf "@\nSubroutine: %S@\nControllable: %b@\n" name
-        sub.Circuit.controllable;
-      pp_circuit ppf sub.Circuit.circ)
+    (fun name -> pp_subroutine ppf name (Circuit.find_sub b name))
     b.Circuit.sub_order
 
 let to_string (b : Circuit.b) = Fmt.to_to_string pp_bcircuit b

@@ -4,6 +4,16 @@
     hierarchical on disk. *)
 
 val pp_arity : Format.formatter -> Wire.endpoint list -> unit
+
+(** The granular pieces of the format — what the streaming printer sink
+    ({!Sink.printer}) emits line by line, so its output is byte-identical
+    to {!pp_bcircuit} on the materialized circuit. *)
+
+val pp_inputs : Format.formatter -> Wire.endpoint list -> unit
+val pp_gate_line : Format.formatter -> Gate.t -> unit
+val pp_outputs : Format.formatter -> Wire.endpoint list -> unit
+val pp_subroutine : Format.formatter -> string -> Circuit.subroutine -> unit
+
 val pp_circuit : Format.formatter -> Circuit.t -> unit
 val pp_bcircuit : Format.formatter -> Circuit.b -> unit
 val to_string : Circuit.b -> string

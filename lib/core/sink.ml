@@ -1,0 +1,201 @@
+(** Streaming circuit consumers.
+
+    The paper's headline scalability evidence (§5.4) — counting a
+    30-trillion-gate circuit without holding it — falls out of Haskell's
+    laziness: consumers fold over the gate list as it is produced. Our
+    strict builder materializes into a [Vec], so consumers that only need
+    a fold (counting, depth, printing, simulation) pay O(gates) memory
+    for no reason. A ['r t] is such a fold made first-class: callbacks
+    for the events of a circuit-construction run, and a [finish] that
+    renders the accumulated state into a result. {!Circ.run_streaming}
+    drives a sink with per-gate O(1) memory.
+
+    Event order mirrors what the buffering run records: [on_inputs] once
+    up front, then gates in emission order; [on_subroutine_exit] fires
+    when a box body has been captured, always before the first call gate
+    of that subroutine, and nested definitions complete innermost-first
+    (the same order as [Circuit.b.sub_order]). *)
+
+type 'r t = {
+  on_inputs : Wire.endpoint list -> unit;
+  on_gate : Gate.t -> unit;
+  on_subroutine_enter : string -> unit;
+  on_subroutine_exit : string -> Circuit.subroutine -> unit;
+  finish : Wire.endpoint list -> 'r;
+}
+
+let make ?(on_inputs = fun _ -> ()) ?(on_gate = fun _ -> ())
+    ?(on_subroutine_enter = fun _ -> ()) ?(on_subroutine_exit = fun _ _ -> ())
+    ~finish () =
+  { on_inputs; on_gate; on_subroutine_enter; on_subroutine_exit; finish }
+
+let map f (s : 'a t) : 'b t = { s with finish = (fun outs -> f (s.finish outs)) }
+
+(** Feed one event stream to two sinks at once (one generation pass,
+    several analyses). [finish] runs the left sink first. *)
+let tee (a : 'a t) (b : 'b t) : ('a * 'b) t =
+  {
+    on_inputs =
+      (fun es ->
+        a.on_inputs es;
+        b.on_inputs es);
+    on_gate =
+      (fun g ->
+        a.on_gate g;
+        b.on_gate g);
+    on_subroutine_enter =
+      (fun name ->
+        a.on_subroutine_enter name;
+        b.on_subroutine_enter name);
+    on_subroutine_exit =
+      (fun name sub ->
+        a.on_subroutine_exit name sub;
+        b.on_subroutine_exit name sub);
+    finish =
+      (fun outs ->
+        let ra = a.finish outs in
+        let rb = b.finish outs in
+        (ra, rb));
+  }
+
+let tee3 a b c = map (fun (x, (y, z)) -> (x, y, z)) (tee a (tee b c))
+
+(* ------------------------------------------------------------------ *)
+(* First-class sinks                                                   *)
+
+(** Streaming aggregated gate count: the same memoized per-subroutine
+    arithmetic as {!Gatecount.aggregate}, fed definitions as boxes close
+    and call gates as they stream. *)
+let gatecount () : Gatecount.summary t =
+  let st = Gatecount.stream_create () in
+  {
+    on_inputs = Gatecount.stream_inputs st;
+    on_gate = Gatecount.stream_gate st;
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit = Gatecount.stream_define st;
+    finish =
+      (fun outs -> Gatecount.stream_summary st ~outputs:(List.length outs));
+  }
+
+(** Streaming hierarchical depth (same convention as {!Depth.depth}:
+    subroutine calls serialise as blocks of the callee's memoized depth). *)
+let depth () : int t =
+  let tr = Depth.tracker () in
+  {
+    on_inputs = Depth.track_inputs tr;
+    on_gate = Depth.track_gate tr;
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit = Depth.track_define tr;
+    finish = (fun _ -> Depth.tracked_depth tr);
+  }
+
+(** Streaming text printing, byte-identical to {!Printer.pp_bcircuit} on
+    the materialized circuit: gate lines go out as gates stream,
+    subroutine blocks are held (definitions only, not their call sites'
+    expansions) and printed after the outputs line, in definition order. *)
+let printer (ppf : Format.formatter) : unit t =
+  let subs = ref [] (* reversed definition order *) in
+  {
+    on_inputs = Printer.pp_inputs ppf;
+    on_gate = Printer.pp_gate_line ppf;
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit = (fun name sub -> subs := (name, sub) :: !subs);
+    finish =
+      (fun outs ->
+        Printer.pp_outputs ppf outs;
+        List.iter
+          (fun (name, sub) -> Printer.pp_subroutine ppf name sub)
+          (List.rev !subs);
+        Format.pp_print_flush ppf ());
+  }
+
+(** Record the raw gate stream (tests; O(gates) memory, obviously). *)
+let gates () : Gate.t list t =
+  let acc = ref [] in
+  {
+    on_inputs = (fun _ -> ());
+    on_gate = (fun g -> acc := g :: !acc);
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit = (fun _ _ -> ());
+    finish = (fun _ -> List.rev !acc);
+  }
+
+(** Collect the subroutine namespace as definitions close, in definition
+    order — enough to rebuild the non-main part of a [Circuit.b]. *)
+let subroutines () : (Circuit.subroutine Circuit.Namespace.t * string list) t =
+  let subs = ref Circuit.Namespace.empty in
+  let order = ref [] in
+  {
+    on_inputs = (fun _ -> ());
+    on_gate = (fun _ -> ());
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit =
+      (fun name sub ->
+        if not (Circuit.Namespace.mem name !subs) then order := name :: !order;
+        subs := Circuit.Namespace.add name sub !subs);
+    finish = (fun _ -> (!subs, List.rev !order));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Unboxing adapter                                                    *)
+
+(** [unbox inner]: expand every [Subroutine] call gate into its body's
+    gates before handing them to [inner], so [inner] sees the same flat
+    gate sequence [Circuit.inline] would produce (up to the names of
+    wires internal to calls, which are drawn from a private negative
+    counter and so never collide with builder ids). Call controls are
+    appended to every controllable body gate, inverse calls replay the
+    reversed inverted body — the same expansion as
+    [Circuit.inline_provenance]. Definitions are consumed, not
+    forwarded: the inner sink sees a flat, subroutine-free stream. *)
+let unbox (inner : 'r t) : 'r t =
+  let defs : (string, Circuit.subroutine) Hashtbl.t = Hashtbl.create 16 in
+  let fresh = ref (-1) in
+  let find name =
+    match Hashtbl.find_opt defs name with
+    | Some s -> s
+    | None -> Errors.raise_ (Unknown_subroutine name)
+  in
+  let rec expand (g : Gate.t) =
+    match g with
+    | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+        let { Circuit.circ; _ } = find name in
+        let body =
+          if inv then
+            Array.of_list
+              (Array.fold_left
+                 (fun acc g ->
+                   if Gate.is_comment g then acc else Gate.inverse g :: acc)
+                 [] circ.Circuit.gates)
+          else circ.Circuit.gates
+        in
+        let d_in = if inv then circ.Circuit.outputs else circ.Circuit.inputs in
+        let d_out = if inv then circ.Circuit.inputs else circ.Circuit.outputs in
+        let map = Hashtbl.create 16 in
+        List.iter2
+          (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
+          d_in inputs;
+        List.iter2
+          (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
+          d_out outputs;
+        let rename w =
+          match Hashtbl.find_opt map w with
+          | Some w' -> w'
+          | None ->
+              let w' = !fresh in
+              decr fresh;
+              Hashtbl.replace map w w';
+              w'
+        in
+        Array.iter
+          (fun g -> expand (Gate.add_controls controls (Gate.rename rename g)))
+          body
+    | g -> inner.on_gate g
+  in
+  {
+    on_inputs = inner.on_inputs;
+    on_gate = expand;
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit = (fun name sub -> Hashtbl.replace defs name sub);
+    finish = inner.finish;
+  }

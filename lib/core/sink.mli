@@ -1,0 +1,75 @@
+(** Streaming circuit consumers: fold over the gate stream as it is
+    emitted, instead of over a stored circuit.
+
+    This recovers, in a strict language, what the paper gets from
+    Haskell's laziness (§5.4): resource analyses and executions whose
+    memory is independent of circuit size. A ['r t] packages the
+    callbacks of one circuit-construction run — inputs, gates in
+    emission order, subroutine-definition events — plus a [finish] run
+    on the final outputs. Drive one with {!Circ.run_streaming}.
+
+    Event order matches the buffering run: [on_inputs] once, then gates
+    in the order the buffer would record them; [on_subroutine_exit name
+    sub] fires when the body of box [name] has been captured, always
+    before the first [Subroutine] call gate naming it, with nested
+    definitions completing innermost-first (the order of
+    [Circuit.b.sub_order]). *)
+
+type 'r t = {
+  on_inputs : Wire.endpoint list -> unit;
+  on_gate : Gate.t -> unit;
+  on_subroutine_enter : string -> unit;
+  on_subroutine_exit : string -> Circuit.subroutine -> unit;
+  finish : Wire.endpoint list -> 'r;
+}
+
+val make :
+  ?on_inputs:(Wire.endpoint list -> unit) ->
+  ?on_gate:(Gate.t -> unit) ->
+  ?on_subroutine_enter:(string -> unit) ->
+  ?on_subroutine_exit:(string -> Circuit.subroutine -> unit) ->
+  finish:(Wire.endpoint list -> 'r) ->
+  unit ->
+  'r t
+(** A sink from callbacks; omitted callbacks ignore their events. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val tee : 'a t -> 'b t -> ('a * 'b) t
+(** Feed one generation pass to two sinks; [finish] runs left first. *)
+
+val tee3 : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val gatecount : unit -> Gatecount.summary t
+(** Streaming aggregated gate count, identical (including the peak-wires
+    figure) to [Gatecount.summarize] of the materialized circuit. Uses
+    the same memoized per-subroutine aggregation, so a call gate costs
+    O(1) amortized regardless of the callee's size. *)
+
+val depth : unit -> int t
+(** Streaming hierarchical depth, identical to [Depth.depth] of the
+    materialized circuit. *)
+
+val printer : Format.formatter -> unit t
+(** Streaming text output, byte-identical to [Printer.pp_bcircuit] of
+    the materialized circuit. Gate lines stream; subroutine definition
+    blocks are held and printed after the outputs line. The formatter is
+    flushed by [finish]. *)
+
+val gates : unit -> Gate.t list t
+(** Record the raw gate stream (tests; O(gates) memory by design). *)
+
+val subroutines :
+  unit -> (Circuit.subroutine Circuit.Namespace.t * string list) t
+(** Collect the subroutine namespace and definition order — the non-main
+    part of a [Circuit.b]. *)
+
+val unbox : 'r t -> 'r t
+(** Expand every [Subroutine] call gate into its body before handing
+    gates to the inner sink, which therefore sees the flat gate sequence
+    of [Circuit.inline] (wires internal to calls are renamed from a
+    private negative counter, so they never collide with builder wire
+    ids). Inverse calls replay the reversed inverted body; call controls
+    attach to every controllable body gate. Definitions are consumed,
+    not forwarded. Needed for sinks without hierarchical semantics —
+    notably simulation. *)

@@ -14,6 +14,9 @@ open Quipper
 open Circ
 module Qureg = Quipper_arith.Qureg
 
+(* eager statement sequencing — see the note on [Qcl.iterm] *)
+let iterm = Qcl.iterm
+
 type params = Algo_bwt.params = { n : int; s : int; dt : float }
 
 let default_params = Algo_bwt.default_params

@@ -11,6 +11,13 @@ type heap = { mutable free : Wire.qubit list; mutable total : int }
     pool, and never assertively terminated — they stay live to the end of
     the circuit, like QCL's global temporaries. *)
 
+val iterm : ('a -> unit Circ.t) -> 'a list -> unit Circ.t
+(** Eager statement sequencing, QCL-style: the whole chain of statement
+    closures (and hence every scratch-register claim) is built before the
+    first statement executes. Shadows the run-time-incremental
+    [Circ.iterm] inside this library — the scratch-reuse pattern, and so
+    the section-6 qubit figures, depend on it. *)
+
 val new_heap : unit -> heap
 val acquire : heap -> int -> Wire.qubit list Circ.t
 val release : heap -> Wire.qubit list -> unit Circ.t

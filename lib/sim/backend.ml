@@ -179,6 +179,33 @@ let find name : (module S) =
   | None ->
       Errors.raise_ (Simulation (Fmt.str "backend: no simulator named %s" name))
 
+(** Streaming simulation as a {!Quipper.Sink.t}: feed it to
+    [Circ.run_streaming] to execute a circuit-producing function against
+    any backend without materializing the circuit. Input wires are
+    initialized from [inputs] (arity-checked against the declared input
+    shape) exactly as [run_circuit] does; subroutine call gates are
+    expanded on the fly by [Sink.unbox], so backends never see a
+    [Subroutine] gate. [finish] renders the final state with [observe].
+
+    On a box-free circuit the backend receives gate for gate what
+    [run_circuit] applies after inlining, in the same allocation order —
+    so at equal seeds the observations agree bit for bit. *)
+let sink (module B : S) ?seed ~(inputs : bool list) () : observation Sink.t =
+  let st = B.create ?seed () in
+  Sink.unbox
+    (Sink.make
+       ~on_inputs:(fun es ->
+         (if List.length inputs <> List.length es then
+            Errors.raise_ (Shape_mismatch "streaming run: input arity"));
+         List.iter2
+           (fun (e : Wire.endpoint) v ->
+             B.apply_gate st
+               (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+           es inputs)
+       ~on_gate:(fun g -> B.apply_gate st g)
+       ~finish:(fun _ -> B.observe st)
+       ())
+
 (** Run a circuit and measure every qubit output (classical outputs are
     read), in output-arity order — the common differential-test move,
     written once over the contract. *)

@@ -76,3 +76,11 @@ val find : string -> (module S)
 val run_and_measure : (module S) -> ?seed:int -> Circuit.b -> bool list -> bool list
 (** Run a circuit, then measure every qubit output (classical outputs
     are read), in output-arity order. *)
+
+val sink : (module S) -> ?seed:int -> inputs:bool list -> unit -> observation Sink.t
+(** Streaming simulation for [Circ.run_streaming]: initializes the
+    declared inputs from [inputs], applies every streamed gate to a
+    fresh backend state (subroutine calls expanded on the fly by
+    [Sink.unbox]), and [finish]es with [observe]. On a box-free circuit
+    this sees gate for gate what [run_circuit] applies after inlining,
+    so at equal seeds the observations agree bit for bit. *)

@@ -1,11 +1,16 @@
-(* Random circuit-program generators shared by the property tests.
+(* Random circuit-program generators shared by the property-test suites
+   (the [quipper_testgen] library).
 
    A generated "program" is a reversible circuit-producing function on a
    fixed register of qubits: a sequence of primitive unitary operations,
    ancilla blocks, controlled blocks and compute/uncompute sandwiches —
    enough structural variety to exercise the builder, reversal,
-   decomposition, counting and the simulators, while staying unitary so
-   every whole-circuit operator applies. *)
+   decomposition, counting, streaming and the simulators, while staying
+   unitary so every whole-circuit operator applies.
+
+   Program generators take size parameters (op-count range, block
+   nesting depth) with the historical defaults; [sample] draws one value
+   deterministically from an integer seed for non-QCheck harnesses. *)
 
 open Quipper
 open Circ
@@ -61,8 +66,8 @@ let rec op_gen ~n ~depth : op QCheck2.Gen.t =
   in
   frequency (base @ recursive)
 
-let program_gen ~n : op list QCheck2.Gen.t =
-  QCheck2.Gen.(list_size (int_range 1 15) (op_gen ~n ~depth:2))
+let program_gen ?(min_ops = 1) ?(max_ops = 15) ?(depth = 2) ~n () : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range min_ops max_ops) (op_gen ~n ~depth))
 
 (* Restricted op generators for the differential-simulation harness:
    each simulator pair is exercised on the fragment of the gate set both
@@ -107,8 +112,9 @@ let rec classical_op_gen ~n ~depth : op QCheck2.Gen.t =
   in
   frequency (base @ recursive)
 
-let classical_program_gen ~n : op list QCheck2.Gen.t =
-  QCheck2.Gen.(list_size (int_range 1 15) (classical_op_gen ~n ~depth:2))
+let classical_program_gen ?(min_ops = 1) ?(max_ops = 15) ?(depth = 2) ~n () :
+    op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range min_ops max_ops) (classical_op_gen ~n ~depth))
 
 (* Flat Clifford ops (H, S, X, CNOT, swap). No blocks: an extra control
    on a CNOT would leave the Clifford group. *)
@@ -127,8 +133,8 @@ let clifford_op_gen ~n : op QCheck2.Gen.t =
       (1, distinct2 >|= fun (a, b) -> Swap (a, b));
     ]
 
-let clifford_program_gen ~n : op list QCheck2.Gen.t =
-  QCheck2.Gen.(list_size (int_range 1 25) (clifford_op_gen ~n))
+let clifford_program_gen ?(min_ops = 1) ?(max_ops = 25) ~n () : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range min_ops max_ops) (clifford_op_gen ~n))
 
 (* The classical ∩ Clifford fragment: wire permutations and parity
    (X, CNOT, swap) — runnable on all three simulators at once. *)
@@ -145,8 +151,14 @@ let permutation_op_gen ~n : op QCheck2.Gen.t =
       (1, distinct2 >|= fun (a, b) -> Swap (a, b));
     ]
 
-let permutation_program_gen ~n : op list QCheck2.Gen.t =
-  QCheck2.Gen.(list_size (int_range 1 25) (permutation_op_gen ~n))
+let permutation_program_gen ?(min_ops = 1) ?(max_ops = 25) ~n () : op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range min_ops max_ops) (permutation_op_gen ~n))
+
+(** Draw one value from a generator, deterministically from [seed] — the
+    seeded interface for harnesses (benchmarks, fault campaigns, shell
+    drivers) that are not QCheck properties. *)
+let sample ?(seed = 0) (g : 'a QCheck2.Gen.t) : 'a =
+  QCheck2.Gen.generate1 ~rand:(Random.State.make [| 0x5eed; seed |]) g
 
 (* distinctness after the mod arithmetic is not guaranteed; filter when
    interpreting *)
@@ -205,14 +217,17 @@ let rec interp (qs : Wire.qubit array) (o : op) : unit Circ.t =
 let program (ops : op list) (qs : Wire.qubit array) : unit Circ.t =
   iterm (interp qs) ops
 
+(** The program as a circuit-producing function on the input register —
+    the thing both [Circ.generate] and [Circ.run_streaming] can run, so
+    differential streaming tests drive the identical computation. *)
+let program_fun (ops : op list) (ql : Wire.qubit list) : Wire.qubit list Circ.t =
+  let qs = Array.of_list ql in
+  let* () = program ops qs in
+  return ql
+
 (** Generate the circuit of a random program on [n] qubits. *)
 let circuit_of_program ~n (ops : op list) : Circuit.b =
-  let b, _ =
-    Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
-        let qs = Array.of_list ql in
-        let* () = program ops qs in
-        return ql)
-  in
+  let b, _ = Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (program_fun ops) in
   b
 
 (** The circuit of [ops] followed by its library-generated reverse: maps

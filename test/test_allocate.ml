@@ -2,6 +2,7 @@
    register-allocation phase). *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 module Sv = Quipper_sim.Statevector
 
@@ -71,7 +72,7 @@ let test_counts_invariant () =
 
 let prop_compaction_valid =
   QCheck2.Test.make ~name:"compaction of random circuits is valid and tight"
-    ~count:60 (Gen.program_gen ~n:4)
+    ~count:60 (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let flat = Circuit.inline b in
@@ -83,7 +84,7 @@ let prop_compaction_valid =
 
 let prop_compaction_semantics =
   QCheck2.Test.make ~name:"compaction preserves semantics" ~count:30
-    (Gen.program_gen ~n:3)
+    (Gen.program_gen ~n:3 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:3 ops in
       let c = Allocate.compact b in

@@ -4,6 +4,7 @@
    buffers, and cross-backend fault-injection campaigns. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 module Backend = Quipper_sim.Backend
 module Sv = Quipper_sim.Statevector

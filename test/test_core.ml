@@ -3,6 +3,7 @@
    boxed subcircuits, reversal, printing. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 
 let check = Alcotest.(check bool)
@@ -443,7 +444,7 @@ let test_comment_labels () =
 
 let prop_generated_circuits_validate =
   QCheck2.Test.make ~name:"random programs generate valid circuits" ~count:100
-    (Gen.program_gen ~n:4)
+    (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       Circuit.validate_b b;
@@ -452,7 +453,7 @@ let prop_generated_circuits_validate =
 
 let prop_reverse_validates =
   QCheck2.Test.make ~name:"reversed random circuits validate" ~count:100
-    (Gen.program_gen ~n:4)
+    (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       Circuit.validate_b (Reverse.bcircuit b);
@@ -460,7 +461,7 @@ let prop_reverse_validates =
 
 let prop_double_reverse_identity =
   QCheck2.Test.make ~name:"reverse o reverse = id on gates" ~count:100
-    (Gen.program_gen ~n:4)
+    (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let b = (* strip comments: reversal drops them *) b in

@@ -1,6 +1,7 @@
 (* Tests for the depth analysis and the per-subroutine counter. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 
 let checki = Alcotest.(check int)
@@ -75,7 +76,7 @@ let test_hierarchical_depth_bound () =
 
 let prop_depth_bound_random =
   QCheck2.Test.make ~name:"hierarchical depth bounds inlined depth" ~count:60
-    (Gen.program_gen ~n:4)
+    (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let boxed = Depth.depth b in

@@ -8,6 +8,7 @@
    across the backend pairs. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 module Backend = Quipper_sim.Backend
 module Cs = Quipper_sim.Classical
 
@@ -28,7 +29,7 @@ let agree ~seed backends (b : Circuit.b) inputs expected =
 let prop_classical_vs_statevector =
   let n = 5 in
   QCheck2.Test.make ~name:"differential: classical vs statevector" ~count:40
-    QCheck2.Gen.(pair (Gen.classical_program_gen ~n) (inputs_gen n))
+    QCheck2.Gen.(pair (Gen.classical_program_gen ~n ()) (inputs_gen n))
     (fun (ops, inputs) ->
       let b = Gen.circuit_of_program ~n ops in
       let expected = Cs.run_circuit b inputs in
@@ -41,7 +42,7 @@ let prop_classical_vs_statevector =
 let prop_classical_vs_clifford =
   let n = 5 in
   QCheck2.Test.make ~name:"differential: classical vs clifford" ~count:40
-    QCheck2.Gen.(pair (Gen.permutation_program_gen ~n) (inputs_gen n))
+    QCheck2.Gen.(pair (Gen.permutation_program_gen ~n ()) (inputs_gen n))
     (fun (ops, inputs) ->
       let b = Gen.circuit_of_program ~n ops in
       let expected = Cs.run_circuit b inputs in
@@ -55,7 +56,7 @@ let prop_statevector_vs_clifford_roundtrip =
   let n = 4 in
   QCheck2.Test.make ~name:"differential: statevector vs clifford (roundtrips)"
     ~count:40
-    QCheck2.Gen.(pair (Gen.clifford_program_gen ~n) (inputs_gen n))
+    QCheck2.Gen.(pair (Gen.clifford_program_gen ~n ()) (inputs_gen n))
     (fun (ops, inputs) ->
       let b = Gen.roundtrip_circuit_of_program ~n ops in
       agree ~seed:11

@@ -2,6 +2,7 @@
    paper's trillion-gate counts (4.4.4, 5.4). *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 
 let check = Alcotest.(check bool)
@@ -169,9 +170,66 @@ let test_summary_golden () =
   in
   Alcotest.(check string) "golden BWT orthodox summary" expected (String.trim got)
 
+(* Same idea for three more paper algorithms, at sizes small enough to
+   keep [dune runtest] fast: the TF pow17 arithmetic subroutine, the BF
+   oracle on a 3x3 board, and the USV phase-estimation skeleton. *)
+let check_golden name b expected_lines =
+  let got = Fmt.str "%a" Gatecount.pp_summary (Gatecount.summarize b) in
+  Alcotest.(check string) name (String.concat "\n" expected_lines) (String.trim got)
+
+let test_summary_golden_tf () =
+  check_golden "golden TF pow17 summary"
+    (Algo_tf.Qwtfp.generate_pow17 ())
+    [
+      "Aggregated gate count:";
+      "808: \"Init0\"";
+      "604: \"Not\", controls 1";
+      "2592: \"Not\", controls 2";
+      "804: \"Term0\"";
+      "Total gates: 4808";
+      "Inputs: 4";
+      "Outputs: 8";
+      "Qubits in circuit: 56";
+    ]
+
+let test_summary_golden_bf () =
+  check_golden "golden BF oracle summary"
+    (Algo_bf.generate_oracle ~board:{ Algo_bf.width = 3; height = 3 } ())
+    [
+      "Aggregated gate count:";
+      "90: \"Init0\"";
+      "290: \"Init1\"";
+      "580: \"Not\", controls 0+2";
+      "7: \"Not\", controls 1";
+      "162: \"Not\", controls 2";
+      "90: \"Term0\"";
+      "290: \"Term1\"";
+      "Total gates: 1509";
+      "Inputs: 10";
+      "Outputs: 10";
+      "Qubits in circuit: 390";
+    ]
+
+let test_summary_golden_usv () =
+  check_golden "golden USV summary"
+    (Algo_usv.generate ())
+    [
+      "Aggregated gate count:";
+      "12: \"H\"";
+      "6: \"Init0\"";
+      "1: \"Init1\"";
+      "6: \"Meas\"";
+      "27: \"Rz\", controls 1";
+      "1: \"Term1\"";
+      "Total gates: 53";
+      "Inputs: 0";
+      "Outputs: 6";
+      "Qubits in circuit: 7";
+    ]
+
 let prop_aggregate_equals_inline =
   QCheck2.Test.make ~name:"aggregate counts = inlined counts (random circuits)"
-    ~count:60 (Gen.program_gen ~n:4)
+    ~count:60 (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let agg = Gatecount.aggregate b in
@@ -189,5 +247,8 @@ let suite =
     Alcotest.test_case "summary fields" `Quick test_summary_fields;
     Alcotest.test_case "Quipper count format" `Quick test_quipper_print_format;
     Alcotest.test_case "golden summary (BWT orthodox)" `Quick test_summary_golden;
+    Alcotest.test_case "golden summary (TF pow17)" `Quick test_summary_golden_tf;
+    Alcotest.test_case "golden summary (BF oracle 3x3)" `Quick test_summary_golden_bf;
+    Alcotest.test_case "golden summary (USV)" `Quick test_summary_golden_usv;
     QCheck_alcotest.to_alcotest prop_aggregate_equals_inline;
   ]

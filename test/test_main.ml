@@ -20,4 +20,5 @@ let () =
       ("differential", Test_differential.suite);
       ("backend", Test_backend.suite);
       ("opt", Test_opt.suite);
+      ("stream", Test_stream.suite);
     ]

@@ -4,6 +4,7 @@
    checks that assertive termination detects what it claims to. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 module Sv = Quipper_sim.Statevector
 module Noise = Quipper_sim.Noise
@@ -68,7 +69,7 @@ let prop_noiseless_is_bit_identical =
      circuit programs (satellite acceptance: no perturbation at p = 0) *)
   QCheck2.Test.make ~name:"zero-probability noise config is bit-identical"
     ~count:30
-    QCheck2.Gen.(pair (Gen.program_gen ~n:4) (list_repeat 4 bool))
+    QCheck2.Gen.(pair (Gen.program_gen ~n:4 ()) (list_repeat 4 bool))
     (fun (ops, inputs) ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let clean = Sv.run_circuit ~seed:3 b inputs in

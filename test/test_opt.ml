@@ -6,6 +6,7 @@
    through the printer and parser. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 module Dag = Quipper_opt.Dag
 module Rewrite = Quipper_opt.Rewrite
@@ -246,7 +247,7 @@ let test_optimize_reports_stats () =
 let prop_optimize_statevector =
   QCheck2.Test.make
     ~name:"optimized random circuits are equivalent (statevector, up to phase)"
-    ~count:200 (Gen.program_gen ~n:4) (fun ops ->
+    ~count:200 (Gen.program_gen ~n:4 ()) (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let b' = optimize b in
       Circuit.validate_b b';
@@ -256,7 +257,7 @@ let prop_optimize_classical =
   QCheck2.Test.make
     ~name:"optimized reversible circuits are equivalent (classical, bit-for-bit)"
     ~count:100
-    (Gen.classical_program_gen ~n:5)
+    (Gen.classical_program_gen ~n:5 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:5 ops in
       let b' = optimize b in
@@ -267,7 +268,7 @@ let prop_optimize_classical =
 
 let prop_optimize_never_deepens =
   QCheck2.Test.make ~name:"the default pipeline never increases depth" ~count:50
-    (Gen.program_gen ~n:4) (fun ops ->
+    (Gen.program_gen ~n:4 ()) (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let b', stats = Passes.optimize b in
       Depth.depth b' <= Depth.depth b
@@ -277,7 +278,7 @@ let prop_optimize_never_deepens =
 
 let prop_optimized_roundtrip =
   QCheck2.Test.make ~name:"optimized circuits round-trip through print/parse"
-    ~count:100 (Gen.program_gen ~n:4) (fun ops ->
+    ~count:100 (Gen.program_gen ~n:4 ()) (fun ops ->
       let b' = optimize (Gen.circuit_of_program ~n:4 ops) in
       let s = Printer.to_string b' in
       let b'' = Parser.parse s in

@@ -1,6 +1,7 @@
 (* Round-trip tests for circuit (de)serialisation: Printer -> Parser. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 
 let check = Alcotest.(check bool)
@@ -98,7 +99,7 @@ let test_parse_errors () =
 
 let prop_roundtrip_random =
   QCheck2.Test.make ~name:"print-parse-print idempotent on random circuits"
-    ~count:80 (Gen.program_gen ~n:4)
+    ~count:80 (Gen.program_gen ~n:4 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:4 ops in
       let s = Printer.to_string b in

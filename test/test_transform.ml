@@ -3,6 +3,7 @@
    peephole inverse-cancellation. *)
 
 open Quipper
+module Gen = Quipper_testgen.Gen
 open Circ
 module Sv = Quipper_sim.Statevector
 
@@ -204,7 +205,7 @@ let test_cancel_preserves_noncancelling () =
 
 let prop_decompose_binary_semantics =
   QCheck2.Test.make ~name:"binary decomposition preserves random-circuit semantics"
-    ~count:40 (Gen.program_gen ~n:3)
+    ~count:40 (Gen.program_gen ~n:3 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:3 ops in
       let d = Decompose.decompose_generic Decompose.Binary b in
@@ -213,7 +214,7 @@ let prop_decompose_binary_semantics =
 
 let prop_cancel_semantics =
   QCheck2.Test.make ~name:"peephole cancellation preserves semantics" ~count:40
-    (Gen.program_gen ~n:3)
+    (Gen.program_gen ~n:3 ())
     (fun ops ->
       let b = Gen.circuit_of_program ~n:3 ops in
       let o = Transform.cancel_inverses b in
