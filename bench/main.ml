@@ -656,6 +656,244 @@ let n2 () =
     Sv.max_qubits Ref.max_qubits
 
 (* ================================================================== *)
+(* N5: gate-fusion compiler (EXPERIMENTS.md N5). Three workloads
+   against the plain statevector engine:
+
+     1. a dense Clifford+T mix with phase-polynomial locality — runs of
+        diagonal gates (T/S/CZ/Rz) confined to a small neighbourhood,
+        the shape arithmetic and Trotter circuits take after
+        decomposition, separated by Hadamard/CNOT basis changes;
+     2. the same traffic under ancilla churn: a compute/uncompute
+        ancilla pair allocated and retired inside every segment, so
+        Init/Term land mid-run and must commute past pending blocks;
+     3. boxed repeated calls: one arithmetic-style body boxed once and
+        called over rotating wire windows, fused with the per-box
+        compilation cache on and off — the cache's own contribution is
+        the gap between the two fused legs.
+
+   Every row also lands in BENCH_N5.json for machine consumption. *)
+
+let n5 () =
+  section "N5: gate-fusion compiler vs plain statevector engine";
+  let module Sv = Quipper_sim.Statevector in
+  let module Fuse = Quipper_sim.Fuse in
+  let module Cplx = Quipper_math.Cplx in
+  let module Rng = Quipper_math.Rng in
+  let open Circ in
+  (* min-of-3, as in N2: the minimum is the honest per-engine cost *)
+  let time_best f =
+    let x0, t0 = time f in
+    let r = ref x0 and best = ref t0 in
+    for _ = 1 to 2 do
+      let x, t = time f in
+      r := x;
+      if t < !best then best := t
+    done;
+    (!r, !best)
+  in
+  let zeros k = List.init k (fun _ -> false) in
+  let flat_gates b = Array.length (Circuit.inline b).Circuit.gates in
+  let max_dev a c =
+    let d = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let e = Cplx.norm (Cplx.sub x c.(i)) in
+        if e > !d then d := e)
+      a;
+    !d
+  in
+  let json = ref [] in
+  let record name gates secs speedup =
+    json := (name, gates, secs, speedup) :: !json
+  in
+  Fmt.pr "  %-34s %8s %10s %10s %7s@." "" "gates" "unfused" "fused" "speedup";
+  let row label gates t_unf t_fus dev =
+    Fmt.pr "  %-34s %8s %9.3fs %9.3fs %6.2fx  [dev %.1e]@." label
+      (commas gates) t_unf t_fus (t_unf /. t_fus) dev
+  in
+  (* 1. dense mix with phase-polynomial locality. Each segment picks a
+     [w]-wire neighbourhood (inside the diagonal fusion window of 8)
+     and emits a run of diagonal gates on it; the occasional CNOT
+     reaching out of the neighbourhood has a diagonal control and an
+     off-support target, so it commutes past the pending block instead
+     of cutting the run. Between segments, Hadamard/X/CNOT churn
+     changes basis across the whole register. *)
+  let n = if quick then 12 else 20 in
+  let segs = if quick then 16 else 60 in
+  let w = 6 in
+  let seg_diag = 32 and seg_churn = 6 in
+  let mix_circ ~churn_ancilla =
+    let rng = Rng.create 7 in
+    let b, _ =
+      Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
+          let qs = Array.of_list ql in
+          let* () = iterm hadamard_ ql in
+          let* () =
+            iterm
+              (fun _ ->
+                let o = Rng.int rng (n - w + 1) in
+                let pick () = o + Rng.int rng w in
+                let diag_run m =
+                  iterm
+                    (fun _ ->
+                      let i = pick () in
+                      match Rng.int rng 10 with
+                      | 0 | 1 | 2 | 3 ->
+                          let* _ = gate_T qs.(i) in
+                          return ()
+                      | 4 | 5 ->
+                          let* _ = gate_S qs.(i) in
+                          return ()
+                      | 6 | 7 ->
+                          let j = o + ((i - o + 1 + Rng.int rng (w - 1)) mod w) in
+                          let* _ = with_controls [ ctl qs.(i) ] (gate_Z qs.(j)) in
+                          return ()
+                      | 8 -> rot_Z (0.1 +. Rng.float rng) qs.(i)
+                      | _ ->
+                          (* reaches out of the neighbourhood; commutes
+                             past the pending diagonal block *)
+                          let j = (o + w + Rng.int rng (n - w)) mod n in
+                          cnot ~control:qs.(i) ~target:qs.(j))
+                    (List.init m Fun.id)
+                in
+                let* () = diag_run (seg_diag / 2) in
+                let* () =
+                  if churn_ancilla then
+                    with_computed
+                      (let* a = qinit Qdata.qubit false in
+                       let* () = cnot ~control:qs.(pick ()) ~target:a in
+                       return a)
+                      (fun _ -> return ())
+                  else return ()
+                in
+                let* () = diag_run (seg_diag / 2) in
+                iterm
+                  (fun _ ->
+                    let i = Rng.int rng n in
+                    match Rng.int rng 3 with
+                    | 0 -> hadamard_ qs.(i)
+                    | 1 -> qnot_ qs.(i)
+                    | _ ->
+                        let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+                        cnot ~control:qs.(i) ~target:qs.(j))
+                  (List.init seg_churn Fun.id))
+              (List.init segs Fun.id)
+          in
+          return ql)
+    in
+    b
+  in
+  let mix_row label b =
+    let g = flat_gates b in
+    let sv, t_unf = time_best (fun () -> Sv.run_circuit ~seed:1 b (zeros n)) in
+    let fu, t_fus = time_best (fun () -> Fuse.run_circuit ~seed:1 b (zeros n)) in
+    let dev = max_dev (Sv.amplitudes sv) (Fuse.amplitudes fu) in
+    row label g t_unf t_fus dev;
+    Fmt.pr "    %a@." Fuse.pp_stats (Fuse.stats fu);
+    record (label ^ "_unfused") g t_unf 1.0;
+    record (label ^ "_fused") g t_fus (t_unf /. t_fus)
+  in
+  mix_row
+    (Fmt.str "dense_mix_%dq" n)
+    (mix_circ ~churn_ancilla:false);
+  mix_row
+    (Fmt.str "ancilla_churn_%dq" n)
+    (mix_circ ~churn_ancilla:true);
+  (* 3. boxed repeated calls. The body alternates diagonal runs with
+     Hadamards over its 4 formal wires, so it compiles to a handful of
+     blocks; each call lands on a different wire window, exercising the
+     replay remap. *)
+  let nb = if quick then 10 else 12 in
+  let calls = if quick then 60 else 800 in
+  let shape4 = Qdata.list_of 4 Qdata.qubit in
+  let body ql =
+    match ql with
+    | [ a; b; c; d ] ->
+        let qs = [| a; b; c; d |] in
+        let seg k =
+          iterm
+            (fun i ->
+              match (k + i) mod 4 with
+              | 0 ->
+                  let* _ = gate_T qs.(i mod 4) in
+                  return ()
+              | 1 ->
+                  let* _ = gate_S qs.((i + 1) mod 4) in
+                  return ()
+              | 2 -> rot_Z 0.37 qs.((i + 2) mod 4)
+              | _ ->
+                  let* _ =
+                    with_controls
+                      [ ctl qs.(i mod 4) ]
+                      (gate_Z qs.((i + 1) mod 4))
+                  in
+                  return ())
+            (List.init 32 Fun.id)
+        in
+        let* () = seg 0 in
+        let* () = hadamard_ qs.(0) in
+        let* () = seg 1 in
+        let* () = hadamard_ qs.(2) in
+        let* () = seg 2 in
+        return ql
+    | _ -> assert false
+  in
+  let boxed =
+    let b, _ =
+      Circ.generate ~in_:(Qdata.list_of nb Qdata.qubit) (fun ql ->
+          let qs = Array.of_list ql in
+          let* () = iterm hadamard_ ql in
+          let* () =
+            iterm
+              (fun r ->
+                let args =
+                  List.init 4 (fun i -> qs.((r + (i * 3)) mod nb))
+                in
+                let* _ = box "n5_body" ~in_:shape4 ~out:shape4 body args in
+                return ())
+              (List.init calls Fun.id)
+          in
+          return ql)
+    in
+    b
+  in
+  let g = flat_gates boxed in
+  let nocache = { Fuse.default_config with Fuse.cache = false } in
+  let sv, t_unf = time_best (fun () -> Sv.run_circuit ~seed:1 boxed (zeros nb)) in
+  let fu0, t_nc =
+    time_best (fun () ->
+        Fuse.run_circuit ~config:nocache ~seed:1 boxed (zeros nb))
+  in
+  let fu, t_fus = time_best (fun () -> Fuse.run_circuit ~seed:1 boxed (zeros nb)) in
+  let dev_nc = max_dev (Sv.amplitudes sv) (Fuse.amplitudes fu0) in
+  let dev = max_dev (Sv.amplitudes sv) (Fuse.amplitudes fu) in
+  let label = Fmt.str "boxed_calls_%dq" nb in
+  row (label ^ " (cache off)") g t_unf t_nc dev_nc;
+  row (label ^ " (cache on)") g t_unf t_fus dev;
+  Fmt.pr "    %a@." Fuse.pp_stats (Fuse.stats fu);
+  Fmt.pr "    box-cache win over re-fusing each call: %.2fx@." (t_nc /. t_fus);
+  record (label ^ "_unfused") g t_unf 1.0;
+  record (label ^ "_fused_nocache") g t_nc (t_unf /. t_nc);
+  record (label ^ "_fused_cache") g t_fus (t_unf /. t_fus);
+  (* machine-readable dump *)
+  let oc = open_out "BENCH_N5.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (name, gates, secs, speedup) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Fmt.str
+           "  {\"name\": %S, \"gates\": %d, \"seconds\": %.6f, \
+            \"speedup_vs_unfused\": %.3f}"
+           name gates secs speedup))
+    (List.rev !json);
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "  -> BENCH_N5.json (%d entries)@." (List.length !json)
+
+(* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 
 let benchmarks () =
@@ -836,6 +1074,7 @@ let () =
   ablations ();
   noise ();
   n2 ();
+  n5 ();
   n3 ();
   benchmarks ();
   Fmt.pr "@.Done.@."

@@ -29,9 +29,73 @@ let run_stream which format p =
   | f -> Fmt.failwith "--stream supports gatecount and text, not %S" f);
   0
 
-let run which format n s optimize verbose stream =
+(* Fused-simulation check: run the whole algorithm (oracle walk and
+   final measurement) through the gate-fusion engine and through the
+   plain statevector engine, streaming in both cases, at the same seed —
+   the measured node must come out bit-identical. [-n 2] keeps the
+   orthodox oracle inside the statevector qubit cap. *)
+let run_fuse which p seed =
+  let module Sim = Quipper_sim.Statevector in
+  let module Fuse = Quipper_sim.Fuse in
+  (* the Circ.t closes over per-generation state, so each engine gets a
+     freshly built computation *)
+  let circ () : Wire.bit array Circ.t =
+    match which with
+    | "orthodox" -> Algo_bwt.whole ~p (Algo_bwt.orthodox_oracle p)
+    | "template" -> Algo_bwt.whole ~p (Algo_bwt.template_oracle p)
+    | "qcl" -> Qcl_baseline.Bwt_qcl.whole ~p
+    | s -> Fmt.failwith "unknown oracle %S (try orthodox, template, qcl)" s
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let plain, t_plain =
+    time (fun () ->
+        let st = Sim.create ~seed () in
+        let sink =
+          Sink.unbox
+            (Sink.make ~on_gate:(Sim.apply_gate st) ~finish:(fun _ -> ()) ())
+        in
+        let (), bits = Circ.run_streaming_unit (circ ()) sink in
+        Array.map (fun w -> Sim.read_bit st (Wire.bit_wire w)) bits)
+  in
+  let st = Fuse.create ~seed () in
+  let fused, t_fused =
+    time (fun () ->
+        let sink =
+          Sink.make ~on_gate:(Fuse.apply_gate st)
+            ~on_subroutine_exit:(fun name sub -> Fuse.define st name sub)
+            ~finish:(fun _ -> ())
+            ()
+        in
+        let (), bits = Circ.run_streaming_unit (circ ()) sink in
+        Array.map (fun w -> Fuse.read_bit st (Wire.bit_wire w)) bits)
+  in
+  let pp_bits ppf bits =
+    Array.iter (fun b -> Fmt.pf ppf "%d" (if b then 1 else 0)) bits
+  in
+  Fmt.pr "Unfused: measured %a in %.3fs@." pp_bits plain t_plain;
+  Fmt.pr "Fused:   measured %a in %.3fs@." pp_bits fused t_fused;
+  Fmt.pr "Fusion:  %a@." Fuse.pp_stats (Fuse.stats st);
+  if plain = fused then begin
+    Fmt.pr "Fusion check: PASS@.";
+    0
+  end
+  else begin
+    Fmt.pr "Fusion check: FAIL@.";
+    1
+  end
+
+let run which format n s optimize verbose stream fuse seed =
   let p = { Algo_bwt.n; s; dt = Algo_bwt.default_params.Algo_bwt.dt } in
-  if stream then begin
+  if fuse then begin
+    if optimize || stream then
+      Fmt.failwith "--fuse runs its own streaming comparison; drop -O/--stream";
+    run_fuse which p seed
+  end
+  else if stream then begin
     if optimize then
       Fmt.failwith "--stream is incompatible with -O (optimizing needs the materialized circuit)";
     run_stream which format p
@@ -90,11 +154,25 @@ let stream_arg =
               circuit: O(1) memory per gate, same output byte for byte \
               (formats: gatecount, text).")
 
+let fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "fuse" ]
+        ~doc:"Simulate the whole algorithm through the gate-fusion engine \
+              and through the plain statevector engine at the same seed, \
+              and check the measured outputs agree (use a small $(b,-n): \
+              the statevector caps at 25 qubits).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed for $(b,--fuse).")
+
 let cmd =
   let doc = "The Binary Welded Tree algorithm (Quipper paper, section 6 comparison)." in
   Cmd.v (Cmd.info "bwt" ~doc)
     Term.(
       const run $ which $ format $ n_arg $ s_arg $ optimize_arg $ verbose_arg
-      $ stream_arg)
+      $ stream_arg $ fuse_arg $ seed_arg)
 
 let () = exit (Cmd.eval' cmd)

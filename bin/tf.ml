@@ -76,10 +76,68 @@ let run_stream ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params) =
       else go ~in_:Qdata.unit (fun () -> Algo_tf.Qwtfp.a1_QWTFP ~p));
   0
 
+(* Fused-simulation check: the pow17 arithmetic subcircuit (the paper's
+   §5.2 oracle component) run through the gate-fusion engine and the
+   plain statevector engine on every computational-basis input, with
+   amplitude vectors compared componentwise. pow17 is hierarchical —
+   boxed adders called repeatedly — so the run also exercises the
+   per-box compilation cache; the printed stats show how many call
+   gates were served per compilation. [-l 2] keeps the peak width
+   inside the statevector qubit cap. *)
+let run_fuse ~(p : Algo_tf.Oracle.params) =
+  let module Sv = Quipper_sim.Statevector in
+  let module Fuse = Quipper_sim.Fuse in
+  let module Cplx = Quipper_math.Cplx in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let nin = List.length b.Circuit.main.Circuit.inputs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let dev = ref 0.0 and t_plain = ref 0.0 and t_fused = ref 0.0 in
+  let last_stats = ref None in
+  for x = 0 to (1 lsl nin) - 1 do
+    let inputs = List.init nin (fun i -> x land (1 lsl i) <> 0) in
+    let sv, tp = time (fun () -> Sv.run_circuit ~seed:1 b inputs) in
+    let fu, tf = time (fun () -> Fuse.run_circuit ~seed:1 b inputs) in
+    t_plain := !t_plain +. tp;
+    t_fused := !t_fused +. tf;
+    let a = Sv.amplitudes sv and c = Fuse.amplitudes fu in
+    Array.iteri
+      (fun i x ->
+        let e = Cplx.norm (Cplx.sub x c.(i)) in
+        if e > !dev then dev := e)
+      a;
+    last_stats := Some (Fuse.stats fu)
+  done;
+  Fmt.pr "pow17 l=%d: %d basis inputs@." p.Algo_tf.Oracle.l (1 lsl nin);
+  Fmt.pr "Unfused: %.3fs total@." !t_plain;
+  Fmt.pr "Fused:   %.3fs total@." !t_fused;
+  (match !last_stats with
+  | Some s -> Fmt.pr "Fusion:  %a@." Fuse.pp_stats s
+  | None -> ());
+  Fmt.pr "Max amplitude deviation: %.3g@." !dev;
+  if !dev <= 1e-9 then begin
+    Fmt.pr "Fusion check: PASS@.";
+    0
+  end
+  else begin
+    Fmt.pr "Fusion check: FAIL@.";
+    1
+  end
+
 let run format subroutine oracle_only gate_base simulate optimize verbose l n r
-    stream =
+    stream fuse =
   let p = { Algo_tf.Oracle.l; n; r } in
-  if stream then begin
+  if fuse then begin
+    if simulate || optimize || stream || gate_base <> None then
+      Fmt.failwith
+        "--fuse runs its own simulation comparison; drop --simulate, -O, \
+         --stream and --gate-base";
+    run_fuse ~p
+  end
+  else if stream then begin
     if simulate || optimize || gate_base <> None then
       Fmt.failwith
         "--stream is incompatible with --simulate, -O and --gate-base (they \
@@ -187,12 +245,22 @@ let stream_arg =
               circuit: O(1) memory per gate, same gatecount output byte \
               for byte.")
 
+let fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "fuse" ]
+        ~doc:"Simulate the pow17 subcircuit through the gate-fusion engine \
+              and the plain statevector engine on every basis input and \
+              check the amplitudes agree (use a small $(b,-l): the \
+              statevector caps at 25 qubits).")
+
 let cmd =
   let doc = "The Triangle Finding algorithm, as implemented in the Quipper paper (section 5)." in
   Cmd.v
     (Cmd.info "tf" ~doc)
     Term.(
       const run $ format $ subroutine $ oracle_only $ gate_base $ simulate
-      $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg $ stream_arg)
+      $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg $ stream_arg
+      $ fuse_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -150,15 +150,25 @@ let subroutines () : (Circuit.subroutine Circuit.Namespace.t * string list) t =
     forwarded: the inner sink sees a flat, subroutine-free stream. *)
 let unbox (inner : 'r t) : 'r t =
   let defs : (string, Circuit.subroutine) Hashtbl.t = Hashtbl.create 16 in
+  (* body preparation — in particular building the reversed inverted
+     body — is O(body size), so it is memoized per (name, inv) rather
+     than redone for each of the possibly thousands of call gates *)
+  let prepared :
+      ( string * bool,
+        Gate.t array * Wire.endpoint list * Wire.endpoint list )
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
   let fresh = ref (-1) in
   let find name =
     match Hashtbl.find_opt defs name with
     | Some s -> s
     | None -> Errors.raise_ (Unknown_subroutine name)
   in
-  let rec expand (g : Gate.t) =
-    match g with
-    | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+  let prepare name inv =
+    match Hashtbl.find_opt prepared (name, inv) with
+    | Some p -> p
+    | None ->
         let { Circuit.circ; _ } = find name in
         let body =
           if inv then
@@ -171,6 +181,14 @@ let unbox (inner : 'r t) : 'r t =
         in
         let d_in = if inv then circ.Circuit.outputs else circ.Circuit.inputs in
         let d_out = if inv then circ.Circuit.inputs else circ.Circuit.outputs in
+        let p = (body, d_in, d_out) in
+        Hashtbl.replace prepared (name, inv) p;
+        p
+  in
+  let rec expand (g : Gate.t) =
+    match g with
+    | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+        let body, d_in, d_out = prepare name inv in
         let map = Hashtbl.create 16 in
         List.iter2
           (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
@@ -196,6 +214,11 @@ let unbox (inner : 'r t) : 'r t =
     on_inputs = inner.on_inputs;
     on_gate = expand;
     on_subroutine_enter = (fun _ -> ());
-    on_subroutine_exit = (fun name sub -> Hashtbl.replace defs name sub);
+    on_subroutine_exit =
+      (fun name sub ->
+        Hashtbl.replace defs name sub;
+        (* a redefinition invalidates any prepared body *)
+        Hashtbl.remove prepared (name, false);
+        Hashtbl.remove prepared (name, true));
     finish = inner.finish;
   }

@@ -166,10 +166,25 @@ module Classical : S with type state = Classical.state = struct
     st
 end
 
+module Fused : S with type state = Fuse.state = struct
+  let name = "fused"
+
+  type state = Fuse.state
+
+  let create ?seed () = Fuse.create ?seed ()
+  let apply_gate = Fuse.apply_gate
+  let measure = Fuse.measure
+  let read_bit = Fuse.read_bit
+  let set_bit = Fuse.set_bit
+  let observe st = Obs_amplitudes (Fuse.amplitudes st)
+  let run_fun ?seed ~in_ input f = Fuse.run_fun ?seed ~in_ input f
+  let run_circuit ?seed b inputs = Fuse.run_circuit ?seed b inputs
+end
+
 (* ------------------------------------------------------------------ *)
 
 let all : (module S) list =
-  [ (module Classical); (module Clifford); (module Statevector) ]
+  [ (module Classical); (module Clifford); (module Statevector); (module Fused) ]
 
 let find name : (module S) =
   match
@@ -205,6 +220,27 @@ let sink (module B : S) ?seed ~(inputs : bool list) () : observation Sink.t =
        ~on_gate:(fun g -> B.apply_gate st g)
        ~finish:(fun _ -> B.observe st)
        ())
+
+(** Streaming {e fused} simulation. Unlike {!sink}, subroutine call
+    gates are not structurally expanded: definitions are registered with
+    the fuser as they complete, and call gates reach {!Fuse.apply_gate}
+    intact, so repeated calls replay the memoized compiled block program
+    instead of re-expanding the body. *)
+let fused_sink ?config ?seed ~(inputs : bool list) () : observation Sink.t =
+  let st = Fuse.create ?config ?seed () in
+  Sink.make
+    ~on_inputs:(fun es ->
+      (if List.length inputs <> List.length es then
+         Errors.raise_ (Shape_mismatch "streaming run: input arity"));
+      List.iter2
+        (fun (e : Wire.endpoint) v ->
+          Fuse.apply_gate st
+            (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+        es inputs)
+    ~on_gate:(fun g -> Fuse.apply_gate st g)
+    ~on_subroutine_exit:(fun name sub -> Fuse.define st name sub)
+    ~finish:(fun _ -> Obs_amplitudes (Fuse.amplitudes st))
+    ()
 
 (** Run a circuit and measure every qubit output (classical outputs are
     read), in output-arity order — the common differential-test move,

@@ -67,8 +67,16 @@ module Statevector : S with type state = Statevector.state
 module Clifford : S with type state = Clifford.state
 module Classical : S with type state = Classical.state
 
+module Fused : S with type state = Fuse.state
+(** The statevector engine behind the gate-fusion compiler ({!Fuse}):
+    adjacent gates merge into dense or diagonal k-qubit blocks, and
+    boxed subroutines are compiled once and replayed per call.
+    Amplitudes agree with {!Statevector} up to float reassociation;
+    classical observations are bit-identical at equal seeds. *)
+
 val all : (module S) list
-(** Every backend, cheapest first: classical, clifford, statevector. *)
+(** Every backend, cheapest first: classical, clifford, statevector,
+    fused. *)
 
 val find : string -> (module S)
 (** Look a backend up by {!S.name}; raises [Simulation _] if unknown. *)
@@ -84,3 +92,10 @@ val sink : (module S) -> ?seed:int -> inputs:bool list -> unit -> observation Si
     [Sink.unbox]), and [finish]es with [observe]. On a box-free circuit
     this sees gate for gate what [run_circuit] applies after inlining,
     so at equal seeds the observations agree bit for bit. *)
+
+val fused_sink :
+  ?config:Fuse.config -> ?seed:int -> inputs:bool list -> unit -> observation Sink.t
+(** Streaming fused simulation. Unlike [sink (module Fused)], call gates
+    are {e not} structurally expanded: streamed subroutine definitions
+    are registered with the fuser, and calls replay the memoized
+    compiled block program — the streaming path to the box cache. *)

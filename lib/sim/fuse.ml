@@ -1,0 +1,868 @@
+(** Gate fusion for dense simulation.
+
+    The statevector engine pays one full sweep over the [2^n] amplitudes
+    per gate. For the deep, narrow circuits Quipper produces — long runs
+    of T/S/CZ phases, boxed subroutines called thousands of times (§4.3,
+    §5) — most of those sweeps move the same cache lines to apply tiny
+    operators. This module is a simulation-side compiler that scans the
+    gate stream and merges runs of adjacent gates whose combined qubit
+    support stays within a small window into one {e block}:
+
+    - a run that stays diagonal collapses into a single diagonal
+      multiply over up to [max_diag_support] wires (diagonal entries
+      compose pointwise, so the window can be wide — the table has
+      [2^k] entries, not [4^k]);
+    - a general run becomes one dense [2^k x 2^k] unitary over at most
+      [max_support] wires, applied by the gather/scatter kernel
+      {!Kernel.kq_generic};
+    - a block that ends up holding a single gate is applied through the
+      specialised per-gate kernels of {!Statevector} unchanged — a dense
+      [k]-qubit kernel costs O([4^k]) flops per [2^k] amplitudes and
+      only wins when it carries several gates.
+
+    Non-unitary gates (Init/Term, measurement, discard, classical
+    logic), classically-controlled gates and unknown names are
+    {e barriers}: the pending block is flushed and the gate applied
+    directly, so the observable event order is untouched.
+
+    On top of fusion sits a per-box compilation cache: the first call to
+    a boxed subroutine compiles its body (nested calls included) into a
+    fused block program over the body's own wires; every later call
+    replays the compiled blocks under a wire remap — O(blocks) kernel
+    launches instead of O(gates) dispatches — with the call's controls
+    attached to each block and resolved at apply time. Control-neutral
+    body gates (Init/Term of ancillas) replay unconditionally even when
+    a classical control disables the unitary blocks, exactly as
+    [Sink.unbox] expands them.
+
+    Fused blocks multiply the same per-gate matrices in a different
+    association order, so amplitudes agree with the unfused engine to
+    float reassociation (the differential tests budget 1e-9), while
+    classical observations — measurement outcomes, classical wires —
+    are bit-identical: probability reductions and sampling happen in
+    {!Statevector} on the flushed state. *)
+
+open Quipper
+module Cplx = Quipper_math.Cplx
+module Mat2 = Quipper_math.Mat2
+
+type config = {
+  max_support : int;
+      (** dense window K: blocks hold at most [2^K x 2^K] matrices *)
+  max_diag_support : int;
+      (** wider window for purely diagonal runs ([2^k]-entry tables) *)
+  cache : bool;  (** compile boxed subroutines once and replay calls *)
+}
+
+let default_config = { max_support = 4; max_diag_support = 8; cache = true }
+
+type stats = {
+  mutable gates_seen : int;  (** top-level gates fed in (calls count as 1) *)
+  mutable gates_fused : int;
+      (** source gates absorbed into multi-gate blocks (incl. at box
+          compile time) *)
+  mutable blocks_applied : int;  (** fused-block kernel launches *)
+  mutable singles_applied : int;  (** gates applied through per-gate kernels *)
+  mutable boxes_compiled : int;
+  mutable calls_replayed : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "gates %d, fused %d, blocks %d, singles %d, boxes compiled %d, calls \
+     replayed %d"
+    s.gates_seen s.gates_fused s.blocks_applied s.singles_applied
+    s.boxes_compiled s.calls_replayed
+
+(* ------------------------------------------------------------------ *)
+(* Blocks                                                              *)
+
+(* A compiled unit. Matrix/table basis-index bit [i] is [wires.(i)];
+   [ctrls] are controls resolved at apply time (classical ones can
+   disable the whole block — sound for unitary blocks only, which is
+   all Bdiag/Bdense ever hold). *)
+type block =
+  | Bgate of Gate.t  (* apply through the specialised per-gate path *)
+  | Bdiag of {
+      wires : Wire.t array;
+      ctrls : Gate.control list;
+      dre : float array; (* 2^k diagonal entries *)
+      di : float array;
+    }
+  | Bdense of {
+      wires : Wire.t array;
+      ctrls : Gate.control list;
+      mre : float array; (* 2^k x 2^k, row-major *)
+      mim : float array;
+    }
+
+(* A boxed subroutine compiled to blocks over its body wires. *)
+type program = {
+  blocks : block array;
+  p_in : Wire.endpoint list; (* formals, forward direction *)
+  p_out : Wire.endpoint list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The pending block under construction                                *)
+
+(* What was absorbed, kept so that flush can change its mind: a fused
+   sweep pays O(2^k) work per amplitude, so when the accumulated run is
+   too short to amortize that, the original items replay individually
+   through the specialised kernels instead. *)
+type item = Igate of Gate.t | Iblock of block
+
+type pending = {
+  mutable wires : Wire.t array; (* local bit j <-> wires.(j) *)
+  mutable diag : bool;
+  mutable dre : float array; (* 2^k when diag, else empty *)
+  mutable di : float array;
+  mutable mre : float array; (* 4^k when dense, else empty *)
+  mutable mim : float array;
+  mutable srcgates : int;
+  mutable items : item list; (* reversed absorption order *)
+}
+
+let pk p = Array.length p.wires
+
+let local p w =
+  let n = Array.length p.wires in
+  let rec go i = if i >= n then -1 else if p.wires.(i) = w then i else go (i + 1) in
+  go 0
+
+(* Extend the support by one wire (new highest local bit): a diagonal
+   table duplicates, a dense matrix becomes I (x) M. *)
+let append_wire p w =
+  let k = pk p in
+  let m = (1 lsl k) - 1 in
+  p.wires <- Array.append p.wires [| w |];
+  if p.diag then begin
+    p.dre <- Array.init (2 lsl k) (fun l -> p.dre.(l land m));
+    p.di <- Array.init (2 lsl k) (fun l -> p.di.(l land m))
+  end
+  else begin
+    let d = 1 lsl k in
+    let d2 = 2 * d in
+    let mre = Array.make (d2 * d2) 0.0 and mim = Array.make (d2 * d2) 0.0 in
+    for r = 0 to d2 - 1 do
+      for c = 0 to d2 - 1 do
+        if r lsr k = c lsr k then begin
+          mre.((r * d2) + c) <- p.mre.(((r land m) * d) + (c land m));
+          mim.((r * d2) + c) <- p.mim.(((r land m) * d) + (c land m))
+        end
+      done
+    done;
+    p.mre <- mre;
+    p.mim <- mim
+  end
+
+let ensure_wires p ws = List.iter (fun w -> if local p w < 0 then append_wire p w) ws
+
+(* diagonal -> dense, in place *)
+let promote p =
+  if p.diag then begin
+    let d = 1 lsl pk p in
+    let mre = Array.make (d * d) 0.0 and mim = Array.make (d * d) 0.0 in
+    for l = 0 to d - 1 do
+      mre.((l * d) + l) <- p.dre.(l);
+      mim.((l * d) + l) <- p.di.(l)
+    done;
+    p.mre <- mre;
+    p.mim <- mim;
+    p.dre <- [||];
+    p.di <- [||];
+    p.diag <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Absorbing operators into the pending block.
+
+   An op is an operator over [m] of the block's wires: [obits.(i)] is
+   the local bit mask of op-basis-index bit [i], and (lcmask, lcwant)
+   are the op's own controls as local masks (control wires are part of
+   the support). Absorbing multiplies the op onto the block from the
+   left (the op acts after everything already absorbed). *)
+
+let op_offsets (obits : int array) =
+  let m = Array.length obits in
+  Array.init (1 lsl m) (fun s ->
+      let o = ref 0 in
+      for i = 0 to m - 1 do
+        if s land (1 lsl i) <> 0 then o := !o lor obits.(i)
+      done;
+      !o)
+
+let sub_index (obits : int array) idx =
+  let s = ref 0 in
+  Array.iteri (fun i b -> if idx land b <> 0 then s := !s lor (1 lsl i)) obits;
+  !s
+
+let absorb_diag_into_diag p ~obits ~lcmask ~lcwant ~dr ~dm =
+  let d = 1 lsl pk p in
+  for l = 0 to d - 1 do
+    if l land lcmask = lcwant then begin
+      let s = sub_index obits l in
+      let ar = dr.(s) and ai = dm.(s) in
+      let xr = p.dre.(l) and xi = p.di.(l) in
+      p.dre.(l) <- (ar *. xr) -. (ai *. xi);
+      p.di.(l) <- (ar *. xi) +. (ai *. xr)
+    end
+  done
+
+let absorb_diag_into_dense p ~obits ~lcmask ~lcwant ~dr ~dm =
+  let d = 1 lsl pk p in
+  for r = 0 to d - 1 do
+    if r land lcmask = lcwant then begin
+      let s = sub_index obits r in
+      let ar = dr.(s) and ai = dm.(s) in
+      for c = 0 to d - 1 do
+        let xr = p.mre.((r * d) + c) and xi = p.mim.((r * d) + c) in
+        p.mre.((r * d) + c) <- (ar *. xr) -. (ai *. xi);
+        p.mim.((r * d) + c) <- (ar *. xi) +. (ai *. xr)
+      done
+    end
+  done
+
+(* Left-multiply the pending matrix column by column: gather each
+   column's [2^m] entries along the op bits, apply the op matrix,
+   scatter. Rows failing the op's controls are untouched (identity). *)
+let absorb_dense_into_dense p ~obits ~lcmask ~lcwant ~ore ~oim =
+  promote p;
+  let d = 1 lsl pk p in
+  let m = Array.length obits in
+  let od = 1 lsl m in
+  let offs = op_offsets obits in
+  let su = Array.fold_left ( lor ) 0 obits in
+  let ur = Array.make od 0.0 and ui = Array.make od 0.0 in
+  for c = 0 to d - 1 do
+    for r = 0 to d - 1 do
+      if r land su = 0 && r land lcmask = lcwant then begin
+        for s = 0 to od - 1 do
+          let row = r lor offs.(s) in
+          ur.(s) <- p.mre.((row * d) + c);
+          ui.(s) <- p.mim.((row * d) + c)
+        done;
+        for s' = 0 to od - 1 do
+          let orow = s' * od in
+          let ar = ref 0.0 and ai = ref 0.0 in
+          for s = 0 to od - 1 do
+            let er = ore.(orow + s) and ei = oim.(orow + s) in
+            ar := !ar +. ((er *. ur.(s)) -. (ei *. ui.(s)));
+            ai := !ai +. ((er *. ui.(s)) +. (ei *. ur.(s)))
+          done;
+          let row = r lor offs.(s') in
+          p.mre.((row * d) + c) <- !ar;
+          p.mim.((row * d) + c) <- !ai
+        done
+      end
+    done
+  done
+
+(* Local (mask, want) of an all-quantum control list whose wires are
+   already in the support. *)
+let local_controls p (cs : Gate.control list) =
+  List.fold_left
+    (fun (m, w) (c : Gate.control) ->
+      let b = 1 lsl local p c.cwire in
+      (m lor b, if c.positive then w lor b else w))
+    (0, 0) cs
+
+let mat_to_floats (m : Mat2.t) =
+  let od = Mat2.dim m in
+  let ore = Array.make (od * od) 0.0 and oim = Array.make (od * od) 0.0 in
+  for r = 0 to od - 1 do
+    for c = 0 to od - 1 do
+      let e = Mat2.get m r c in
+      ore.((r * od) + c) <- Cplx.re e;
+      oim.((r * od) + c) <- Cplx.im e
+    done
+  done;
+  (ore, oim)
+
+(* Absorb a fusible gate (unitary, known matrix, all-quantum controls,
+   support already in the pending wires). Gate targets [t1..tm] follow
+   the |t1..tm> matrix convention: t1 is the HIGH op bit. *)
+let absorb_gate p (g : Gate.t) =
+  let lcmask, lcwant = local_controls p (Gate.controls g) in
+  if Gate.is_diagonal g then
+    match g with
+    | Gate.Phase { angle; _ } ->
+        let dr = [| cos angle |] and dm = [| sin angle |] in
+        if p.diag then absorb_diag_into_diag p ~obits:[||] ~lcmask ~lcwant ~dr ~dm
+        else absorb_diag_into_dense p ~obits:[||] ~lcmask ~lcwant ~dr ~dm
+    | _ ->
+        let m = Option.get (Statevector.gate_unitary g) in
+        let t = List.hd (Gate.targets g) in
+        let obits = [| 1 lsl local p t |] in
+        let d0 = Mat2.get m 0 0 and d1 = Mat2.get m 1 1 in
+        let dr = [| Cplx.re d0; Cplx.re d1 |]
+        and dm = [| Cplx.im d0; Cplx.im d1 |] in
+        if p.diag then absorb_diag_into_diag p ~obits ~lcmask ~lcwant ~dr ~dm
+        else absorb_diag_into_dense p ~obits ~lcmask ~lcwant ~dr ~dm
+  else begin
+    let m = Option.get (Statevector.gate_unitary g) in
+    let ts = Gate.targets g in
+    let nt = List.length ts in
+    let obits = Array.make nt 0 in
+    List.iteri (fun i w -> obits.(nt - 1 - i) <- 1 lsl local p w) ts;
+    let ore, oim = mat_to_floats m in
+    absorb_dense_into_dense p ~obits ~lcmask ~lcwant ~ore ~oim
+  end
+
+(* Absorb a compiled block (block convention: op bit i = wires.(i)). *)
+let absorb_block p (b : block) =
+  match b with
+  | Bgate _ -> assert false
+  | Bdiag { wires; ctrls; dre; di } ->
+      let lcmask, lcwant = local_controls p ctrls in
+      let obits = Array.map (fun w -> 1 lsl local p w) wires in
+      if p.diag then
+        absorb_diag_into_diag p ~obits ~lcmask ~lcwant ~dr:dre ~dm:di
+      else absorb_diag_into_dense p ~obits ~lcmask ~lcwant ~dr:dre ~dm:di
+  | Bdense { wires; ctrls; mre; mim } ->
+      let lcmask, lcwant = local_controls p ctrls in
+      let obits = Array.map (fun w -> 1 lsl local p w) wires in
+      absorb_dense_into_dense p ~obits ~lcmask ~lcwant ~ore:mre ~oim:mim
+
+(* ------------------------------------------------------------------ *)
+(* The fuser: greedy window policy                                     *)
+
+type fuser = {
+  cfg : config;
+  emit : block -> unit;
+  stats : stats;
+  mutable pending : pending option;
+}
+
+let all_quantum cs = List.for_all (fun (c : Gate.control) -> c.cty = Wire.Q) cs
+
+let qctrl_wires cs =
+  List.filter_map
+    (fun (c : Gate.control) ->
+      match c.cty with Wire.Q -> Some c.cwire | Wire.C -> None)
+    cs
+
+let gate_support (g : Gate.t) = Gate.targets g @ qctrl_wires (Gate.controls g)
+
+(* Fusible: unitary, all controls quantum, matrix semantics known.
+   Everything else — including classically-controlled unitaries, whose
+   firing depends on the classical environment — is a barrier. *)
+let fusible (g : Gate.t) =
+  match g with
+  | Gate.Phase { controls; _ } -> all_quantum controls
+  | Gate.Gate _ | Gate.Rot _ ->
+      all_quantum (Gate.controls g) && Statevector.gate_unitary g <> None
+  | _ -> false
+
+let fresh_pending ws =
+  let wires = Array.of_list ws in
+  let d = 1 lsl Array.length wires in
+  {
+    wires;
+    diag = true;
+    dre = Array.make d 1.0;
+    di = Array.make d 0.0;
+    mre = [||];
+    mim = [||];
+    srcgates = 0;
+    items = [];
+  }
+
+(* Cost of applying one item, in units of one uncontrolled X sweep
+   (~1 ms per 2^20 amplitudes on the reference machine). The constants
+   are measured, not derived: the specialised kernels iterate
+   compressed subspaces in contiguous runs, so a controlled gate is
+   {e cheaper} than an uncontrolled one, while the fused kernels pay
+   gather/scatter indirection — a dense k-wire block costs about
+   [2.6 * 2^k] sweeps (unrolled k <= 2 bodies are cheaper) and a fused
+   diagonal about 3.3 sweeps at any width. Fusion is emitted only when
+   the fused form beats replaying the absorbed items one by one. *)
+let dense_cost k =
+  match k with
+  | 0 | 1 -> 3.5
+  | 2 -> 7.0
+  | 3 -> 22.5
+  | 4 -> 41.0
+  | k -> 2.6 *. float_of_int (1 lsl k)
+
+let diag_cost = 3.3
+
+let gate_cost (g : Gate.t) =
+  match g with
+  | Gate.Phase _ -> 0.7
+  | _ -> (
+      match Gate.fast_class g with
+      | Gate.Fast_h | Gate.Fast_w -> 1.5
+      | Gate.Fast_generic -> 2.5
+      | Gate.Fast_swap -> 0.7
+      | _ -> 0.8)
+
+let item_cost = function
+  | Igate g | Iblock (Bgate g) -> gate_cost g
+  | Iblock (Bdiag _) -> diag_cost
+  | Iblock (Bdense { wires; _ }) -> dense_cost (Array.length wires)
+
+let emit_item fz = function
+  | Igate g -> fz.emit (Bgate g)
+  | Iblock b -> fz.emit b
+
+(* Flush the pending block: emit the fused form when it is estimated
+   cheaper than replaying the absorbed items one by one, otherwise emit
+   the items unchanged (the absorption work is wasted, but that is
+   generation-side arithmetic on tiny matrices, not a statevector
+   sweep). A single plain item always replays as itself. *)
+let flush fz =
+  match fz.pending with
+  | None -> ()
+  | Some p -> (
+      fz.pending <- None;
+      match p.items with
+      | [ it ] -> emit_item fz it
+      | items ->
+          let unfused = List.fold_left (fun a it -> a +. item_cost it) 0.0 items in
+          let fused = if p.diag then diag_cost else dense_cost (pk p) in
+          if fused < unfused then begin
+            fz.stats.gates_fused <- fz.stats.gates_fused + p.srcgates;
+            if p.diag then
+              fz.emit
+                (Bdiag { wires = p.wires; ctrls = []; dre = p.dre; di = p.di })
+            else
+              fz.emit
+                (Bdense { wires = p.wires; ctrls = []; mre = p.mre; mim = p.mim })
+          end
+          else List.iter (emit_item fz) (List.rev items))
+
+(* Union cardinality of the pending support with [ws] (distinct). *)
+let union_size p ws =
+  Array.length p.wires + List.length (List.filter (fun w -> local p w < 0) ws)
+
+(* Does an operator with non-diagonal part on [targets] and support
+   [support] commute with the accumulated pending operator? Against a
+   diagonal pending block, any diagonal operator commutes (diagonals
+   commute pointwise), and so does a non-diagonal operator whose
+   targets avoid the pending support — quantum controls are Z-basis
+   projectors, themselves diagonal, so a control on a pending wire is
+   harmless. Against a dense pending block only full support
+   disjointness is safe. Commuting gates are emitted {e past} the
+   pending block instead of flushing it: the observable state is
+   unchanged (the operators commute exactly; float reassociation is
+   within the tests' 1e-9 budget), and runs survive interleaved
+   traffic on other wires — the phase-folding effect that makes
+   diagonal fusion pay on realistic circuit mixes. *)
+let commutes_past p ~diag ~targets ~support =
+  if p.diag then diag || List.for_all (fun w -> local p w < 0) targets
+  else List.for_all (fun w -> local p w < 0) support
+
+(* With a single pending slot, a dense block that commutes-past
+   everything disjoint would starve diagonal runs elsewhere on the
+   register: each diagonal gate slips past one at a time and never
+   opens its own window. So a dense pending that has not yet
+   accumulated enough work to beat its 2^k kernel — flushing it
+   replays the items unchanged, so nothing is lost — yields the slot
+   to an arriving disjoint diagonal gate. A dense block that is
+   already profitable keeps the slot, and stray diagonal traffic
+   commutes past it as before. *)
+let yields_to_diag p ~diag ~fully_disjoint =
+  (not p.diag) && diag && fully_disjoint
+  &&
+  match p.items with
+  | [ _ ] -> true
+  | items ->
+      List.fold_left (fun a it -> a +. item_cost it) 0.0 items
+      <= dense_cost (pk p)
+
+let rec push_gate fz (g : Gate.t) =
+  let ws = gate_support g in
+  let diag = Gate.is_diagonal g in
+  match fz.pending with
+  | None ->
+      let cap = if diag then fz.cfg.max_diag_support else fz.cfg.max_support in
+      if List.length ws > cap then fz.emit (Bgate g)
+      else begin
+        let p = fresh_pending ws in
+        absorb_gate p g;
+        p.srcgates <- 1;
+        p.items <- [ Igate g ];
+        fz.pending <- Some p
+      end
+  | Some p ->
+      (* Policy: absorb when the gate extends the current block kind in
+         place — diagonal into diagonal (the wide window), or anything
+         overlapping a dense block within the dense window. A
+         non-diagonal gate never promotes a diagonal block (promotion
+         trades a ~3-sweep diagonal for a 2^k-weight dense matrix), and
+         a gate fully disjoint from a dense block is kept out of it
+         (merging disjoint supports multiplies cost for no gain); both
+         are emitted past the block when they commute with it, else the
+         block flushes and the gate restarts the window. *)
+      let u = union_size p ws in
+      let may_absorb =
+        if p.diag then diag && u <= fz.cfg.max_diag_support
+        else u <= fz.cfg.max_support
+      in
+      let fully_disjoint = List.for_all (fun w -> local p w < 0) ws in
+      if may_absorb && (p.diag || not fully_disjoint) then begin
+        ensure_wires p ws;
+        absorb_gate p g;
+        p.srcgates <- p.srcgates + 1;
+        p.items <- Igate g :: p.items
+      end
+      else if
+        (not (yields_to_diag p ~diag ~fully_disjoint))
+        && commutes_past p ~diag ~targets:(Gate.targets g) ~support:ws
+      then fz.emit (Bgate g)
+      else begin
+        flush fz;
+        push_gate fz g
+      end
+
+(* Feed a replayed block through the fuser, so small compiled blocks
+   merge with their surroundings; blocks that cannot be absorbed (too
+   wide, classical controls) flush and apply as-is. *)
+let rec push_block fz (b : block) =
+  match b with
+  | Bgate g ->
+      if fusible g then push_gate fz g
+      else begin
+        flush fz;
+        fz.emit (Bgate g)
+      end
+  | Bdiag { wires; ctrls; _ } | Bdense { wires; ctrls; _ } -> (
+      let diag = match b with Bdiag _ -> true | _ -> false in
+      if not (all_quantum ctrls) then begin
+        flush fz;
+        fz.emit b
+      end
+      else
+        let ws = Array.to_list wires @ qctrl_wires ctrls in
+        match fz.pending with
+        | None ->
+            let cap =
+              if diag then fz.cfg.max_diag_support else fz.cfg.max_support
+            in
+            if List.length ws > cap then fz.emit b
+            else begin
+              let p = fresh_pending ws in
+              absorb_block p b;
+              p.srcgates <- 1;
+              p.items <- [ Iblock b ];
+              fz.pending <- Some p
+            end
+        | Some p ->
+            let u = union_size p ws in
+            let may_absorb =
+              if p.diag then diag && u <= fz.cfg.max_diag_support
+              else u <= fz.cfg.max_support
+            in
+            let fully_disjoint = List.for_all (fun w -> local p w < 0) ws in
+            if may_absorb && (p.diag || not fully_disjoint) then begin
+              ensure_wires p ws;
+              absorb_block p b;
+              p.srcgates <- p.srcgates + 1;
+              p.items <- Iblock b :: p.items
+            end
+            else if
+              (not (yields_to_diag p ~diag ~fully_disjoint))
+              && commutes_past p ~diag ~targets:(Array.to_list wires)
+                   ~support:ws
+            then fz.emit b
+            else begin
+              flush fz;
+              push_block fz b
+            end)
+
+(* ------------------------------------------------------------------ *)
+(* Simulation state                                                    *)
+
+type state = {
+  sv : Statevector.state;
+  cfg : config;
+  st_stats : stats;
+  defs : (string, Circuit.subroutine) Hashtbl.t;
+  compiled : (string * bool, program) Hashtbl.t;
+  fresh : int ref; (* internal wires of replayed calls, negative *)
+  fz : fuser; (* top-level fuser, emitting straight into [sv] *)
+}
+
+let apply_block st (b : block) =
+  match b with
+  | Bgate g ->
+      st.st_stats.singles_applied <- st.st_stats.singles_applied + 1;
+      Statevector.apply_gate st.sv g
+  | Bdiag { wires; ctrls; dre; di } -> (
+      match Statevector.resolve_controls st.sv ctrls with
+      | None -> ()
+      | Some (cmask, cwant) ->
+          st.st_stats.blocks_applied <- st.st_stats.blocks_applied + 1;
+          let bits =
+            Array.map (fun w -> 1 lsl Statevector.qubit_index st.sv w) wires
+          in
+          Statevector.apply_kernel st.sv (fun ~re ~im ~size ->
+              Kernel.kq_diag ~re ~im ~size ~bits ~cmask ~cwant ~dre ~di))
+  | Bdense { wires; ctrls; mre; mim } -> (
+      match Statevector.resolve_controls st.sv ctrls with
+      | None -> ()
+      | Some (cmask, cwant) ->
+          st.st_stats.blocks_applied <- st.st_stats.blocks_applied + 1;
+          let bits =
+            Array.map (fun w -> 1 lsl Statevector.qubit_index st.sv w) wires
+          in
+          Statevector.apply_kernel st.sv (fun ~re ~im ~size ->
+              Kernel.kq_generic ~re ~im ~size ~bits ~cmask ~cwant ~mre ~mim))
+
+let create ?(config = default_config) ?seed () =
+  let stats =
+    {
+      gates_seen = 0;
+      gates_fused = 0;
+      blocks_applied = 0;
+      singles_applied = 0;
+      boxes_compiled = 0;
+      calls_replayed = 0;
+    }
+  in
+  let rec st =
+    {
+      sv = Statevector.create ?seed ();
+      cfg = config;
+      st_stats = stats;
+      defs = Hashtbl.create 16;
+      compiled = Hashtbl.create 16;
+      fresh = ref (-1);
+      fz = { cfg = config; emit = (fun b -> apply_block st b); stats; pending = None };
+    }
+  in
+  st
+
+let define st name (sub : Circuit.subroutine) =
+  Hashtbl.replace st.defs name sub;
+  (* a redefinition (same name, new body) invalidates compilations *)
+  Hashtbl.remove st.compiled (name, false);
+  Hashtbl.remove st.compiled (name, true)
+
+let find_def st name =
+  match Hashtbl.find_opt st.defs name with
+  | Some s -> s
+  | None -> Errors.raise_ (Unknown_subroutine name)
+
+(* Reversed, inverted, comment-free body for inverse calls — the same
+   expansion as [Sink.unbox]/[Circuit.inline]. *)
+let body_of (circ : Circuit.t) inv =
+  if inv then
+    Array.of_list
+      (Array.fold_left
+         (fun acc g -> if Gate.is_comment g then acc else Gate.inverse g :: acc)
+         [] circ.Circuit.gates)
+  else circ.Circuit.gates
+
+let remap_block rename (extra : Gate.control list) (b : block) : block =
+  match b with
+  | Bgate g -> Bgate (Gate.add_controls extra (Gate.rename rename g))
+  | Bdiag r ->
+      Bdiag
+        {
+          r with
+          wires = Array.map rename r.wires;
+          ctrls = List.map (Gate.rename_control rename) r.ctrls @ extra;
+        }
+  | Bdense r ->
+      Bdense
+        {
+          r with
+          wires = Array.map rename r.wires;
+          ctrls = List.map (Gate.rename_control rename) r.ctrls @ extra;
+        }
+
+(* Feed one gate into a fuser ([fz] is the top-level fuser during
+   simulation, an accumulator during box compilation — the same code
+   path, so compiled programs fuse exactly as streaming does). *)
+let rec feed st fz (g : Gate.t) =
+  match g with
+  | Gate.Comment _ -> ()
+  | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+      if st.cfg.cache then replay st fz ~name ~inv ~inputs ~outputs ~controls
+      else expand st fz ~name ~inv ~inputs ~outputs ~controls
+  | g when fusible g -> push_gate fz g
+  | g ->
+      (* Barrier: measurement, Init/Term, classical logic, classically
+         controlled or unknown gates. Most flush the pending block, but
+         an Init/Term on a wire outside the pending support — the
+         paper's ancilla churn — is a channel on disjoint wires and
+         commutes with the accumulated operator exactly, as does purely
+         classical bookkeeping; those are emitted past the block so the
+         run survives compute/uncompute sandwiches. Measurement and
+         Discard sample the RNG against ordered probability sums and
+         classically-controlled gates read the classical environment:
+         both stay hard barriers so observations stay bit-identical. *)
+      let commutes =
+        match fz.pending with
+        | None -> true
+        | Some p -> (
+            match g with
+            | Gate.Init { ty = Wire.Q; wire; _ }
+            | Gate.Term { ty = Wire.Q; wire; _ } ->
+                local p wire < 0
+            | Gate.Init { ty = Wire.C; _ }
+            | Gate.Term { ty = Wire.C; _ }
+            | Gate.Discard { ty = Wire.C; _ }
+            | Gate.Cgate _ ->
+                true
+            | _ -> false)
+      in
+      if not commutes then flush fz;
+      fz.emit (Bgate g)
+
+(* Replay a compiled program under a wire remap: formals map to the
+   call's actual wires, internals to fresh negative ids; the call's
+   controls attach to every block. *)
+and replay st fz ~name ~inv ~inputs ~outputs ~controls =
+  let prog = compiled_program st (name, inv) in
+  st.st_stats.calls_replayed <- st.st_stats.calls_replayed + 1;
+  let map = Hashtbl.create 16 in
+  List.iter2
+    (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
+    prog.p_in inputs;
+  List.iter2
+    (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
+    prog.p_out outputs;
+  let rename w =
+    match Hashtbl.find_opt map w with
+    | Some w' -> w'
+    | None ->
+        let w' = !(st.fresh) in
+        decr st.fresh;
+        Hashtbl.replace map w w';
+        w'
+  in
+  Array.iter (fun b -> push_block fz (remap_block rename controls b)) prog.blocks
+
+(* Cache off: structural expansion (what [Sink.unbox] does), still
+   fusing across the call boundary. *)
+and expand st fz ~name ~inv ~inputs ~outputs ~controls =
+  let { Circuit.circ; _ } = find_def st name in
+  let body = body_of circ inv in
+  let d_in = if inv then circ.Circuit.outputs else circ.Circuit.inputs in
+  let d_out = if inv then circ.Circuit.inputs else circ.Circuit.outputs in
+  let map = Hashtbl.create 16 in
+  List.iter2
+    (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
+    d_in inputs;
+  List.iter2
+    (fun (e : Wire.endpoint) a -> Hashtbl.replace map e.Wire.wire a)
+    d_out outputs;
+  let rename w =
+    match Hashtbl.find_opt map w with
+    | Some w' -> w'
+    | None ->
+        let w' = !(st.fresh) in
+        decr st.fresh;
+        Hashtbl.replace map w w';
+        w'
+  in
+  Array.iter
+    (fun g -> feed st fz (Gate.add_controls controls (Gate.rename rename g)))
+    body
+
+(* Compile a box body to a block program, memoized per (name, inv).
+   Nested calls replay their own compiled programs into this one, so a
+   call tree compiles bottom-up into flat block sequences. *)
+and compiled_program st key : program =
+  match Hashtbl.find_opt st.compiled key with
+  | Some p -> p
+  | None ->
+      let name, inv = key in
+      let { Circuit.circ; _ } = find_def st name in
+      let body = body_of circ inv in
+      let acc = ref [] in
+      let cfz =
+        {
+          cfg = st.cfg;
+          emit = (fun b -> acc := b :: !acc);
+          stats = st.st_stats;
+          pending = None;
+        }
+      in
+      Array.iter (feed st cfz) body;
+      flush cfz;
+      let prog =
+        {
+          blocks = Array.of_list (List.rev !acc);
+          p_in = (if inv then circ.Circuit.outputs else circ.Circuit.inputs);
+          p_out = (if inv then circ.Circuit.inputs else circ.Circuit.outputs);
+        }
+      in
+      st.st_stats.boxes_compiled <- st.st_stats.boxes_compiled + 1;
+      Hashtbl.replace st.compiled key prog;
+      prog
+
+(* ------------------------------------------------------------------ *)
+(* Public surface                                                      *)
+
+let apply_gate st (g : Gate.t) =
+  st.st_stats.gates_seen <- st.st_stats.gates_seen + 1;
+  feed st st.fz g
+
+let flush_pending st = flush st.fz
+
+let measure st w =
+  flush st.fz;
+  Statevector.measure st.sv w
+
+let read_bit st w = Statevector.read_bit st.sv w
+let set_bit st w v = Statevector.set_bit st.sv w v
+
+let amplitudes st =
+  flush st.fz;
+  Statevector.amplitudes st.sv
+
+let prob_one st w =
+  flush st.fz;
+  Statevector.prob_one st.sv w
+
+let num_qubits st = Statevector.num_qubits st.sv
+let qubit_index st w = Statevector.qubit_index st.sv w
+
+let statevector st =
+  flush st.fz;
+  st.sv
+
+let stats st = st.st_stats
+
+let run_fun ?config ?seed ~(in_ : ('b, 'q, 'c) Qdata.t) (input : 'b)
+    (f : 'q -> 'r Circ.t) : state * 'r =
+  let st = create ?config ?seed () in
+  let ctx =
+    Circ.create_ctx ~boxing:false ~on_emit:(apply_gate st)
+      ~lift:(fun _ w -> read_bit st w)
+      ()
+  in
+  let ins =
+    List.map (fun ty -> { Wire.wire = Circ.alloc_input ctx ty; ty }) in_.Qdata.tys
+  in
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+    ins (in_.Qdata.bleaves input);
+  let x = in_.Qdata.qbuild ins in
+  let r = f x ctx in
+  flush st.fz;
+  (st, r)
+
+let measure_and_read st (w : ('b, 'q, 'c) Qdata.t) (q : 'q) : 'b =
+  flush st.fz;
+  Statevector.measure_and_read st.sv w q
+
+let run_circuit ?config ?seed (b : Circuit.b) (inputs : bool list) : state =
+  let st = create ?config ?seed () in
+  List.iter
+    (fun name -> define st name (Circuit.Namespace.find name b.Circuit.subs))
+    b.Circuit.sub_order;
+  (if List.length inputs <> List.length b.Circuit.main.Circuit.inputs then
+     Errors.raise_ (Shape_mismatch "fused run: input arity"));
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      apply_gate st (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+    b.Circuit.main.Circuit.inputs inputs;
+  Array.iter (apply_gate st) b.Circuit.main.Circuit.gates;
+  flush st.fz;
+  st

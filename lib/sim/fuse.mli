@@ -1,0 +1,114 @@
+(** Gate-fusion compiler for dense simulation.
+
+    Scans the gate stream and merges runs of adjacent gates whose
+    combined qubit support fits a small window into single fused
+    blocks — one dense [2^k x 2^k] unitary (applied by
+    {!Kernel.kq_generic}) or, for runs that stay diagonal, one diagonal
+    table over a wider window (applied by {!Kernel.kq_diag}) — so a
+    whole run costs one sweep over the [2^n] amplitudes instead of one
+    sweep per gate. Blocks that end up holding a single gate fall back
+    to the specialised per-gate kernels unchanged.
+
+    Boxed subroutines are additionally {e compiled once} per
+    (name, inverse-flag): the body (nested calls included) is fused
+    into a block program over the body's own wires, and every later
+    call replays the compiled blocks under a wire remap with the call's
+    controls attached — the box-call analogue of the paper's reusable
+    subroutine definitions (§4.3).
+
+    Fusion reassociates the floating-point operations of the gate
+    product, so amplitudes agree with the unfused {!Statevector} engine
+    up to float reassociation error (tests budget 1e-9). Classical
+    observations are bit-identical: measurements and assertions run in
+    {!Statevector} on the flushed state, with the same sequential
+    probability reductions and the same RNG stream.
+
+    Scheduling is commutation-aware: gates that provably commute with
+    the pending block — diagonal gates against a diagonal block,
+    anything whose support avoids the block, [Init]/[Term] of
+    off-support ancillas — are emitted past it instead of cutting the
+    run, and a measured cost model emits the fused form only when it
+    beats replaying the absorbed gates through their specialised
+    kernels. Measurements, discards, classically-controlled gates and
+    unknown names remain hard barriers — the pending block is flushed
+    and the gate applied directly, preserving the observable event
+    order. *)
+
+open Quipper
+
+type config = {
+  max_support : int;
+      (** Dense fusion window K (default 4): fused unitaries span at
+          most K wires, counting control wires folded into a block. *)
+  max_diag_support : int;
+      (** Window for purely diagonal runs (default 8). Diagonal tables
+          have [2^k] entries and cost O(1) extra work per amplitude
+          regardless of [k], so the window can be much wider. *)
+  cache : bool;
+      (** Compile each boxed subroutine once and replay calls (default
+          true). When false, calls are expanded structurally like
+          [Sink.unbox], still fusing across the call boundary. *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable gates_seen : int;
+      (** top-level gates fed in (a subroutine call counts as one) *)
+  mutable gates_fused : int;
+      (** source gates absorbed into multi-gate blocks, including at
+          box-compile time *)
+  mutable blocks_applied : int;  (** fused-block kernel launches *)
+  mutable singles_applied : int;
+      (** gates applied through the per-gate kernels *)
+  mutable boxes_compiled : int;  (** distinct (name, inv) compilations *)
+  mutable calls_replayed : int;  (** calls served from the cache *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type state
+
+val create : ?config:config -> ?seed:int -> unit -> state
+
+val define : state -> string -> Circuit.subroutine -> unit
+(** Register a boxed subroutine definition. Redefining a name drops any
+    compiled program for it. *)
+
+val apply_gate : state -> Gate.t -> unit
+(** Feed one gate (possibly a subroutine call) into the fuser. *)
+
+val flush_pending : state -> unit
+(** Apply any pending partially-built block now. Reads below flush
+    implicitly; this is for callers driving the state directly. *)
+
+val measure : state -> Wire.t -> bool
+val read_bit : state -> Wire.t -> bool
+val set_bit : state -> Wire.t -> bool -> unit
+val amplitudes : state -> Quipper_math.Cplx.t array
+val prob_one : state -> Wire.t -> float
+val num_qubits : state -> int
+val qubit_index : state -> Wire.t -> int
+
+val statevector : state -> Statevector.state
+(** The underlying engine, flushed — for differential tests. *)
+
+val stats : state -> stats
+
+val run_fun :
+  ?config:config ->
+  ?seed:int ->
+  in_:('b, 'q, 'c) Qdata.t ->
+  'b ->
+  ('q -> 'r Circ.t) ->
+  state * 'r
+(** Fused analogue of {!Statevector.run_fun}: execute a circuit-producing
+    function gate by gate as emitted (boxing disabled — the stream is
+    flat, so this exercises pure fusion; run generated circuits through
+    {!run_circuit} to exercise the box cache). *)
+
+val measure_and_read : state -> ('b, 'q, 'c) Qdata.t -> 'q -> 'b
+
+val run_circuit : ?config:config -> ?seed:int -> Circuit.b -> bool list -> state
+(** Run a generated hierarchical circuit on basis-state inputs,
+    compiling and replaying its boxed subroutines. *)

@@ -42,9 +42,24 @@
     summation, and hence every sampled outcome, is identical on any
     machine. *)
 
-let num_domains = ref (max 1 (Domain.recommended_domain_count ()))
+(* A positive integer from the environment; anything else (unset, junk,
+   zero, negative) falls through to the default. *)
+let env_int name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> Some v
+      | _ -> None)
 
-let threshold = ref (1 lsl 19)
+let num_domains =
+  ref
+    (match env_int "QUIPPER_DOMAINS" with
+    | Some d -> d
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let threshold =
+  ref (match env_int "QUIPPER_PAR_THRESHOLD" with Some t -> t | None -> 1 lsl 19)
 (** Minimum number of amplitudes before a kernel fans out across
     domains; below it, spawn overhead dominates. *)
 
@@ -541,6 +556,225 @@ let k1_generic ~re ~im ~size ~bit ~cmask ~cwant (m : Quipper_math.Mat2.t) =
     (k1_chunk ~re ~im ~bit ~lowmask ~cmask ~cwant ~a_re:(Cplx.re a)
        ~a_im:(Cplx.im a) ~b_re:(Cplx.re b) ~b_im:(Cplx.im b) ~c_re:(Cplx.re c)
        ~c_im:(Cplx.im c) ~d_re:(Cplx.re d) ~d_im:(Cplx.im d))
+
+(* ------------------------------------------------------------------ *)
+(* Fused k-qubit kernels (gate fusion, {!Fuse})                        *)
+
+(* Expand a compressed index [j] (all [k] support bits deleted) to the
+   full index: insert a 0 bit at each deleted position. [masks] must be
+   the support bits sorted ascending — each insertion only shifts bits
+   at or above its own position, so ascending insertions never disturb
+   one another. *)
+let[@inline] kq_expand j (masks : int array) k =
+  let base = ref j in
+  for b = 0 to k - 1 do
+    let low = Array.unsafe_get masks b - 1 in
+    base := ((!base land lnot low) lsl 1) lor (!base land low)
+  done;
+  !base
+
+let kq_chunk ~re ~im ~sorted ~offs ~mre ~mim ~dim ~k ~cmask ~cwant lo hi =
+  (* per-chunk scratch: gather/apply/scatter buffers, allocated once per
+     domain, not per index *)
+  let vr = Array.make dim 0.0 and vi = Array.make dim 0.0 in
+  let acc = Array.make 2 0.0 in
+  for j = lo to hi - 1 do
+    let base = kq_expand j sorted k in
+    if base land cmask = cwant then begin
+      for l = 0 to dim - 1 do
+        let i = base lor Array.unsafe_get offs l in
+        Array.unsafe_set vr l (Array.unsafe_get re i *. 1.0);
+        Array.unsafe_set vi l (Array.unsafe_get im i *. 1.0)
+      done;
+      for r = 0 to dim - 1 do
+        let row = r * dim in
+        Array.unsafe_set acc 0 0.0;
+        Array.unsafe_set acc 1 0.0;
+        for c = 0 to dim - 1 do
+          let er = Array.unsafe_get mre (row + c)
+          and ei = Array.unsafe_get mim (row + c) in
+          let xr = Array.unsafe_get vr c and xi = Array.unsafe_get vi c in
+          Array.unsafe_set acc 0
+            (Array.unsafe_get acc 0 +. ((er *. xr) -. (ei *. xi)));
+          Array.unsafe_set acc 1
+            (Array.unsafe_get acc 1 +. ((er *. xi) +. (ei *. xr)))
+        done;
+        let i = base lor Array.unsafe_get offs r in
+        Array.unsafe_set re i (Array.unsafe_get acc 0 *. 1.0);
+        Array.unsafe_set im i (Array.unsafe_get acc 1 *. 1.0)
+      done
+    end
+  done
+
+(* Unrolled 1-wire body: the 2x2 matrix lives in 8 scalar parameters,
+   the quadruple of amplitude components in registers — no scratch
+   arrays, no inner loops. Term order matches the generic body's
+   accumulation (products grouped (er xr - ei xi), summed left to
+   right), so results agree to the same reassociation the fusion tests
+   budget. *)
+let kq_chunk1 ~re ~im ~sorted ~b0 ~m00r ~m00i ~m01r ~m01i ~m10r ~m10i ~m11r
+    ~m11i ~k ~cmask ~cwant lo hi =
+  for j = lo to hi - 1 do
+    let i0 = kq_expand j sorted k in
+    if i0 land cmask = cwant then begin
+      let i1 = i0 lor b0 in
+      let x0r = Array.unsafe_get re i0 and x0i = Array.unsafe_get im i0 in
+      let x1r = Array.unsafe_get re i1 and x1i = Array.unsafe_get im i1 in
+      Array.unsafe_set re i0
+        (((m00r *. x0r) -. (m00i *. x0i)) +. ((m01r *. x1r) -. (m01i *. x1i)));
+      Array.unsafe_set im i0
+        (((m00r *. x0i) +. (m00i *. x0r)) +. ((m01r *. x1i) +. (m01i *. x1r)));
+      Array.unsafe_set re i1
+        (((m10r *. x0r) -. (m10i *. x0i)) +. ((m11r *. x1r) -. (m11i *. x1i)));
+      Array.unsafe_set im i1
+        (((m10r *. x0i) +. (m10i *. x0r)) +. ((m11r *. x1i) +. (m11i *. x1r)))
+    end
+  done
+
+(* Unrolled 2-wire body: gather the 4 amplitudes into locals, compute
+   each output row as an explicit 4-term complex dot product, write
+   back. The 4x4 matrix is read through [unsafe_get] — 32 entries stay
+   cache-hot across the whole sweep. *)
+let kq_chunk2 ~re ~im ~sorted ~o1 ~o2 ~o3 ~mre ~mim ~k ~cmask ~cwant lo hi =
+  for j = lo to hi - 1 do
+    let i0 = kq_expand j sorted k in
+    if i0 land cmask = cwant then begin
+      let i1 = i0 lor o1 and i2 = i0 lor o2 and i3 = i0 lor o3 in
+      let x0r = Array.unsafe_get re i0 and x0i = Array.unsafe_get im i0 in
+      let x1r = Array.unsafe_get re i1 and x1i = Array.unsafe_get im i1 in
+      let x2r = Array.unsafe_get re i2 and x2i = Array.unsafe_get im i2 in
+      let x3r = Array.unsafe_get re i3 and x3i = Array.unsafe_get im i3 in
+      let row = 0 in
+      let e0r = Array.unsafe_get mre (row + 0) and e0i = Array.unsafe_get mim (row + 0) in
+      let e1r = Array.unsafe_get mre (row + 1) and e1i = Array.unsafe_get mim (row + 1) in
+      let e2r = Array.unsafe_get mre (row + 2) and e2i = Array.unsafe_get mim (row + 2) in
+      let e3r = Array.unsafe_get mre (row + 3) and e3i = Array.unsafe_get mim (row + 3) in
+      let y0r =
+        ((e0r *. x0r) -. (e0i *. x0i)) +. ((e1r *. x1r) -. (e1i *. x1i))
+        +. ((e2r *. x2r) -. (e2i *. x2i)) +. ((e3r *. x3r) -. (e3i *. x3i))
+      and y0i =
+        ((e0r *. x0i) +. (e0i *. x0r)) +. ((e1r *. x1i) +. (e1i *. x1r))
+        +. ((e2r *. x2i) +. (e2i *. x2r)) +. ((e3r *. x3i) +. (e3i *. x3r))
+      in
+      let row = 4 in
+      let e0r = Array.unsafe_get mre (row + 0) and e0i = Array.unsafe_get mim (row + 0) in
+      let e1r = Array.unsafe_get mre (row + 1) and e1i = Array.unsafe_get mim (row + 1) in
+      let e2r = Array.unsafe_get mre (row + 2) and e2i = Array.unsafe_get mim (row + 2) in
+      let e3r = Array.unsafe_get mre (row + 3) and e3i = Array.unsafe_get mim (row + 3) in
+      let y1r =
+        ((e0r *. x0r) -. (e0i *. x0i)) +. ((e1r *. x1r) -. (e1i *. x1i))
+        +. ((e2r *. x2r) -. (e2i *. x2i)) +. ((e3r *. x3r) -. (e3i *. x3i))
+      and y1i =
+        ((e0r *. x0i) +. (e0i *. x0r)) +. ((e1r *. x1i) +. (e1i *. x1r))
+        +. ((e2r *. x2i) +. (e2i *. x2r)) +. ((e3r *. x3i) +. (e3i *. x3r))
+      in
+      let row = 8 in
+      let e0r = Array.unsafe_get mre (row + 0) and e0i = Array.unsafe_get mim (row + 0) in
+      let e1r = Array.unsafe_get mre (row + 1) and e1i = Array.unsafe_get mim (row + 1) in
+      let e2r = Array.unsafe_get mre (row + 2) and e2i = Array.unsafe_get mim (row + 2) in
+      let e3r = Array.unsafe_get mre (row + 3) and e3i = Array.unsafe_get mim (row + 3) in
+      let y2r =
+        ((e0r *. x0r) -. (e0i *. x0i)) +. ((e1r *. x1r) -. (e1i *. x1i))
+        +. ((e2r *. x2r) -. (e2i *. x2i)) +. ((e3r *. x3r) -. (e3i *. x3i))
+      and y2i =
+        ((e0r *. x0i) +. (e0i *. x0r)) +. ((e1r *. x1i) +. (e1i *. x1r))
+        +. ((e2r *. x2i) +. (e2i *. x2r)) +. ((e3r *. x3i) +. (e3i *. x3r))
+      in
+      let row = 12 in
+      let e0r = Array.unsafe_get mre (row + 0) and e0i = Array.unsafe_get mim (row + 0) in
+      let e1r = Array.unsafe_get mre (row + 1) and e1i = Array.unsafe_get mim (row + 1) in
+      let e2r = Array.unsafe_get mre (row + 2) and e2i = Array.unsafe_get mim (row + 2) in
+      let e3r = Array.unsafe_get mre (row + 3) and e3i = Array.unsafe_get mim (row + 3) in
+      let y3r =
+        ((e0r *. x0r) -. (e0i *. x0i)) +. ((e1r *. x1r) -. (e1i *. x1i))
+        +. ((e2r *. x2r) -. (e2i *. x2i)) +. ((e3r *. x3r) -. (e3i *. x3i))
+      and y3i =
+        ((e0r *. x0i) +. (e0i *. x0r)) +. ((e1r *. x1i) +. (e1i *. x1r))
+        +. ((e2r *. x2i) +. (e2i *. x2r)) +. ((e3r *. x3i) +. (e3i *. x3r))
+      in
+      Array.unsafe_set re i0 y0r;
+      Array.unsafe_set im i0 y0i;
+      Array.unsafe_set re i1 y1r;
+      Array.unsafe_set im i1 y1i;
+      Array.unsafe_set re i2 y2r;
+      Array.unsafe_set im i2 y2i;
+      Array.unsafe_set re i3 y3r;
+      Array.unsafe_set im i3 y3i
+    end
+  done
+
+(** Dense k-qubit matrix application: gather the [2^k] amplitudes of
+    each compressed index, multiply by the row-major [2^k x 2^k] matrix
+    (mre, mim), scatter back. Bit [i] of the matrix's basis index is
+    [bits.(i)] (in any order; sorting for the index expansion is
+    internal). The apply loop reads only the gathered scratch, so each
+    output row can be written as soon as it is computed. Controls are a
+    (mask, want) pair over full-index bits, disjoint from [bits].
+    The common narrow blocks (k = 1, 2) run fully unrolled bodies with
+    no scratch arrays — they are what makes small dense fusions cheaper
+    than replaying their gates. *)
+let kq_generic ~re ~im ~size ~(bits : int array) ~cmask ~cwant ~mre ~mim =
+  let k = Array.length bits in
+  let dim = 1 lsl k in
+  let sorted = Array.copy bits in
+  Array.sort compare sorted;
+  let offs =
+    Array.init dim (fun l ->
+        let o = ref 0 in
+        for b = 0 to k - 1 do
+          if l land (1 lsl b) <> 0 then o := !o lor bits.(b)
+        done;
+        !o)
+  in
+  if k = 1 then
+    par_range (size lsr 1)
+      (kq_chunk1 ~re ~im ~sorted ~b0:bits.(0) ~m00r:mre.(0) ~m00i:mim.(0)
+         ~m01r:mre.(1) ~m01i:mim.(1) ~m10r:mre.(2) ~m10i:mim.(2) ~m11r:mre.(3)
+         ~m11i:mim.(3) ~k ~cmask ~cwant)
+  else if k = 2 then
+    par_range (size lsr 2)
+      (kq_chunk2 ~re ~im ~sorted ~o1:offs.(1) ~o2:offs.(2) ~o3:offs.(3) ~mre
+         ~mim ~k ~cmask ~cwant)
+  else
+    par_range (size lsr k)
+      (kq_chunk ~re ~im ~sorted ~offs ~mre ~mim ~dim ~k ~cmask ~cwant)
+
+let kq_diag_chunk ~re ~im ~sorted ~offs ~dre ~di ~dim ~k ~cmask ~cwant lo hi =
+  for j = lo to hi - 1 do
+    let base = kq_expand j sorted k in
+    if base land cmask = cwant then
+      for l = 0 to dim - 1 do
+        let i = base lor Array.unsafe_get offs l in
+        let dr = Array.unsafe_get dre l and dm = Array.unsafe_get di l in
+        let xr = Array.unsafe_get re i and xi = Array.unsafe_get im i in
+        Array.unsafe_set re i ((dr *. xr) -. (dm *. xi));
+        Array.unsafe_set im i ((dr *. xi) +. (dm *. xr))
+      done
+  done
+
+(** Fused k-qubit diagonal: one sweep multiplying each amplitude by the
+    diagonal entry selected by its [k] support bits — the collapsed form
+    of a whole run of diagonal gates. Bit [i] of the [2^k]-entry table
+    (dre, di) is [bits.(i)]. Iteration is by compressed base (all
+    support bits deleted) with a precomputed offset per table entry, so
+    the per-amplitude work is one table index, not a [k]-step bit
+    extraction. Controls are checked once per group: control bits are
+    disjoint from the support, so they are constant across a group. *)
+let kq_diag ~re ~im ~size ~(bits : int array) ~cmask ~cwant ~dre ~di =
+  let k = Array.length bits in
+  let dim = 1 lsl k in
+  let sorted = Array.copy bits in
+  Array.sort compare sorted;
+  let offs =
+    Array.init dim (fun l ->
+        let o = ref 0 in
+        for b = 0 to k - 1 do
+          if l land (1 lsl b) <> 0 then o := !o lor bits.(b)
+        done;
+        !o)
+  in
+  par_range (size lsr k)
+    (kq_diag_chunk ~re ~im ~sorted ~offs ~dre ~di ~dim ~k ~cmask ~cwant)
 
 (** Generic two-qubit matrix application, basis order |ab> with [ba] the
     high bit. *)

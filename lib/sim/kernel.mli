@@ -17,11 +17,15 @@
 
 val num_domains : int ref
 (** Domains used by large kernels; defaults to
-    [Domain.recommended_domain_count ()]. Set to 1 to force the
-    sequential path. *)
+    [Domain.recommended_domain_count ()], overridden at startup by the
+    environment variable [QUIPPER_DOMAINS] when it holds a positive
+    integer (benchmarks and CI pin parallelism this way without code
+    edits). Set to 1 to force the sequential path. *)
 
 val threshold : int ref
-(** Minimum amplitude count before kernels fan out across domains. *)
+(** Minimum amplitude count before kernels fan out across domains;
+    defaults to [2^19], overridden at startup by the environment
+    variable [QUIPPER_PAR_THRESHOLD] when it holds a positive integer. *)
 
 val par_range : int -> (int -> int -> unit) -> unit
 (** [par_range n f] runs [f lo hi] over a partition of [0, n), in
@@ -85,3 +89,24 @@ val k2_generic :
   cmask:int -> cwant:int -> Quipper_math.Mat2.t -> unit
 (** Fallback: full 4x4 complex matrix application, basis order |ab>
     with [ba] the high bit. *)
+
+val kq_generic :
+  re:float array -> im:float array -> size:int -> bits:int array ->
+  cmask:int -> cwant:int -> mre:float array -> mim:float array -> unit
+(** Fused dense k-qubit block ({!Fuse}): gather the [2^k] amplitudes of
+    each compressed index, multiply by the row-major [2^k x 2^k] complex
+    matrix [(mre, mim)], scatter back. [bits.(i)] is the full-index bit
+    of basis-index bit [i]; [bits] need not be sorted. The control
+    (mask, want) pair must be disjoint from [bits]. One sweep costs
+    O([4^k]) flops per [2^k] amplitudes, so this pays off only for
+    blocks holding several gates — single gates keep their specialised
+    kernels. *)
+
+val kq_diag :
+  re:float array -> im:float array -> size:int -> bits:int array ->
+  cmask:int -> cwant:int -> dre:float array -> di:float array -> unit
+(** Fused k-qubit diagonal block: one full sweep multiplying each
+    amplitude by the [2^k]-entry table [(dre, di)] indexed by its
+    support bits — a whole run of diagonal gates for the price of one
+    diagonal sweep. Same [bits]/controls conventions as
+    {!kq_generic}. *)

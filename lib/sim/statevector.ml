@@ -312,6 +312,34 @@ let rot_matrix name angle inv : Quipper_math.Mat2.t option =
               [| Quipper_math.Cplx.zero; Quipper_math.Cplx.cis angle |] |])
   | _ -> None
 
+(** The unitary matrix of a gate (controls excluded), inversion folded
+    in: the same construction the dispatch paths use, so fused and
+    unfused results differ only by float reassociation, never by matrix
+    content. Two-qubit matrices (swap, W) are in the |ab> basis with the
+    first target the high bit — the {!Kernel.kswap}/{!Kernel.kw}
+    convention. [None] for non-unitaries, unknown names and arity
+    mismatches. *)
+let gate_unitary (g : Gate.t) : Quipper_math.Mat2.t option =
+  let open Quipper_math in
+  match g with
+  | Gate.Gate { name = "swap"; targets = [ _; _ ]; _ } ->
+      (* the permutation |01> <-> |10>; self-inverse *)
+      let perm = [| 0; 2; 1; 3 |] in
+      Some (Mat2.make 4 (fun r c -> if perm.(c) = r then Cplx.one else Cplx.zero))
+  | Gate.Gate { name = "W"; inv; targets = [ _; _ ]; _ } ->
+      Some (if inv then Mat2.adjoint Mat2.w_gate else Mat2.w_gate)
+  | Gate.Gate { name; inv; targets = [ _ ]; _ } -> gate_matrix name inv
+  | Gate.Rot { name; angle; inv; targets = [ _ ]; _ } -> rot_matrix name angle inv
+  | _ -> None
+
+(** Run an in-place kernel over the live amplitude prefix (marking the
+    zero watermark dirty first) — the bridge the fused-block applier
+    ({!Fuse}) uses to reach the raw buffers. *)
+let apply_kernel st
+    (k : re:float array -> im:float array -> size:int -> unit) =
+  dirty st;
+  k ~re:st.re ~im:st.im ~size:st.size
+
 (** Measure qubit [w]: Born-rule sample, collapse, move the wire to the
     classical environment. Returns the outcome. The probability sum is
     sequential (ordered float addition), so the sampled outcome is the

@@ -72,6 +72,32 @@ val measure : state -> Wire.t -> bool
 
 val apply_gate : state -> Gate.t -> unit
 
+(** {2 Fusion hooks}
+
+    The bridge the gate-fusion compiler ({!Fuse}) is built on: matrix
+    semantics, control resolution and raw-buffer kernel access, exposed
+    so fused blocks go through exactly the same constructions as the
+    per-gate dispatch. *)
+
+val gate_unitary : Gate.t -> Quipper_math.Mat2.t option
+(** The unitary matrix of a [Gate]/[Rot] (controls excluded), inversion
+    folded in — the same matrices the dispatch paths use. Two-qubit
+    matrices (swap, W) are in the |ab> basis with the first target the
+    high bit. [None] for non-unitaries, unknown names and arity
+    mismatches. *)
+
+val resolve_controls : state -> Gate.control list -> (int * int) option
+(** Fold a control list into one (mask, want) pair over amplitude-index
+    bits; classical controls are evaluated against the classical
+    environment immediately. [None] means a classical control is
+    unsatisfied: skip the gate. *)
+
+val apply_kernel :
+  state -> (re:float array -> im:float array -> size:int -> unit) -> unit
+(** Run an in-place kernel over the live amplitude prefix; the zero
+    watermark is invalidated first. The kernel must only write within
+    [0, size). *)
+
 val run_fun :
   ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
 (** Execute a circuit-producing function gate by gate as emitted —

@@ -21,4 +21,5 @@ let () =
       ("backend", Test_backend.suite);
       ("opt", Test_opt.suite);
       ("stream", Test_stream.suite);
+      ("fuse", Test_fuse.suite);
     ]

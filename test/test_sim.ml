@@ -445,3 +445,55 @@ let prop_clifford_cross_check =
       sv_ok && cl_ok)
 
 let suite = suite @ [ QCheck_alcotest.to_alcotest prop_clifford_cross_check ]
+
+(* ------------------------------------------------------------------ *)
+(* par_range edge cases                                                *)
+
+(* The kernel partitioner must visit every index in [0, n) exactly once
+   whatever the relation of [n] to the domain count and threshold: n
+   below the threshold (sequential path), exactly at it (first parallel
+   n), not divisible by the domain count (main domain takes the
+   remainder), and smaller than the domain count (empty worker
+   chunks). Runs with [num_domains = 2] forced, restoring the globals
+   afterwards. *)
+let test_par_range_edges () =
+  let module K = Quipper_sim.Kernel in
+  let saved_d = !K.num_domains and saved_t = !K.threshold in
+  Fun.protect
+    ~finally:(fun () ->
+      K.num_domains := saved_d;
+      K.threshold := saved_t)
+    (fun () ->
+      K.num_domains := 2;
+      K.threshold := 4;
+      let covered_once n =
+        let hits = Array.make (max n 1) 0 in
+        K.par_range n (fun lo hi ->
+            for i = lo to hi - 1 do
+              hits.(i) <- hits.(i) + 1
+            done);
+        Array.for_all (fun c -> c = 1) (Array.sub hits 0 n)
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "par_range covers [0, %d) exactly once" n)
+            true (covered_once n))
+        [ 1; 2; 3; 4; 5; 7; 8; 16; 31 ];
+      (* n = 0: no index may be touched *)
+      let touched = ref false in
+      K.par_range 0 (fun lo hi -> if hi > lo then touched := true);
+      Alcotest.(check bool) "par_range 0 touches nothing" false !touched;
+      (* n smaller than the domain count: workers get empty chunks *)
+      K.num_domains := 8;
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "par_range covers [0, %d) with 8 domains" n)
+            true (covered_once n))
+        [ 4; 5; 7 ])
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "par_range edge cases (2 domains)" `Quick
+        test_par_range_edges ]
