@@ -1,0 +1,25 @@
+open Quipper
+module Sim = Quipper_sim.Statevector
+
+let try_one name (circ : Wire.bit array Circ.t) =
+  let st = Sim.create ~seed:42 () in
+  let sink = Sink.unbox (Sink.make ~on_gate:(Sim.apply_gate st) ~finish:(fun _ -> ()) ()) in
+  (try
+     let (), bits = Circ.run_streaming_unit circ sink in
+     let s = Array.to_list bits |> List.map (fun w -> if Sim.read_bit st (Wire.bit_wire w) then "1" else "0") |> String.concat "" in
+     Printf.printf "%s OK: %s\n%!" name s
+   with e -> Printf.printf "%s FAILED: %s\n%!" name (Printexc.to_string e))
+
+let () =
+  let p = { Algo_bwt.n = 2; s = 1; dt = Algo_bwt.default_params.Algo_bwt.dt } in
+  try_one "orthodox" (Algo_bwt.whole ~p (Algo_bwt.orthodox_oracle p));
+  try_one "template" (Algo_bwt.whole ~p (Algo_bwt.template_oracle p));
+  try_one "qcl" (Qcl_baseline.Bwt_qcl.whole ~p)
+
+let () =
+  let p = { Algo_bwt.n = 2; s = 1; dt = Algo_bwt.default_params.Algo_bwt.dt } in
+  print_endline "second runs:";
+  let c = Qcl_baseline.Bwt_qcl.whole ~p in
+  try_one "qcl-a" c;
+  try_one "qcl-b" c;
+  try_one "qcl-fresh" (Qcl_baseline.Bwt_qcl.whole ~p)

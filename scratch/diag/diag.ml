@@ -1,0 +1,58 @@
+open Quipper
+open Circ
+module Gen = Quipper_testgen.Gen
+module Backend = Quipper_sim.Backend
+module Sv = Quipper_sim.Statevector
+module Fuse = Quipper_sim.Fuse
+
+let max_dev a b =
+  let open Quipper_math in
+  let d = ref 0.0 in
+  Array.iteri (fun i x ->
+      let e = Cplx.norm (Cplx.sub x b.(i)) in
+      if e > !d then d := e) a;
+  !d
+
+let boxed_fun ops ql =
+  match ql with
+  | [ a; b; c; d ] ->
+      let shape2 = Qdata.list_of 2 Qdata.qubit in
+      let call xs = box "body" ~in_:shape2 ~out:shape2 (Gen.program_fun ops) xs in
+      let* ab = call [ a; b ] in
+      let a, b = (List.nth ab 0, List.nth ab 1) in
+      let* cd = with_controls [ ctl a ] (call [ c; d ]) in
+      let c, d = (List.nth cd 0, List.nth cd 1) in
+      let* b =
+        with_computed (call [ c; d ]) (fun cd' ->
+            let* () = cnot ~control:(List.hd cd') ~target:b in
+            return b)
+      in
+      let* ab = call [ a; b ] in
+      let a, b = (List.nth ab 0, List.nth ab 1) in
+      return [ a; b; c; d ]
+  | _ -> assert false
+
+let try_ops name ops inputs =
+  let shape = Qdata.list_of 4 Qdata.qubit in
+  let b, _ = Circ.generate ~in_:shape (boxed_fun ops) in
+  let sv = Sv.run_circuit ~seed:5 b inputs in
+  let reference = Sv.amplitudes sv in
+  let fu = Fuse.run_circuit ~seed:5 b inputs in
+  let st = Fuse.stats fu in
+  let nocache = { Fuse.default_config with Fuse.cache = false } in
+  let fu2 = Fuse.run_circuit ~config:nocache ~seed:5 b inputs in
+  Printf.printf "%s: cached dev=%.3e nocache dev=%.3e replayed=%d compiled=%d\n%!"
+    name (max_dev reference (Fuse.amplitudes fu))
+    (max_dev reference (Fuse.amplitudes fu2))
+    st.Fuse.calls_replayed st.Fuse.boxes_compiled
+
+let () =
+  try_ops "empty" [] [true; false; true; false];
+  try_ops "h0" [ Gen.H 0 ] [true; false; true; false];
+  try_ops "x0" [ Gen.X 0 ] [true; false; true; false];
+  try_ops "t0" [ Gen.T 0 ] [true; false; true; false];
+  try_ops "cnot" [ Gen.CNot (0,1) ] [true; false; true; false];
+  try_ops "swap" [ Gen.Swap (0,1) ] [true; true; false; false];
+  try_ops "h+cnot" [ Gen.H 0; Gen.CNot (0,1) ] [true; false; true; false];
+  try_ops "anc" [ Gen.Ancilla_block (0, [ Gen.H 1 ]) ] [true; false; true; false];
+  try_ops "ctrlblk" [ Gen.Controlled_block (0, [ Gen.H 1 ]) ] [true; false; true; false]

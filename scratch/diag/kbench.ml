@@ -1,0 +1,40 @@
+(* Calibrate fusion cost model: time each kernel class on a 2^20 state. *)
+module K = Quipper_sim.Kernel
+
+let () =
+  K.num_domains := 1;
+  let n = 20 in
+  let size = 1 lsl n in
+  let re = Array.init size (fun i -> 1.0 /. float (i + 1))
+  and im = Array.init size (fun i -> 0.5 /. float (i + 1)) in
+  let time name f =
+    let reps = 20 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do f () done;
+    let dt = (Unix.gettimeofday () -. t0) /. float reps in
+    Printf.printf "%-22s %8.3f ms\n%!" name (dt *. 1000.0)
+  in
+  time "kx (X, no ctrl)" (fun () -> K.kx ~re ~im ~size ~bit:(1 lsl 3) ~cmask:0 ~cwant:0);
+  time "kx (CNOT)" (fun () -> K.kx ~re ~im ~size ~bit:(1 lsl 3) ~cmask:(1 lsl 7) ~cwant:(1 lsl 7));
+  time "kx (Toffoli)" (fun () -> K.kx ~re ~im ~size ~bit:(1 lsl 3) ~cmask:((1 lsl 7) lor (1 lsl 11)) ~cwant:((1 lsl 7) lor (1 lsl 11)));
+  time "kh (H)" (fun () -> K.kh ~re ~im ~size ~bit:(1 lsl 3) ~cmask:0 ~cwant:0);
+  time "kdiag (T)" (fun () -> K.kdiag ~re ~im ~size ~bit:(1 lsl 3) ~cmask:0 ~cwant:0 ~d0_re:1.0 ~d0_im:0.0 ~d1_re:0.7 ~d1_im:0.7);
+  time "kdiag (CZ-ish)" (fun () -> K.kdiag ~re ~im ~size ~bit:(1 lsl 3) ~cmask:(1 lsl 7) ~cwant:(1 lsl 7) ~d0_re:1.0 ~d0_im:0.0 ~d1_re:(-1.0) ~d1_im:0.0);
+  let mk k =
+    let d = 1 lsl k in
+    (Array.init k (fun i -> 1 lsl (3 + 4 * i)),
+     Array.init (d * d) (fun i -> if i mod (d + 1) = 0 then 1.0 else 0.01),
+     Array.make (d * d) 0.001)
+  in
+  List.iter (fun k ->
+      let bits, mre, mim = mk k in
+      time (Printf.sprintf "kq_generic k=%d" k)
+        (fun () -> K.kq_generic ~re ~im ~size ~bits ~cmask:0 ~cwant:0 ~mre ~mim))
+    [ 1; 2; 3; 4 ];
+  List.iter (fun k ->
+      let d = 1 lsl k in
+      let bits = Array.init k (fun i -> 1 lsl (2 + 2 * i)) in
+      let dre = Array.init d (fun i -> 1.0 /. float (i + 1)) and di = Array.make d 0.01 in
+      time (Printf.sprintf "kq_diag k=%d" k)
+        (fun () -> K.kq_diag ~re ~im ~size ~bits ~cmask:0 ~cwant:0 ~dre ~di))
+    [ 2; 4; 6; 8 ]

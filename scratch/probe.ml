@@ -1,0 +1,18 @@
+let () =
+  let p = { Algo_bwt.default_params with Algo_bwt.n = 2; s = 1 } in
+  let b = Algo_bwt.generate ~p ~which:`Orthodox () in
+  Printf.printf "bwt n=2 s=1 orthodox: peak %d, gates %d\n"
+    (Quipper.Gatecount.peak_wires b) (Quipper.Gatecount.total (Quipper.Gatecount.aggregate b));
+  let p = { Algo_bwt.default_params with Algo_bwt.n = 3; s = 1 } in
+  let b = Algo_bwt.generate ~p ~which:`Orthodox () in
+  Printf.printf "bwt n=3 s=1 orthodox: peak %d, gates %d\n"
+    (Quipper.Gatecount.peak_wires b) (Quipper.Gatecount.total (Quipper.Gatecount.aggregate b));
+  let tp = { Algo_tf.Oracle.l = 2; n = 2; r = 1 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p:tp () in
+  Printf.printf "tf pow17 l=2: peak %d, gates %d, inputs %d\n"
+    (Quipper.Gatecount.peak_wires b) (Quipper.Gatecount.total (Quipper.Gatecount.aggregate b))
+    (List.length b.Quipper.Circuit.main.Quipper.Circuit.inputs);
+  let tp = { Algo_tf.Oracle.l = 3; n = 2; r = 1 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p:tp () in
+  Printf.printf "tf pow17 l=3: peak %d, gates %d\n"
+    (Quipper.Gatecount.peak_wires b) (Quipper.Gatecount.total (Quipper.Gatecount.aggregate b))
