@@ -894,6 +894,85 @@ let n5 () =
   Fmt.pr "  -> BENCH_N5.json (%d entries)@." (List.length !json)
 
 (* ================================================================== *)
+(* N6: Pauli-frame fault engine (EXPERIMENTS.md N6). The
+   error-correction workload: repetition-code memory under
+   circuit-level depolarizing noise, distances 3..9, logical-error rate
+   vs physical rate over >= 10^6 trials per point — 63 bit-packed
+   trials per frame pass versus one full stabilizer simulation per
+   trial on the slow path. Acceptance: the frame engine sustains the
+   million-trial campaign at >= 100x slow-path throughput (largest
+   distance). Every row lands in BENCH_N6.json. *)
+
+let n6 () =
+  section "N6: Pauli-frame engine (repetition-code memory campaigns)";
+  let module R = Algo_repcode in
+  let trials = if quick then 20_000 else 1_000_000 in
+  let slow_trials = if quick then 1_000 else 4_000 in
+  let physicals = [ 0.001; 0.003; 0.01; 0.03 ] in
+  let speedup_p = 0.01 in
+  let json = ref [] in
+  let record line = json := line :: !json in
+  Fmt.pr "  logical-error rate vs physical rate (frame engine, %s trials/point):@."
+    (commas trials);
+  Fmt.pr "  %-6s %10s %12s %12s %10s %12s@." "" "physical" "logical_err" "rate"
+    "seconds" "trials/s";
+  List.iter
+    (fun d ->
+      let p = { R.distance = d; rounds = d } in
+      List.iter
+        (fun ph ->
+          let pt = R.run_point ~p ~physical:ph ~trials () in
+          let tps = float_of_int trials /. pt.R.pt_seconds in
+          Fmt.pr "  d=%-4d %10g %12d %12.3e %9.2fs %12s@." d ph
+            pt.R.pt_logical_errors (R.logical_error_rate pt) pt.R.pt_seconds
+            (commas (int_of_float tps));
+          record
+            (Fmt.str
+               "  {\"name\": \"repcode_frame\", \"distance\": %d, \"rounds\": %d, \
+                \"physical\": %g, \"trials\": %d, \"logical_errors\": %d, \
+                \"logical_error_rate\": %.6e, \"seconds\": %.6f, \
+                \"trials_per_sec\": %.1f}"
+               d d ph trials pt.R.pt_logical_errors (R.logical_error_rate pt)
+               pt.R.pt_seconds tps))
+        physicals)
+    [ 3; 5; 7; 9 ];
+  Fmt.pr "  frame vs slow-path throughput (p = %g):@." speedup_p;
+  Fmt.pr "  %-6s %12s %12s %8s@." "" "frame t/s" "slow t/s" "speedup";
+  List.iter
+    (fun d ->
+      let p = { R.distance = d; rounds = d } in
+      let pt = R.run_point ~p ~physical:speedup_p ~trials () in
+      let pt_slow =
+        R.run_point ~engine:`Slow ~p ~physical:speedup_p ~trials:slow_trials ()
+      in
+      let ftps = float_of_int trials /. pt.R.pt_seconds in
+      let stps = float_of_int slow_trials /. pt_slow.R.pt_seconds in
+      Fmt.pr "  d=%-4d %12s %12s %7.1fx@." d
+        (commas (int_of_float ftps))
+        (commas (int_of_float stps))
+        (ftps /. stps);
+      record
+        (Fmt.str
+           "  {\"name\": \"repcode_speedup\", \"distance\": %d, \"physical\": %g, \
+            \"frame_trials\": %d, \"frame_trials_per_sec\": %.1f, \
+            \"slow_trials\": %d, \"slow_trials_per_sec\": %.1f, \
+            \"speedup_vs_slow\": %.2f}"
+           d speedup_p trials ftps slow_trials stps (ftps /. stps)))
+    [ 3; 5; 7; 9 ];
+  let oc = open_out "BENCH_N6.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf line)
+    (List.rev !json);
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "  -> BENCH_N6.json (%d entries)@." (List.length !json)
+
+(* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 
 let benchmarks () =
@@ -1075,6 +1154,7 @@ let () =
   noise ();
   n2 ();
   n5 ();
+  n6 ();
   n3 ();
   benchmarks ();
   Fmt.pr "@.Done.@."

@@ -1,0 +1,131 @@
+(** Repetition-code quantum memory: the error-correction workload for
+    million-trial noise campaigns.
+
+    [distance] data qubits hold logical |0> as the bit-flip repetition
+    code; each of [rounds] syndrome-extraction rounds initializes one
+    fresh ancilla per adjacent data pair, entangles it with two CNOTs,
+    and measures it; finally every data qubit is measured. Under
+    circuit-level noise ({!Quipper_sim.Noise.config}, kicks after every
+    gate including the syndrome circuitry) the decoder takes a majority
+    vote over the measured data bits; a vote of 1 is a logical error.
+
+    Every gate is Clifford and every measurement is deterministic on the
+    clean run, so the whole workload is eligible for the Pauli-frame
+    engine — trials run 63 per word operation instead of one full
+    stabilizer simulation each. *)
+
+open Quipper
+
+type params = { distance : int; rounds : int }
+
+let default_params = { distance = 3; rounds = 3 }
+
+let validate p =
+  if p.distance < 1 || p.distance mod 2 = 0 then
+    invalid_arg "Repcode: distance must be odd and positive";
+  if p.rounds < 0 then invalid_arg "Repcode: rounds must be non-negative"
+
+let memory ~(p : params) : unit Circ.t =
+  let open Circ in
+  let* data = mapm (fun _ -> qinit_bit false) (List.init p.distance Fun.id) in
+  let data = Array.of_list data in
+  let syndrome_round =
+    for_ 0
+      (p.distance - 2)
+      (fun i ->
+        let* anc = qinit_bit false in
+        let* () = cnot ~control:data.(i) ~target:anc in
+        let* () = cnot ~control:data.(i + 1) ~target:anc in
+        let* _syndrome = measure_qubit anc in
+        return ())
+  in
+  let* () = iterm (fun _ -> syndrome_round) (List.init p.rounds Fun.id) in
+  let* _readout = mapm measure_qubit (Array.to_list data) in
+  return ()
+
+let generate ?(p = default_params) () : Circuit.b =
+  validate p;
+  let b, () = Circ.generate_unit (memory ~p) in
+  b
+
+let syndrome_bits p = p.rounds * (p.distance - 1)
+let output_bits p = p.distance + syndrome_bits p
+
+(* Outputs come back in wire-id order: the data qubits are allocated
+   before any ancilla, so the first [distance] bits are the final data
+   readout and the rest are the syndrome history, round by round. *)
+let logical_of_outputs ~(p : params) (bits : bool array) : bool =
+  if Array.length bits <> output_bits p then
+    invalid_arg "Repcode.logical_of_outputs: output arity";
+  let ones = ref 0 in
+  for i = 0 to p.distance - 1 do
+    if bits.(i) then incr ones
+  done;
+  2 * !ones > p.distance
+
+(* ------------------------------------------------------------------ *)
+(* The memory experiment: logical-error rate vs physical error rate    *)
+
+module Noise = Quipper_sim.Noise
+
+type point = {
+  pt_distance : int;
+  pt_rounds : int;
+  pt_physical : float;  (** per-wire depolarizing probability per gate *)
+  pt_trials : int;
+  pt_logical_errors : int;  (** majority vote came back 1 *)
+  pt_tripped : int;  (** trials aborted by a termination assertion *)
+  pt_errored : int;  (** trials that raised; recorded, not fatal *)
+  pt_frame_trials : int;  (** trials completed by the Pauli-frame engine *)
+  pt_slow_trials : int;  (** trials that ran the full simulation *)
+  pt_seconds : float;
+}
+
+let logical_error_rate pt =
+  let completed = pt.pt_trials - pt.pt_tripped - pt.pt_errored in
+  if completed = 0 then 0.0
+  else float_of_int pt.pt_logical_errors /. float_of_int completed
+
+(** Run one (distance, physical-error-rate) point of the memory
+    experiment: [trials] noisy preparations of logical |0>, decoded by
+    majority vote. Backend defaults to clifford — the natural slow path
+    for an all-Clifford workload and the engine the frame falls back
+    to — and the frame engine picks up every trial when [engine] is
+    [`Auto]. *)
+let run_point ?(backend = (module Quipper_sim.Backend.Clifford : Quipper_sim.Backend.S))
+    ?(master_seed = 1) ?(engine : Noise.engine = `Auto) ~(p : params)
+    ~(physical : float) ~(trials : int) () : point =
+  validate p;
+  let b = generate ~p () in
+  let cfg = { Noise.none with depolarizing = physical } in
+  let logical = ref 0 and tripped = ref 0 and errored = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    Noise.sample_trials_on backend ~master_seed ~engine ~trials cfg b []
+      ~f:(fun _t s ->
+        match s with
+        | Noise.Sampled bits -> if logical_of_outputs ~p bits then incr logical
+        | Noise.Assertion_tripped -> incr tripped
+        | Noise.Sample_errored _ -> incr errored)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    pt_distance = p.distance;
+    pt_rounds = p.rounds;
+    pt_physical = physical;
+    pt_trials = trials;
+    pt_logical_errors = !logical;
+    pt_tripped = !tripped;
+    pt_errored = !errored;
+    pt_frame_trials = summary.Noise.frame_sampled;
+    pt_slow_trials = summary.Noise.slow_sampled;
+    pt_seconds = dt;
+  }
+
+let pp_point ppf pt =
+  Fmt.pf ppf
+    "d=%d r=%d p=%.4g: %d/%d logical errors (rate %.3e), %d tripped, %d errored; %d frame + %d slow trials in %.2fs (%.0f trials/s)"
+    pt.pt_distance pt.pt_rounds pt.pt_physical pt.pt_logical_errors pt.pt_trials
+    (logical_error_rate pt) pt.pt_tripped pt.pt_errored pt.pt_frame_trials
+    pt.pt_slow_trials pt.pt_seconds
+    (float_of_int pt.pt_trials /. (if pt.pt_seconds > 0.0 then pt.pt_seconds else 1e-9))

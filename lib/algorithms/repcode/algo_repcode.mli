@@ -1,0 +1,67 @@
+(** Repetition-code quantum memory: the error-correction workload for
+    million-trial noise campaigns.
+
+    [distance] data qubits hold logical |0> as the bit-flip repetition
+    code; each syndrome-extraction round initializes a fresh ancilla per
+    adjacent data pair, entangles it with two CNOTs and measures it;
+    finally all data qubits are measured and a majority vote decodes the
+    logical bit. All-Clifford with deterministic clean measurements, so
+    campaigns run on the Pauli-frame engine ({!Quipper_sim.Frame}) at 63
+    trials per word operation. *)
+
+open Quipper
+
+type params = { distance : int;  (** odd *) rounds : int }
+
+val default_params : params
+(** distance 3, 3 rounds. *)
+
+val memory : p:params -> unit Circ.t
+(** The monadic circuit: prepare logical |0>, extract syndromes, read
+    out. *)
+
+val generate : ?p:params -> unit -> Circuit.b
+(** The generated circuit. No inputs; outputs are classical bits in
+    wire-id order: [distance] data-readout bits first, then
+    [rounds * (distance - 1)] syndrome bits round by round. *)
+
+val syndrome_bits : params -> int
+val output_bits : params -> int
+
+val logical_of_outputs : p:params -> bool array -> bool
+(** Majority vote over the data-readout bits: [true] = logical error
+    (the memory flipped). *)
+
+(** One (distance, physical error rate) point of the memory
+    experiment. *)
+type point = {
+  pt_distance : int;
+  pt_rounds : int;
+  pt_physical : float;  (** per-wire depolarizing probability per gate *)
+  pt_trials : int;
+  pt_logical_errors : int;  (** majority vote came back 1 *)
+  pt_tripped : int;  (** trials aborted by a termination assertion *)
+  pt_errored : int;  (** trials that raised; recorded, not fatal *)
+  pt_frame_trials : int;  (** trials completed by the Pauli-frame engine *)
+  pt_slow_trials : int;  (** trials that ran the full simulation *)
+  pt_seconds : float;
+}
+
+val logical_error_rate : point -> float
+(** Logical errors over completed trials. *)
+
+val run_point :
+  ?backend:(module Quipper_sim.Backend.S) ->
+  ?master_seed:int ->
+  ?engine:Quipper_sim.Noise.engine ->
+  p:params ->
+  physical:float ->
+  trials:int ->
+  unit ->
+  point
+(** Run one point: [trials] noisy preparations under circuit-level
+    depolarizing noise at rate [physical], decoded by majority vote.
+    Backend defaults to clifford; [engine] defaults to [`Auto] (the
+    frame engine, with slow-path fallback). *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -53,11 +53,11 @@ let exposed_wires (g : Gate.t) : Wire.t list =
   | Gate.Term _ | Gate.Discard _ | Gate.Measure _ -> []
   | Gate.Cgate _ | Gate.Subroutine _ | Gate.Comment _ -> []
 
-(** Every fault site of [b], in execution order: one per qubit input,
-    then one per (gate, touched-live-qubit-wire) pair of the inlined
-    circuit. *)
-let enumerate (b : Circuit.b) : site list =
-  let flat, prov = Circuit.inline_provenance b in
+(** Every fault site of an already-inlined circuit (with its provenance
+    array), in execution order: one per qubit input, then one per
+    (gate, touched-live-qubit-wire) pair. Campaigns that already hold the
+    flat circuit use this to avoid re-inlining per enumeration. *)
+let enumerate_flat ~(flat : Circuit.t) ~(prov : string list array) : site list =
   let sites = ref [] in
   List.iter
     (fun (e : Wire.endpoint) ->
@@ -76,5 +76,9 @@ let enumerate (b : Circuit.b) : site list =
         (exposed_wires g))
     flat.Circuit.gates;
   List.rev !sites
+
+let enumerate (b : Circuit.b) : site list =
+  let flat, prov = Circuit.inline_provenance b in
+  enumerate_flat ~flat ~prov
 
 let count (b : Circuit.b) : int = List.length (enumerate b)

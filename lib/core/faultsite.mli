@@ -27,4 +27,9 @@ val exposed_wires : Gate.t -> Wire.t list
 val enumerate : Circuit.b -> site list
 (** Every fault site, in execution order of the inlined circuit. *)
 
+val enumerate_flat : flat:Circuit.t -> prov:string list array -> site list
+(** {!enumerate} over an already-inlined circuit and its
+    {!Circuit.inline_provenance} array — campaigns that hold the flat
+    circuit anyway skip the second inlining pass. *)
+
 val count : Circuit.b -> int

@@ -364,3 +364,69 @@ let pp ppf = function
         labels
 
 let to_string = Fmt.to_to_string pp
+
+(* ------------------------------------------------------------------ *)
+(* Pauli-frame conjugation                                             *)
+
+type frame_action =
+  | Frame_id
+  | Frame_pauli of Wire.t * bool * bool
+  | Frame_h of Wire.t
+  | Frame_s of Wire.t
+  | Frame_v of Wire.t
+  | Frame_cnot of Wire.t * Wire.t
+  | Frame_cz of Wire.t * Wire.t
+  | Frame_swap of Wire.t * Wire.t
+
+(** How the frame engine conjugates a Pauli frame through [g], classical
+    controls stripped (the engine resolves those against its reference
+    run). The accepted set mirrors {!Quipper_sim.Clifford.apply_gate}
+    exactly — same gates, same control shapes — so "eligible for the
+    frame engine" and "accepted by the clifford backend" never drift
+    apart. Signs are deliberately dropped: a frame is a Pauli up to
+    phase, and every comparison downstream (measured bits, canonical
+    tableaux, amplitudes up to global phase) is phase-blind.
+
+    [Error what] names the offending gate and wires in the clifford
+    backend's phrasing, for fallback reports. *)
+let frame_action (g : t) : (frame_action, string) result =
+  let not_clifford ?(wires = []) what =
+    let pp_wires ppf = function
+      | [] -> ()
+      | [ w ] -> Fmt.pf ppf " on wire %d" w
+      | ws ->
+          Fmt.pf ppf " on wires %s" (String.concat "," (List.map string_of_int ws))
+    in
+    Error (Fmt.str "%s%a is not a Clifford operation" what pp_wires wires)
+  in
+  let quantum cs = List.filter (fun c -> c.cty = Wire.Q) cs in
+  match g with
+  | Gate { name; inv = _; targets; controls } -> (
+      match (name, targets, quantum controls) with
+      | ("not" | "X"), [ t ], [] -> Ok (Frame_pauli (t, true, false))
+      | ("not" | "X"), [ t ], [ c ] ->
+          (* negative polarity only wraps the CNOT in X's: frame-invisible *)
+          Ok (Frame_cnot (c.cwire, t))
+      | ("not" | "X"), ts, _ -> not_clifford ~wires:ts "multiply-controlled not"
+      | "Y", [ t ], [] -> Ok (Frame_pauli (t, true, true))
+      | "Z", [ t ], [] -> Ok (Frame_pauli (t, false, true))
+      | "Z", [ t ], [ c ] when c.positive -> Ok (Frame_cz (c.cwire, t))
+      | "H", [ t ], [] -> Ok (Frame_h t)
+      | "S", [ t ], [] -> Ok (Frame_s t) (* S* differs from S by signs only *)
+      | "V", [ t ], [] -> Ok (Frame_v t)
+      | "swap", [ a; b ], [] -> Ok (Frame_swap (a, b))
+      | n, ts, _ -> not_clifford ~wires:ts n)
+  | Rot { name; targets; _ } -> not_clifford ~wires:targets name
+  | Phase { controls; _ } -> (
+      (* an uncontrolled (or classically-controlled) phase is global:
+         invisible to every phase-blind comparison. A quantum-controlled
+         phase is a real diagonal gate on the statevector backend, so it
+         is conservatively rejected even though the clifford backend
+         ignores it. *)
+      match quantum controls with
+      | [] -> Ok Frame_id
+      | cs -> not_clifford ~wires:(List.map (fun c -> c.cwire) cs) "controlled phase")
+  | Init _ | Term _ | Discard _ | Measure _ | Cgate _ | Comment _ ->
+      (* structural gates: the frame engine handles these itself *)
+      Ok Frame_id
+  | Subroutine { name; _ } -> Error (Fmt.str "subroutine call %s (inline first)" name)

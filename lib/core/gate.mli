@@ -162,3 +162,30 @@ val pp : Format.formatter -> t -> unit
     [QGate["not"](3) with controls=[+1,-2]]. *)
 
 val to_string : t -> string
+
+(** {2 Pauli-frame conjugation}
+
+    Conjugation rules for the Pauli-frame fault engine
+    ([Quipper_sim.Frame]): how pushing a Pauli error frame (an (x,z)
+    bitpair per qubit wire) past this gate transforms it, with all signs
+    dropped (frames are Paulis up to phase). The accepted gate set
+    mirrors the clifford backend's exactly. *)
+type frame_action =
+  | Frame_id  (** Paulis, phases, and structural gates: frame unchanged *)
+  | Frame_pauli of Wire.t * bool * bool
+      (** The gate {e is} a single-wire Pauli [(wire, x, z)]: frame
+          unchanged by conjugation, but if the gate's firing diverges
+          per-trial (classical controls), diverging trials just toggle
+          these frame bits. *)
+  | Frame_h of Wire.t  (** swap x and z *)
+  | Frame_s of Wire.t  (** z ^= x (S and S* agree up to sign) *)
+  | Frame_v of Wire.t  (** x ^= z (V = HSH up to phase) *)
+  | Frame_cnot of Wire.t * Wire.t  (** (control, target): x spreads down, z up *)
+  | Frame_cz of Wire.t * Wire.t  (** z_a ^= x_b and z_b ^= x_a *)
+  | Frame_swap of Wire.t * Wire.t
+
+val frame_action : t -> (frame_action, string) result
+(** The conjugation rule for a gate, classical controls stripped.
+    [Error what] for gates outside the clifford backend's set, [what]
+    phrased like the clifford backend's rejections (gate and wires
+    named). *)

@@ -64,3 +64,74 @@ let derive master i =
   if i < 0 then invalid_arg "Rng.derive: negative stream index";
   let tmp = split (create master) i in
   Int64.to_int (Int64.shift_right_logical (next_int64 tmp) 2)
+
+(* ------------------------------------------------------------------ *)
+(* Lane pools: many streams, unboxed.
+
+   The Pauli-frame engine samples noise per trial lane — hundreds of
+   millions of draws per campaign. [t] keeps its state in a mutable
+   record field, which boxes every splitmix64 step; a pool keeps lane
+   states in an int64 bigarray, whose loads and stores ocamlopt compiles
+   unboxed, and each batched operation below is straight-line local
+   int64 arithmetic — no allocation per draw. Every lane replays exactly
+   the stream the scalar [t] with the same starting state produces:
+   word results are bit-identical to per-lane [float]/[int] calls. *)
+
+type pool = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let pool n : pool = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout (max n 1)
+let pool_seed (p : pool) i (t : t) = Bigarray.Array1.set p i t.state
+let pool_get (p : pool) i : t = { state = Bigarray.Array1.get p i }
+
+let pool_bernoulli (p : pool) ~n ~(prob : float) : int =
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    (* one splitmix64 step + [float] conversion, manually inlined so the
+       int64 intermediates stay in registers *)
+    let s1 = Int64.add (Bigarray.Array1.unsafe_get p i) 0x9E3779B97F4A7C15L in
+    Bigarray.Array1.unsafe_set p i s1;
+    let z0 =
+      Int64.mul (Int64.logxor s1 (Int64.shift_right_logical s1 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z1 =
+      Int64.mul (Int64.logxor z0 (Int64.shift_right_logical z0 27)) 0x94D049BB133111EBL
+    in
+    let z2 = Int64.logxor z1 (Int64.shift_right_logical z1 31) in
+    let f =
+      Int64.to_float (Int64.shift_right_logical z2 11) *. (1.0 /. 9007199254740992.0)
+    in
+    if f < prob then w := !w lor (1 lsl i)
+  done;
+  !w
+
+let pool_pauli_mix (p : pool) ~n ~(mask : int) : int * int =
+  let xw = ref 0 and zw = ref 0 in
+  for i = 0 to n - 1 do
+    if mask land (1 lsl i) <> 0 then begin
+      (* [int _ 3]: mask 3, reject 3 — replayed draw for draw *)
+      let d = ref (-1) in
+      while !d < 0 do
+        let s1 = Int64.add (Bigarray.Array1.unsafe_get p i) 0x9E3779B97F4A7C15L in
+        Bigarray.Array1.unsafe_set p i s1;
+        let z0 =
+          Int64.mul
+            (Int64.logxor s1 (Int64.shift_right_logical s1 30))
+            0xBF58476D1CE4E5B9L
+        in
+        let z1 =
+          Int64.mul
+            (Int64.logxor z0 (Int64.shift_right_logical z0 27))
+            0x94D049BB133111EBL
+        in
+        let v = Int64.to_int (Int64.logxor z1 (Int64.shift_right_logical z1 31)) land 3 in
+        if v < 3 then d := v
+      done;
+      (match !d with
+      | 0 -> xw := !xw lor (1 lsl i)
+      | 1 ->
+          xw := !xw lor (1 lsl i);
+          zw := !zw lor (1 lsl i)
+      | _ -> zw := !zw lor (1 lsl i))
+    end
+  done;
+  (!xw, !zw)

@@ -31,3 +31,31 @@ val derive : int -> int -> int
     seed-level form of {!split}, for APIs that take integer seeds. The
     noisy simulators use it to give every trial of an experiment its own
     reproducible stream. *)
+
+(** {2 Lane pools}
+
+    Batched draws over many independent streams, allocation-free per
+    draw — the sampling backbone of the Pauli-frame engine. Lane [i] of
+    a pool replays exactly the stream a scalar {!t} with the same state
+    would produce. *)
+
+type pool
+
+val pool : int -> pool
+(** A pool of [n] lanes (states uninitialized: seed each lane). *)
+
+val pool_seed : pool -> int -> t -> unit
+(** Install [t]'s current state as lane [i]'s stream. *)
+
+val pool_get : pool -> int -> t
+(** A scalar generator continuing lane [i]'s stream (copy; the lane is
+    not advanced). *)
+
+val pool_bernoulli : pool -> n:int -> prob:float -> int
+(** One [{!float} < prob] draw on each of lanes [0..n-1] (n <= word
+    size); bit [i] of the result is lane [i]'s outcome. *)
+
+val pool_pauli_mix : pool -> n:int -> mask:int -> int * int
+(** One [{!int} _ 3] draw on each lane whose bit is set in [mask],
+    mapped 0/1/2 to X/Y/Z: returns packed (x, z) Pauli component words.
+    Lanes outside [mask] draw nothing. *)

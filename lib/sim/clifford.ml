@@ -213,6 +213,67 @@ let measure_col st q : bool * bool =
     (!scratch_r, true)
   end
 
+(** Whether measuring column [q] would be deterministic, and if so what
+    the outcome is — {e without} mutating the tableau or consuming
+    randomness. This is [measure_col]'s deterministic branch, factored
+    out so the frame engine can probe eligibility non-destructively. *)
+let deterministic_outcome_col st q : bool option =
+  let p = ref (-1) in
+  for i = 0 to st.n - 1 do
+    if !p < 0 && getb st.x.(srow st i) q then p := i
+  done;
+  if !p >= 0 then None
+  else begin
+    let scratch_x = Bytes.make st.cap '\000' in
+    let scratch_z = Bytes.make st.cap '\000' in
+    let scratch_r = ref false in
+    let g x1 z1 x2 z2 =
+      match (x1, z1) with
+      | false, false -> 0
+      | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+      | true, false -> if z2 && x2 then 1 else if z2 then -1 else 0
+      | false, true -> if x2 && z2 then -1 else if x2 then 1 else 0
+    in
+    let addrow i =
+      let acc = ref ((if !scratch_r then 2 else 0) + if getb st.r i then 2 else 0) in
+      for j = 0 to st.n - 1 do
+        acc :=
+          !acc + g (getb st.x.(i) j) (getb st.z.(i) j) (getb scratch_x j) (getb scratch_z j);
+        setb scratch_x j (getb scratch_x j <> getb st.x.(i) j);
+        setb scratch_z j (getb scratch_z j <> getb st.z.(i) j)
+      done;
+      let m = ((!acc mod 4) + 4) mod 4 in
+      scratch_r := m = 2
+    in
+    for i = 0 to st.n - 1 do
+      if getb st.x.(drow st i) q then addrow (srow st i)
+    done;
+    Some !scratch_r
+  end
+
+let deterministic_outcome st w = deterministic_outcome_col st (column st w)
+let column_of = column
+
+(** Does the Pauli described by [frames] — [(column, x, z)] components,
+    sign irrelevant — commute with every stabilizer generator of [st]?
+    For a full-rank tableau this decides whether conjugating the state by
+    that Pauli leaves the stabilizer group (and hence the state, up to
+    global phase) unchanged: the fault is {e masked}. *)
+let frame_commutes st (frames : (int * bool * bool) list) : bool =
+  let commutes_with_row row =
+    List.fold_left
+      (fun acc (q, fx, fz) ->
+        let acc = if fx && getb st.z.(row) q then not acc else acc in
+        if fz && getb st.x.(row) q then not acc else acc)
+      false frames
+    = false
+  in
+  let ok = ref true in
+  for i = 0 to st.n - 1 do
+    if not (commutes_with_row (srow st i)) then ok := false
+  done;
+  !ok
+
 let retire st w =
   st.col <- List.filter (fun (w', _) -> w' <> w) st.col
 

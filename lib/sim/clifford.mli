@@ -30,6 +30,27 @@ val apply_gate : state -> Gate.t -> unit
 (** Raises [Simulation _] on non-Clifford gates (T, rotations,
     multiply-controlled gates) and subroutine calls. *)
 
+(** {2 Probes for the Pauli-frame engine} *)
+
+val column_of : state -> Wire.t -> int
+(** Tableau column of a live qubit wire. Columns are never reused, so a
+    column id captured before measuring/terminating a wire stays valid
+    for {!frame_commutes} afterwards. Raises [Simulation _] if the wire
+    is not a live qubit. *)
+
+val deterministic_outcome : state -> Wire.t -> bool option
+(** [Some v] iff measuring the wire now would deterministically give
+    [v]; [None] if the outcome would be random. Mutates nothing and
+    consumes no randomness — the frame engine's eligibility probe for
+    measurements, discards and terminations. *)
+
+val frame_commutes : state -> (int * bool * bool) list -> bool
+(** Does the Pauli with the given [(column, x, z)] components (sign
+    ignored) commute with every stabilizer generator? For the full-rank
+    tableaux this backend maintains, that is exactly "conjugating the
+    state by this Pauli changes nothing up to global phase" — the
+    frame engine's masked-fault test. *)
+
 val run_fun :
   ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
 

@@ -1,0 +1,116 @@
+(** Pauli-frame fault propagation: the fast engine behind million-trial
+    noise campaigns and exhaustive fault-injection sweeps.
+
+    One noiseless reference run (on the {!Clifford} backend) plus, per
+    trial, a {e Pauli frame} — an (x, z) bitpair per live qubit wire —
+    pushed through the gate stream by conjugation
+    ({!Quipper.Gate.frame_action}). Frames pack {!lanes_per_word} trials
+    per machine word; fault sampling is scalar per lane so it replays
+    the slow path's RNG draw sequence exactly, making outcomes
+    bit-identical to {!Noise}/{!Inject} at equal derived seeds.
+
+    Eligibility (otherwise the pass, or just the affected lanes,
+    report fallback with the offending gate and wire named):
+    - every gate the reference applies is in the clifford backend's set;
+    - every measurement, discard and quantum termination is
+      deterministic in the reference run (Pauli faults preserve
+      determinism, so this extends to every lane);
+    - classically-controlled gates whose control diverges under noise
+      are only absorbed when the controlled gate is a pure Pauli
+      (the error-correction case); anything else falls back lane-wise.
+
+    Entry points are deliberately low-level (flat circuits in, packed
+    words out): {!Noise.run_trials_on} and {!Inject.report_on} wrap them
+    and handle slow-path fallback. *)
+
+open Quipper
+
+val lanes_per_word : int
+(** Trials advanced per word operation: [Sys.int_size] (63 on 64-bit;
+    native ints keep the frame arrays unboxed). *)
+
+(** Mirror of {!Noise.config} (defined here to keep this module
+    independent of the slow path). *)
+type channels = {
+  bit_flip : float;
+  phase_flip : float;
+  depolarizing : float;
+  readout : float;
+}
+
+val no_channels : channels
+(** All probabilities zero: pure propagation (fault injection). *)
+
+(** {1 Noise passes: many trials, sampled faults} *)
+
+type noise_result = {
+  lanes : int;
+  outputs : int;
+  clean : bool array;  (** clean output bits, arity order; [[||]] if ineligible *)
+  flips : int array array;  (** [[batch].(output)]: lane-packed output-flip words *)
+  detected : int array;  (** per-batch masks: lanes a termination assertion caught *)
+  fallback : int array;  (** per-batch masks: lanes needing the slow path *)
+  ineligible : string option;
+      (** circuit-level fallback: every lane must re-run slow, and why *)
+  reasons : string list;  (** every distinct fallback reason, oldest first *)
+}
+
+val noise_pass :
+  channels -> Circuit.t -> bool list -> seeds:int array -> noise_result
+(** One propagation pass over an inlined circuit: lane [l] is a trial
+    whose noise stream derives from [seeds.(l)] exactly as
+    {!Noise.run_circuit_on} does (child stream [Rng.derive seed 1]),
+    so a completed lane's output bits equal what the slow path at that
+    seed measures, bit for bit, on any backend. *)
+
+type lane_outcome =
+  | Lane_bits of bool array  (** completed: measured output bits, arity order *)
+  | Lane_detected  (** a termination assertion caught this lane's faults *)
+  | Lane_fallback  (** re-run this lane on the slow path *)
+
+val lane_outcome : noise_result -> int -> lane_outcome
+(** Decode one lane of a pass result. *)
+
+val noise_sink :
+  channels -> inputs:bool list -> seeds:int array -> unit -> noise_result Sink.t
+(** The same pass as a streaming consumer ({!Quipper.Sink.t}, boxed
+    subroutines expanded on the fly): memory is O(trials + live wires),
+    independent of gate count. Dynamic lifting is not available while
+    streaming into a frame pass — a generation function that lifts makes
+    the run raise, and the campaign should fall back to the slow path. *)
+
+(** {1 Inject passes: one deterministic Pauli fault per lane} *)
+
+type fault = { findex : int; fwire : Wire.t; fx : bool; fz : bool }
+(** A fixed Pauli (x/z components; both = Y) striking wire [fwire] right
+    after flat gate [findex] ([-1] = before the first gate), as
+    {!Quipper.Faultsite.site} positions faults. *)
+
+(** How the campaign's backend compares final states, which decides what
+    a {e masked} fault is: [Tableau] (clifford backend) compares
+    canonical stabilizer groups over all allocated columns, so residual
+    fault components on measured/discarded columns count; [Amplitudes]
+    (statevector) compares live-wire amplitude vectors up to global
+    phase, so they do not. *)
+type semantics = Tableau | Amplitudes
+
+type inject_outcome = F_detected | F_corrupted | F_masked | F_fallback
+
+type inject_result = {
+  fault_outcomes : inject_outcome array;  (** per fault, in input order *)
+  inject_ineligible : string option;
+  inject_reasons : string list;
+}
+
+val inject_pass :
+  semantics:semantics ->
+  Circuit.t ->
+  bool list ->
+  faults:fault array ->
+  inject_result
+(** Classify every fault in one propagation pass: lane [l] carries
+    exactly [faults.(l)] (which must be ordered by ascending [findex] —
+    {!Quipper.Faultsite.enumerate} order is). Detection mirrors the slow
+    path's [Termination_assertion]; the masked test checks that the
+    lane's residual frame commutes with every stabilizer generator of
+    the clean final state and flips no classical output bit. *)

@@ -32,14 +32,17 @@ type pauli = X | Y | Z
 let pauli_name = function X -> "X" | Y -> "Y" | Z -> "Z"
 let all_paulis = [ X; Y; Z ]
 
-type outcome = Detected | Corrupted | Masked
+type outcome = Detected | Corrupted | Masked | Errored of string
 
 let outcome_name = function
   | Detected -> "detected"
   | Corrupted -> "corrupted"
   | Masked -> "masked"
+  | Errored _ -> "errored"
 
 type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
+
+type engine = [ `Auto | `Frame | `Slow ]
 
 type report = {
   gates : int;  (** gate count of the inlined circuit *)
@@ -48,6 +51,15 @@ type report = {
   detected : int;
   corrupted : int;
   masked : int;
+  errored : int;
+      (** slow-path classifications that raised something other than
+          [Termination_assertion]; recorded so one bad fault never loses
+          an exhaustive sweep *)
+  frame_faults : int;  (** faults classified by the Pauli-frame engine *)
+  slow_faults : int;  (** faults classified by full re-simulation *)
+  fallback_reasons : string list;
+      (** why frame lanes (or the whole campaign) fell back, each naming
+          the offending gate/wire *)
   findings : finding list;
 }
 
@@ -102,50 +114,136 @@ let classify_on (module B : Backend.S) ~seed flat inputs ~clean
       ~inject:(Some (site.Faultsite.index, site.Faultsite.wire, p))
   with
   | exception Errors.Error (Errors.Termination_assertion _) -> Detected
+  | exception Errors.Error e -> Errored (Errors.to_string e)
+  | exception e -> Errored (Printexc.to_string e)
   | st ->
       let obs, cbits = signature_on (module B) flat st in
       let clean_obs, clean_cbits = clean in
       if cbits = clean_cbits && Backend.equal_observation obs clean_obs then Masked
       else Corrupted
 
+(** A prepared campaign over one circuit: the circuit is inlined once,
+    sites enumerated once, and — the expensive part — the clean
+    reference run (and its final-state signature) computed at most once,
+    lazily, however many faults are classified against it. *)
+type campaign = {
+  cflat : Circuit.t;
+  csites : Faultsite.site list;
+  cclassify : Faultsite.site -> pauli -> outcome;
+}
+
+let campaign_on (module B : Backend.S) ?(seed = 1) (b : Circuit.b)
+    (inputs : bool list) : campaign =
+  let cflat, prov = Circuit.inline_provenance b in
+  let csites = Faultsite.enumerate_flat ~flat:cflat ~prov in
+  let clean =
+    lazy
+      (signature_on (module B) cflat
+         (execute_on (module B) ~seed cflat inputs ~inject:None))
+  in
+  {
+    cflat;
+    csites;
+    cclassify =
+      (fun site p ->
+        classify_on (module B) ~seed cflat inputs ~clean:(Lazy.force clean) site p);
+  }
+
 let run_site_on (module B : Backend.S) ?(seed = 1) (b : Circuit.b)
     (inputs : bool list) (site : Faultsite.site) (p : pauli) : outcome =
-  let flat = Circuit.inline b in
-  let clean =
-    signature_on (module B) flat (execute_on (module B) ~seed flat inputs ~inject:None)
-  in
-  classify_on (module B) ~seed flat inputs ~clean site p
+  let c = campaign_on (module B) ~seed b inputs in
+  c.cclassify site p
+
+let frame_fault (site : Faultsite.site) (p : pauli) : Frame.fault =
+  let fx, fz = match p with X -> (true, false) | Y -> (true, true) | Z -> (false, true) in
+  { Frame.findex = site.Faultsite.index; fwire = site.Faultsite.wire; fx; fz }
 
 (** Exhaustive single-fault campaign: every site × every Pauli in
-    [paulis]. *)
+    [paulis]. With [engine] [`Auto] (default) or [`Frame], all faults are
+    classified in one Pauli-frame propagation pass ({!Frame.inject_pass})
+    when the circuit is eligible — one lane per fault instead of one full
+    re-simulation per fault — with per-lane slow-path fallback; the
+    masked test matches the backend's state-comparison semantics
+    (canonical tableau vs amplitudes up to phase), so the classification
+    is bit-identical to [`Slow]. *)
 let report_on (module B : Backend.S) ?(seed = 1) ?(paulis = all_paulis)
-    (b : Circuit.b) (inputs : bool list) : report =
-  let flat = Circuit.inline b in
-  let sites = Faultsite.enumerate b in
-  let clean =
-    signature_on (module B) flat (execute_on (module B) ~seed flat inputs ~inject:None)
+    ?(engine : engine = `Auto) (b : Circuit.b) (inputs : bool list) : report =
+  let c = campaign_on (module B) ~seed b inputs in
+  let site_paulis =
+    List.concat_map (fun site -> List.map (fun p -> (site, p)) paulis) c.csites
   in
+  let semantics =
+    match engine with
+    | `Slow -> None
+    | `Frame | `Auto -> (
+        (* which masked-fault semantics does this backend's state
+           comparison imply? Bit-observation backends (classical) have
+           neither — they take the slow path. *)
+        match B.observe (B.create ~seed:1 ()) with
+        | Backend.Obs_tableau _ -> Some Frame.Tableau
+        | Backend.Obs_amplitudes _ -> Some Frame.Amplitudes
+        | Backend.Obs_bits _ -> None)
+  in
+  let frame_n = ref 0 and slow_n = ref 0 in
+  let reasons = ref [] in
+  let note r = if not (List.mem r !reasons) then reasons := r :: !reasons in
   let findings =
-    List.concat_map
-      (fun site ->
+    match semantics with
+    | Some sem when site_paulis <> [] ->
+        let faults = Array.of_list (List.map (fun (s, p) -> frame_fault s p) site_paulis) in
+        let ir = Frame.inject_pass ~semantics:sem c.cflat inputs ~faults in
+        List.iter note ir.Frame.inject_reasons;
+        (match ir.Frame.inject_ineligible with Some r -> note r | None -> ());
+        List.mapi
+          (fun i (site, p) ->
+            let outcome =
+              match ir.Frame.fault_outcomes.(i) with
+              | Frame.F_detected ->
+                  incr frame_n;
+                  Detected
+              | Frame.F_corrupted ->
+                  incr frame_n;
+                  Corrupted
+              | Frame.F_masked ->
+                  incr frame_n;
+                  Masked
+              | Frame.F_fallback ->
+                  incr slow_n;
+                  c.cclassify site p
+            in
+            { site; fault = p; outcome })
+          site_paulis
+    | _ ->
+        (match (engine, semantics) with
+        | `Frame, None ->
+            note
+              (Printf.sprintf
+                 "frame: backend %s observes classical bits only; campaign ran on the slow path"
+                 B.name)
+        | _ -> ());
         List.map
-          (fun p ->
-            { site;
-              fault = p;
-              outcome = classify_on (module B) ~seed flat inputs ~clean site p })
-          paulis)
-      sites
+          (fun (site, p) ->
+            incr slow_n;
+            { site; fault = p; outcome = c.cclassify site p })
+          site_paulis
   in
   let count o =
     List.fold_left (fun acc f -> if f.outcome = o then acc + 1 else acc) 0 findings
   in
   {
-    gates = Array.length flat.Circuit.gates;
-    sites = List.length sites;
+    gates = Array.length c.cflat.Circuit.gates;
+    sites = List.length c.csites;
     faults = List.length findings;
     detected = count Detected;
     corrupted = count Corrupted;
     masked = count Masked;
+    errored =
+      List.fold_left
+        (fun acc f -> match f.outcome with Errored _ -> acc + 1 | _ -> acc)
+        0 findings;
+    frame_faults = !frame_n;
+    slow_faults = !slow_n;
+    fallback_reasons = List.rev !reasons;
     findings;
   }
 
@@ -155,9 +253,9 @@ let run_site ?(seed = 1) (b : Circuit.b) (inputs : bool list)
     (site : Faultsite.site) (p : pauli) : outcome =
   run_site_on (module Backend.Statevector) ~seed b inputs site p
 
-let report ?(seed = 1) ?(paulis = all_paulis) (b : Circuit.b) (inputs : bool list) :
-    report =
-  report_on (module Backend.Statevector) ~seed ~paulis b inputs
+let report ?(seed = 1) ?(paulis = all_paulis) ?engine (b : Circuit.b)
+    (inputs : bool list) : report =
+  report_on (module Backend.Statevector) ~seed ~paulis ?engine b inputs
 
 let pct part whole =
   if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
@@ -172,4 +270,10 @@ let pp_report ppf r =
   Fmt.pf ppf "  corrupted %5d (%5.1f%%)  silent wrong output@." r.corrupted
     (pct r.corrupted r.faults);
   Fmt.pf ppf "  masked    %5d (%5.1f%%)  output unchanged@." r.masked
-    (pct r.masked r.faults)
+    (pct r.masked r.faults);
+  if r.errored > 0 then
+    Fmt.pf ppf "  errored   %5d (%5.1f%%)  classification raised@." r.errored
+      (pct r.errored r.faults);
+  Fmt.pf ppf "  engine: %d faults via pauli frames, %d via re-simulation@."
+    r.frame_faults r.slow_faults;
+  List.iter (fun reason -> Fmt.pf ppf "  fallback: %s@." reason) r.fallback_reasons

@@ -21,10 +21,21 @@ type outcome =
   | Detected  (** a [Termination_assertion] fired during the faulty run *)
   | Corrupted  (** completed, but the output state differs: silent damage *)
   | Masked  (** output state unchanged (up to global phase) *)
+  | Errored of string
+      (** the faulty run raised something other than
+          [Termination_assertion]; recorded and skipped so one bad fault
+          never loses an exhaustive sweep *)
 
 val outcome_name : outcome -> string
 
 type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
+
+(** Classification machinery: [`Auto] (default) classifies every fault
+    in one Pauli-frame propagation pass when the circuit is eligible
+    (per-lane slow fallback otherwise), [`Slow] forces one full
+    re-simulation per fault. Classifications are identical; only
+    throughput differs. *)
+type engine = [ `Auto | `Frame | `Slow ]
 
 type report = {
   gates : int;
@@ -33,6 +44,12 @@ type report = {
   detected : int;
   corrupted : int;
   masked : int;
+  errored : int;  (** slow-path classifications that raised; see {!outcome} *)
+  frame_faults : int;  (** faults classified by the Pauli-frame engine *)
+  slow_faults : int;  (** faults classified by full re-simulation *)
+  fallback_reasons : string list;
+      (** why frame lanes (or the whole campaign) fell back, each naming
+          the offending gate/wire *)
   findings : finding list;
 }
 
@@ -55,16 +72,20 @@ val report_on :
   (module Backend.S) ->
   ?seed:int ->
   ?paulis:pauli list ->
+  ?engine:engine ->
   Circuit.b ->
   bool list ->
   report
 (** Exhaustive single-fault campaign on the given backend, over every
-    site and every Pauli in [paulis] (default all three). *)
+    site and every Pauli in [paulis] (default all three). The circuit is
+    inlined and its clean reference run computed once per campaign, not
+    once per fault. *)
 
 val run_site : ?seed:int -> Circuit.b -> bool list -> Faultsite.site -> pauli -> outcome
 (** {!run_site_on} fixed to the statevector backend. *)
 
-val report : ?seed:int -> ?paulis:pauli list -> Circuit.b -> bool list -> report
+val report :
+  ?seed:int -> ?paulis:pauli list -> ?engine:engine -> Circuit.b -> bool list -> report
 (** {!report_on} fixed to the statevector backend. *)
 
 val pp_report : Format.formatter -> report -> unit

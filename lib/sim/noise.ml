@@ -130,20 +130,40 @@ let run_and_measure ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : bool 
 (* ------------------------------------------------------------------ *)
 (* Trial-based resilient running                                       *)
 
+type engine = [ `Auto | `Frame | `Slow ]
+
+let channels_of cfg : Frame.channels =
+  {
+    Frame.bit_flip = cfg.bit_flip;
+    phase_flip = cfg.phase_flip;
+    depolarizing = cfg.depolarizing;
+    readout = cfg.readout;
+  }
+
 type trial_outcome =
   | Success of int  (** right answer after this many attempts *)
   | Wrong of int  (** completed, silently wrong, after this many attempts *)
   | Gave_up  (** every allowed attempt ended in a detected failure *)
+  | Errored of string
+      (** the trial raised something other than [Termination_assertion]
+          (backend limitation, unknown gate...): recorded, not retried,
+          and — crucially — the rest of the campaign continues *)
 
 type stats = {
   trials : int;
   successes : int;
   wrong : int;
   gave_up : int;
+  errored : int;
   attempts : int;  (** total attempts across all trials *)
   detected_failures : int;
       (** attempts aborted by a [Termination_assertion] — the noise
           tripped an uncomputation claim, and the run knew it failed *)
+  frame_attempts : int;  (** attempts completed by the Pauli-frame engine *)
+  slow_attempts : int;  (** attempts that ran the full simulation *)
+  fallback_reasons : string list;
+      (** why frame-engine lanes fell back, oldest first, deduplicated —
+          each names the offending gate/wire *)
   outcomes : trial_outcome array;  (** per-trial, for determinism checks *)
 }
 
@@ -152,9 +172,23 @@ let success_rate s =
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "%d/%d trials succeeded (%.1f%%), %d wrong, %d gave up; %d attempts, %d detected failures"
-    s.successes s.trials (100.0 *. success_rate s) s.wrong s.gave_up s.attempts
-    s.detected_failures
+    "%d/%d trials succeeded (%.1f%%), %d wrong, %d gave up, %d errored; %d attempts (%d frame, %d slow), %d detected failures"
+    s.successes s.trials (100.0 *. success_rate s) s.wrong s.gave_up s.errored
+    s.attempts s.frame_attempts s.slow_attempts s.detected_failures;
+  List.iter (fun r -> Fmt.pf ppf "@.  fallback: %s" r) s.fallback_reasons
+
+(** One slow-path attempt: full noisy simulation at [seed], all
+    non-assertion exceptions contained (one bad trial must never lose a
+    million-trial sweep). *)
+let slow_attempt_on (module B : Backend.S) ~seed cfg flat inputs =
+  match
+    let st, rng = exec_on (module B) ~seed cfg flat inputs in
+    measure_outputs (module B) rng cfg st flat
+  with
+  | bits -> `Bits bits
+  | exception Errors.Error (Errors.Termination_assertion _) -> `Detected
+  | exception Errors.Error e -> `Errored (Errors.to_string e)
+  | exception e -> `Errored (Printexc.to_string e)
 
 (** [run_trials_on backend ~trials ~max_failures cfg b inputs ~expected]:
     run the circuit noisily [trials] times, each trial drawing its seeds
@@ -164,45 +198,224 @@ let pp_stats ppf s =
     trial) — the runtime analogue of "the assertion told us the run went
     wrong, so run it again". Attempts that complete are compared against
     [expected]; silent corruption is counted, not retried (nothing at run
-    time can see it — that asymmetry is the point of the experiment). *)
-let run_trials_on (module B : Backend.S) ?(master_seed = 1) ~trials ~max_failures
-    cfg (b : Circuit.b)
+    time can see it — that asymmetry is the point of the experiment).
+
+    [engine] picks the propagation machinery; outcomes are bit-identical
+    either way (same derived seeds, same classification). [`Auto] (the
+    default) runs eligible circuits through the {!Frame} engine — one
+    round per retry rank, every still-alive trial a bit-packed lane —
+    and falls back per lane (or whole-circuit) to the slow path;
+    [`Slow] forces the historical one-simulation-per-attempt path. *)
+let run_trials_on (module B : Backend.S) ?(master_seed = 1) ?(engine : engine = `Auto)
+    ~trials ~max_failures cfg (b : Circuit.b)
     (inputs : bool list) ~(expected : bool list) : stats =
   if trials <= 0 then invalid_arg "Noise.run_trials: trials must be positive";
   if max_failures < 0 then invalid_arg "Noise.run_trials: negative max_failures";
   let flat = Circuit.inline b in
   let attempts = ref 0 and detected = ref 0 in
-  let one_trial t =
-    let rec go a =
-      if a > max_failures then Gave_up
-      else begin
-        incr attempts;
-        let seed = Rng.derive master_seed ((t * (max_failures + 1)) + a + 2) in
-        match
-          let st, rng = exec_on (module B) ~seed cfg flat inputs in
-          measure_outputs (module B) rng cfg st flat
-        with
-        | bits -> if bits = expected then Success (a + 1) else Wrong (a + 1)
-        | exception Errors.Error (Errors.Termination_assertion _) ->
-            incr detected;
-            go (a + 1)
-      end
-    in
-    go 0
+  let frame_attempts = ref 0 and slow_attempts = ref 0 in
+  let reasons = ref [] in
+  let note r = if not (List.mem r !reasons) then reasons := r :: !reasons in
+  let seed_of t a = Rng.derive master_seed ((t * (max_failures + 1)) + a + 2) in
+  let slow_attempt seed =
+    incr attempts;
+    incr slow_attempts;
+    slow_attempt_on (module B) ~seed cfg flat inputs
   in
-  let outcomes = Array.init trials one_trial in
+  let classify a bits = if bits = expected then Success (a + 1) else Wrong (a + 1) in
+  let use_frame =
+    match engine with
+    | `Slow -> false
+    | `Frame -> true
+    (* the classical backend rejects circuits the frame engine would
+       happily propagate (it has no quantum gates at all), so Auto only
+       engages the frame over backends with Clifford-capable slow paths *)
+    | `Auto -> not (String.equal B.name "classical")
+  in
+  let outcomes = Array.make trials Gave_up in
+  if not use_frame then
+    for t = 0 to trials - 1 do
+      let rec go a =
+        if a > max_failures then Gave_up
+        else
+          match slow_attempt (seed_of t a) with
+          | `Bits bits -> classify a bits
+          | `Detected ->
+              incr detected;
+              go (a + 1)
+          | `Errored msg -> Errored msg
+      in
+      outcomes.(t) <- go 0
+    done
+  else begin
+    (* round-based: round [a] propagates attempt [a] of every trial still
+       alive, 63 trials per word operation; detected lanes re-enter the
+       next round with their next derived seed, exactly as the slow
+       path's per-trial retry loop would *)
+    let alive = ref (List.init trials Fun.id) in
+    let a = ref 0 in
+    let all_slow = ref false in
+    while !alive <> [] && !a <= max_failures do
+      let lanes = Array.of_list !alive in
+      let seeds = Array.map (fun t -> seed_of t !a) lanes in
+      let next = ref [] in
+      let retry t = if !a = max_failures then outcomes.(t) <- Gave_up else next := t :: !next in
+      let slow_lane i t =
+        match slow_attempt seeds.(i) with
+        | `Bits bits -> outcomes.(t) <- classify !a bits
+        | `Detected ->
+            incr detected;
+            retry t
+        | `Errored msg -> outcomes.(t) <- Errored msg
+      in
+      if !all_slow then Array.iteri slow_lane lanes
+      else begin
+        let pr = Frame.noise_pass (channels_of cfg) flat inputs ~seeds in
+        List.iter note pr.Frame.reasons;
+        if pr.Frame.ineligible <> None then all_slow := true;
+        Array.iteri
+          (fun i t ->
+            match Frame.lane_outcome pr i with
+            | Frame.Lane_bits bits ->
+                incr attempts;
+                incr frame_attempts;
+                outcomes.(t) <- classify !a (Array.to_list bits)
+            | Frame.Lane_detected ->
+                incr attempts;
+                incr frame_attempts;
+                incr detected;
+                retry t
+            | Frame.Lane_fallback -> slow_lane i t)
+          lanes
+      end;
+      alive := List.rev !next;
+      incr a
+    done
+  end;
   let count f = Array.fold_left (fun acc o -> if f o then acc + 1 else acc) 0 outcomes in
   {
     trials;
     successes = count (function Success _ -> true | _ -> false);
     wrong = count (function Wrong _ -> true | _ -> false);
     gave_up = count (function Gave_up -> true | _ -> false);
+    errored = count (function Errored _ -> true | _ -> false);
     attempts = !attempts;
     detected_failures = !detected;
+    frame_attempts = !frame_attempts;
+    slow_attempts = !slow_attempts;
+    fallback_reasons = List.rev !reasons;
     outcomes;
   }
 
-let run_trials ?(master_seed = 1) ~trials ~max_failures cfg (b : Circuit.b)
+let run_trials ?(master_seed = 1) ?engine ~trials ~max_failures cfg (b : Circuit.b)
     (inputs : bool list) ~(expected : bool list) : stats =
-  run_trials_on (module Backend.Statevector) ~master_seed ~trials ~max_failures cfg b
-    inputs ~expected
+  run_trials_on (module Backend.Statevector) ~master_seed ?engine ~trials
+    ~max_failures cfg b inputs ~expected
+
+(* ------------------------------------------------------------------ *)
+(* Plain output sampling (no expected answer, no retries)              *)
+
+type sample =
+  | Sampled of bool array  (** measured outputs, arity order *)
+  | Assertion_tripped  (** a termination assertion aborted the trial *)
+  | Sample_errored of string
+
+type sample_summary = {
+  sampled_trials : int;
+  completed : int;
+  assertion_tripped : int;
+  sample_errored : int;
+  frame_sampled : int;
+  slow_sampled : int;
+  sample_reasons : string list;
+}
+
+(** [sample_trials_on backend ~trials cfg b inputs ~f]: one noisy run per
+    trial (seed [Rng.derive master_seed (t + 2)] — the [run_trials]
+    schedule at [max_failures = 0]), delivering each trial's measured
+    outputs to [f t] in trial order. This is the entry point for
+    workloads that decode outcomes offline — e.g. the repetition-code
+    memory experiment, where the logical-error rate comes from majority
+    votes over sampled syndrome/data bits, not from an expected-output
+    comparison. Trials run through the {!Frame} engine in bit-packed
+    blocks when eligible, the slow path otherwise. *)
+let sample_trials_on (module B : Backend.S) ?(master_seed = 1)
+    ?(engine : engine = `Auto) ~trials cfg (b : Circuit.b) (inputs : bool list)
+    ~(f : int -> sample -> unit) : sample_summary =
+  if trials <= 0 then invalid_arg "Noise.sample_trials: trials must be positive";
+  let flat = Circuit.inline b in
+  let completed = ref 0 and tripped = ref 0 and errored = ref 0 in
+  let frame_n = ref 0 and slow_n = ref 0 in
+  let reasons = ref [] in
+  let note r = if not (List.mem r !reasons) then reasons := r :: !reasons in
+  let seed_of t = Rng.derive master_seed (t + 2) in
+  let slow_trial t =
+    incr slow_n;
+    match slow_attempt_on (module B) ~seed:(seed_of t) cfg flat inputs with
+    | `Bits bits ->
+        incr completed;
+        f t (Sampled (Array.of_list bits))
+    | `Detected ->
+        incr tripped;
+        f t Assertion_tripped
+    | `Errored msg ->
+        incr errored;
+        f t (Sample_errored msg)
+  in
+  let use_frame =
+    match engine with
+    | `Slow -> false
+    | `Frame -> true
+    | `Auto -> not (String.equal B.name "classical")
+  in
+  if not use_frame then
+    for t = 0 to trials - 1 do
+      slow_trial t
+    done
+  else begin
+    (* chunked passes: bounded memory however many trials are asked for *)
+    let chunk = Frame.lanes_per_word * 1024 in
+    let all_slow = ref false in
+    let t0 = ref 0 in
+    while !t0 < trials do
+      let n = min chunk (trials - !t0) in
+      if !all_slow then
+        for i = 0 to n - 1 do
+          slow_trial (!t0 + i)
+        done
+      else begin
+        let seeds = Array.init n (fun i -> seed_of (!t0 + i)) in
+        let pr = Frame.noise_pass (channels_of cfg) flat inputs ~seeds in
+        List.iter note pr.Frame.reasons;
+        if pr.Frame.ineligible <> None then all_slow := true;
+        for i = 0 to n - 1 do
+          let t = !t0 + i in
+          match Frame.lane_outcome pr i with
+          | Frame.Lane_bits bits ->
+              incr frame_n;
+              incr completed;
+              f t (Sampled bits)
+          | Frame.Lane_detected ->
+              incr frame_n;
+              incr tripped;
+              f t Assertion_tripped
+          | Frame.Lane_fallback -> slow_trial t
+        done
+      end;
+      t0 := !t0 + n
+    done
+  end;
+  {
+    sampled_trials = trials;
+    completed = !completed;
+    assertion_tripped = !tripped;
+    sample_errored = !errored;
+    frame_sampled = !frame_n;
+    slow_sampled = !slow_n;
+    sample_reasons = List.rev !reasons;
+  }
+
+let sample_trials ?(master_seed = 1) ?engine ~trials cfg (b : Circuit.b)
+    (inputs : bool list) ~(f : int -> sample -> unit) : sample_summary =
+  sample_trials_on (module Backend.Statevector) ~master_seed ?engine ~trials cfg b
+    inputs ~f

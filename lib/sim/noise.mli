@@ -53,21 +53,38 @@ val run_circuit : ?seed:int -> config -> Circuit.b -> bool list -> Statevector.s
 val run_and_measure : ?seed:int -> config -> Circuit.b -> bool list -> bool list
 (** {!run_and_measure_on} fixed to the statevector backend. *)
 
+(** Which propagation machinery a campaign uses. [`Auto] (default) runs
+    the Pauli-frame engine ({!Frame}) on eligible circuits and falls
+    back — per lane or, when the circuit itself is ineligible, wholesale
+    — to the slow one-simulation-per-attempt path; [`Frame]/[`Slow]
+    force the choice. Outcomes are bit-identical across engines (same
+    derived seeds, same classification); only throughput differs. *)
+type engine = [ `Auto | `Frame | `Slow ]
+
 (** Outcome of one trial of {!run_trials}. *)
 type trial_outcome =
   | Success of int  (** right answer after this many attempts *)
   | Wrong of int  (** completed, silently wrong — undetectable at run time *)
   | Gave_up  (** every allowed attempt ended in a detected failure *)
+  | Errored of string
+      (** the trial raised something other than [Termination_assertion];
+          recorded and skipped so one bad trial never loses a campaign *)
 
 type stats = {
   trials : int;
   successes : int;
   wrong : int;
   gave_up : int;
+  errored : int;
   attempts : int;
   detected_failures : int;
       (** attempts aborted by [Termination_assertion]: failures the
           assertive terminations caught at run time *)
+  frame_attempts : int;  (** attempts completed by the Pauli-frame engine *)
+  slow_attempts : int;  (** attempts that ran the full simulation *)
+  fallback_reasons : string list;
+      (** distinct frame-fallback reasons, oldest first, each naming the
+          offending gate/wire *)
   outcomes : trial_outcome array;
 }
 
@@ -77,6 +94,7 @@ val pp_stats : Format.formatter -> stats -> unit
 val run_trials_on :
   (module Backend.S) ->
   ?master_seed:int ->
+  ?engine:engine ->
   trials:int ->
   max_failures:int ->
   config ->
@@ -89,10 +107,11 @@ val run_trials_on :
     retries (at most [max_failures] times) whenever an assertive
     termination detects the failure; completed-but-wrong answers are
     counted, not retried — quantifying exactly what detection buys.
-    Deterministic for a fixed master seed. *)
+    Deterministic for a fixed master seed, whatever the [engine]. *)
 
 val run_trials :
   ?master_seed:int ->
+  ?engine:engine ->
   trials:int ->
   max_failures:int ->
   config ->
@@ -101,3 +120,50 @@ val run_trials :
   expected:bool list ->
   stats
 (** {!run_trials_on} fixed to the statevector backend. *)
+
+(** {2 Plain output sampling}
+
+    For workloads that decode outcomes offline (e.g. the repetition-code
+    memory experiment) rather than compare against one expected answer. *)
+
+type sample =
+  | Sampled of bool array  (** measured outputs, arity order *)
+  | Assertion_tripped  (** a termination assertion aborted the trial *)
+  | Sample_errored of string
+
+type sample_summary = {
+  sampled_trials : int;
+  completed : int;
+  assertion_tripped : int;
+  sample_errored : int;
+  frame_sampled : int;  (** trials completed by the Pauli-frame engine *)
+  slow_sampled : int;  (** trials that ran the full simulation *)
+  sample_reasons : string list;  (** distinct frame-fallback reasons *)
+}
+
+val sample_trials_on :
+  (module Backend.S) ->
+  ?master_seed:int ->
+  ?engine:engine ->
+  trials:int ->
+  config ->
+  Circuit.b ->
+  bool list ->
+  f:(int -> sample -> unit) ->
+  sample_summary
+(** One noisy run per trial (no retries; trial [t]'s seed is
+    [Rng.derive master_seed (t + 2)], the {!run_trials} schedule at
+    [max_failures = 0]), delivering each trial's outputs to [f] in trial
+    order. Eligible circuits run through the frame engine in bit-packed
+    blocks of bounded memory; results are bit-identical to [`Slow]. *)
+
+val sample_trials :
+  ?master_seed:int ->
+  ?engine:engine ->
+  trials:int ->
+  config ->
+  Circuit.b ->
+  bool list ->
+  f:(int -> sample -> unit) ->
+  sample_summary
+(** {!sample_trials_on} fixed to the statevector backend. *)

@@ -1,0 +1,346 @@
+(* Tests for the Pauli-frame fault engine (Quipper_sim.Frame) and its
+   wiring into Noise.run_trials_on / Inject.report_on: the acceptance
+   property is bit-identity — at equal derived seeds, campaigns on the
+   frame engine classify every trial and every fault exactly as the
+   slow one-simulation-per-attempt path does, over a 100+-circuit
+   deterministic Clifford corpus and on both quantum backends. *)
+
+open Quipper
+open Circ
+module Noise = Quipper_sim.Noise
+module Inject = Quipper_sim.Inject
+module Frame = Quipper_sim.Frame
+module Backend = Quipper_sim.Backend
+module Rng = Quipper_math.Rng
+module R = Algo_repcode
+
+let check = Alcotest.(check bool)
+let contains = Astring_contains.contains
+
+(* ------------------------------------------------------------------ *)
+(* A deterministic Clifford corpus: random stabilizer sandwiches U;U†.
+   Every circuit is built from the clifford gate set and ends in the
+   computational-basis state it started from, so every measurement and
+   assertive termination is deterministic on the clean run — exactly
+   the frame engine's eligibility class — while noise exercises every
+   conjugation rule, detection, retry and readout path. *)
+
+type cg =
+  | G1 of string * int  (* self-inverse: H, X, Y, Z *)
+  | Gs of int
+  | Gv of int
+  | Gcnot of int * int * bool  (* control polarity *)
+  | Gcz of int * int
+  | Gswap of int * int
+
+let rand_gate rng n =
+  let w () = Rng.int rng n in
+  let pair () =
+    let a = w () and b = w () in
+    (a, if b = a then (b + 1) mod n else b)
+  in
+  match Rng.int rng 11 with
+  | 0 | 1 -> G1 ("H", w ())
+  | 2 -> G1 ("X", w ())
+  | 3 -> G1 ("Y", w ())
+  | 4 -> G1 ("Z", w ())
+  | 5 -> Gs (w ())
+  | 6 -> Gv (w ())
+  | 7 ->
+      let a, b = pair () in
+      Gcnot (a, b, true)
+  | 8 ->
+      let a, b = pair () in
+      Gcnot (a, b, false)
+  | 9 ->
+      let a, b = pair () in
+      Gcz (a, b)
+  | _ ->
+      let a, b = pair () in
+      Gswap (a, b)
+
+let apply qs = function
+  | G1 ("H", i) -> hadamard_ qs.(i)
+  | G1 (nm, i) -> gate1 nm qs.(i)
+  | Gs i ->
+      let* _ = gate_S qs.(i) in
+      return ()
+  | Gv i ->
+      let* _ = gate_V qs.(i) in
+      return ()
+  | Gcnot (a, b, true) -> cnot ~control:qs.(a) ~target:qs.(b)
+  | Gcnot (a, b, false) -> with_controls [ ctl_neg qs.(a) ] (qnot_ qs.(b))
+  | Gcz (a, b) -> with_controls [ ctl qs.(a) ] (gate1 "Z" qs.(b))
+  | Gswap (a, b) -> swap qs.(a) qs.(b)
+
+let unapply qs = function
+  | Gs i -> gate_S_inv qs.(i)
+  | Gv i -> gate_V_inv qs.(i)
+  | g -> apply qs g
+
+let rand_gates rng ~n ~len = List.init len (fun _ -> rand_gate rng n)
+
+let sandwich gs qs =
+  let* () = iterm (apply qs) gs in
+  iterm (unapply qs) (List.rev gs)
+
+(* Variant A: U;U† — outputs are the inputs, measured deterministic. *)
+let circuit_plain ~n gs =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
+        let qs = Array.of_list ql in
+        let* () = sandwich gs qs in
+        return ql)
+  in
+  b
+
+(* Variant B: a |0> ancilla joins the register inside its own sandwich,
+   then assertively terminates — under noise the assertion makes
+   Detected failures (and retries, and Gave_up) reachable. *)
+let circuit_ancilla ~n gs gs2 =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
+        let qs = Array.of_list ql in
+        let* () = sandwich gs qs in
+        let* a = qinit_bit false in
+        let ext = Array.append qs [| a |] in
+        let* () = sandwich gs2 ext in
+        let* () = qterm_bit false a in
+        return ql)
+  in
+  b
+
+(* Variant C: mid-circuit measurement feeding a classically-controlled
+   Pauli — the error-correction shape. The measured bit is
+   deterministic on the clean run; under noise it diverges per trial,
+   and the frame engine must absorb the divergence exactly (a
+   classically-controlled X is a Pauli either way). *)
+let circuit_measure ~n gs =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) (fun ql ->
+        let qs = Array.of_list ql in
+        let* () = sandwich gs qs in
+        let* m = measure_qubit qs.(0) in
+        let* () = with_controls [ ctl_bit m ] (qnot_ qs.(1)) in
+        return ())
+  in
+  b
+
+let corpus_cfg =
+  { Noise.bit_flip = 0.01; phase_flip = 0.005; depolarizing = 0.05; readout = 0.01 }
+
+let backends : (string * (module Backend.S)) list =
+  [ ("statevector", (module Backend.Statevector)); ("clifford", (module Backend.Clifford)) ]
+
+let stats_agree (s1 : Noise.stats) (s2 : Noise.stats) =
+  s1.Noise.outcomes = s2.Noise.outcomes
+  && s1.Noise.successes = s2.Noise.successes
+  && s1.Noise.wrong = s2.Noise.wrong
+  && s1.Noise.gave_up = s2.Noise.gave_up
+  && s1.Noise.errored = s2.Noise.errored
+  && s1.Noise.attempts = s2.Noise.attempts
+  && s1.Noise.detected_failures = s2.Noise.detected_failures
+
+(* The tentpole acceptance test: >= 100 corpus circuits, trials
+   bit-identical between engines on both backends, and the frame engine
+   actually engaged (not silently falling back throughout). *)
+let test_corpus_trials_bit_identical () =
+  let n = 4 in
+  let circuits = ref 0 in
+  for seed = 1 to 40 do
+    let rng = Rng.create seed in
+    let len = 4 + Rng.int rng 12 in
+    let gs = rand_gates rng ~n ~len in
+    let gs2 = rand_gates rng ~n:(n + 1) ~len:6 in
+    let inputs = List.init n (fun _ -> Rng.int rng 2 = 1) in
+    List.iter
+      (fun b ->
+        incr circuits;
+        List.iter
+          (fun (bname, backend) ->
+            let expected = Noise.run_and_measure_on backend ~seed:1 Noise.none b inputs in
+            let run engine =
+              Noise.run_trials_on backend ~master_seed:(7 * seed) ~engine ~trials:20
+                ~max_failures:2 corpus_cfg b inputs ~expected
+            in
+            let s_slow = run `Slow and s_auto = run `Auto in
+            if not (stats_agree s_slow s_auto) then
+              Alcotest.failf "corpus seed %d on %s: frame and slow outcomes differ"
+                seed bname;
+            if s_auto.Noise.frame_attempts = 0 then
+              Alcotest.failf
+                "corpus seed %d on %s: frame engine never engaged (reasons: %s)" seed
+                bname
+                (String.concat "; " s_auto.Noise.fallback_reasons))
+          backends)
+      [ circuit_plain ~n gs; circuit_ancilla ~n gs gs2; circuit_measure ~n gs ]
+  done;
+  check "corpus has at least 100 circuits" true (!circuits >= 100)
+
+(* Same acceptance for fault injection: every (site, pauli) classified
+   identically by one frame pass and by per-fault re-simulation, under
+   both backends' masked-fault semantics. *)
+let test_corpus_inject_bit_identical () =
+  let n = 3 in
+  for seed = 1 to 12 do
+    let rng = Rng.create (100 + seed) in
+    let len = 3 + Rng.int rng 6 in
+    let gs = rand_gates rng ~n ~len in
+    let inputs = List.init n (fun _ -> Rng.int rng 2 = 1) in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun (bname, backend) ->
+            let r_slow = Inject.report_on backend ~seed:3 ~engine:`Slow b inputs in
+            let r_auto = Inject.report_on backend ~seed:3 ~engine:`Auto b inputs in
+            if r_slow.Inject.findings <> r_auto.Inject.findings then
+              Alcotest.failf "inject seed %d on %s: classifications differ" seed bname;
+            check "frame classified most faults" true
+              (r_auto.Inject.frame_faults > 0);
+            check "counts agree" true
+              (r_slow.Inject.detected = r_auto.Inject.detected
+              && r_slow.Inject.corrupted = r_auto.Inject.corrupted
+              && r_slow.Inject.masked = r_auto.Inject.masked))
+          backends)
+      [ circuit_plain ~n gs; circuit_measure ~n gs ]
+  done
+
+(* Graceful degradation: a non-Clifford gate makes the campaign fall
+   back wholesale, outcomes still bit-identical, and the report names
+   the offending gate — mirroring the clifford backend's rejections. *)
+let test_fallback_names_the_gate () =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 2 Qdata.qubit) (fun ql ->
+        let qs = Array.of_list ql in
+        let* _ = gate_T qs.(0) in
+        let* () = cnot ~control:qs.(0) ~target:qs.(1) in
+        return ql)
+  in
+  let inputs = [ false; false ] in
+  let run engine =
+    Noise.run_trials_on
+      (module Backend.Statevector)
+      ~master_seed:5 ~engine ~trials:8 ~max_failures:1 (Noise.depolarizing 0.02) b
+      inputs ~expected:inputs
+  in
+  let s_slow = run `Slow and s_auto = run `Auto in
+  check "ineligible circuit still bit-identical" true (stats_agree s_slow s_auto);
+  check "every attempt fell back to the slow path" true
+    (s_auto.Noise.frame_attempts = 0 && s_auto.Noise.slow_attempts = s_auto.Noise.attempts);
+  check "the fallback reason names the T gate" true
+    (List.exists (fun r -> contains r "T") s_auto.Noise.fallback_reasons)
+
+let test_inject_fallback_names_the_gate () =
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 2 Qdata.qubit) (fun ql ->
+        let qs = Array.of_list ql in
+        let* () = rot_Z 0.3 qs.(0) in
+        let* () = cnot ~control:qs.(0) ~target:qs.(1) in
+        return ql)
+  in
+  let inputs = [ true; false ] in
+  let r_slow =
+    Inject.report_on (module Backend.Statevector) ~engine:`Slow b inputs
+  in
+  let r_auto =
+    Inject.report_on (module Backend.Statevector) ~engine:`Auto b inputs
+  in
+  check "findings identical under wholesale fallback" true
+    (r_slow.Inject.findings = r_auto.Inject.findings);
+  check "all faults took the slow path" true
+    (r_auto.Inject.frame_faults = 0 && r_auto.Inject.slow_faults = r_auto.Inject.faults);
+  check "the report names the rotation" true
+    (List.exists (fun r -> contains r "Rz") r_auto.Inject.fallback_reasons)
+
+(* Streaming: the frame pass consumed as a Sink.t over run_streaming
+   sees exactly the gates the materialized pass sees. *)
+let test_noise_sink_matches_pass () =
+  let n = 3 in
+  let rng = Rng.create 5 in
+  let gs = rand_gates rng ~n ~len:10 in
+  let f ql =
+    let qs = Array.of_list ql in
+    let* () = sandwich gs qs in
+    return ql
+  in
+  let b, _ = Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) f in
+  let inputs = [ true; false; true ] in
+  let seeds = Array.init 70 (fun i -> 50 + i) in
+  let ch =
+    { Frame.bit_flip = 0.02; phase_flip = 0.0; depolarizing = 0.05; readout = 0.01 }
+  in
+  let r_stream, _ =
+    Circ.run_streaming ~in_:(Qdata.list_of n Qdata.qubit) f
+      (Frame.noise_sink ch ~inputs ~seeds ())
+  in
+  let r_mat = Frame.noise_pass ch (Circuit.inline b) inputs ~seeds in
+  for l = 0 to Array.length seeds - 1 do
+    if Frame.lane_outcome r_stream l <> Frame.lane_outcome r_mat l then
+      Alcotest.failf "lane %d: streamed and materialized passes disagree" l
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The repetition-code workload                                        *)
+
+let test_repcode_shape () =
+  let p = { R.distance = 5; rounds = 2 } in
+  let b = R.generate ~p () in
+  let flat = Circuit.inline b in
+  check "no inputs" true (flat.Circuit.inputs = []);
+  check "output arity" true
+    (List.length flat.Circuit.outputs = R.output_bits p);
+  check "all outputs classical" true
+    (List.for_all
+       (fun (e : Wire.endpoint) -> e.Wire.ty = Wire.C)
+       flat.Circuit.outputs)
+
+let test_repcode_frame_matches_slow () =
+  List.iter
+    (fun d ->
+      let p = { R.distance = d; rounds = d } in
+      let run engine =
+        R.run_point ~master_seed:17 ~engine ~p ~physical:0.02 ~trials:400 ()
+      in
+      let fast = run `Frame and slow = run `Slow in
+      check "logical errors identical" true
+        (fast.R.pt_logical_errors = slow.R.pt_logical_errors);
+      check "tripped identical" true (fast.R.pt_tripped = slow.R.pt_tripped);
+      check "errored identical" true (fast.R.pt_errored = slow.R.pt_errored);
+      check "frame engine carried the trials" true (fast.R.pt_frame_trials = 400))
+    [ 3; 5 ]
+
+let test_repcode_sample_outcomes_identical () =
+  (* per-trial sampled outputs, not just aggregates, bit for bit *)
+  let p = { R.distance = 3; rounds = 3 } in
+  let b = R.generate ~p () in
+  let cfg = Noise.depolarizing 0.03 in
+  let collect engine =
+    let out = Array.make 300 None in
+    let _ =
+      Noise.sample_trials_on
+        (module Backend.Clifford)
+        ~master_seed:23 ~engine ~trials:300 cfg b []
+        ~f:(fun t s -> out.(t) <- Some s)
+    in
+    out
+  in
+  check "every sampled trial identical" true (collect `Frame = collect `Slow)
+
+let suite =
+  [
+    Alcotest.test_case "corpus: trials bit-identical frame vs slow" `Quick
+      test_corpus_trials_bit_identical;
+    Alcotest.test_case "corpus: inject bit-identical frame vs slow" `Quick
+      test_corpus_inject_bit_identical;
+    Alcotest.test_case "fallback: trial campaign names the gate" `Quick
+      test_fallback_names_the_gate;
+    Alcotest.test_case "fallback: inject campaign names the gate" `Quick
+      test_inject_fallback_names_the_gate;
+    Alcotest.test_case "streaming: noise sink matches materialized pass" `Quick
+      test_noise_sink_matches_pass;
+    Alcotest.test_case "repcode: circuit shape" `Quick test_repcode_shape;
+    Alcotest.test_case "repcode: frame matches slow" `Quick
+      test_repcode_frame_matches_slow;
+    Alcotest.test_case "repcode: per-trial samples identical" `Quick
+      test_repcode_sample_outcomes_identical;
+  ]

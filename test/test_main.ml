@@ -22,4 +22,5 @@ let () =
       ("opt", Test_opt.suite);
       ("stream", Test_stream.suite);
       ("fuse", Test_fuse.suite);
+      ("frame", Test_frame.suite);
     ]

@@ -96,7 +96,8 @@ let test_trials_deterministic () =
   let s1 = run () and s2 = run () in
   check "identical master seed => identical trial outcomes" true (s1 = s2);
   check "outcome classes partition the trials" true
-    (s1.Noise.successes + s1.Noise.wrong + s1.Noise.gave_up = s1.Noise.trials);
+    (s1.Noise.successes + s1.Noise.wrong + s1.Noise.gave_up + s1.Noise.errored
+    = s1.Noise.trials);
   let s3 =
     Noise.run_trials ~master_seed:43 ~trials:40 ~max_failures:2
       (Noise.depolarizing 0.02) b (adder_inputs 3 2) ~expected:(adder_inputs 3 5)
@@ -192,6 +193,43 @@ let test_masked_z_on_basis_state () =
   check "input-site Z fault is masked" true
     (Inject.run_site ~seed:1 b (adder_inputs 1 2) s Inject.Z = Inject.Masked)
 
+let test_errored_trials_survive () =
+  (* a backend raising mid-trial (clifford meets a T gate) is recorded
+     as Errored per trial, not a crashed campaign *)
+  let b, _ =
+    Circ.generate ~in_:(Qdata.list_of 1 Qdata.qubit) (fun ql ->
+        let* _ = Circ.gate_T (List.hd ql) in
+        return ql)
+  in
+  let s =
+    Noise.run_trials_on
+      (module Quipper_sim.Backend.Clifford)
+      ~master_seed:9 ~trials:5 ~max_failures:1 Noise.none b [ false ]
+      ~expected:[ false ]
+  in
+  check "every trial errored" true (s.Noise.errored = 5);
+  check "partition still holds" true
+    (s.Noise.successes + s.Noise.wrong + s.Noise.gave_up + s.Noise.errored
+    = s.Noise.trials)
+
+let prop_domains_invariant =
+  (* satellite: QUIPPER_DOMAINS must not change per-trial outcomes *)
+  QCheck.Test.make ~count:10 ~name:"trial outcomes independent of domain count"
+    QCheck.(pair (int_range 0 7) (int_range 0 7))
+    (fun (x, y) ->
+      let b = adder_circuit () in
+      let saved = !Quipper_sim.Kernel.num_domains in
+      let run d =
+        Quipper_sim.Kernel.num_domains := d;
+        Fun.protect
+          ~finally:(fun () -> Quipper_sim.Kernel.num_domains := saved)
+          (fun () ->
+            Noise.run_trials ~master_seed:(x + (8 * y)) ~trials:12 ~max_failures:1
+              (Noise.depolarizing 0.03) b (adder_inputs x y)
+              ~expected:(adder_inputs x ((x + y) mod 8)))
+      in
+      run 1 = run 2)
+
 let suite =
   [
     Alcotest.test_case "noise: certain bit flip" `Quick test_bit_flip_certain;
@@ -210,6 +248,13 @@ let suite =
       test_fault_before_term_is_detected;
     Alcotest.test_case "inject: Z on basis state masked" `Quick
       test_masked_z_on_basis_state;
+    Alcotest.test_case "trials: errors recorded, campaign survives" `Quick
+      test_errored_trials_survive;
   ]
 
-let suite = suite @ [ QCheck_alcotest.to_alcotest prop_noiseless_is_bit_identical ]
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_noiseless_is_bit_identical;
+      QCheck_alcotest.to_alcotest prop_domains_invariant;
+    ]
