@@ -973,6 +973,152 @@ let n6 () =
   Fmt.pr "  -> BENCH_N6.json (%d entries)@." (List.length !json)
 
 (* ================================================================== *)
+(* N7: shot-service traffic benchmark (EXPERIMENTS.md N7). Batched
+   many-shot execution: simulate each circuit once to its
+   pre-measurement state, then draw every shot from the frozen state —
+   versus the naive per-shot rebuild+resimulate loop — at 1, 8 and 64
+   concurrent clients on the BWT exact-walk and repetition-code
+   workloads. Acceptance: >= 10x shots/sec over naive at 64 clients on
+   BWT, with bit-identical per-shot outcomes at equal seeds. Every row
+   lands in BENCH_N7.json. *)
+
+let n7 () =
+  section "N7: shot service (batched sampling vs per-shot resimulation)";
+  let module Serve = Quipper_serve in
+  let module Rng = Quipper_math.Rng in
+  let module Kernel = Quipper_sim.Kernel in
+  let shots = if quick then 32 else 256 in
+  let requests = if quick then 16 else 64 in
+  let naive_requests = if quick then 2 else 4 in
+  let client_levels = [ 1; 8; 64 ] in
+  let json = ref [] in
+  let record line = json := line :: !json in
+  let workloads =
+    [
+      ( "bwt",
+        fun () ->
+          (* the exact welded-tree walk, *not* measured: the
+             pre-measurement state the service freezes (shotd defaults) *)
+          let g = Algo_bwt.Exact.build ~depth:2 in
+          let b, _ = Circ.generate_unit (Algo_bwt.Exact.walk g ~steps:1 ~dt:0.3) in
+          (b, []) );
+      ( "repcode",
+        fun () ->
+          ( Algo_repcode.generate
+              ~p:{ Algo_repcode.distance = 3; rounds = 3 }
+              (),
+            [] ) );
+    ]
+  in
+  let saved = !Kernel.num_domains in
+  Fmt.pr "  %-10s %8s %10s %9s %12s %14s@." "" "clients" "shots" "seconds"
+    "shots/s" "cache hit/miss";
+  List.iter
+    (fun (name, mk) ->
+      let circuit, inputs = mk () in
+      let reqs =
+        List.init requests (fun r ->
+            { Serve.circuit; inputs; shots; seed = Rng.derive 11 r })
+      in
+      let head = List.filteri (fun i _ -> i < naive_requests) reqs in
+      (* the naive per-shot rebuild+resimulate baseline: timed over a
+         few requests (it is the slow path), extrapolated to shots/s *)
+      let naive_svc = Serve.create () in
+      let naive_out, naive_s =
+        time (fun () -> List.map (Serve.naive naive_svc) head)
+      in
+      let naive_shots = naive_requests * shots in
+      let naive_sps = float_of_int naive_shots /. naive_s in
+      Fmt.pr "  %-10s %8s %10s %9.3f %12s %14s@." name "naive"
+        (commas naive_shots) naive_s
+        (commas (int_of_float naive_sps))
+        "-";
+      record
+        (Fmt.str
+           "  {\"name\": \"%s_naive\", \"requests\": %d, \"shots_per_request\": \
+            %d, \"shots\": %d, \"seconds\": %.6f, \"shots_per_sec\": %.1f}"
+           name naive_requests shots naive_shots naive_s naive_sps);
+      List.iter
+        (fun clients ->
+          let svc = Serve.create () in
+          Kernel.num_domains := clients;
+          let replies, s = time (fun () -> Serve.submit_batch svc reqs) in
+          Kernel.num_domains := saved;
+          let total = requests * shots in
+          let sps = float_of_int total /. s in
+          let sampled, resimulated =
+            List.fold_left
+              (fun (sa, re) -> function
+                | Ok r -> (sa + r.Serve.sampled, re + r.Serve.resimulated)
+                | Error e -> failwith (name ^ ": " ^ e))
+              (0, 0) replies
+          in
+          (* bit-identity: batched shots equal the naive per-shot
+             outcomes at the same seeds, whatever the client count *)
+          List.iteri
+            (fun i out ->
+            match List.nth replies i with
+            | Ok r ->
+                if r.Serve.outcomes <> out then
+                  failwith (name ^ ": batched outcomes differ from naive")
+            | Error e -> failwith (name ^ ": " ^ e))
+            naive_out;
+          let st = Serve.stats svc in
+          Fmt.pr "  %-10s %8d %10s %9.3f %12s %10d/%d@." name clients
+            (commas total) s
+            (commas (int_of_float sps))
+            st.Serve.hits st.Serve.misses;
+          record
+            (Fmt.str
+               "  {\"name\": \"%s_batched\", \"clients\": %d, \"requests\": %d, \
+                \"shots_per_request\": %d, \"shots\": %d, \"sampled\": %d, \
+                \"resimulated\": %d, \"seconds\": %.6f, \"shots_per_sec\": \
+                %.1f, \"cache_hits\": %d, \"cache_misses\": %d, \
+                \"speedup_vs_naive\": %.2f, \"bit_identical_to_naive\": true}"
+               name clients requests shots total sampled resimulated s sps
+               st.Serve.hits st.Serve.misses (sps /. naive_sps)))
+        client_levels;
+      (* cache hit-rate ablation: resubmit the same batch to a warm
+         service — every request must hit the prepared entry *)
+      let svc = Serve.create () in
+      Kernel.num_domains := 1;
+      let _ = Serve.submit_batch svc reqs in
+      let cold = Serve.stats svc in
+      let _, warm_s = time (fun () -> Serve.submit_batch svc reqs) in
+      Kernel.num_domains := saved;
+      let warm = Serve.stats svc in
+      let warm_hits = warm.Serve.hits - cold.Serve.hits in
+      let warm_sps = float_of_int (requests * shots) /. warm_s in
+      Fmt.pr "  %-10s %8s %10s %9.3f %12s %10d/%d@." name "warm"
+        (commas (requests * shots))
+        warm_s
+        (commas (int_of_float warm_sps))
+        warm_hits
+        (warm.Serve.misses - cold.Serve.misses);
+      record
+        (Fmt.str
+           "  {\"name\": \"%s_warm_cache\", \"clients\": 1, \"requests\": %d, \
+            \"shots\": %d, \"seconds\": %.6f, \"shots_per_sec\": %.1f, \
+            \"warm_hits\": %d, \"warm_misses\": %d, \"cold_hits\": %d, \
+            \"cold_misses\": %d}"
+           name requests (requests * shots) warm_s warm_sps warm_hits
+           (warm.Serve.misses - cold.Serve.misses)
+           cold.Serve.hits cold.Serve.misses))
+    workloads;
+  let oc = open_out "BENCH_N7.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf line)
+    (List.rev !json);
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "  -> BENCH_N7.json (%d entries)@." (List.length !json)
+
+(* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 
 let benchmarks () =
@@ -1155,6 +1301,7 @@ let () =
   n2 ();
   n5 ();
   n6 ();
+  n7 ();
   n3 ();
   benchmarks ();
   Fmt.pr "@.Done.@."

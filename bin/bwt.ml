@@ -88,7 +88,8 @@ let run_fuse which p seed =
     1
   end
 
-let run which format n s optimize verbose stream fuse seed =
+let run which format n s optimize verbose stream fuse seed domains =
+  Quipper_cli.set_domains domains;
   let p = { Algo_bwt.n; s; dt = Algo_bwt.default_params.Algo_bwt.dt } in
   if fuse then begin
     if optimize || stream then
@@ -163,16 +164,11 @@ let fuse_arg =
               and check the measured outputs agree (use a small $(b,-n): \
               the statevector caps at 25 qubits).")
 
-let seed_arg =
-  Arg.(
-    value & opt int 42
-    & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed for $(b,--fuse).")
-
 let cmd =
   let doc = "The Binary Welded Tree algorithm (Quipper paper, section 6 comparison)." in
   Cmd.v (Cmd.info "bwt" ~doc)
     Term.(
       const run $ which $ format $ n_arg $ s_arg $ optimize_arg $ verbose_arg
-      $ stream_arg $ fuse_arg $ seed_arg)
+      $ stream_arg $ fuse_arg $ Quipper_cli.seed_arg $ Quipper_cli.domains_arg)
 
 let () = exit (Cmd.eval' cmd)

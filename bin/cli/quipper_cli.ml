@@ -1,0 +1,43 @@
+(** The shared command-line surface of the [bin/] executables: one
+    spelling (and one default) for [--engine], [--seed] and [--domains]
+    everywhere, backed by the same knobs the libraries use
+    ({!Quipper_sim.Engine.default}, {!Quipper_sim.Kernel.num_domains}) —
+    so the CLI, the environment variables and the library defaults can
+    never disagree. *)
+
+open Cmdliner
+module Engine = Quipper_sim.Engine
+module Kernel = Quipper_sim.Kernel
+
+let engine_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Engine.of_string s) in
+  Arg.conv (parse, Engine.pp)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv (Engine.default ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Campaign engine: $(b,auto) (pick the fastest eligible machinery), \
+           $(b,frame) (force Pauli frames), or $(b,slow) (force one full \
+           simulation per attempt — the cross-check path). Defaults to \
+           $(b,QUIPPER_ENGINE) when that is set. Outcomes are bit-identical \
+           whatever the engine; only throughput differs.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Master seed; the whole run replays from this one number.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel kernels and batched requests (0 = keep \
+           the default: $(b,QUIPPER_DOMAINS) when set, else the machine's \
+           recommended count). Outcomes never depend on this.")
+
+let set_domains n = if n > 0 then Kernel.num_domains := n

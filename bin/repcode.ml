@@ -7,12 +7,6 @@ open Cmdliner
 module Noise = Quipper_sim.Noise
 module R = Algo_repcode
 
-let parse_engine = function
-  | "auto" -> `Auto
-  | "frame" -> `Frame
-  | "slow" -> `Slow
-  | s -> Fmt.failwith "unknown engine %S (try auto, frame, slow)" s
-
 let parse_floats s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun x -> x <> "")
@@ -52,10 +46,10 @@ let validate_point ~p ~physical ~trials ~seed =
     p.R.distance p.R.rounds physical trials fs.Noise.frame_sampled
     fs.Noise.slow_sampled
 
-let run distances rounds physicals trials engine seed validate =
+let run distances rounds physicals trials engine seed validate domains =
+  Quipper_cli.set_domains domains;
   let distances = parse_ints distances in
   let physicals = parse_floats physicals in
-  let engine = parse_engine engine in
   List.iter
     (fun d ->
       let p = { R.distance = d; rounds = (if rounds > 0 then rounds else d) } in
@@ -98,16 +92,6 @@ let trials_arg =
     value & opt int 1_000_000
     & info [ "t"; "trials" ] ~docv:"N" ~doc:"Trials per (distance, rate) point.")
 
-let engine_arg =
-  Arg.(
-    value & opt string "auto"
-    & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Trial engine: auto (Pauli frames with slow fallback), frame, \
-              or slow (one full stabilizer simulation per trial).")
-
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.")
-
 let validate_arg =
   Arg.(
     value & flag
@@ -123,6 +107,7 @@ let cmd =
   Cmd.v (Cmd.info "repcode" ~doc)
     Term.(
       const run $ distances_arg $ rounds_arg $ physicals_arg $ trials_arg
-      $ engine_arg $ seed_arg $ validate_arg)
+      $ Quipper_cli.engine_arg $ Quipper_cli.seed_arg $ validate_arg
+      $ Quipper_cli.domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -128,7 +128,8 @@ let run_fuse ~(p : Algo_tf.Oracle.params) =
   end
 
 let run format subroutine oracle_only gate_base simulate optimize verbose l n r
-    stream fuse =
+    stream fuse domains =
+  Quipper_cli.set_domains domains;
   let p = { Algo_tf.Oracle.l; n; r } in
   if fuse then begin
     if simulate || optimize || stream || gate_base <> None then
@@ -261,6 +262,6 @@ let cmd =
     Term.(
       const run $ format $ subroutine $ oracle_only $ gate_base $ simulate
       $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg $ stream_arg
-      $ fuse_arg)
+      $ fuse_arg $ Quipper_cli.domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -227,3 +227,88 @@ let inline_provenance (b : b) : t * string list array =
     Vec.to_array prov )
 
 let inline (b : b) : t = fst (inline_provenance b)
+
+(* ------------------------------------------------------------------ *)
+(* Structural hashing                                                  *)
+
+(* One canonical structural hash for the whole stack: the shot service's
+   request cache, Fuse's per-box compiled-program cache, Sink.unbox's
+   prepared-box cache and golden tests all key off this definition. It is
+   order-sensitive, parameter-sensitive (rotation angles enter via their
+   IEEE-754 bit patterns, so 0.1 +. 0.2 <> 0.3 hashes differently) and
+   box-aware (a Subroutine gate folds in the callee's body hash, not just
+   its name, so same-named boxes with different bodies cannot alias). *)
+
+let mix (h : int64) (v : int64) : int64 =
+  (* splitmix64-style finalizer over an order-sensitive combine *)
+  let open Int64 in
+  let z = add (logxor h (mul v 0xBF58476D1CE4E5B9L)) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0x94D049BB133111EBL in
+  let z = mul (logxor z (shift_right_logical z 27)) 0xFF51AFD7ED558CCDL in
+  logxor z (shift_right_logical z 31)
+
+let mix_int h i = mix h (Int64.of_int i)
+let mix_bool h b = mix h (if b then 1L else 0L)
+let mix_float h f = mix h (Int64.bits_of_float f)
+
+let mix_string h s =
+  let h = mix_int h (String.length s) in
+  String.fold_left (fun h c -> mix_int h (Char.code c)) h s
+
+let mix_ty h (ty : Wire.ty) = mix_int h (match ty with Wire.Q -> 0 | Wire.C -> 1)
+
+let mix_endpoint h (e : Wire.endpoint) = mix_ty (mix_int h e.wire) e.ty
+
+let mix_control h (c : Gate.control) =
+  mix_bool (mix_ty (mix_int h c.cwire) c.cty) c.positive
+
+let mix_controls h cs = List.fold_left mix_control (mix_int h (List.length cs)) cs
+let mix_wires h ws = List.fold_left mix_int (mix_int h (List.length ws)) ws
+
+let hash_gate ~(resolve : string -> int64 option) h (g : Gate.t) =
+  match g with
+  | Gate.Gate { name; inv; targets; controls } ->
+      mix_controls (mix_wires (mix_bool (mix_string (mix_int h 1) name) inv) targets) controls
+  | Gate.Rot { name; angle; inv; targets; controls } ->
+      mix_controls
+        (mix_wires (mix_bool (mix_float (mix_string (mix_int h 2) name) angle) inv) targets)
+        controls
+  | Gate.Phase { angle; controls } -> mix_controls (mix_float (mix_int h 3) angle) controls
+  | Gate.Init { ty; value; wire } -> mix_int (mix_bool (mix_ty (mix_int h 4) ty) value) wire
+  | Gate.Term { ty; value; wire } -> mix_int (mix_bool (mix_ty (mix_int h 5) ty) value) wire
+  | Gate.Discard { ty; wire } -> mix_int (mix_ty (mix_int h 6) ty) wire
+  | Gate.Measure { wire } -> mix_int (mix_int h 7) wire
+  | Gate.Cgate { name; out; ins } ->
+      mix_wires (mix_int (mix_string (mix_int h 8) name) out) ins
+  | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
+      let h = mix_string (mix_int h 9) name in
+      let h = match resolve name with Some bh -> mix h bh | None -> mix_int h (-1) in
+      mix_controls (mix_wires (mix_wires (mix_bool h inv) inputs) outputs) controls
+  | Gate.Comment _ ->
+      (* comments are transparent everywhere else in the stack (counting,
+         optimization, simulation), so they do not perturb the hash *)
+      h
+
+let hash_t ?(resolve = fun _ -> None) (c : t) : int64 =
+  let h = 0x51D07C1B9E6A2F35L in
+  let h = List.fold_left mix_endpoint (mix_int h (List.length c.inputs)) c.inputs in
+  let h = Array.fold_left (hash_gate ~resolve) h c.gates in
+  List.fold_left mix_endpoint (mix_int h (List.length c.outputs)) c.outputs
+
+let hash (b : b) : int64 =
+  let tbl : (string, int64) Hashtbl.t = Hashtbl.create 16 in
+  let rec hash_sub name =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+        (* placeholder guards against (ill-formed) recursive namespaces *)
+        Hashtbl.add tbl name (mix_string 0L name);
+        let h =
+          match Namespace.find_opt name b.subs with
+          | None -> mix_string 0xD6E8FEB86659FD93L name
+          | Some s -> mix_bool (hash_t ~resolve s.circ) s.controllable
+        in
+        Hashtbl.replace tbl name h;
+        h
+  and resolve name = Some (hash_sub name) in
+  hash_t ~resolve b.main

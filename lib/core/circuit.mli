@@ -52,3 +52,27 @@ val inline_provenance : b -> t * string list array
     subroutine names it was inlined out of (outermost first; [[]] for
     gates of the main circuit). Fault-site enumeration uses this to
     report where in the hierarchy each site lives. *)
+
+(** {2 Structural hashing}
+
+    One canonical 64-bit structural hash for the whole stack: the shot
+    service's request cache, [Fuse]'s per-box compiled-program cache,
+    [Sink.unbox]'s prepared-box cache and golden tests all key off this
+    definition. The hash is order-sensitive and parameter-sensitive
+    (rotation angles enter via their IEEE-754 bit patterns), and ignores
+    comments — which are transparent to counting, optimization and
+    simulation alike. *)
+
+val hash_t : ?resolve:(string -> int64 option) -> t -> int64
+(** Hash of one straight-line circuit. [resolve] supplies the body hash
+    folded into each [Subroutine] call gate (in addition to the callee's
+    name); when it returns [None] — the default — only the name is
+    hashed, so two same-named calls agree regardless of what the name
+    binds to. *)
+
+val hash : b -> int64
+(** Box-aware hash of a whole boxed circuit: every [Subroutine] call
+    folds in the (recursively resolved, memoized) structural hash of the
+    callee's body and its controllability flag, so same-named boxes with
+    different bodies hash differently. Unresolvable names hash by name
+    alone, like {!validate} treats them as opaque. *)

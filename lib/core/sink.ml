@@ -151,13 +151,34 @@ let subroutines () : (Circuit.subroutine Circuit.Namespace.t * string list) t =
 let unbox (inner : 'r t) : 'r t =
   let defs : (string, Circuit.subroutine) Hashtbl.t = Hashtbl.create 16 in
   (* body preparation — in particular building the reversed inverted
-     body — is O(body size), so it is memoized per (name, inv) rather
-     than redone for each of the possibly thousands of call gates *)
+     body — is O(body size), so it is memoized per (name, inv, body
+     hash) rather than redone for each of the possibly thousands of
+     call gates. The structural hash in the key (same discipline as
+     Fuse's compiled-program cache) means a redefined name simply stops
+     hitting the old entries — same-named bodies cannot alias. *)
   let prepared :
-      ( string * bool,
+      ( string * bool * int64,
         Gate.t array * Wire.endpoint list * Wire.endpoint list )
       Hashtbl.t =
     Hashtbl.create 16
+  in
+  let hashes : (string, int64) Hashtbl.t = Hashtbl.create 16 in
+  let body_hash name =
+    let rec go n =
+      match Hashtbl.find_opt hashes n with
+      | Some h -> h
+      | None ->
+          Hashtbl.add hashes n 0L;
+          let h =
+            match Hashtbl.find_opt defs n with
+            | None -> 0L
+            | Some (s : Circuit.subroutine) ->
+                Circuit.hash_t ~resolve:(fun m -> Some (go m)) s.Circuit.circ
+          in
+          Hashtbl.replace hashes n h;
+          h
+    in
+    go name
   in
   let fresh = ref (-1) in
   let find name =
@@ -166,7 +187,7 @@ let unbox (inner : 'r t) : 'r t =
     | None -> Errors.raise_ (Unknown_subroutine name)
   in
   let prepare name inv =
-    match Hashtbl.find_opt prepared (name, inv) with
+    match Hashtbl.find_opt prepared (name, inv, body_hash name) with
     | Some p -> p
     | None ->
         let { Circuit.circ; _ } = find name in
@@ -182,7 +203,7 @@ let unbox (inner : 'r t) : 'r t =
         let d_in = if inv then circ.Circuit.outputs else circ.Circuit.inputs in
         let d_out = if inv then circ.Circuit.inputs else circ.Circuit.outputs in
         let p = (body, d_in, d_out) in
-        Hashtbl.replace prepared (name, inv) p;
+        Hashtbl.replace prepared (name, inv, body_hash name) p;
         p
   in
   let rec expand (g : Gate.t) =
@@ -217,8 +238,7 @@ let unbox (inner : 'r t) : 'r t =
     on_subroutine_exit =
       (fun name sub ->
         Hashtbl.replace defs name sub;
-        (* a redefinition invalidates any prepared body *)
-        Hashtbl.remove prepared (name, false);
-        Hashtbl.remove prepared (name, true));
+        (* this name's hash — and that of any box calling it — changes *)
+        Hashtbl.reset hashes);
     finish = inner.finish;
   }

@@ -1,0 +1,264 @@
+(** The shot service: batched many-shot execution.
+
+    The generate-once/run-many model (paper §1.2) implies the dominant
+    production workload is not one simulation but thousands of shots of
+    the same circuit from many clients. The simulators used to pay one
+    full build+simulate per shot; this module pays it once per distinct
+    request: simulate the circuit to its pre-measurement state on the
+    cheapest capable backend (stabilizer tableau for Clifford circuits,
+    the fused statevector pipeline otherwise), freeze it through the
+    {!Quipper_sim.Backend.S} sampling surface, and draw every shot from
+    the frozen copy under its own derived RNG — marginal cost per shot
+    near zero, outcomes bit-identical to per-shot re-simulation at equal
+    seeds (the sampling law, checked in [test_serve] and asserted by the
+    N7 benchmark).
+
+    Prepared states are cached across requests, keyed on
+    [(Circuit.hash circuit, inputs)] — the canonical structural hash, so
+    two clients submitting structurally-equal circuits share one
+    preparation — and every preparation shares one {!Fuse.box_cache},
+    so boxed subroutines compile once for the whole service. Batches
+    fan across domains in contiguous deterministic chunks: shot [s] of
+    request [r] depends only on [Rng.derive r.seed s], never on the
+    worker count or which worker served it. *)
+
+open Quipper
+module Rng = Quipper_math.Rng
+module Backend = Quipper_sim.Backend
+module Fuse = Quipper_sim.Fuse
+module Statevector = Quipper_sim.Statevector
+module Clifford = Quipper_sim.Clifford
+module Kernel = Quipper_sim.Kernel
+
+type request = {
+  circuit : Circuit.b;
+  inputs : bool list;
+  shots : int;
+  seed : int;
+}
+
+type reply = {
+  outcomes : bool array array;  (** [shots x outputs], arity order *)
+  backend : string;  (** backend that served the request *)
+  cache_hit : bool;  (** prepared state came from the request cache *)
+  sampled : int;  (** shots drawn from the frozen snapshot *)
+  resimulated : int;  (** shots that fell back to full re-simulation *)
+}
+
+type backend_choice = [ `Auto | `Clifford | `Fused | `Statevector ]
+
+(* A prepared circuit: how to draw one shot from the frozen
+   pre-measurement state (when the backend could freeze it) and how to
+   run one full end-to-end shot (the fallback, and the reference the
+   frozen path must match bit for bit). Entries are immutable and
+   domain-shareable. *)
+type entry = {
+  e_backend : string;
+  e_sample : (Rng.t -> bool array) option;
+  e_resim : int -> bool array;
+}
+
+type t = {
+  choice : backend_choice;
+  boxes : Fuse.box_cache;
+  cache : (int64 * bool list, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(backend : backend_choice = `Auto) () =
+  {
+    choice = backend;
+    boxes = Fuse.box_cache ();
+    cache = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.cache } in
+  Mutex.unlock t.lock;
+  s
+
+let shot_seed req s = Rng.derive req.seed s
+
+(* The seed of the one clean preparation run. Any value works: a
+   snapshot only exists when the run consumed no randomness, in which
+   case the frozen state is the same whatever the seed. *)
+let prep_seed = 1
+
+let bits_of (module B : Backend.S) ?seed circuit inputs =
+  Array.of_list (Backend.run_and_measure (module B) ?seed circuit inputs)
+
+let prepare_clifford req outputs =
+  let st = Clifford.run_circuit ~seed:prep_seed req.circuit req.inputs in
+  {
+    e_backend = "clifford";
+    e_sample =
+      (match Clifford.snapshot st with
+      | Some snap ->
+          Some (fun rng -> Array.of_list (Clifford.sample_from snap ~rng outputs))
+      | None -> None);
+    e_resim =
+      (fun seed -> bits_of (module Backend.Clifford) ~seed req.circuit req.inputs);
+  }
+
+let measure_fused st outputs =
+  Array.of_list
+    (List.map
+       (fun (e : Wire.endpoint) ->
+         match e.Wire.ty with
+         | Wire.Q -> Fuse.measure st e.Wire.wire
+         | Wire.C -> Fuse.read_bit st e.Wire.wire)
+       outputs)
+
+let prepare_fused boxes req outputs =
+  let st = Fuse.run_circuit ~boxes ~seed:prep_seed req.circuit req.inputs in
+  {
+    e_backend = "fused";
+    e_sample =
+      (match Fuse.snapshot st with
+      | Some snap ->
+          Some
+            (fun rng -> Array.of_list (Statevector.sample_from snap ~rng outputs))
+      | None -> None);
+    e_resim =
+      (fun seed ->
+        let st = Fuse.run_circuit ~boxes ~seed req.circuit req.inputs in
+        measure_fused st outputs);
+  }
+
+let prepare_sv req outputs =
+  let st = Statevector.run_circuit ~seed:prep_seed req.circuit req.inputs in
+  {
+    e_backend = "statevector";
+    e_sample =
+      (match Statevector.snapshot st with
+      | Some snap ->
+          Some
+            (fun rng -> Array.of_list (Statevector.sample_from snap ~rng outputs))
+      | None -> None);
+    e_resim =
+      (fun seed ->
+        bits_of (module Backend.Statevector) ~seed req.circuit req.inputs);
+  }
+
+let prepare t req =
+  let outputs = (Circuit.inline req.circuit).Circuit.outputs in
+  match t.choice with
+  | `Clifford -> prepare_clifford req outputs
+  | `Fused -> prepare_fused t.boxes req outputs
+  | `Statevector -> prepare_sv req outputs
+  | `Auto -> (
+      (* cheapest capable backend: the polynomial-time tableau where the
+         gate set permits, the fused statevector pipeline otherwise *)
+      match prepare_clifford req outputs with
+      | e -> e
+      | exception Errors.Error (Errors.Simulation _) ->
+          prepare_fused t.boxes req outputs)
+
+let lookup_or_prepare t req =
+  let key = (Circuit.hash req.circuit, req.inputs) in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.cache key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      (e, true)
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      (* prepare outside the lock — preparation is a full simulation and
+         must not serialize the other workers; racing workers prepare
+         twice and keep the first insert (entries are interchangeable) *)
+      let e = prepare t req in
+      Mutex.lock t.lock;
+      let e =
+        match Hashtbl.find_opt t.cache key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.add t.cache key e;
+            e
+      in
+      Mutex.unlock t.lock;
+      (e, false)
+
+let submit t req : reply =
+  if req.shots < 0 then invalid_arg "Quipper_serve.submit: negative shots";
+  let entry, cache_hit = lookup_or_prepare t req in
+  let sampled = ref 0 and resimulated = ref 0 in
+  let shot s =
+    let seed = shot_seed req s in
+    match entry.e_sample with
+    | Some draw ->
+        incr sampled;
+        draw (Rng.create seed)
+    | None ->
+        incr resimulated;
+        entry.e_resim seed
+  in
+  let outcomes = Array.init req.shots shot in
+  {
+    outcomes;
+    backend = entry.e_backend;
+    cache_hit;
+    sampled = !sampled;
+    resimulated = !resimulated;
+  }
+
+let submit_batch t (reqs : request list) : (reply, string) result list =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let out = Array.make n (Error "unserved") in
+  let serve i =
+    out.(i) <-
+      (match submit t reqs.(i) with
+      | r -> Ok r
+      | exception Errors.Error e -> Error (Errors.to_string e)
+      | exception e -> Error (Printexc.to_string e))
+  in
+  let workers = min (max 1 !Kernel.num_domains) n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      serve i
+    done
+  else begin
+    (* contiguous deterministic chunks: reply [i] is a function of
+       request [i] alone, so the worker count changes wall-clock only,
+       never outcomes *)
+    let chunk = (n + workers - 1) / workers in
+    let doms =
+      List.init workers (fun w ->
+          Domain.spawn (fun () ->
+              let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+              for i = lo to hi - 1 do
+                serve i
+              done))
+    in
+    List.iter Domain.join doms
+  end;
+  Array.to_list out
+
+let naive t req : bool array array =
+  let one s =
+    let seed = shot_seed req s in
+    match t.choice with
+    | `Clifford -> bits_of (module Backend.Clifford) ~seed req.circuit req.inputs
+    | `Fused -> bits_of (module Backend.Fused) ~seed req.circuit req.inputs
+    | `Statevector ->
+        bits_of (module Backend.Statevector) ~seed req.circuit req.inputs
+    | `Auto -> (
+        match bits_of (module Backend.Clifford) ~seed req.circuit req.inputs with
+        | bits -> bits
+        | exception Errors.Error (Errors.Simulation _) ->
+            bits_of (module Backend.Fused) ~seed req.circuit req.inputs)
+  in
+  Array.init req.shots one
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d hits, %d misses, %d cached circuits" s.hits s.misses s.entries

@@ -1,0 +1,81 @@
+(** The shot service: batched many-shot execution under concurrent load.
+
+    Simulate a circuit {e once} to its pre-measurement state, freeze it
+    through the {!Quipper_sim.Backend.S} sampling surface, and draw N
+    measurement samples from the frozen copy — marginal cost per shot
+    near zero, outcomes bit-identical to N independent end-to-end runs
+    at equal seeds (the sampling law of [backend.mli], property-checked
+    in [test_serve]).
+
+    A service caches prepared states across requests, keyed on
+    [(Circuit.hash, inputs)], and shares one {!Quipper_sim.Fuse}
+    compiled-box cache across all preparations; {!submit_batch} fans
+    independent requests across domains in deterministic chunks, so
+    every outcome is a function of the request's own seed — never of
+    the worker count. The CLI front end is [bin/shotd.exe]. *)
+
+open Quipper
+
+type request = {
+  circuit : Circuit.b;
+  inputs : bool list;  (** basis-state inputs, arity order *)
+  shots : int;
+  seed : int;
+      (** shot [s] draws from [Rng.create (Rng.derive seed s)] — the
+          whole request replays from this one number *)
+}
+
+type reply = {
+  outcomes : bool array array;
+      (** [shots x outputs]: measured outputs of each shot, arity order;
+          shot [s] is bit-identical to a fresh end-to-end run of the
+          circuit at seed [Rng.derive seed s] on the serving backend *)
+  backend : string;  (** backend that served the request *)
+  cache_hit : bool;  (** prepared state came from the request cache *)
+  sampled : int;  (** shots drawn from the frozen snapshot *)
+  resimulated : int;
+      (** shots that fell back to one full re-simulation each (the
+          backend declined to snapshot — e.g. mid-circuit measurement
+          consumed seeded randomness) *)
+}
+
+(** Which backend prepares and serves requests. [`Auto] (default) runs
+    the polynomial-time stabilizer tableau where the gate set permits
+    and the gate-fusion statevector pipeline otherwise; the rest force
+    the choice ([`Fused] and [`Statevector] agree bit for bit on
+    classical outcomes, [`Fused] is faster). *)
+type backend_choice = [ `Auto | `Clifford | `Fused | `Statevector ]
+
+type t
+(** A shot service: request cache + shared compiled-box cache. Safe to
+    share across domains; all internal state is mutex-protected. *)
+
+val create : ?backend:backend_choice -> unit -> t
+
+val submit : t -> request -> reply
+(** Serve one request: prepare (or fetch) the frozen pre-measurement
+    state, then draw every shot from it. Raises like the underlying
+    backend ([Simulation _] on incapable gate sets, termination
+    assertions if the circuit trips one during preparation). *)
+
+val submit_batch : t -> request list -> (reply, string) result list
+(** Serve independent requests concurrently across up to
+    [!Quipper_sim.Kernel.num_domains] domains (deterministic contiguous
+    chunking — outcomes are independent of the worker count, {e and} of
+    whether [submit] or [submit_batch] served them). Exceptions are
+    contained per request: one failing request never loses a batch. *)
+
+val naive : t -> request -> bool array array
+(** The per-shot rebuild+resimulate path the service exists to beat:
+    shot [s] runs the circuit end to end at seed [Rng.derive seed s],
+    nothing cached, nothing frozen. Bit-identical to
+    [(submit t req).outcomes] — the acceptance property the N7
+    benchmark asserts before timing anything. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : t -> stats
+(** Request-cache counters since [create] ([entries] = distinct
+    prepared circuits resident). *)
+
+val pp_stats : Format.formatter -> stats -> unit

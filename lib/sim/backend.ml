@@ -86,12 +86,45 @@ module type S = sig
     ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
 
   val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+
+  (** {2 Sampling surface}
+
+      Stepping gates and terminal measurement used to be conflated:
+      drawing N shots meant N full [run_circuit]s. The snapshot
+      entrypoints split them — freeze the pre-measurement state once,
+      then draw each shot from the frozen copy under its own RNG.
+
+      The law (checked by the property tests, and what the shot service
+      builds on): whenever [snapshot st = Some snap] for the state
+      produced by [run_circuit b ins], then for every seed [s],
+      [sample_from snap ~rng:(Rng.create s) outs] is bit-identical to
+      [run_circuit ~seed:s b ins] followed by measuring/reading [outs]
+      in order (i.e. to {!run_and_measure}). Backends certify the
+      precondition themselves: [snapshot] returns [None] as soon as the
+      run has consumed seeded randomness (a mid-circuit measurement),
+      because then the state depends on the seed and no frozen copy
+      could speak for other seeds. *)
+
+  type snapshot
+
+  val snapshot : state -> snapshot option
+  (** Freeze the pre-measurement state, or [None] when sampling from a
+      copy could not reproduce end-to-end runs (randomness already
+      consumed, or the backend cannot snapshot). The frozen copy is
+      immutable and shareable across domains. *)
+
+  val sample_from :
+    snapshot -> rng:Quipper_math.Rng.t -> Wire.endpoint list -> bool list
+  (** Draw one shot from a frozen state: measure each [Q] endpoint and
+      read each [C] endpoint in order, consuming randomness only
+      from [rng]. *)
 end
 
 (* ------------------------------------------------------------------ *)
 (* Instances                                                           *)
 
-module Statevector : S with type state = Statevector.state = struct
+module Statevector :
+  S with type state = Statevector.state and type snapshot = Statevector.snapshot = struct
   let name = "statevector"
 
   type state = Statevector.state
@@ -104,9 +137,15 @@ module Statevector : S with type state = Statevector.state = struct
   let observe st = Obs_amplitudes (Statevector.amplitudes st)
   let run_fun = Statevector.run_fun
   let run_circuit = Statevector.run_circuit
+
+  type snapshot = Statevector.snapshot
+
+  let snapshot = Statevector.snapshot
+  let sample_from = Statevector.sample_from
 end
 
-module Clifford : S with type state = Clifford.state = struct
+module Clifford :
+  S with type state = Clifford.state and type snapshot = Clifford.snapshot = struct
   let name = "clifford"
 
   type state = Clifford.state
@@ -119,6 +158,11 @@ module Clifford : S with type state = Clifford.state = struct
   let observe st = Obs_tableau (Clifford.canonical st)
   let run_fun = Clifford.run_fun
   let run_circuit = Clifford.run_circuit
+
+  type snapshot = Clifford.snapshot
+
+  let snapshot = Clifford.snapshot
+  let sample_from = Clifford.sample_from
 end
 
 module Classical : S with type state = Classical.state = struct
@@ -164,9 +208,25 @@ module Classical : S with type state = Classical.state = struct
       flat.Circuit.inputs inputs;
     Array.iter (Classical.apply_gate st) flat.Circuit.gates;
     st
+
+  (* deterministic backend: every state snapshots, no randomness ever *)
+  type snapshot = (Wire.t * bool) list
+
+  let snapshot st = Some (Classical.bindings st)
+
+  let sample_from snap ~rng:_ (outs : Wire.endpoint list) =
+    List.map
+      (fun (e : Wire.endpoint) ->
+        match List.assoc_opt e.Wire.wire snap with
+        | Some v -> v
+        | None ->
+            Errors.raise_
+              (Simulation (Fmt.str "classical: wire %d has no value" e.Wire.wire)))
+      outs
 end
 
-module Fused : S with type state = Fuse.state = struct
+module Fused :
+  S with type state = Fuse.state and type snapshot = Statevector.snapshot = struct
   let name = "fused"
 
   type state = Fuse.state
@@ -179,6 +239,53 @@ module Fused : S with type state = Fuse.state = struct
   let observe st = Obs_amplitudes (Fuse.amplitudes st)
   let run_fun ?seed ~in_ input f = Fuse.run_fun ?seed ~in_ input f
   let run_circuit ?seed b inputs = Fuse.run_circuit ?seed b inputs
+
+  (* flush, then snapshot the underlying statevector: fused execution
+     reassociates floats, but sampling happens on the flushed state with
+     the statevector's own measure path, so the fused law mirrors the
+     statevector one on the fused amplitudes *)
+  type snapshot = Statevector.snapshot
+
+  let snapshot = Fuse.snapshot
+  let sample_from = Statevector.sample_from
+end
+
+(* ------------------------------------------------------------------ *)
+(* Default sampling derivation                                         *)
+
+(** What a simulator provides before the sampling surface. *)
+module type BASE = sig
+  val name : string
+
+  type state
+
+  val create : ?seed:int -> unit -> state
+  val apply_gate : state -> Gate.t -> unit
+  val measure : state -> Wire.t -> bool
+  val read_bit : state -> Wire.t -> bool
+  val set_bit : state -> Wire.t -> bool -> unit
+  val observe : state -> observation
+
+  val run_fun :
+    ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+
+  val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+end
+
+(** The law-checked default derivation for backends that cannot
+    snapshot: [snapshot] always declines, so callers fall back to
+    end-to-end re-simulation per shot — which satisfies the sampling
+    law vacuously (there is never a [Some snap] to contradict it), and
+    which the shot service's resimulation path makes bit-identical to
+    the batched path by construction. [snapshot]'s type is empty, so
+    [sample_from] is statically unreachable. *)
+module Without_snapshot (B : BASE) : S with type state = B.state = struct
+  include B
+
+  type snapshot = |
+
+  let snapshot _ = None
+  let sample_from (snap : snapshot) ~rng:_ _ = match snap with _ -> .
 end
 
 (* ------------------------------------------------------------------ *)

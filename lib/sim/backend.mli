@@ -61,18 +61,87 @@ module type S = sig
   val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
   (** Walk an already-generated (hierarchical) circuit on basis-state
       inputs. *)
+
+  (** {2 Sampling surface}
+
+      Stepping gates and terminal measurement used to be conflated:
+      drawing N shots of a circuit meant N full [run_circuit]s. The
+      snapshot entrypoints split them — freeze the pre-measurement
+      state once, then draw each shot from the frozen copy under its
+      own RNG at marginal cost far below a re-simulation. This is the
+      surface the shot service ([Quipper_serve]) batches on.
+
+      {b The sampling law} (property-checked in [test_serve], for the
+      statevector and clifford backends, at 1 and 2 domains): whenever
+      [snapshot st = Some snap] for [st = run_circuit b ins], then for
+      every seed [s],
+      [sample_from snap ~rng:(Rng.create s) outs] is bit-identical to
+      [run_circuit ~seed:s b ins] followed by measuring/reading [outs]
+      in order (i.e. to {!run_and_measure} at seed [s]). Backends
+      certify the precondition themselves: [snapshot] must return
+      [None] once the run has consumed seeded randomness (a mid-circuit
+      measurement), because the state then depends on the seed and no
+      frozen copy can speak for other seeds. Backends that cannot
+      snapshot at all decline every state (see {!Without_snapshot});
+      callers then fall back to per-shot re-simulation, which satisfies
+      the law by construction. *)
+
+  type snapshot
+
+  val snapshot : state -> snapshot option
+  (** Freeze the pre-measurement state, or [None] when sampling from a
+      copy could not reproduce end-to-end runs. The frozen copy is
+      immutable and shareable across domains. *)
+
+  val sample_from :
+    snapshot -> rng:Quipper_math.Rng.t -> Wire.endpoint list -> bool list
+  (** Draw one shot from a frozen state: measure each [Q] endpoint and
+      read each [C] endpoint in order, consuming randomness only from
+      [rng]. *)
 end
 
-module Statevector : S with type state = Statevector.state
-module Clifford : S with type state = Clifford.state
+module Statevector :
+  S with type state = Statevector.state and type snapshot = Statevector.snapshot
+module Clifford :
+  S with type state = Clifford.state and type snapshot = Clifford.snapshot
 module Classical : S with type state = Classical.state
 
-module Fused : S with type state = Fuse.state
+module Fused :
+  S with type state = Fuse.state and type snapshot = Statevector.snapshot
 (** The statevector engine behind the gate-fusion compiler ({!Fuse}):
     adjacent gates merge into dense or diagonal k-qubit blocks, and
     boxed subroutines are compiled once and replayed per call.
     Amplitudes agree with {!Statevector} up to float reassociation;
     classical observations are bit-identical at equal seeds. *)
+
+(** What a simulator provides before the sampling surface — {!S} minus
+    [snapshot]/[sample_from]. *)
+module type BASE = sig
+  val name : string
+
+  type state
+
+  val create : ?seed:int -> unit -> state
+  val apply_gate : state -> Gate.t -> unit
+  val measure : state -> Wire.t -> bool
+  val read_bit : state -> Wire.t -> bool
+  val set_bit : state -> Wire.t -> bool -> unit
+  val observe : state -> observation
+
+  val run_fun :
+    ?seed:int -> in_:('b, 'q, 'c) Qdata.t -> 'b -> ('q -> 'r Circ.t) -> state * 'r
+
+  val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+end
+
+module Without_snapshot (B : BASE) : S with type state = B.state
+(** The default sampling derivation for backends that cannot snapshot:
+    [snapshot] declines every state (its snapshot type is empty, so
+    [sample_from] is statically unreachable), and callers fall back to
+    end-to-end re-simulation per shot — satisfying the sampling law
+    vacuously. The property tests drive the shot service over a
+    [Without_snapshot]-wrapped statevector to check the fallback path
+    produces the same outcomes as the batched path. *)
 
 val all : (module S) list
 (** Every backend, cheapest first: classical, clifford, statevector,

@@ -25,6 +25,10 @@ type state = {
   mutable col : (Wire.t * int) list; (* wire -> column *)
   cenv : (Wire.t, bool) Hashtbl.t;
   rng : Quipper_math.Rng.t;
+  mutable rng_touched : bool;
+      (* has a random-outcome measurement consumed from [rng]? While
+         false, a frozen copy can replay terminal measurements
+         bit-identically under any seed — the snapshot law. *)
 }
 
 let getb b i = Bytes.get b i <> '\000'
@@ -40,6 +44,7 @@ let create ?(seed = 1) () =
     col = [];
     cenv = Hashtbl.create 16;
     rng = Quipper_math.Rng.create seed;
+    rng_touched = false;
   }
 
 let column st w =
@@ -132,8 +137,13 @@ let gate_v st q = hadamard st q; phase_s st q; hadamard st q (* up to phase *)
 let gate_v_inv st q = hadamard st q; gate_s_inv st q; hadamard st q
 let swap st a b = cnot st a b; cnot st b a; cnot st a b
 
-(* rowsum (Aaronson-Gottesman): row h += row i, tracking the sign *)
-let rowsum st h i =
+(* rowsum (Aaronson-Gottesman): row h += row i, tracking the sign.
+   [tracked = false] is for destabilizer targets: a destabilizer times
+   its partner stabilizer anticommutes, so the product legitimately
+   picks up an [i] factor — but destabilizer signs are never read (CHP
+   stores an arbitrary bit there), so the sign is recorded as whatever
+   the mod-4 exponent rounds to instead of raising. *)
+let rowsum ?(tracked = true) st h i =
   let g x1 z1 x2 z2 =
     (* exponent of i contributed when multiplying Paulis *)
     match (x1, z1) with
@@ -151,6 +161,7 @@ let rowsum st h i =
   let m = ((!acc mod 4) + 4) mod 4 in
   if m = 0 then setb st.r h false
   else if m = 2 then setb st.r h true
+  else if not tracked then setb st.r h false
   else Errors.raise_ (Simulation "clifford: rowsum produced imaginary sign")
 
 (** Measure column [q]. Returns (outcome, was_deterministic). *)
@@ -167,7 +178,7 @@ let measure_col st q : bool * bool =
     (* every other row with x bit at q gets row p multiplied in *)
     for i = 0 to st.n - 1 do
       let d = drow st i and s = srow st i in
-      if d <> sp && getb st.x.(d) q then rowsum st d sp;
+      if d <> sp && getb st.x.(d) q then rowsum ~tracked:false st d sp;
       if s <> sp && getb st.x.(s) q then rowsum st s sp
     done;
     (* destabilizer p := old stabilizer p *)
@@ -179,6 +190,7 @@ let measure_col st q : bool * bool =
     Bytes.fill st.x.(sp) 0 st.cap '\000';
     Bytes.fill st.z.(sp) 0 st.cap '\000';
     setb st.z.(sp) q true;
+    st.rng_touched <- true;
     let outcome = Quipper_math.Rng.bool st.rng in
     setb st.r sp outcome;
     (outcome, false)
@@ -502,3 +514,61 @@ let run_circuit ?seed (b : Circuit.b) (inputs : bool list) : state =
     flat.Circuit.inputs inputs;
   Array.iter (apply_gate st) flat.Circuit.gates;
   st
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: frozen pre-measurement tableaux for many-shot sampling   *)
+
+(** A frozen deep copy of a tableau (rows, signs, wire columns,
+    classical environment). No RNG: each {!sample_from} call brings its
+    own. *)
+type snapshot = {
+  s_cap : int;
+  s_x : Bytes.t array;
+  s_z : Bytes.t array;
+  s_r : Bytes.t;
+  s_n : int;
+  s_col : (Wire.t * int) list;
+  s_cenv : (Wire.t, bool) Hashtbl.t;
+}
+
+let snapshot st : snapshot option =
+  if st.rng_touched then None
+  else
+    Some
+      {
+        s_cap = st.cap;
+        s_x = Array.map Bytes.copy st.x;
+        s_z = Array.map Bytes.copy st.z;
+        s_r = Bytes.copy st.r;
+        s_n = st.n;
+        s_col = st.col;
+        s_cenv = Hashtbl.copy st.cenv;
+      }
+
+let sample_from (snap : snapshot) ~(rng : Quipper_math.Rng.t)
+    (outputs : Wire.endpoint list) : bool list =
+  (* Working tableau per shot: [measure] then performs the same rowsum
+     surgery and (for random outcomes) the same [Rng.bool] draws an
+     end-to-end run performs at its outputs, so outcomes are
+     bit-identical to [run_circuit] + per-output [measure] at the seed
+     [rng] was created from — deterministic outcomes consume no
+     randomness in either path. *)
+  let st =
+    {
+      cap = snap.s_cap;
+      x = Array.map Bytes.copy snap.s_x;
+      z = Array.map Bytes.copy snap.s_z;
+      r = Bytes.copy snap.s_r;
+      n = snap.s_n;
+      col = snap.s_col;
+      cenv = Hashtbl.copy snap.s_cenv;
+      rng;
+      rng_touched = false;
+    }
+  in
+  List.map
+    (fun (e : Wire.endpoint) ->
+      match e.Wire.ty with
+      | Wire.Q -> measure st e.Wire.wire
+      | Wire.C -> read_bit st e.Wire.wire)
+    outputs

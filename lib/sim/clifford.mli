@@ -56,3 +56,28 @@ val run_fun :
 
 val measure_and_read : state -> ('b, 'q, 'c) Qdata.t -> 'q -> 'b
 val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
+
+(** {2 Snapshots}
+
+    Many-shot sampling support (the shot service): freeze the
+    pre-measurement tableau once, then replay terminal measurements
+    from the frozen copy under per-shot RNGs — no rebuild, no
+    re-simulation. Same contract as {!Statevector.snapshot}. *)
+
+type snapshot
+(** A frozen deep copy of a tableau. Immutable: unaffected by further
+    use of the source state, shareable across domains. *)
+
+val snapshot : state -> snapshot option
+(** [None] when a random-outcome measurement has already consumed from
+    the state's RNG (the state then depends on the seed). While no
+    randomness was consumed, for every seed [s],
+    [sample_from (snapshot st) ~rng:(Rng.create s) outs] is
+    bit-identical to an end-to-end run with [~seed:s] measuring [outs]
+    in order. *)
+
+val sample_from :
+  snapshot -> rng:Quipper_math.Rng.t -> Wire.endpoint list -> bool list
+(** Draw one shot: copy the tableau, measure each [Q] output and read
+    each [C] output in order — the same rowsum surgery and RNG draws an
+    end-to-end run performs at its outputs. *)

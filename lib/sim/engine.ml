@@ -1,0 +1,47 @@
+(** The unified engine-selection knob for fault campaigns.
+
+    {!Noise} and {!Inject} historically each declared their own
+    [[ `Auto | `Frame | `Slow ]] and every [bin/] command parsed its
+    own spelling of it, with defaults that could drift apart. This
+    module is now the single definition: the campaign modules alias
+    their [engine] types to {!t} (kept one release for compatibility),
+    and every entry point defaults to {!default}, which honours the
+    [QUIPPER_ENGINE] environment variable the same way everywhere —
+    the engine analogue of [QUIPPER_DOMAINS] in {!Kernel}. *)
+
+type t = [ `Auto | `Frame | `Slow ]
+
+let to_string = function `Auto -> "auto" | `Frame -> "frame" | `Slow -> "slow"
+
+(* Spellings accepted by earlier releases' ad-hoc parsers; recognised
+   for one more release, normalised with a warning on stderr. *)
+let deprecated_spellings =
+  [
+    ("fast", `Frame);
+    ("frames", `Frame);
+    ("pauli-frame", `Frame);
+    ("naive", `Slow);
+    ("resim", `Slow);
+    ("full", `Slow);
+  ]
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok `Auto
+  | "frame" -> Ok `Frame
+  | "slow" -> Ok `Slow
+  | d -> (
+      match List.assoc_opt d deprecated_spellings with
+      | Some e ->
+          Fmt.epr "warning: engine spelling %S is deprecated, use %S@." s
+            (to_string e);
+          Ok e
+      | None ->
+          Error (Fmt.str "unknown engine %S (expected auto, frame or slow)" s))
+
+let default () =
+  match Sys.getenv_opt "QUIPPER_ENGINE" with
+  | None -> `Auto
+  | Some s -> ( match of_string s with Ok e -> e | Error _ -> `Auto)
+
+let pp ppf e = Fmt.string ppf (to_string e)

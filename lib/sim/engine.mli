@@ -1,0 +1,31 @@
+(** The unified engine-selection knob for fault campaigns.
+
+    One definition of the [`Auto]/[`Frame]/[`Slow] choice shared by
+    {!Noise}, {!Inject} and every [bin/] command: [`Auto] (the default)
+    runs the Pauli-frame engine ({!Frame}) where the circuit is
+    eligible and falls back to one-full-simulation-per-attempt;
+    [`Frame] and [`Slow] force the choice. Outcomes are bit-identical
+    across engines at equal seeds — only throughput differs.
+
+    [Noise.engine] and [Inject.engine] are deprecated aliases of {!t},
+    kept for one release. *)
+
+type t = [ `Auto | `Frame | `Slow ]
+
+val to_string : t -> string
+(** ["auto"], ["frame"] or ["slow"] — the one canonical spelling per
+    engine, as accepted by {!of_string} and the [bin/] CLIs. *)
+
+val of_string : string -> (t, string) result
+(** Parse an engine name (case-insensitive). The ad-hoc spellings of
+    earlier releases ([fast], [frames], [pauli-frame] for [`Frame];
+    [naive], [resim], [full] for [`Slow]) are still accepted for one
+    release, with a deprecation warning on stderr. *)
+
+val default : unit -> t
+(** The default engine every campaign entry point uses: [`Auto], unless
+    the environment variable [QUIPPER_ENGINE] holds a recognised
+    spelling — the engine analogue of [QUIPPER_DOMAINS] ({!Kernel}),
+    so benchmarks and CI pin the choice without code edits. *)
+
+val pp : Format.formatter -> t -> unit

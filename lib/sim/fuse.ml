@@ -574,12 +574,30 @@ let rec push_block fz (b : block) =
 (* ------------------------------------------------------------------ *)
 (* Simulation state                                                    *)
 
+(* Compiled box programs, keyed (name, inv, body hash). The structural
+   hash — box-aware via [Circuit.hash_t]'s resolve hook — is part of the
+   key so that same-named boxes with different bodies can never alias:
+   redefining a name simply stops hitting the old entries, and a cache
+   shared between states (the shot service hands one cache to every
+   worker) stays sound even when two clients define different boxes
+   under the same name. The mutex guards table access only; compilation
+   runs outside it (a recursive [compiled_program] would deadlock
+   otherwise), so two domains may race to compile the same program —
+   both results are identical and the second insert is a no-op. *)
+type box_cache = {
+  tbl : (string * bool * int64, program) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let box_cache () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+
 type state = {
   sv : Statevector.state;
   cfg : config;
   st_stats : stats;
   defs : (string, Circuit.subroutine) Hashtbl.t;
-  compiled : (string * bool, program) Hashtbl.t;
+  hashes : (string, int64) Hashtbl.t; (* resolved body-hash memo *)
+  compiled : box_cache;
   fresh : int ref; (* internal wires of replayed calls, negative *)
   fz : fuser; (* top-level fuser, emitting straight into [sv] *)
 }
@@ -610,7 +628,7 @@ let apply_block st (b : block) =
           Statevector.apply_kernel st.sv (fun ~re ~im ~size ->
               Kernel.kq_generic ~re ~im ~size ~bits ~cmask ~cwant ~mre ~mim))
 
-let create ?(config = default_config) ?seed () =
+let create ?(config = default_config) ?boxes ?seed () =
   let stats =
     {
       gates_seen = 0;
@@ -627,7 +645,8 @@ let create ?(config = default_config) ?seed () =
       cfg = config;
       st_stats = stats;
       defs = Hashtbl.create 16;
-      compiled = Hashtbl.create 16;
+      hashes = Hashtbl.create 16;
+      compiled = (match boxes with Some c -> c | None -> box_cache ());
       fresh = ref (-1);
       fz = { cfg = config; emit = (fun b -> apply_block st b); stats; pending = None };
     }
@@ -636,9 +655,32 @@ let create ?(config = default_config) ?seed () =
 
 let define st name (sub : Circuit.subroutine) =
   Hashtbl.replace st.defs name sub;
-  (* a redefinition (same name, new body) invalidates compilations *)
-  Hashtbl.remove st.compiled (name, false);
-  Hashtbl.remove st.compiled (name, true)
+  (* A redefinition changes this name's body hash — and the hash of any
+     box whose body calls it — so the memo resets wholesale. Compiled
+     programs need no explicit invalidation: their cache keys carry the
+     body hash, so the old entries simply stop being looked up. *)
+  Hashtbl.reset st.hashes
+
+let body_hash st name : int64 =
+  (* Box-aware hash of [name]'s current definition, resolving nested
+     calls against this state's [defs] (memoized until the next
+     [define]). A name with no definition hashes to zero: the later
+     [find_def] raises where the seed code did. *)
+  let rec go n =
+    match Hashtbl.find_opt st.hashes n with
+    | Some h -> h
+    | None ->
+        Hashtbl.add st.hashes n 0L;
+        let h =
+          match Hashtbl.find_opt st.defs n with
+          | None -> 0L
+          | Some (s : Circuit.subroutine) ->
+              Circuit.hash_t ~resolve:(fun m -> Some (go m)) s.Circuit.circ
+        in
+        Hashtbl.replace st.hashes n h;
+        h
+  in
+  go name
 
 let find_def st name =
   match Hashtbl.find_opt st.defs name with
@@ -716,7 +758,7 @@ let rec feed st fz (g : Gate.t) =
    call's actual wires, internals to fresh negative ids; the call's
    controls attach to every block. *)
 and replay st fz ~name ~inv ~inputs ~outputs ~controls =
-  let prog = compiled_program st (name, inv) in
+  let prog = compiled_program st ~name ~inv in
   st.st_stats.calls_replayed <- st.st_stats.calls_replayed + 1;
   let map = Hashtbl.create 16 in
   List.iter2
@@ -763,14 +805,21 @@ and expand st fz ~name ~inv ~inputs ~outputs ~controls =
     (fun g -> feed st fz (Gate.add_controls controls (Gate.rename rename g)))
     body
 
-(* Compile a box body to a block program, memoized per (name, inv).
-   Nested calls replay their own compiled programs into this one, so a
-   call tree compiles bottom-up into flat block sequences. *)
-and compiled_program st key : program =
-  match Hashtbl.find_opt st.compiled key with
+(* Compile a box body to a block program, memoized per
+   (name, inv, body hash). Nested calls replay their own compiled
+   programs into this one, so a call tree compiles bottom-up into flat
+   block sequences. *)
+and compiled_program st ~name ~inv : program =
+  let key = (name, inv, body_hash st name) in
+  let cached =
+    Mutex.lock st.compiled.lock;
+    let p = Hashtbl.find_opt st.compiled.tbl key in
+    Mutex.unlock st.compiled.lock;
+    p
+  in
+  match cached with
   | Some p -> p
   | None ->
-      let name, inv = key in
       let { Circuit.circ; _ } = find_def st name in
       let body = body_of circ inv in
       let acc = ref [] in
@@ -792,7 +841,17 @@ and compiled_program st key : program =
         }
       in
       st.st_stats.boxes_compiled <- st.st_stats.boxes_compiled + 1;
-      Hashtbl.replace st.compiled key prog;
+      Mutex.lock st.compiled.lock;
+      let prog =
+        (* a racing domain may have inserted first; keep its program so
+           every worker replays the same physical blocks *)
+        match Hashtbl.find_opt st.compiled.tbl key with
+        | Some p -> p
+        | None ->
+            Hashtbl.replace st.compiled.tbl key prog;
+            prog
+      in
+      Mutex.unlock st.compiled.lock;
       prog
 
 (* ------------------------------------------------------------------ *)
@@ -826,6 +885,10 @@ let statevector st =
   flush st.fz;
   st.sv
 
+let snapshot st =
+  flush st.fz;
+  Statevector.snapshot st.sv
+
 let stats st = st.st_stats
 
 let run_fun ?config ?seed ~(in_ : ('b, 'q, 'c) Qdata.t) (input : 'b)
@@ -852,8 +915,9 @@ let measure_and_read st (w : ('b, 'q, 'c) Qdata.t) (q : 'q) : 'b =
   flush st.fz;
   Statevector.measure_and_read st.sv w q
 
-let run_circuit ?config ?seed (b : Circuit.b) (inputs : bool list) : state =
-  let st = create ?config ?seed () in
+let run_circuit ?config ?boxes ?seed (b : Circuit.b) (inputs : bool list) :
+    state =
+  let st = create ?config ?boxes ?seed () in
   List.iter
     (fun name -> define st name (Circuit.Namespace.find name b.Circuit.subs))
     b.Circuit.sub_order;

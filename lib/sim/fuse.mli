@@ -10,7 +10,8 @@
     to the specialised per-gate kernels unchanged.
 
     Boxed subroutines are additionally {e compiled once} per
-    (name, inverse-flag): the body (nested calls included) is fused
+    (name, inverse-flag, structural body hash): the body (nested calls
+    included) is fused
     into a block program over the body's own wires, and every later
     call replays the compiled blocks under a wire remap with the call's
     controls attached — the box-call analogue of the paper's reusable
@@ -61,7 +62,7 @@ type stats = {
   mutable blocks_applied : int;  (** fused-block kernel launches *)
   mutable singles_applied : int;
       (** gates applied through the per-gate kernels *)
-  mutable boxes_compiled : int;  (** distinct (name, inv) compilations *)
+  mutable boxes_compiled : int;  (** distinct (name, inv, hash) compilations *)
   mutable calls_replayed : int;  (** calls served from the cache *)
 }
 
@@ -69,11 +70,27 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type state
 
-val create : ?config:config -> ?seed:int -> unit -> state
+type box_cache
+(** A cache of compiled box programs, keyed
+    [(name, inverse-flag, structural body hash)] — the hash is
+    {!Circuit.hash_t} with nested calls resolved, so same-named boxes
+    with different bodies can never alias. The cache is
+    mutex-protected and may be shared between states running on
+    different domains (the shot service hands one cache to every
+    worker); compilation happens outside the lock, so a race compiles
+    twice and keeps the first insert. *)
+
+val box_cache : unit -> box_cache
+(** A fresh empty shareable cache. *)
+
+val create : ?config:config -> ?boxes:box_cache -> ?seed:int -> unit -> state
+(** [boxes] shares a compiled-program cache with other states; by
+    default each state gets a private one. *)
 
 val define : state -> string -> Circuit.subroutine -> unit
-(** Register a boxed subroutine definition. Redefining a name drops any
-    compiled program for it. *)
+(** Register a boxed subroutine definition. Redefinition is handled by
+    construction: compiled programs are keyed by body hash, so a new
+    body simply stops hitting the old entries. *)
 
 val apply_gate : state -> Gate.t -> unit
 (** Feed one gate (possibly a subroutine call) into the fuser. *)
@@ -93,6 +110,11 @@ val qubit_index : state -> Wire.t -> int
 val statevector : state -> Statevector.state
 (** The underlying engine, flushed — for differential tests. *)
 
+val snapshot : state -> Statevector.snapshot option
+(** Flush, then snapshot the underlying statevector (see
+    {!Statevector.snapshot}); sampling from it goes through
+    {!Statevector.sample_from}. *)
+
 val stats : state -> stats
 
 val run_fun :
@@ -109,6 +131,8 @@ val run_fun :
 
 val measure_and_read : state -> ('b, 'q, 'c) Qdata.t -> 'q -> 'b
 
-val run_circuit : ?config:config -> ?seed:int -> Circuit.b -> bool list -> state
+val run_circuit :
+  ?config:config -> ?boxes:box_cache -> ?seed:int -> Circuit.b -> bool list -> state
 (** Run a generated hierarchical circuit on basis-state inputs,
-    compiling and replaying its boxed subroutines. *)
+    compiling and replaying its boxed subroutines ([boxes] shares the
+    compiled programs across runs — the shot service's warm path). *)

@@ -42,7 +42,7 @@ let outcome_name = function
 
 type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
 
-type engine = [ `Auto | `Frame | `Slow ]
+type engine = Engine.t
 
 type report = {
   gates : int;  (** gate count of the inlined circuit *)
@@ -167,7 +167,8 @@ let frame_fault (site : Faultsite.site) (p : pauli) : Frame.fault =
     (canonical tableau vs amplitudes up to phase), so the classification
     is bit-identical to [`Slow]. *)
 let report_on (module B : Backend.S) ?(seed = 1) ?(paulis = all_paulis)
-    ?(engine : engine = `Auto) (b : Circuit.b) (inputs : bool list) : report =
+    ?(engine : engine = Engine.default ()) (b : Circuit.b) (inputs : bool list) :
+    report =
   let c = campaign_on (module B) ~seed b inputs in
   let site_paulis =
     List.concat_map (fun site -> List.map (fun p -> (site, p)) paulis) c.csites

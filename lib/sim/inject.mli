@@ -30,12 +30,14 @@ val outcome_name : outcome -> string
 
 type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
 
-(** Classification machinery: [`Auto] (default) classifies every fault
+type engine = Engine.t
+(** @deprecated Alias of {!Engine.t}, kept one release — campaigns now
+    share one engine-selection type. [`Auto] (the default, overridable
+    via [QUIPPER_ENGINE]; see {!Engine.default}) classifies every fault
     in one Pauli-frame propagation pass when the circuit is eligible
     (per-lane slow fallback otherwise), [`Slow] forces one full
     re-simulation per fault. Classifications are identical; only
     throughput differs. *)
-type engine = [ `Auto | `Frame | `Slow ]
 
 type report = {
   gates : int;

@@ -130,7 +130,7 @@ let run_and_measure ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : bool 
 (* ------------------------------------------------------------------ *)
 (* Trial-based resilient running                                       *)
 
-type engine = [ `Auto | `Frame | `Slow ]
+type engine = Engine.t
 
 let channels_of cfg : Frame.channels =
   {
@@ -206,8 +206,8 @@ let slow_attempt_on (module B : Backend.S) ~seed cfg flat inputs =
     round per retry rank, every still-alive trial a bit-packed lane —
     and falls back per lane (or whole-circuit) to the slow path;
     [`Slow] forces the historical one-simulation-per-attempt path. *)
-let run_trials_on (module B : Backend.S) ?(master_seed = 1) ?(engine : engine = `Auto)
-    ~trials ~max_failures cfg (b : Circuit.b)
+let run_trials_on (module B : Backend.S) ?(master_seed = 1)
+    ?(engine : engine = Engine.default ()) ~trials ~max_failures cfg (b : Circuit.b)
     (inputs : bool list) ~(expected : bool list) : stats =
   if trials <= 0 then invalid_arg "Noise.run_trials: trials must be positive";
   if max_failures < 0 then invalid_arg "Noise.run_trials: negative max_failures";
@@ -327,6 +327,7 @@ type sample_summary = {
   sample_errored : int;
   frame_sampled : int;
   slow_sampled : int;
+  snapshot_sampled : int;
   sample_reasons : string list;
 }
 
@@ -340,12 +341,12 @@ type sample_summary = {
     comparison. Trials run through the {!Frame} engine in bit-packed
     blocks when eligible, the slow path otherwise. *)
 let sample_trials_on (module B : Backend.S) ?(master_seed = 1)
-    ?(engine : engine = `Auto) ~trials cfg (b : Circuit.b) (inputs : bool list)
-    ~(f : int -> sample -> unit) : sample_summary =
+    ?(engine : engine = Engine.default ()) ~trials cfg (b : Circuit.b)
+    (inputs : bool list) ~(f : int -> sample -> unit) : sample_summary =
   if trials <= 0 then invalid_arg "Noise.sample_trials: trials must be positive";
   let flat = Circuit.inline b in
   let completed = ref 0 and tripped = ref 0 and errored = ref 0 in
-  let frame_n = ref 0 and slow_n = ref 0 in
+  let frame_n = ref 0 and slow_n = ref 0 and snapshot_n = ref 0 in
   let reasons = ref [] in
   let note r = if not (List.mem r !reasons) then reasons := r :: !reasons in
   let seed_of t = Rng.derive master_seed (t + 2) in
@@ -368,6 +369,43 @@ let sample_trials_on (module B : Backend.S) ?(master_seed = 1)
     | `Frame -> true
     | `Auto -> not (String.equal B.name "classical")
   in
+  (* With every channel off, trial [t] is exactly the plain backend run
+     at [seed_of t] — so [`Auto] freezes the pre-measurement state once
+     ({!Backend.S.snapshot}) and draws every trial from the frozen copy;
+     the sampling law (backend.mli) makes each outcome bit-identical to
+     the full re-simulation the slow path would have run. Forced
+     engines keep their historical machinery (they exist as cross-check
+     paths), and any trouble in the one clean run — mid-circuit
+     randomness ([snapshot] = [None]), tripped assertion, backend
+     limitation — falls through to the engine dispatch below. *)
+  let noiseless_snapshot =
+    if engine <> `Auto || not (is_noiseless cfg) then None
+    else
+      match B.run_circuit ~seed:1 b inputs with
+      | st -> B.snapshot st
+      | exception _ -> None
+  in
+  (match noiseless_snapshot with
+  | Some snap ->
+      for t = 0 to trials - 1 do
+        match
+          B.sample_from snap ~rng:(Rng.create (seed_of t)) flat.Circuit.outputs
+        with
+        | bits ->
+            incr snapshot_n;
+            incr completed;
+            f t (Sampled (Array.of_list bits))
+        | exception Errors.Error (Errors.Termination_assertion _) ->
+            incr tripped;
+            f t Assertion_tripped
+        | exception Errors.Error e ->
+            incr errored;
+            f t (Sample_errored (Errors.to_string e))
+        | exception e ->
+            incr errored;
+            f t (Sample_errored (Printexc.to_string e))
+      done
+  | None ->
   if not use_frame then
     for t = 0 to trials - 1 do
       slow_trial t
@@ -404,7 +442,7 @@ let sample_trials_on (module B : Backend.S) ?(master_seed = 1)
       end;
       t0 := !t0 + n
     done
-  end;
+  end);
   {
     sampled_trials = trials;
     completed = !completed;
@@ -412,6 +450,7 @@ let sample_trials_on (module B : Backend.S) ?(master_seed = 1)
     sample_errored = !errored;
     frame_sampled = !frame_n;
     slow_sampled = !slow_n;
+    snapshot_sampled = !snapshot_n;
     sample_reasons = List.rev !reasons;
   }
 

@@ -53,13 +53,16 @@ val run_circuit : ?seed:int -> config -> Circuit.b -> bool list -> Statevector.s
 val run_and_measure : ?seed:int -> config -> Circuit.b -> bool list -> bool list
 (** {!run_and_measure_on} fixed to the statevector backend. *)
 
-(** Which propagation machinery a campaign uses. [`Auto] (default) runs
-    the Pauli-frame engine ({!Frame}) on eligible circuits and falls
-    back — per lane or, when the circuit itself is ineligible, wholesale
-    — to the slow one-simulation-per-attempt path; [`Frame]/[`Slow]
-    force the choice. Outcomes are bit-identical across engines (same
-    derived seeds, same classification); only throughput differs. *)
-type engine = [ `Auto | `Frame | `Slow ]
+type engine = Engine.t
+(** @deprecated Alias of {!Engine.t}, kept one release — campaigns now
+    share one engine-selection type. [`Auto] (the default, overridable
+    via [QUIPPER_ENGINE]; see {!Engine.default}) picks the fastest
+    machinery: the snapshot sampling surface for noiseless sampling
+    campaigns, the Pauli-frame engine ({!Frame}) on eligible noisy
+    circuits, the slow one-simulation-per-attempt path otherwise;
+    [`Frame]/[`Slow] force the choice. Outcomes are bit-identical
+    across engines (same derived seeds, same classification); only
+    throughput differs. *)
 
 (** Outcome of one trial of {!run_trials}. *)
 type trial_outcome =
@@ -138,6 +141,9 @@ type sample_summary = {
   sample_errored : int;
   frame_sampled : int;  (** trials completed by the Pauli-frame engine *)
   slow_sampled : int;  (** trials that ran the full simulation *)
+  snapshot_sampled : int;
+      (** trials drawn from one frozen pre-measurement state
+          ({!Backend.S.snapshot}) — the noiseless fast path *)
   sample_reasons : string list;  (** distinct frame-fallback reasons *)
 }
 
@@ -155,7 +161,15 @@ val sample_trials_on :
     [Rng.derive master_seed (t + 2)], the {!run_trials} schedule at
     [max_failures = 0]), delivering each trial's outputs to [f] in trial
     order. Eligible circuits run through the frame engine in bit-packed
-    blocks of bounded memory; results are bit-identical to [`Slow]. *)
+    blocks of bounded memory; results are bit-identical to [`Slow].
+
+    When the configuration is noiseless and the engine is [`Auto], the
+    campaign collapses to the backend's sampling surface: one clean run
+    freezes the pre-measurement state ({!Backend.S.snapshot}) and every
+    trial is drawn from the frozen copy under its own derived RNG — the
+    sampling law keeps each outcome bit-identical to the full
+    re-simulation, at marginal cost per trial near zero (counted in
+    [snapshot_sampled]). *)
 
 val sample_trials :
   ?master_seed:int ->

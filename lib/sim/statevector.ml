@@ -47,6 +47,11 @@ type state = {
   mutable pos : (Wire.t * int) list; (* wire -> bit position, assoc list *)
   cenv : (Wire.t, bool) Hashtbl.t; (* classical wires *)
   rng : Quipper_math.Rng.t;
+  mutable rng_touched : bool;
+      (* has any measurement consumed from [rng]? While false, the
+         stream is indistinguishable from a fresh [Rng.create seed], so
+         a frozen copy of the state can replay terminal measurements
+         bit-identically under any seed — the snapshot law. *)
 }
 
 let initial_capacity = 16
@@ -63,6 +68,7 @@ let create ?(seed = 1) () =
     pos = [];
     cenv = Hashtbl.create 16;
     rng = Quipper_math.Rng.create seed;
+    rng_touched = false;
   }
 
 let num_qubits st = st.n
@@ -350,6 +356,7 @@ let measure st (w : Wire.t) : bool =
   let mask = 1 lsl p in
   let size = st.size in
   let p1 = Kernel.sum_norm2_half ~re:st.re ~im:st.im ~size ~bit:mask ~want:true in
+  st.rng_touched <- true;
   let outcome = Quipper_math.Rng.float st.rng < p1 in
   (* collapse: zero the other branch and renormalise *)
   let keep_prob = if outcome then p1 else 1.0 -. p1 in
@@ -495,6 +502,64 @@ let run_circuit ?seed (b : Circuit.b) (inputs : bool list) : state =
     flat.Circuit.inputs inputs;
   Array.iter (apply_gate st) flat.Circuit.gates;
   st
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: frozen pre-measurement states for many-shot sampling     *)
+
+(** A frozen deep copy of a state: the live amplitude prefix (trimmed to
+    [size] — sampling only ever shrinks the register), the wire
+    positions and the classical environment. No RNG: each
+    {!sample_from} call brings its own. *)
+type snapshot = {
+  s_re : float array;
+  s_im : float array;
+  s_n : int;
+  s_pos : (Wire.t * int) list;
+  s_cenv : (Wire.t, bool) Hashtbl.t;
+}
+
+let snapshot st : snapshot option =
+  if st.rng_touched then None
+  else
+    Some
+      {
+        s_re = Array.sub st.re 0 st.size;
+        s_im = Array.sub st.im 0 st.size;
+        s_n = st.n;
+        s_pos = st.pos;
+        s_cenv = Hashtbl.copy st.cenv;
+      }
+
+let sample_from (snap : snapshot) ~(rng : Quipper_math.Rng.t)
+    (outputs : Wire.endpoint list) : bool list =
+  (* A working copy per shot: capacity is exactly the live size (terminal
+     measurement only shrinks the register), and the zero watermark
+     vouches for nothing — which only forgoes skip optimisations, never
+     changes a float. [measure] then replays the same ordered probability
+     sums, the same collapse arithmetic and the same RNG draws an
+     end-to-end run performs at its outputs, so outcomes are
+     bit-identical to [run_circuit] + per-output [measure] at the seed
+     [rng] was created from (provided the circuit itself consumed no
+     randomness — which is what [snapshot] returning [Some] certifies). *)
+  let st =
+    {
+      re = Array.copy snap.s_re;
+      im = Array.copy snap.s_im;
+      n = snap.s_n;
+      size = Array.length snap.s_re;
+      zeros_from = Array.length snap.s_re;
+      pos = snap.s_pos;
+      cenv = Hashtbl.copy snap.s_cenv;
+      rng;
+      rng_touched = false;
+    }
+  in
+  List.map
+    (fun (e : Wire.endpoint) ->
+      match e.Wire.ty with
+      | Wire.Q -> measure st e.Wire.wire
+      | Wire.C -> read_bit st e.Wire.wire)
+    outputs
 
 (** The amplitude of basis state [bits] (little-endian over [wires], which
     must be the live qubits in the order given). *)

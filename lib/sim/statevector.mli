@@ -109,6 +109,35 @@ val measure_and_read : state -> ('b, 'q, 'c) Qdata.t -> 'q -> 'b
 val run_circuit : ?seed:int -> Circuit.b -> bool list -> state
 (** Run a generated (hierarchical) circuit on basis-state inputs. *)
 
+(** {2 Snapshots}
+
+    Many-shot sampling support (the shot service): freeze the
+    pre-measurement state once, then replay terminal measurements from
+    the frozen copy under per-shot RNGs at marginal cost O(2^n) per
+    shot — no rebuild, no re-simulation. *)
+
+type snapshot
+(** A frozen deep copy of a state (amplitudes trimmed to the live
+    prefix, wire positions, classical environment). Immutable:
+    unaffected by further use of the source state, shareable across
+    domains. *)
+
+val snapshot : state -> snapshot option
+(** [None] when a measurement has already consumed from the state's
+    RNG: the state then depends on the seed, so no frozen copy could
+    reproduce what an end-to-end run at a {e different} seed would
+    produce. While no randomness was consumed, the law holds: for every
+    seed [s], [sample_from (snapshot st) ~rng:(Rng.create s) outs] is
+    bit-identical to running the same circuit end-to-end with [~seed:s]
+    and measuring [outs] in order. *)
+
+val sample_from :
+  snapshot -> rng:Quipper_math.Rng.t -> Wire.endpoint list -> bool list
+(** Draw one shot: copy the snapshot into a working state owning [rng],
+    then measure each [Q] output and read each [C] output in order —
+    the same ordered probability sums, collapse arithmetic and RNG
+    draws an end-to-end run performs at its outputs. *)
+
 val amplitude : state -> Wire.t list -> bool list -> Quipper_math.Cplx.t
 (** Amplitude of a basis state; the wire list must cover all live qubits. *)
 

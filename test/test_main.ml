@@ -23,4 +23,5 @@ let () =
       ("stream", Test_stream.suite);
       ("fuse", Test_fuse.suite);
       ("frame", Test_frame.suite);
+      ("serve", Test_serve.suite);
     ]
