@@ -1119,6 +1119,152 @@ let n7 () =
   Fmt.pr "  -> BENCH_N7.json (%d entries)@." (List.length !json)
 
 (* ================================================================== *)
+(* N8: symbolic resource estimation                                    *)
+
+(* lib/estimate computes the full resource vector — per-key gate counts,
+   T-count, depth bound, peak wires — symbolically over the subroutine
+   tree with arbitrary-precision accumulators, so parameter points
+   orders of magnitude past anything enumerable cost the same as tiny
+   ones. Acceptance: bit-identical totals vs the streamed exact
+   gatecount at small parameters (asserted before timing anything), and
+   trillion-gate totals in well under a second where body generation is
+   cheap. Every row lands in BENCH_N8.json. *)
+
+let n8 () =
+  section "N8: symbolic resource estimation (lib/estimate vs streamed exact)";
+  let module Estimate = Quipper_estimate.Estimate in
+  let module Wide = Quipper_estimate.Wide in
+  let json = ref [] in
+  let record line = json := line :: !json in
+  (* the composed BWT estimate, exactly as bin/bwt.exe --estimate builds
+     it: entrance prologue + s-fold symbolic repetition of one walk
+     timestep + measurement epilogue *)
+  let bwt_estimate (p : Algo_bwt.params) =
+    let oracle = Algo_bwt.orthodox_oracle p in
+    let m = Algo_bwt.label_width p in
+    let prologue =
+      Estimate.of_circ_unit (Qureg.init ~width:m Algo_bwt.entrance)
+    in
+    let step =
+      Estimate.of_circ ~in_:(Qureg.shape m) (fun a ->
+          Circ.(
+            let* () = Algo_bwt.walk_step ~p oracle a in
+            return a))
+    in
+    let epilogue =
+      Estimate.of_circ ~in_:(Qureg.shape m) (fun a ->
+          Circ.measure (Qureg.shape m) a)
+    in
+    Estimate.seq prologue
+      (Estimate.seq (Estimate.repeat p.Algo_bwt.s step) epilogue)
+  in
+  (* the composed TF estimate, as bin/tf.exe --estimate: prologue +
+     r1-fold quantum-walk step + epilogue *)
+  let tf_estimate (p : Algo_tf.Oracle.params) =
+    let shape = Algo_tf.Qwtfp.regs_shape p in
+    let prologue = Estimate.of_circ_unit (Algo_tf.Qwtfp.a1_prologue ~p) in
+    let step =
+      Estimate.of_circ ~in_:shape (fun regs -> Algo_tf.Qwtfp.a4_GCQWStep ~p regs)
+    in
+    let epilogue =
+      Estimate.of_circ ~in_:shape (fun regs -> Algo_tf.Qwtfp.a1_epilogue ~p regs)
+    in
+    Estimate.seq prologue
+      (Estimate.seq
+         (Estimate.repeat (Algo_tf.Qwtfp.r1_iterations p) step)
+         epilogue)
+  in
+  (* 1. the anchor: at enumerable parameters the symbolic vector must be
+     bit-identical to the streamed exact summary — else nothing below
+     means anything *)
+  let anchor name slug agrees streamed_s est_s =
+    if not agrees then failwith (name ^ ": symbolic estimate != streamed exact");
+    Fmt.pr "  %-34s streamed %.3fs, symbolic %.3fs, bit-identical@." name
+      streamed_s est_s;
+    record
+      (Fmt.str
+         "  {\"name\": \"%s_anchor\", \"streamed_seconds\": %.6f, \
+          \"estimate_seconds\": %.6f, \"bit_identical\": true}"
+         slug streamed_s est_s)
+  in
+  let p_bwt = { Algo_bwt.default_params with Algo_bwt.n = 3; s = 2 } in
+  let (sum_bwt, _), sb =
+    time (fun () ->
+        Circ.run_streaming_unit
+          (Algo_bwt.whole ~p:p_bwt (Algo_bwt.orthodox_oracle p_bwt))
+          (Sink.gatecount ()))
+  in
+  let v_bwt, eb = time (fun () -> bwt_estimate p_bwt) in
+  anchor "bwt n=3 s=2" "bwt_small" (Estimate.agrees v_bwt sum_bwt) sb eb;
+  let p_tf = { Algo_tf.Oracle.l = 2; n = 2; r = 1 } in
+  let (sum_tf, _), st =
+    time (fun () ->
+        Circ.run_streaming_unit (Algo_tf.Qwtfp.a1_QWTFP ~p:p_tf)
+          (Sink.gatecount ()))
+  in
+  let v_tf, et = time (fun () -> tf_estimate p_tf) in
+  anchor "tf l=2 n=2 r=1" "tf_small" (Estimate.agrees v_tf sum_tf) st et;
+  (* 2. scaling: parameter points far past enumeration. BWT is flat, so
+     the s-loop collapses symbolically — 10^12 timesteps in
+     milliseconds; TF's cost is the one-time boxed-body capture, shared
+     with the streaming path, so it scales with circuit *structure*,
+     never with the iteration count or gate total *)
+  Fmt.pr "  %-34s %22s %7s %10s %s@." "" "total gates" "qubits" "seconds"
+    "depth bound";
+  let scaled name ?expect_total v s =
+    let total = Wide.to_string (Estimate.total v) in
+    (match expect_total with
+    | Some e when e <> total ->
+        failwith (Fmt.str "%s: total %s, expected %s" name total e)
+    | _ -> ());
+    Fmt.pr "  %-34s %22s %7d %10.3f %s@." name total (Estimate.peak_wires v) s
+      (Wide.to_string (Estimate.depth_bound v));
+    record
+      (Fmt.str
+         "  {\"name\": \"%s\", \"total_gates\": \"%s\", \"qubits\": %d, \
+          \"depth_bound\": \"%s\", \"t_count\": \"%s\", \"seconds\": %.6f}"
+         name total (Estimate.peak_wires v)
+         (Wide.to_string (Estimate.depth_bound v))
+         (Wide.to_string (Estimate.t_count v))
+         s)
+  in
+  let p = { Algo_bwt.default_params with Algo_bwt.n = 8; s = 1_000_000_000 } in
+  let v, s = time (fun () -> bwt_estimate p) in
+  scaled "bwt n=8 s=10^9" v s;
+  let p = { Algo_bwt.default_params with Algo_bwt.n = 8; s = 1_000_000_000_000 } in
+  let v, s = time (fun () -> bwt_estimate p) in
+  scaled "bwt n=8 s=10^12" v s ~expect_total:"644000000000032";
+  if s > 1.0 then failwith "bwt trillion-step estimate took over a second";
+  let p = { Algo_tf.Oracle.l = 31; n = 15; r = 1 } in
+  let v, s = time (fun () -> tf_estimate p) in
+  scaled "tf l=31 n=15 r=1" v s;
+  if not quick then begin
+    (* the paper's headline point, reproduced symbolically: the same
+       24,603,711,263,407 gates E4/the README table count by streaming *)
+    let p = { Algo_tf.Oracle.l = 31; n = 15; r = 6 } in
+    let v, s = time (fun () -> tf_estimate p) in
+    scaled "tf l=31 n=15 r=6 (paper point)" v s
+      ~expect_total:"24603711263407";
+    (* and one point past native-int range: only the symbolic path can
+       state this total at all *)
+    let p = { Algo_bwt.default_params with Algo_bwt.n = 8; s = max_int / 322 } in
+    let v, s = time (fun () -> bwt_estimate p) in
+    scaled "bwt n=8 s=max_int/322" v s
+  end;
+  let oc = open_out "BENCH_N8.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf line)
+    (List.rev !json);
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "  -> BENCH_N8.json (%d entries)@." (List.length !json)
+
+(* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 
 let benchmarks () =
@@ -1302,6 +1448,7 @@ let () =
   n5 ();
   n6 ();
   n7 ();
+  n8 ();
   n3 ();
   benchmarks ();
   Fmt.pr "@.Done.@."

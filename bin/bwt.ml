@@ -29,6 +29,48 @@ let run_stream which format p =
   | f -> Fmt.failwith "--stream supports gatecount and text, not %S" f);
   0
 
+(* Symbolic estimation: derive the resource vector of ONE walk timestep
+   (streamed once), multiply it by [s], and seal it between the
+   entrance-preparation prologue and the measurement epilogue. The
+   timestep count never enters a loop, so s = 10^12 costs the same as
+   s = 1 — and at small s the result is bit-identical to the streamed
+   exact gatecount (asserted in test/ and in CI). *)
+let run_estimate which p base =
+  let module Estimate = Quipper_estimate.Estimate in
+  let module Qureg = Quipper_arith.Qureg in
+  let m = Algo_bwt.label_width p in
+  let oracle =
+    match which with
+    | "orthodox" -> Algo_bwt.orthodox_oracle p
+    | "template" -> Algo_bwt.template_oracle p
+    | "qcl" ->
+        Fmt.failwith
+          "--estimate needs the step-decomposed oracles (orthodox, template)"
+    | s -> Fmt.failwith "unknown oracle %S (try orthodox, template)" s
+  in
+  let prologue =
+    Estimate.of_circ_unit (Qureg.init ~width:m Algo_bwt.entrance)
+  in
+  let step =
+    Estimate.of_circ ~in_:(Qureg.shape m) (fun a ->
+        Circ.(
+          let* () = Algo_bwt.walk_step ~p oracle a in
+          return a))
+  in
+  let epilogue =
+    Estimate.of_circ ~in_:(Qureg.shape m) (fun a ->
+        Circ.measure (Qureg.shape m) a)
+  in
+  let est =
+    Estimate.seq prologue (Estimate.seq (Estimate.repeat p.Algo_bwt.s step) epilogue)
+  in
+  let est = match base with None -> est | Some b -> Estimate.in_base b est in
+  (match base with
+  | Some b -> Fmt.pr "Gate base: %s@." (Decompose.base_name b)
+  | None -> ());
+  Fmt.pr "%a" Estimate.pp_summary est;
+  0
+
 (* Fused-simulation check: run the whole algorithm (oracle walk and
    final measurement) through the gate-fusion engine and through the
    plain statevector engine, streaming in both cases, at the same seed —
@@ -88,10 +130,20 @@ let run_fuse which p seed =
     1
   end
 
-let run which format n s optimize verbose stream fuse seed domains =
+let run which format n s optimize verbose stream fuse estimate estimate_base
+    seed domains =
   Quipper_cli.set_domains domains;
   let p = { Algo_bwt.n; s; dt = Algo_bwt.default_params.Algo_bwt.dt } in
-  if fuse then begin
+  if estimate then begin
+    if optimize || stream || fuse then
+      Fmt.failwith "--estimate is incompatible with -O, --stream and --fuse";
+    if format <> "gatecount" then
+      Fmt.failwith "--estimate supports the gatecount format only";
+    run_estimate which p estimate_base
+  end
+  else if estimate_base <> None then
+    Fmt.failwith "--estimate-base needs --estimate"
+  else if fuse then begin
     if optimize || stream then
       Fmt.failwith "--fuse runs its own streaming comparison; drop -O/--stream";
     run_fuse which p seed
@@ -169,6 +221,8 @@ let cmd =
   Cmd.v (Cmd.info "bwt" ~doc)
     Term.(
       const run $ which $ format $ n_arg $ s_arg $ optimize_arg $ verbose_arg
-      $ stream_arg $ fuse_arg $ Quipper_cli.seed_arg $ Quipper_cli.domains_arg)
+      $ stream_arg $ fuse_arg $ Quipper_cli.estimate_arg
+      $ Quipper_cli.estimate_base_arg $ Quipper_cli.seed_arg
+      $ Quipper_cli.domains_arg)
 
 let () = exit (Cmd.eval' cmd)

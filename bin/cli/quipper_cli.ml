@@ -8,6 +8,7 @@
 open Cmdliner
 module Engine = Quipper_sim.Engine
 module Kernel = Quipper_sim.Kernel
+module Decompose = Quipper.Decompose
 
 let engine_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Engine.of_string s) in
@@ -41,3 +42,33 @@ let domains_arg =
            recommended count). Outcomes never depend on this.")
 
 let set_domains n = if n > 0 then Kernel.num_domains := n
+
+let base_conv =
+  let parse = function
+    | "toffoli" -> Ok Decompose.Toffoli
+    | "binary" -> Ok Decompose.Binary
+    | s -> Error (`Msg (Fmt.str "unknown gate base %S (try toffoli, binary)" s))
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (Decompose.base_name b))
+
+let estimate_arg =
+  Arg.(
+    value & flag
+    & info [ "estimate" ]
+        ~doc:
+          "Symbolic resource estimation: derive a per-block resource vector \
+           and combine across loop iterations and subroutine calls instead of \
+           enumerating gates. Arbitrary-precision totals, so parameters can \
+           go orders of magnitude past what $(b,--stream) can enumerate; at \
+           small parameters the counts are bit-identical to the streamed \
+           exact gatecount.")
+
+let estimate_base_arg =
+  Arg.(
+    value
+    & opt (some base_conv) None
+    & info [ "estimate-base" ] ~docv:"BASE"
+        ~doc:
+          "With $(b,--estimate), re-quote the estimate in a target gate base \
+           ($(b,toffoli) or $(b,binary)) by applying the decomposition once \
+           per gate kind as a counts transfer function.")

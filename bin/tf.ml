@@ -76,6 +76,63 @@ let run_stream ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params) =
       else go ~in_:Qdata.unit (fun () -> Algo_tf.Qwtfp.a1_QWTFP ~p));
   0
 
+(* Symbolic estimation: the whole algorithm is prologue ; a4^R1 ;
+   epilogue, so the amplitude-amplification loop collapses to one
+   multiplication of the a4 step's resource vector — R1 never enters a
+   loop, and Wide accumulators keep totals exact far past native-int
+   range. Named subroutines estimate directly from one streamed pass. *)
+let run_estimate ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params) ~base =
+  let module Estimate = Quipper_estimate.Estimate in
+  let module Qureg = Quipper_arith.Qureg in
+  let est =
+    match subroutine with
+    | Some "pow17" ->
+        Estimate.of_circ ~in_:(Qureg.shape p.l) (fun x ->
+            Algo_tf.Oracle.o4_POW17 ~l:p.l x)
+    | Some "mul" ->
+        Estimate.of_circ
+          ~in_:(Qdata.pair (Qureg.shape p.l) (Qureg.shape p.l))
+          (fun xy -> Algo_tf.Oracle.o8_MUL ~l:p.l xy)
+    | Some "qwsh" ->
+        Estimate.of_circ ~in_:(Algo_tf.Qwtfp.regs_shape p) (fun regs ->
+            Algo_tf.Qwtfp.a6_QWSH ~p regs)
+    | Some "oracle" ->
+        let node = Qureg.shape p.n in
+        Estimate.of_circ
+          ~in_:(Qdata.triple node node Qdata.qubit)
+          (fun (u, w, e) -> Algo_tf.Oracle.o1_ORACLE ~p (u, w, e))
+    | Some s ->
+        Fmt.failwith "unknown subroutine %S (try pow17, mul, qwsh, oracle)" s
+    | None ->
+        if oracle_only then
+          let node = Qureg.shape p.n in
+          Estimate.of_circ
+            ~in_:(Qdata.triple node node Qdata.qubit)
+            (fun (u, w, e) -> Algo_tf.Oracle.o1_ORACLE ~p (u, w, e))
+        else
+          let prologue =
+            Estimate.of_circ_unit (Algo_tf.Qwtfp.a1_prologue ~p)
+          in
+          let step =
+            Estimate.of_circ ~in_:(Algo_tf.Qwtfp.regs_shape p) (fun regs ->
+                Algo_tf.Qwtfp.a4_GCQWStep ~p regs)
+          in
+          let epilogue =
+            Estimate.of_circ ~in_:(Algo_tf.Qwtfp.regs_shape p) (fun regs ->
+                Algo_tf.Qwtfp.a1_epilogue ~p regs)
+          in
+          Estimate.seq prologue
+            (Estimate.seq
+               (Estimate.repeat (Algo_tf.Qwtfp.r1_iterations p) step)
+               epilogue)
+  in
+  let est = match base with None -> est | Some b -> Estimate.in_base b est in
+  (match base with
+  | Some b -> Fmt.pr "Gate base: %s@." (Decompose.base_name b)
+  | None -> ());
+  Fmt.pr "%a" Estimate.pp_summary est;
+  0
+
 (* Fused-simulation check: the pow17 arithmetic subcircuit (the paper's
    §5.2 oracle component) run through the gate-fusion engine and the
    plain statevector engine on every computational-basis input, with
@@ -128,10 +185,22 @@ let run_fuse ~(p : Algo_tf.Oracle.params) =
   end
 
 let run format subroutine oracle_only gate_base simulate optimize verbose l n r
-    stream fuse domains =
+    stream fuse estimate estimate_base domains =
   Quipper_cli.set_domains domains;
   let p = { Algo_tf.Oracle.l; n; r } in
-  if fuse then begin
+  if estimate then begin
+    if simulate || optimize || stream || fuse || gate_base <> None then
+      Fmt.failwith
+        "--estimate is incompatible with --simulate, -O, --stream, --fuse \
+         and --gate-base (use --estimate-base for a symbolic base change)";
+    (match format with
+    | Gatecount -> ()
+    | _ -> Fmt.failwith "--estimate supports the gatecount format only");
+    run_estimate ~subroutine ~oracle_only ~p ~base:estimate_base
+  end
+  else if estimate_base <> None then
+    Fmt.failwith "--estimate-base needs --estimate"
+  else if fuse then begin
     if simulate || optimize || stream || gate_base <> None then
       Fmt.failwith
         "--fuse runs its own simulation comparison; drop --simulate, -O, \
@@ -262,6 +331,7 @@ let cmd =
     Term.(
       const run $ format $ subroutine $ oracle_only $ gate_base $ simulate
       $ optimize_arg $ verbose_arg $ l_arg $ n_arg $ r_arg $ stream_arg
-      $ fuse_arg $ Quipper_cli.domains_arg)
+      $ fuse_arg $ Quipper_cli.estimate_arg $ Quipper_cli.estimate_base_arg
+      $ Quipper_cli.domains_arg)
 
 let () = exit (Cmd.eval' cmd)

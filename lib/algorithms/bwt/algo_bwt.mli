@@ -55,6 +55,13 @@ type oracle = {
 
 val orthodox_oracle : params -> oracle
 val template_oracle : params -> oracle
+
+val walk_step : p:params -> oracle -> Qureg.t -> unit Circ.t
+(** One Trotter timestep (all four colours: neighbour, diffusion,
+    uncompute). {!main_circuit} is [s] iterations of this block followed
+    by measurement — the decomposition symbolic resource estimation
+    composes as prologue ; step^s ; epilogue. *)
+
 val main_circuit : p:params -> oracle -> Qureg.t -> Wire.bit array Circ.t
 val whole : p:params -> oracle -> Wire.bit array Circ.t
 val generate : ?p:params -> which:[ `Orthodox | `Template ] -> unit -> Circuit.b

@@ -93,7 +93,7 @@ let logical_error_rate pt =
     to — and the frame engine picks up every trial when [engine] is
     [`Auto]. *)
 let run_point ?(backend = (module Quipper_sim.Backend.Clifford : Quipper_sim.Backend.S))
-    ?(master_seed = 1) ?(engine : Noise.engine = `Auto) ~(p : params)
+    ?(master_seed = 1) ?(engine : Quipper_sim.Engine.t = `Auto) ~(p : params)
     ~(physical : float) ~(trials : int) () : point =
   validate p;
   let b = generate ~p () in

@@ -53,7 +53,7 @@ val logical_error_rate : point -> float
 val run_point :
   ?backend:(module Quipper_sim.Backend.S) ->
   ?master_seed:int ->
-  ?engine:Quipper_sim.Noise.engine ->
+  ?engine:Quipper_sim.Engine.t ->
   p:params ->
   physical:float ->
   trials:int ->

@@ -236,9 +236,9 @@ let a2_FetchE ~(p : params) (regs : registers) : unit Circ.t =
         (List.init j Fun.id))
     (List.init (tuple_size p) Fun.id)
 
-(** a1_QWTFP: the whole algorithm — initialise, superpose, populate the
-    edge table, amplitude-amplify, measure (§5.2's top level). *)
-let a1_QWTFP ~(p : params) : (Wire.bit array list * Wire.bit array) Circ.t =
+(** a1_prologue: initialise and superpose the registers and populate the
+    edge table — everything before the amplitude-amplification loop. *)
+let a1_prologue ~(p : params) : registers Circ.t =
   let* tt =
     mapm (fun _ -> Qureg.init_zero ~width:p.n) (List.init (tuple_size p) Fun.id)
   in
@@ -250,9 +250,13 @@ let a1_QWTFP ~(p : params) : (Wire.bit array list * Wire.bit array) Circ.t =
   let* ee = mapm (fun _ -> qinit_bit false) (List.init (ee_size p) Fun.id) in
   let regs = { tt = Array.of_list tt; i; v; ee = Array.of_list ee } in
   let* () = a2_FetchE ~p regs in
-  let* regs = iterate (r1_iterations p) (fun regs -> a4_GCQWStep ~p regs) regs in
-  (* measure the tuple (the candidate triangle is located classically from
-     the measured tuple and edge table, §3.5) *)
+  return regs
+
+(** a1_epilogue: measure the tuple and edge table, discard the rest (the
+    candidate triangle is located classically from the measured tuple and
+    edge table, §3.5). *)
+let a1_epilogue ~(p : params) (regs : registers) :
+    (Wire.bit array list * Wire.bit array) Circ.t =
   let* tt_bits =
     mapm (fun t -> measure (Qureg.shape p.n) t) (Array.to_list regs.tt |> List.map Fun.id)
   in
@@ -262,6 +266,15 @@ let a1_QWTFP ~(p : params) : (Wire.bit array list * Wire.bit array) Circ.t =
   let* () = discard (Qureg.shape p.r) regs.i in
   let* () = discard (Qureg.shape p.n) regs.v in
   return (tt_bits, Array.of_list ee_bits)
+
+(** a1_QWTFP: the whole algorithm — initialise, superpose, populate the
+    edge table, amplitude-amplify, measure (§5.2's top level):
+    prologue ; a4^R1 ; epilogue, the decomposition symbolic resource
+    estimation multiplies through without running the loop. *)
+let a1_QWTFP ~(p : params) : (Wire.bit array list * Wire.bit array) Circ.t =
+  let* regs = a1_prologue ~p in
+  let* regs = iterate (r1_iterations p) (fun regs -> a4_GCQWStep ~p regs) regs in
+  a1_epilogue ~p regs
 
 (** Generate the whole-algorithm circuit. *)
 let generate ?(p = default_params) () : Circuit.b =

@@ -56,9 +56,19 @@ val walk_segment : p:params -> registers -> registers Circ.t
 val a4_GCQWStep : p:params -> registers -> registers Circ.t
 val a2_FetchE : p:params -> registers -> unit Circ.t
 
+val a1_prologue : p:params -> registers Circ.t
+(** Initialise, superpose, populate the edge table — everything before
+    the amplitude-amplification loop. *)
+
+val a1_epilogue :
+  p:params -> registers -> (Wire.bit array list * Wire.bit array) Circ.t
+(** Measure the tuple and edge table, discard the rest. *)
+
 val a1_QWTFP : p:params -> (Wire.bit array list * Wire.bit array) Circ.t
 (** The whole algorithm: initialise, superpose, populate the edge table,
-    amplitude-amplify, measure. *)
+    amplitude-amplify, measure — [a1_prologue]; [a4_GCQWStep]^R1;
+    [a1_epilogue], the decomposition symbolic resource estimation
+    multiplies through. *)
 
 val generate : ?p:params -> unit -> Circuit.b
 val generate_oracle : ?p:params -> unit -> Circuit.b

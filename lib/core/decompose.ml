@@ -225,6 +225,17 @@ and decompose1 base ~alloc g =
 let rule (base : base) : Transform.rule =
  fun alloc g -> decompose_gate base ~alloc g
 
+(** One gate's full expansion into the base — [decompose1] with the
+    identity default made explicit. This is the per-gate transfer
+    function symbolic resource estimation multiplies through: the
+    result depends only on the gate's shape (name, inversion, control
+    signs and types), never on which wires it sits on, so one expansion
+    per gate kind is exact for counts however many times the kind
+    occurs. *)
+let expand (base : base) ~(alloc : Transform.alloc) (g : Gate.t) :
+    Gate.t list =
+  decompose1 base ~alloc g
+
 (** [decompose_generic base b]: rewrite a boxed circuit into the given gate
     base, hierarchically. *)
 let decompose_generic (base : base) (b : Circuit.b) : Circuit.b =

@@ -20,4 +20,11 @@ val base_name : base -> string
 val rule : base -> Transform.rule
 (** The transformer rule, for composition with other passes. *)
 
+val expand : base -> alloc:Transform.alloc -> Gate.t -> Gate.t list
+(** One gate's full recursive expansion into the base ([[g]] when the
+    gate is already in-base). The expansion's shape depends only on the
+    gate's name, inversion and control signature — never on wire
+    identities — which is what lets symbolic resource estimation apply
+    it once per gate kind as an exact counts transfer function. *)
+
 val decompose_generic : base -> Circuit.b -> Circuit.b

@@ -232,6 +232,39 @@ let peak_wires (b : Circuit.b) : int =
   peak_of_circuit ~find:(Circuit.find_sub b) ~memo:(Hashtbl.create 16) b.main
 
 (* ------------------------------------------------------------------ *)
+(* Gate classes                                                        *)
+
+type klass = Clifford | T | Rotation | Structural | Classical | Other
+
+let klass_name = function
+  | Clifford -> "clifford"
+  | T -> "t"
+  | Rotation -> "rotation"
+  | Structural -> "structural"
+  | Classical -> "classical"
+  | Other -> "other"
+
+(** Classify a count key for the by-class resource rollup. Structural =
+    init/term/discard/measure; Classical = classical logic gates; T and
+    Clifford only uncontrolled (plus the standard one-control Cliffords:
+    CNOT, CZ, CY, controlled-swap excluded); rotations stay rotations
+    under controls; everything else — including multiply-controlled
+    gates awaiting decomposition — is Other. *)
+let class_of_key (k : key) : klass =
+  if is_io_kind k then Structural
+  else if String.length k.kind > 6 && String.sub k.kind 0 6 = "CGate:" then
+    Classical
+  else
+    let controls = k.pos_controls + k.neg_controls in
+    match k.kind with
+    | "T" when controls = 0 -> T
+    | "Not" | "X" -> if controls <= 1 then Clifford else Other
+    | "Y" | "Z" -> if controls <= 1 then Clifford else Other
+    | "H" | "S" | "swap" -> if controls = 0 then Clifford else Other
+    | "Rz" | "Rx" | "R" | "Ph" | "exp(-i%Z)" | "GPhase" -> Rotation
+    | _ -> Other
+
+(* ------------------------------------------------------------------ *)
 (* Summary record and printing, in Quipper's output format             *)
 
 type summary = {

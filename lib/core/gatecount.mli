@@ -50,6 +50,27 @@ val total_logical : t -> int
 val get : t -> key -> int
 val find_kind : t -> string -> int
 
+val is_io_kind : key -> bool
+(** Initialisation / termination / discard / measurement kinds — the
+    keys [total_logical] excludes. *)
+
+(** A coarse classification of count keys for by-class resource rollups
+    (the axis resource-estimation tables are quoted on): Clifford gates,
+    T gates, parameterised rotations, structural (init/term/discard/
+    measure), classical logic, and everything else — including
+    multiply-controlled gates awaiting decomposition. *)
+type klass = Clifford | T | Rotation | Structural | Classical | Other
+
+val klass_name : klass -> string
+val class_of_key : key -> klass
+
+val peak_step : sub_peak:(string -> int) -> int * int -> Gate.t -> int * int
+(** One gate's effect on the (live wires, peak) pair — the step function
+    of {!peak_wires} and of the streaming tracker, exposed so other
+    hierarchical analyses (notably [Quipper_estimate]) share the exact
+    peak-wires semantics: a subroutine call at [l] live wires can reach
+    [l - arity_in + sub_peak name]. *)
+
 val peak_wires : Circuit.b -> int
 (** Peak number of simultaneously-live wires ("Qubits in circuit"),
     computed hierarchically. *)

@@ -1,0 +1,42 @@
+(** Arbitrary-precision non-negative integers for resource accumulators.
+
+    The paper's headline instances (3x10^13 gates, §5.4) fit OCaml's
+    63-bit native ints, but the symbolic estimator exists precisely to
+    quote instances orders of magnitude past that — products over the
+    call tree overflow native ints long before they overflow patience.
+    This is a dependency-free (no Zarith) natural-number type: little-
+    endian limbs in base 10^9, so every limb product fits a native int
+    and decimal printing is a per-limb [%09d]. Addition, multiplication
+    and comparison are all the estimator needs; there is deliberately no
+    subtraction — resource counts never go down. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int_opt : t -> int option
+(** [Some n] iff the value fits a native int exactly. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val equal_int : t -> int -> bool
+val compare : t -> t -> int
+val max_ : t -> t -> t
+
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val mul_int : t -> int -> t
+(** [mul_int t n] with [n >= 0]; raises [Invalid_argument] otherwise. *)
+
+val succ : t -> t
+
+val to_string : t -> string
+(** Plain decimal, no separators — prints byte-identical to
+    [string_of_int] wherever the value fits an int. *)
+
+val pp : Format.formatter -> t -> unit

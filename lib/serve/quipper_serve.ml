@@ -62,26 +62,40 @@ type t = {
   choice : backend_choice;
   boxes : Fuse.box_cache;
   cache : (int64 * bool list, entry) Hashtbl.t;
+  inflight : (int64 * bool list, unit) Hashtbl.t;
+      (** keys some worker is currently preparing *)
   lock : Mutex.t;
+  cond : Condition.t;  (** signalled when an in-flight preparation settles *)
   mutable hits : int;
   mutable misses : int;
+  mutable prepares : int;  (** completed preparations (the expensive runs) *)
 }
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; prepares : int; entries : int }
 
 let create ?(backend : backend_choice = `Auto) () =
   {
     choice = backend;
     boxes = Fuse.box_cache ();
     cache = Hashtbl.create 64;
+    inflight = Hashtbl.create 8;
     lock = Mutex.create ();
+    cond = Condition.create ();
     hits = 0;
     misses = 0;
+    prepares = 0;
   }
 
 let stats t =
   Mutex.lock t.lock;
-  let s = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.cache } in
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      prepares = t.prepares;
+      entries = Hashtbl.length t.cache;
+    }
+  in
   Mutex.unlock t.lock;
   s
 
@@ -162,31 +176,52 @@ let prepare t req =
       | exception Errors.Error (Errors.Simulation _) ->
           prepare_fused t.boxes req outputs)
 
+(* Each key is prepared exactly once, however many workers race for it:
+   the first worker marks the key in-flight and prepares outside the
+   lock (preparation is a full simulation and must not serialize the
+   other workers); the rest block on the condition variable until the
+   preparation settles and then take the cached entry as a hit. If the
+   preparer dies, it clears the in-flight mark and wakes the waiters, so
+   one of them retries — a failure never wedges the key. *)
 let lookup_or_prepare t req =
   let key = (Circuit.hash req.circuit, req.inputs) in
   Mutex.lock t.lock;
-  match Hashtbl.find_opt t.cache key with
-  | Some e ->
-      t.hits <- t.hits + 1;
-      Mutex.unlock t.lock;
-      (e, true)
-  | None ->
-      t.misses <- t.misses + 1;
-      Mutex.unlock t.lock;
-      (* prepare outside the lock — preparation is a full simulation and
-         must not serialize the other workers; racing workers prepare
-         twice and keep the first insert (entries are interchangeable) *)
-      let e = prepare t req in
-      Mutex.lock t.lock;
-      let e =
-        match Hashtbl.find_opt t.cache key with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.add t.cache key e;
-            e
-      in
-      Mutex.unlock t.lock;
-      (e, false)
+  let rec acquire () =
+    match Hashtbl.find_opt t.cache key with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        `Cached e
+    | None ->
+        if Hashtbl.mem t.inflight key then begin
+          Condition.wait t.cond t.lock;
+          acquire ()
+        end
+        else begin
+          t.misses <- t.misses + 1;
+          Hashtbl.replace t.inflight key ();
+          Mutex.unlock t.lock;
+          `Prepare
+        end
+  in
+  match acquire () with
+  | `Cached e -> (e, true)
+  | `Prepare -> (
+      match prepare t req with
+      | e ->
+          Mutex.lock t.lock;
+          Hashtbl.add t.cache key e;
+          t.prepares <- t.prepares + 1;
+          Hashtbl.remove t.inflight key;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.lock;
+          (e, false)
+      | exception exn ->
+          Mutex.lock t.lock;
+          Hashtbl.remove t.inflight key;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.lock;
+          raise exn)
 
 let submit t req : reply =
   if req.shots < 0 then invalid_arg "Quipper_serve.submit: negative shots";
@@ -261,4 +296,5 @@ let naive t req : bool array array =
   Array.init req.shots one
 
 let pp_stats ppf s =
-  Fmt.pf ppf "%d hits, %d misses, %d cached circuits" s.hits s.misses s.entries
+  Fmt.pf ppf "%d hits, %d misses, %d prepares, %d cached circuits" s.hits
+    s.misses s.prepares s.entries

@@ -54,9 +54,14 @@ val create : ?backend:backend_choice -> unit -> t
 
 val submit : t -> request -> reply
 (** Serve one request: prepare (or fetch) the frozen pre-measurement
-    state, then draw every shot from it. Raises like the underlying
-    backend ([Simulation _] on incapable gate sets, termination
-    assertions if the circuit trips one during preparation). *)
+    state, then draw every shot from it. Each distinct key is prepared
+    exactly once however many workers race for it: the first marks it
+    in-flight and prepares, the rest block until the preparation settles
+    and count as cache hits (asserted in [test_serve]). Raises like the
+    underlying backend ([Simulation _] on incapable gate sets,
+    termination assertions if the circuit trips one during
+    preparation); a failed preparation wakes the waiters, one of which
+    retries. *)
 
 val submit_batch : t -> request list -> (reply, string) result list
 (** Serve independent requests concurrently across up to
@@ -72,10 +77,12 @@ val naive : t -> request -> bool array array
     [(submit t req).outcomes] — the acceptance property the N7
     benchmark asserts before timing anything. *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; prepares : int; entries : int }
 
 val stats : t -> stats
 (** Request-cache counters since [create] ([entries] = distinct
-    prepared circuits resident). *)
+    prepared circuits resident; [prepares] = completed preparation runs,
+    equal to [misses] minus failed preparations — racing workers that
+    blocked on an in-flight preparation count as [hits]). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -13,31 +13,12 @@ type t = [ `Auto | `Frame | `Slow ]
 
 let to_string = function `Auto -> "auto" | `Frame -> "frame" | `Slow -> "slow"
 
-(* Spellings accepted by earlier releases' ad-hoc parsers; recognised
-   for one more release, normalised with a warning on stderr. *)
-let deprecated_spellings =
-  [
-    ("fast", `Frame);
-    ("frames", `Frame);
-    ("pauli-frame", `Frame);
-    ("naive", `Slow);
-    ("resim", `Slow);
-    ("full", `Slow);
-  ]
-
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "auto" -> Ok `Auto
   | "frame" -> Ok `Frame
   | "slow" -> Ok `Slow
-  | d -> (
-      match List.assoc_opt d deprecated_spellings with
-      | Some e ->
-          Fmt.epr "warning: engine spelling %S is deprecated, use %S@." s
-            (to_string e);
-          Ok e
-      | None ->
-          Error (Fmt.str "unknown engine %S (expected auto, frame or slow)" s))
+  | _ -> Error (Fmt.str "unknown engine %S (expected auto, frame or slow)" s)
 
 let default () =
   match Sys.getenv_opt "QUIPPER_ENGINE" with

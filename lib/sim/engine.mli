@@ -5,10 +5,7 @@
     runs the Pauli-frame engine ({!Frame}) where the circuit is
     eligible and falls back to one-full-simulation-per-attempt;
     [`Frame] and [`Slow] force the choice. Outcomes are bit-identical
-    across engines at equal seeds — only throughput differs.
-
-    [Noise.engine] and [Inject.engine] are deprecated aliases of {!t},
-    kept for one release. *)
+    across engines at equal seeds — only throughput differs. *)
 
 type t = [ `Auto | `Frame | `Slow ]
 
@@ -17,10 +14,8 @@ val to_string : t -> string
     engine, as accepted by {!of_string} and the [bin/] CLIs. *)
 
 val of_string : string -> (t, string) result
-(** Parse an engine name (case-insensitive). The ad-hoc spellings of
-    earlier releases ([fast], [frames], [pauli-frame] for [`Frame];
-    [naive], [resim], [full] for [`Slow]) are still accepted for one
-    release, with a deprecation warning on stderr. *)
+(** Parse an engine name (case-insensitive): exactly the canonical
+    spellings of {!to_string}; anything else is an [Error]. *)
 
 val default : unit -> t
 (** The default engine every campaign entry point uses: [`Auto], unless

@@ -42,8 +42,6 @@ let outcome_name = function
 
 type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
 
-type engine = Engine.t
-
 type report = {
   gates : int;  (** gate count of the inlined circuit *)
   sites : int;
@@ -167,7 +165,7 @@ let frame_fault (site : Faultsite.site) (p : pauli) : Frame.fault =
     (canonical tableau vs amplitudes up to phase), so the classification
     is bit-identical to [`Slow]. *)
 let report_on (module B : Backend.S) ?(seed = 1) ?(paulis = all_paulis)
-    ?(engine : engine = Engine.default ()) (b : Circuit.b) (inputs : bool list) :
+    ?(engine : Engine.t = Engine.default ()) (b : Circuit.b) (inputs : bool list) :
     report =
   let c = campaign_on (module B) ~seed b inputs in
   let site_paulis =

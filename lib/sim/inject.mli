@@ -30,15 +30,6 @@ val outcome_name : outcome -> string
 
 type finding = { site : Faultsite.site; fault : pauli; outcome : outcome }
 
-type engine = Engine.t
-(** @deprecated Alias of {!Engine.t}, kept one release — campaigns now
-    share one engine-selection type. [`Auto] (the default, overridable
-    via [QUIPPER_ENGINE]; see {!Engine.default}) classifies every fault
-    in one Pauli-frame propagation pass when the circuit is eligible
-    (per-lane slow fallback otherwise), [`Slow] forces one full
-    re-simulation per fault. Classifications are identical; only
-    throughput differs. *)
-
 type report = {
   gates : int;
   sites : int;
@@ -74,7 +65,7 @@ val report_on :
   (module Backend.S) ->
   ?seed:int ->
   ?paulis:pauli list ->
-  ?engine:engine ->
+  ?engine:Engine.t ->
   Circuit.b ->
   bool list ->
   report
@@ -87,7 +78,7 @@ val run_site : ?seed:int -> Circuit.b -> bool list -> Faultsite.site -> pauli ->
 (** {!run_site_on} fixed to the statevector backend. *)
 
 val report :
-  ?seed:int -> ?paulis:pauli list -> ?engine:engine -> Circuit.b -> bool list -> report
+  ?seed:int -> ?paulis:pauli list -> ?engine:Engine.t -> Circuit.b -> bool list -> report
 (** {!report_on} fixed to the statevector backend. *)
 
 val pp_report : Format.formatter -> report -> unit

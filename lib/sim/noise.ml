@@ -130,8 +130,6 @@ let run_and_measure ?(seed = 1) cfg (b : Circuit.b) (inputs : bool list) : bool 
 (* ------------------------------------------------------------------ *)
 (* Trial-based resilient running                                       *)
 
-type engine = Engine.t
-
 let channels_of cfg : Frame.channels =
   {
     Frame.bit_flip = cfg.bit_flip;
@@ -207,7 +205,7 @@ let slow_attempt_on (module B : Backend.S) ~seed cfg flat inputs =
     and falls back per lane (or whole-circuit) to the slow path;
     [`Slow] forces the historical one-simulation-per-attempt path. *)
 let run_trials_on (module B : Backend.S) ?(master_seed = 1)
-    ?(engine : engine = Engine.default ()) ~trials ~max_failures cfg (b : Circuit.b)
+    ?(engine : Engine.t = Engine.default ()) ~trials ~max_failures cfg (b : Circuit.b)
     (inputs : bool list) ~(expected : bool list) : stats =
   if trials <= 0 then invalid_arg "Noise.run_trials: trials must be positive";
   if max_failures < 0 then invalid_arg "Noise.run_trials: negative max_failures";
@@ -341,7 +339,7 @@ type sample_summary = {
     comparison. Trials run through the {!Frame} engine in bit-packed
     blocks when eligible, the slow path otherwise. *)
 let sample_trials_on (module B : Backend.S) ?(master_seed = 1)
-    ?(engine : engine = Engine.default ()) ~trials cfg (b : Circuit.b)
+    ?(engine : Engine.t = Engine.default ()) ~trials cfg (b : Circuit.b)
     (inputs : bool list) ~(f : int -> sample -> unit) : sample_summary =
   if trials <= 0 then invalid_arg "Noise.sample_trials: trials must be positive";
   let flat = Circuit.inline b in

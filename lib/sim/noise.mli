@@ -53,17 +53,6 @@ val run_circuit : ?seed:int -> config -> Circuit.b -> bool list -> Statevector.s
 val run_and_measure : ?seed:int -> config -> Circuit.b -> bool list -> bool list
 (** {!run_and_measure_on} fixed to the statevector backend. *)
 
-type engine = Engine.t
-(** @deprecated Alias of {!Engine.t}, kept one release — campaigns now
-    share one engine-selection type. [`Auto] (the default, overridable
-    via [QUIPPER_ENGINE]; see {!Engine.default}) picks the fastest
-    machinery: the snapshot sampling surface for noiseless sampling
-    campaigns, the Pauli-frame engine ({!Frame}) on eligible noisy
-    circuits, the slow one-simulation-per-attempt path otherwise;
-    [`Frame]/[`Slow] force the choice. Outcomes are bit-identical
-    across engines (same derived seeds, same classification); only
-    throughput differs. *)
-
 (** Outcome of one trial of {!run_trials}. *)
 type trial_outcome =
   | Success of int  (** right answer after this many attempts *)
@@ -97,7 +86,7 @@ val pp_stats : Format.formatter -> stats -> unit
 val run_trials_on :
   (module Backend.S) ->
   ?master_seed:int ->
-  ?engine:engine ->
+  ?engine:Engine.t ->
   trials:int ->
   max_failures:int ->
   config ->
@@ -114,7 +103,7 @@ val run_trials_on :
 
 val run_trials :
   ?master_seed:int ->
-  ?engine:engine ->
+  ?engine:Engine.t ->
   trials:int ->
   max_failures:int ->
   config ->
@@ -150,7 +139,7 @@ type sample_summary = {
 val sample_trials_on :
   (module Backend.S) ->
   ?master_seed:int ->
-  ?engine:engine ->
+  ?engine:Engine.t ->
   trials:int ->
   config ->
   Circuit.b ->
@@ -173,7 +162,7 @@ val sample_trials_on :
 
 val sample_trials :
   ?master_seed:int ->
-  ?engine:engine ->
+  ?engine:Engine.t ->
   trials:int ->
   config ->
   Circuit.b ->

@@ -1,0 +1,341 @@
+(* The symbolic resource estimator ([Quipper_estimate]).
+
+   The load-bearing property is differential: on everything small enough
+   to count exactly, the symbolic vector must be bit-identical to the
+   streamed/materialized [Gatecount] summary (counts key for key,
+   T-count, peak wires), its depth bound must equal the hierarchical
+   [Depth.depth] and dominate the exact inlined depth, and every
+   combinator ([seq], [repeat], [inverse], [controlled], [in_base]) must
+   match the materialized circuit it models. Then the arbitrary-precision
+   layer ([Wide]) is checked past native-int range, and the composed
+   BWT/TF estimates are checked against the streamed whole algorithms —
+   the small-parameter anchor of the scaled tables in EXPERIMENTS.md. *)
+
+open Quipper
+open Circ
+module Gen = Quipper_testgen.Gen
+module Estimate = Quipper_estimate.Estimate
+module Wide = Quipper_estimate.Wide
+module Qureg = Quipper_arith.Qureg
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Wide: arbitrary-precision naturals                                  *)
+
+let test_wide_basics () =
+  check "zero" true (Wide.is_zero Wide.zero && Wide.to_int_opt Wide.zero = Some 0);
+  List.iter
+    (fun x ->
+      check "of_int roundtrip" true (Wide.to_int_opt (Wide.of_int x) = Some x);
+      check "to_string = string_of_int" true
+        (Wide.to_string (Wide.of_int x) = string_of_int x))
+    [ 0; 1; 7; 999_999_999; 1_000_000_000; 123_456_789_012_345; max_int ];
+  check "of_int negative raises" true
+    (match Wide.of_int (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* add/mul against the int reference on a deterministic grid *)
+  let xs = [ 0; 1; 2; 999_999_999; 1_000_000_001; 123_456_789 ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check "add ref" true
+            (Wide.to_int_opt (Wide.add (Wide.of_int a) (Wide.of_int b))
+            = Some (a + b));
+          check "mul ref" true
+            (Wide.to_int_opt (Wide.mul (Wide.of_int a) (Wide.of_int b))
+            = Some (a * b));
+          check "compare ref" true
+            (Wide.compare (Wide.of_int a) (Wide.of_int b) = compare a b))
+        xs)
+    xs;
+  check "succ" true (Wide.equal (Wide.succ Wide.zero) Wide.one)
+
+let test_wide_overflow () =
+  let e18 = Wide.of_int 1_000_000_000_000_000_000 in
+  let sq = Wide.mul e18 e18 in
+  check "10^36 string" true
+    (Wide.to_string sq = "1000000000000000000000000000000000000");
+  check "10^36 does not fit" true (Wide.to_int_opt sq = None);
+  check "max_int fits" true
+    (Wide.to_int_opt (Wide.of_int max_int) = Some max_int);
+  check "2*max_int does not fit" true
+    (Wide.to_int_opt (Wide.mul_int (Wide.of_int max_int) 2) = None);
+  check "max_ picks the bigger" true
+    (Wide.equal (Wide.max_ e18 sq) sq && Wide.equal (Wide.max_ sq e18) sq)
+
+(* ------------------------------------------------------------------ *)
+(* The property corpus: symbolic = exact on random programs            *)
+
+let qn = 5
+let wshape n = Qdata.list_of n Qdata.qubit
+let est_of ~n ops = Estimate.of_circ ~in_:(wshape n) (Gen.program_fun ops)
+
+let counts_match v (exact : Gatecount.t) =
+  let proj = Estimate.counts v in
+  List.length proj = Gatecount.Counts.cardinal exact
+  && List.for_all (fun (k, w) -> Wide.equal_int w (Gatecount.get exact k)) proj
+
+let exact_t_count (s : Gatecount.summary) =
+  Gatecount.Counts.fold
+    (fun (k : Gatecount.key) c acc ->
+      if k.Gatecount.kind = "T" && k.pos_controls = 0 && k.neg_controls = 0
+      then acc + c
+      else acc)
+    s.Gatecount.counts 0
+
+let prop_corpus =
+  QCheck2.Test.make
+    ~name:
+      "corpus: of_circuit/sink = summarize, depth = Depth.depth, class \
+       rollup (200)"
+    ~count:200
+    (Gen.program_gen ~n:qn ())
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:qn ops in
+      let s = Gatecount.summarize b in
+      let v = Estimate.of_circuit b in
+      let vs = est_of ~n:qn ops in
+      Estimate.agrees v s
+      (* the streaming sink and the materialized walk build one vector *)
+      && Estimate.equal v vs
+      && Wide.equal_int (Estimate.t_count v) (exact_t_count s)
+      (* generated programs are flat at top level, so the depth bound is
+         the exact scheduled depth *)
+      && Wide.equal_int (Estimate.depth_bound v) (Depth.depth b)
+      && Estimate.peak_wires v = s.Gatecount.qubits
+      (* the by-class rollup partitions the total *)
+      && Wide.equal
+           (List.fold_left
+              (fun acc (_, w) -> Wide.add acc w)
+              Wide.zero (Estimate.by_class v))
+           (Estimate.total v))
+
+(* [inverse] and [controlled] against the materialized counterparts. *)
+let prop_inverse =
+  QCheck2.Test.make ~name:"corpus: inverse = invert_counts (100)" ~count:100
+    (Gen.program_gen ~n:qn ())
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:qn ops in
+      let v = Estimate.inverse (Estimate.of_circuit b) in
+      counts_match v (Gatecount.invert_counts (Gatecount.aggregate b))
+      && Estimate.in_arity v = List.length b.Circuit.main.Circuit.outputs
+      && Estimate.out_arity v = List.length b.Circuit.main.Circuit.inputs)
+
+let prop_controlled =
+  QCheck2.Test.make ~name:"corpus: controlled = with_controls (100)"
+    ~count:100
+    (Gen.program_gen ~n:qn ())
+    (fun ops ->
+      (* the same program under one ambient positive control, materialized
+         with an extra control qubit *)
+      let bc, _ =
+        Circ.generate
+          ~in_:(wshape (qn + 1))
+          (fun ql ->
+            match ql with
+            | c :: rest ->
+                let* () =
+                  with_controls [ ctl c ] (Gen.program ops (Array.of_list rest))
+                in
+                return ql
+            | [] -> assert false)
+      in
+      let v = Estimate.controlled ~pos:1 (est_of ~n:qn ops) in
+      counts_match v (Gatecount.aggregate bc))
+
+(* [seq]/[repeat] against the materialized concatenation and loop. *)
+let prop_compose =
+  QCheck2.Test.make ~name:"corpus: seq/repeat = concatenated/looped (100)"
+    ~count:100
+    QCheck2.Gen.(pair (Gen.program_gen ~n:qn ()) (Gen.program_gen ~n:qn ()))
+    (fun (ops1, ops2) ->
+      let both, _ =
+        Circ.generate ~in_:(wshape qn) (fun ql ->
+            let* ql = Gen.program_fun ops1 ql in
+            Gen.program_fun ops2 ql)
+      in
+      let looped k =
+        let b, _ =
+          Circ.generate ~in_:(wshape qn) (fun ql ->
+              iterate k (Gen.program_fun ops1) ql)
+        in
+        b
+      in
+      let v1 = est_of ~n:qn ops1 and v2 = est_of ~n:qn ops2 in
+      (* counts, peak and arities are exact under seq and repeat; depth
+         composes as a bound, so it is not part of [agrees] *)
+      Estimate.agrees (Estimate.seq v1 v2) (Gatecount.summarize both)
+      && Estimate.agrees (Estimate.repeat 3 v1)
+           (Gatecount.summarize (looped 3))
+      && Estimate.agrees (Estimate.repeat 1 v1) (Gatecount.summarize (looped 1))
+      && Wide.is_zero (Estimate.total (Estimate.repeat 0 v1)))
+
+(* [in_base]: the symbolic transfer function against the real
+   decomposition — counts exact (no controls cross box boundaries in
+   flat programs), depth/peak sound bounds. *)
+let prop_in_base base name =
+  QCheck2.Test.make
+    ~name:(Fmt.str "corpus: in_base %s = decompose_generic (80)" name)
+    ~count:80
+    (Gen.program_gen ~n:qn ())
+    (fun ops ->
+      let b = Gen.circuit_of_program ~n:qn ops in
+      let d = Decompose.decompose_generic base b in
+      let ds = Gatecount.summarize d in
+      let v = Estimate.in_base base (Estimate.of_circuit b) in
+      counts_match v ds.Gatecount.counts
+      && Wide.equal_int (Estimate.total v) ds.Gatecount.total
+      && (match Wide.to_int_opt (Estimate.depth_bound v) with
+         | Some dep -> dep >= Depth.depth d
+         | None -> true)
+      && Estimate.peak_wires v >= ds.Gatecount.qubits)
+
+(* ------------------------------------------------------------------ *)
+(* Boxed circuits: calls, multiplicities, controlled and inverse calls *)
+
+let boxed_ops =
+  [ Gen.H 0; Gen.CNot (0, 1); Gen.T 2; Gen.Toffoli (0, true, 1, false, 3);
+    Gen.Swap (2, 3) ]
+
+let boxed_circuit () =
+  let n = 4 in
+  let w = wshape n in
+  let step ql =
+    Circ.box "step" ~in_:w ~out:w (Gen.program_fun boxed_ops) ql
+  in
+  let b, _ =
+    Circ.generate
+      ~in_:(wshape (n + 1))
+      (fun ql ->
+        match ql with
+        | c :: rest ->
+            let* rest = iterate 2 step rest in
+            let* rest = with_controls [ ctl c ] (step rest) in
+            let* rest = reverse_simple w step rest in
+            return (c :: rest)
+        | [] -> assert false)
+  in
+  b
+
+let test_boxed () =
+  let b = boxed_circuit () in
+  let s = Gatecount.summarize b in
+  let v = Estimate.of_circuit b in
+  check "boxed counts exact (plain, controlled and inverse calls)" true
+    (Estimate.agrees v s);
+  check "boxed depth bound = hierarchical Depth.depth" true
+    (Wide.equal_int (Estimate.depth_bound v) (Depth.depth b));
+  let flat = Circuit.of_main (Circuit.inline b) in
+  check "boxed depth bound >= exact inlined depth" true
+    (match Wide.to_int_opt (Estimate.depth_bound v) with
+    | Some d -> d >= Depth.depth flat
+    | None -> false);
+  check "boxed peak = inlined peak" true
+    (Estimate.peak_wires v = Gatecount.peak_wires flat)
+
+(* ------------------------------------------------------------------ *)
+(* Past native-int range                                               *)
+
+let test_scaled_totals () =
+  let v = est_of ~n:3 [ Gen.H 0; Gen.CNot (0, 1) ] in
+  check "base total" true (Wide.equal_int (Estimate.total v) 2);
+  let tera = Estimate.repeat 1_000_000_000_000 v in
+  check "10^12 repetitions" true
+    (Wide.to_string (Estimate.total tera) = "2000000000000");
+  (* 2 * 10^9 * 10^9 * 10^3 = 2*10^21 > max_int: only Wide can say it *)
+  let huge =
+    Estimate.repeat 1_000 (Estimate.repeat 1_000_000_000
+        (Estimate.repeat 1_000_000_000 v))
+  in
+  check "2*10^21 exact decimal" true
+    (Wide.to_string (Estimate.total huge) = "2000000000000000000000");
+  check "2*10^21 does not fit an int" true
+    (Wide.to_int_opt (Estimate.total huge) = None);
+  check "peak unchanged by repetition" true
+    (Estimate.peak_wires huge = Estimate.peak_wires v)
+
+(* ------------------------------------------------------------------ *)
+(* The composed algorithm estimates against the streamed exact counts  *)
+
+let summary_and_depth circ =
+  let (s, d), _ =
+    Circ.run_streaming_unit circ (Sink.tee (Sink.gatecount ()) (Sink.depth ()))
+  in
+  (s, d)
+
+let bwt_estimate ~(p : Algo_bwt.params) oracle =
+  let m = Algo_bwt.label_width p in
+  let prologue =
+    Estimate.of_circ_unit (Qureg.init ~width:m Algo_bwt.entrance)
+  in
+  let step =
+    Estimate.of_circ ~in_:(Qureg.shape m) (fun a ->
+        let* () = Algo_bwt.walk_step ~p oracle a in
+        return a)
+  in
+  let epilogue =
+    Estimate.of_circ ~in_:(Qureg.shape m) (fun a ->
+        Circ.measure (Qureg.shape m) a)
+  in
+  Estimate.seq prologue
+    (Estimate.seq (Estimate.repeat p.Algo_bwt.s step) epilogue)
+
+let test_bwt_composition () =
+  List.iter
+    (fun (name, mk) ->
+      let p = { Algo_bwt.n = 2; s = 3; dt = Algo_bwt.default_params.Algo_bwt.dt } in
+      let oracle = mk p in
+      let s, d = summary_and_depth (Algo_bwt.whole ~p oracle) in
+      let v = bwt_estimate ~p oracle in
+      check (name ^ ": composed estimate = streamed exact") true
+        (Estimate.agrees v s);
+      check (name ^ ": depth bound >= streamed depth") true
+        (match Wide.to_int_opt (Estimate.depth_bound v) with
+        | Some dep -> dep >= d
+        | None -> false))
+    [ ("orthodox", Algo_bwt.orthodox_oracle); ("template", Algo_bwt.template_oracle) ]
+
+let test_tf_composition () =
+  let p = { Algo_tf.Oracle.l = 2; n = 2; r = 1 } in
+  let s, d = summary_and_depth (Algo_tf.Qwtfp.a1_QWTFP ~p) in
+  let prologue = Estimate.of_circ_unit (Algo_tf.Qwtfp.a1_prologue ~p) in
+  let step =
+    Estimate.of_circ ~in_:(Algo_tf.Qwtfp.regs_shape p) (fun regs ->
+        Algo_tf.Qwtfp.a4_GCQWStep ~p regs)
+  in
+  let epilogue =
+    Estimate.of_circ ~in_:(Algo_tf.Qwtfp.regs_shape p) (fun regs ->
+        Algo_tf.Qwtfp.a1_epilogue ~p regs)
+  in
+  let v =
+    Estimate.seq prologue
+      (Estimate.seq
+         (Estimate.repeat (Algo_tf.Qwtfp.r1_iterations p) step)
+         epilogue)
+  in
+  check "tf: composed estimate = streamed exact" true (Estimate.agrees v s);
+  check "tf: depth bound >= streamed depth" true
+    (match Wide.to_int_opt (Estimate.depth_bound v) with
+    | Some dep -> dep >= d
+    | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "wide: basics vs int reference" `Quick test_wide_basics;
+    Alcotest.test_case "wide: past native-int range" `Quick test_wide_overflow;
+    QCheck_alcotest.to_alcotest prop_corpus;
+    QCheck_alcotest.to_alcotest prop_inverse;
+    QCheck_alcotest.to_alcotest prop_controlled;
+    QCheck_alcotest.to_alcotest prop_compose;
+    QCheck_alcotest.to_alcotest (prop_in_base Decompose.Toffoli "toffoli");
+    QCheck_alcotest.to_alcotest (prop_in_base Decompose.Binary "binary");
+    Alcotest.test_case "boxed: calls, controls, inverses" `Quick test_boxed;
+    Alcotest.test_case "scaled: totals past int range" `Quick
+      test_scaled_totals;
+    Alcotest.test_case "bwt: composed = streamed, both oracles" `Quick
+      test_bwt_composition;
+    Alcotest.test_case "tf: composed = streamed" `Quick test_tf_composition;
+  ]

@@ -24,4 +24,5 @@ let () =
       ("fuse", Test_fuse.suite);
       ("frame", Test_frame.suite);
       ("serve", Test_serve.suite);
+      ("estimate", Test_estimate.suite);
     ]

@@ -210,6 +210,33 @@ let test_noise_snapshot_path () =
   check "slow path untouched" true
     (ss.Noise.snapshot_sampled = 0 && ss.Noise.slow_sampled = 20)
 
+(* Single-prepare under contention: many workers race for one key; the
+   first marks it in-flight and prepares, the rest block on the condvar
+   and take the cached entry. Exactly one preparation run must happen,
+   and the blocked workers must count as hits — the outcomes staying
+   bit-identical to the naive path throughout. *)
+let test_single_prepare () =
+  let saved = !Kernel.num_domains in
+  Kernel.num_domains := 8;
+  let b =
+    Gen.circuit_of_program ~n:3 [ Gen.H 0; Gen.CNot (0, 1); Gen.CNot (1, 2) ]
+  in
+  let req =
+    { Serve.circuit = b; inputs = [ false; false; false ]; shots = 4; seed = 9 }
+  in
+  let svc = Serve.create ~backend:`Statevector () in
+  let naive = Serve.naive svc req in
+  let replies = Serve.submit_batch svc (List.init 16 (fun _ -> req)) in
+  Kernel.num_domains := saved;
+  let st = Serve.stats svc in
+  check "all 16 replies match naive" true
+    (List.for_all
+       (function Ok r -> r.Serve.outcomes = naive | Error _ -> false)
+       replies);
+  check "prepared exactly once" true (st.Serve.prepares = 1);
+  check "one miss, the rest hits" true
+    (st.Serve.misses = 1 && st.Serve.hits = 15 && st.Serve.entries = 1)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_law_statevector;
@@ -228,4 +255,6 @@ let suite =
       test_box_alias;
     Alcotest.test_case "noise: noiseless sampling rides the snapshot" `Quick
       test_noise_snapshot_path;
+    Alcotest.test_case "cache: one prepare under 8-domain contention" `Quick
+      test_single_prepare;
   ]
