@@ -29,6 +29,46 @@ let run_stream which format p =
   | f -> Fmt.failwith "--stream supports gatecount and text, not %S" f);
   0
 
+(* Streaming optimisation: interpose the windowed peephole transformer
+   between generation and the counting sinks, tee-ing unoptimized
+   before-counters off the same single pass. The report layout matches
+   [Passes.optimize_and_report] followed by the gatecount branch, so at
+   parameters where the window covers what the materialized fixpoint
+   finds, the output is byte-identical to [-O] without [--stream] —
+   while memory stays O(window) however large [s] is. *)
+let run_stream_opt which format p verbose =
+  let module Stream_opt = Quipper_opt.Stream_opt in
+  (match format with
+  | "gatecount" -> ()
+  | f ->
+      Fmt.failwith
+        "--stream -O supports the gatecount format only, not %S (gate lines \
+         stream before the report header could be known)" f);
+  let circ : Wire.bit array Circ.t =
+    match which with
+    | "orthodox" -> Algo_bwt.whole ~p (Algo_bwt.orthodox_oracle p)
+    | "template" -> Algo_bwt.whole ~p (Algo_bwt.template_oracle p)
+    | "qcl" -> Qcl_baseline.Bwt_qcl.whole ~p
+    | s -> Fmt.failwith "unknown oracle %S (try orthodox, template, qcl)" s
+  in
+  let st = Stream_opt.stats_create () in
+  let sink =
+    Sink.tee
+      (Sink.tee (Sink.gatecount ()) (Sink.depth ()))
+      (Stream_opt.sink ~stats:st (Sink.tee (Sink.gatecount ()) (Sink.depth ())))
+  in
+  let ((before, depth_before), (after, depth_after)), _ =
+    Circ.run_streaming_unit circ sink
+  in
+  Fmt.pr "Before optimisation:@\n%a@\n" Gatecount.pp_summary before;
+  if verbose then Fmt.pr "%a@." Stream_opt.pp_stats st;
+  Fmt.pr "After optimisation:@\n%a@\n" Gatecount.pp_summary after;
+  Fmt.pr "Optimizer: removed %d of %d logical gates; depth %d -> %d@."
+    (before.Gatecount.total_logical - after.Gatecount.total_logical)
+    before.Gatecount.total_logical depth_before depth_after;
+  Fmt.pr "%a@." Gatecount.pp_summary after;
+  0
+
 (* Symbolic estimation: derive the resource vector of ONE walk timestep
    (streamed once), multiply it by [s], and seal it between the
    entrance-preparation prologue and the measurement epilogue. The
@@ -149,9 +189,8 @@ let run which format n s optimize verbose stream fuse estimate estimate_base
     run_fuse which p seed
   end
   else if stream then begin
-    if optimize then
-      Fmt.failwith "--stream is incompatible with -O (optimizing needs the materialized circuit)";
-    run_stream which format p
+    if optimize then run_stream_opt which format p verbose
+    else run_stream which format p
   end
   else begin
   let b =
@@ -205,7 +244,9 @@ let stream_arg =
     & info [ "stream" ]
         ~doc:"Stream gates to the consumer instead of materializing the \
               circuit: O(1) memory per gate, same output byte for byte \
-              (formats: gatecount, text).")
+              (formats: gatecount, text). With $(b,-O), optimize the \
+              stream through the windowed peephole transformer \
+              (gatecount only).")
 
 let fuse_arg =
   Arg.(

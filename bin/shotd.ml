@@ -64,10 +64,10 @@ let digest (replies : (Serve.reply, string) result list) : int64 =
 (* Batch mode                                                          *)
 
 let run_batch wl n s dt distance rounds shots requests clients seed backend check
-    domains =
+    optimize domains =
   Quipper_cli.set_domains domains;
   let circuit, inputs = workload wl ~n ~s ~dt ~distance ~rounds in
-  let svc = Serve.create ~backend:(parse_backend backend) () in
+  let svc = Serve.create ~backend:(parse_backend backend) ~optimize () in
   let reqs =
     List.init requests (fun r ->
         { Serve.circuit; inputs; shots; seed = Rng.derive seed r })
@@ -128,10 +128,10 @@ let submit_line svc circuit inputs ~shots ~seed =
         (digest [ Ok r ])
   | exception e -> Fmt.pr "error: %s@." (Printexc.to_string e)
 
-let run_daemon wl n s dt distance rounds backend domains =
+let run_daemon wl n s dt distance rounds backend optimize domains =
   Quipper_cli.set_domains domains;
   let circuit, inputs = workload wl ~n ~s ~dt ~distance ~rounds in
-  let svc = Serve.create ~backend:(parse_backend backend) () in
+  let svc = Serve.create ~backend:(parse_backend backend) ~optimize () in
   Fmt.pr "shotd: serving %s; lines are \"SHOTS SEED\", \"stats\" or \"quit\"@." wl;
   let rec loop () =
     match input_line stdin with
@@ -221,20 +221,30 @@ let check_arg =
               rebuild+resimulate path and verify bit-identity (prints \
               \"Shot check: PASS\").")
 
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run each circuit through the streaming peephole optimizer once \
+              at preparation time (amortized across cached requests). \
+              Outcomes stay equal in distribution; $(b,--check) compares \
+              against a naive path that applies the same rewrite.")
+
 let batch_cmd =
   let doc = "Serve one batch of shot requests and report throughput." in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ workload_arg $ n_arg $ s_arg $ dt_arg $ distance_arg
       $ rounds_arg $ shots_arg $ requests_arg $ clients_arg
-      $ Quipper_cli.seed_arg $ backend_arg $ check_arg $ Quipper_cli.domains_arg)
+      $ Quipper_cli.seed_arg $ backend_arg $ check_arg $ optimize_arg
+      $ Quipper_cli.domains_arg)
 
 let daemon_cmd =
   let doc = "Serve shot requests line by line from standard input." in
   Cmd.v (Cmd.info "daemon" ~doc)
     Term.(
       const run_daemon $ workload_arg $ n_arg $ s_arg $ dt_arg $ distance_arg
-      $ rounds_arg $ backend_arg $ Quipper_cli.domains_arg)
+      $ rounds_arg $ backend_arg $ optimize_arg $ Quipper_cli.domains_arg)
 
 let cmd =
   let doc =

@@ -29,26 +29,24 @@ let generate ~subroutine ~oracle_only ~p =
       if oracle_only then Algo_tf.Qwtfp.generate_oracle ~p ()
       else Algo_tf.Qwtfp.generate ~p ()
 
-(* Streaming mode: drive the same entry points through
-   [Circ.run_streaming], tee-ing the subroutine-namespace, gate-count and
-   depth sinks so one pass produces the whole gatecount report —
-   byte-identical to the materialized path, with O(1) memory per gate. *)
-let run_stream ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params) =
-  let module Qureg = Quipper_arith.Qureg in
-  let sink () = Sink.tee3 (Sink.subroutines ()) (Sink.gatecount ()) (Sink.depth ()) in
-  let report ((subs, sub_order), summary, depth) =
-    let b0 =
-      { Circuit.main = { Circuit.inputs = []; gates = [||]; outputs = [] };
-        subs; sub_order }
-    in
-    List.iter
-      (fun (name, s) ->
-        Fmt.pr "Subroutine %S: %d gates, %d qubits@." name s.Gatecount.total
-          s.Gatecount.qubits)
-      (Gatecount.per_subroutine b0);
-    Fmt.pr "%a" Gatecount.pp_summary summary;
-    Fmt.pr "Depth (upper bound): %d@." depth
+(* per-box report lines from a collected subroutine namespace *)
+let pp_per_subroutine subs sub_order =
+  let b0 =
+    { Circuit.main = { Circuit.inputs = []; gates = [||]; outputs = [] };
+      subs; sub_order }
   in
+  List.iter
+    (fun (name, s) ->
+      Fmt.pr "Subroutine %S: %d gates, %d qubits@." name s.Gatecount.total
+        s.Gatecount.qubits)
+    (Gatecount.per_subroutine b0)
+
+(* One streamed generation pass of the selected entry point into [sink],
+   with [report] on its result — the streaming modes below differ only
+   in the sinks they compose. *)
+let with_streamed ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params)
+    (sink : unit -> 'a Sink.t) (report : 'a -> unit) =
+  let module Qureg = Quipper_arith.Qureg in
   let go : type b q c r. in_:(b, q, c) Qdata.t -> (q -> r Circ.t) -> unit =
    fun ~in_ f -> report (fst (Circ.run_streaming ~in_ f (sink ())))
   in
@@ -75,6 +73,46 @@ let run_stream ~subroutine ~oracle_only ~(p : Algo_tf.Oracle.params) =
           (fun (u, w, e) -> Algo_tf.Oracle.o1_ORACLE ~p (u, w, e))
       else go ~in_:Qdata.unit (fun () -> Algo_tf.Qwtfp.a1_QWTFP ~p));
   0
+
+(* Streaming mode: drive the same entry points through
+   [Circ.run_streaming], tee-ing the subroutine-namespace, gate-count and
+   depth sinks so one pass produces the whole gatecount report —
+   byte-identical to the materialized path, with O(1) memory per gate. *)
+let run_stream ~subroutine ~oracle_only ~p =
+  let sink () = Sink.tee3 (Sink.subroutines ()) (Sink.gatecount ()) (Sink.depth ()) in
+  let report ((subs, sub_order), summary, depth) =
+    pp_per_subroutine subs sub_order;
+    Fmt.pr "%a" Gatecount.pp_summary summary;
+    Fmt.pr "Depth (upper bound): %d@." depth
+  in
+  with_streamed ~subroutine ~oracle_only ~p sink report
+
+(* Streaming optimisation: the windowed peephole transformer between
+   generation and the report sinks, unoptimized before-counters teed off
+   the same pass. Report layout matches materialized [-O] (the
+   [Passes.optimize_and_report] block, then the per-box/summary/depth
+   gatecount report of the optimized circuit). *)
+let run_stream_opt ~subroutine ~oracle_only ~p ~verbose =
+  let module Stream_opt = Quipper_opt.Stream_opt in
+  let st = Stream_opt.stats_create () in
+  let sink () =
+    Sink.tee
+      (Sink.tee (Sink.gatecount ()) (Sink.depth ()))
+      (Stream_opt.sink ~stats:st
+         (Sink.tee3 (Sink.subroutines ()) (Sink.gatecount ()) (Sink.depth ())))
+  in
+  let report ((before, depth_before), ((subs, sub_order), after, depth_after)) =
+    Fmt.pr "Before optimisation:@\n%a@\n" Gatecount.pp_summary before;
+    if verbose then Fmt.pr "%a@." Stream_opt.pp_stats st;
+    Fmt.pr "After optimisation:@\n%a@\n" Gatecount.pp_summary after;
+    Fmt.pr "Optimizer: removed %d of %d logical gates; depth %d -> %d@."
+      (before.Gatecount.total_logical - after.Gatecount.total_logical)
+      before.Gatecount.total_logical depth_before depth_after;
+    pp_per_subroutine subs sub_order;
+    Fmt.pr "%a" Gatecount.pp_summary after;
+    Fmt.pr "Depth (upper bound): %d@." depth_after
+  in
+  with_streamed ~subroutine ~oracle_only ~p sink report
 
 (* Symbolic estimation: the whole algorithm is prologue ; a4^R1 ;
    epilogue, so the amplitude-amplification loop collapses to one
@@ -208,14 +246,15 @@ let run format subroutine oracle_only gate_base simulate optimize verbose l n r
     run_fuse ~p
   end
   else if stream then begin
-    if simulate || optimize || gate_base <> None then
+    if simulate || gate_base <> None then
       Fmt.failwith
-        "--stream is incompatible with --simulate, -O and --gate-base (they \
+        "--stream is incompatible with --simulate and --gate-base (they \
          need the materialized circuit)";
     (match format with
     | Gatecount -> ()
     | _ -> Fmt.failwith "--stream supports the gatecount format only");
-    run_stream ~subroutine ~oracle_only ~p
+    if optimize then run_stream_opt ~subroutine ~oracle_only ~p ~verbose
+    else run_stream ~subroutine ~oracle_only ~p
   end
   else if simulate then
     if Algo_tf.Simulate.run ~p then 0 else 1

@@ -103,7 +103,15 @@ let rec tracked_sub_depth tr name =
 
 let track_gate tr (g : Gate.t) =
   let t = advance_gate ~sub_depth:(tracked_sub_depth tr) tr.time g in
-  if t > tr.overall then tr.overall <- t
+  if t > tr.overall then tr.overall <- t;
+  (* a terminated wire's finish time is folded into [overall] above and
+     its id is never touched again, so dropping the clock entry keeps
+     the table at O(live wires) even when a generator allocates fresh
+     ancilla ids per iteration (the template oracle does) *)
+  match g with
+  | Gate.Term { wire; _ } | Gate.Discard { wire; _ } ->
+      Hashtbl.remove tr.time wire
+  | _ -> ()
 
 let tracked_depth tr = tr.overall
 

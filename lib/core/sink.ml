@@ -136,6 +136,46 @@ let subroutines () : (Circuit.subroutine Circuit.Namespace.t * string list) t =
     finish = (fun _ -> (!subs, List.rev !order));
   }
 
+(** Rebuild a [Circuit.b] from the event stream: the collecting sink.
+    Feeding a circuit through a sink transformer and into [circuit ()]
+    materializes the transformed circuit (tests, and the non-streaming
+    entry points of streaming transformers). O(gates) memory, of course. *)
+let circuit () : Circuit.b t =
+  let inputs = ref [] in
+  let gates = Vec.create () in
+  let subs = ref Circuit.Namespace.empty in
+  let order = ref [] in
+  {
+    on_inputs = (fun es -> inputs := es);
+    on_gate = (fun g -> Vec.push gates g);
+    on_subroutine_enter = (fun _ -> ());
+    on_subroutine_exit =
+      (fun name sub ->
+        if not (Circuit.Namespace.mem name !subs) then order := name :: !order;
+        subs := Circuit.Namespace.add name sub !subs);
+    finish =
+      (fun outs ->
+        {
+          Circuit.main =
+            { Circuit.inputs = !inputs; gates = Vec.to_array gates; outputs = outs };
+          subs = !subs;
+          sub_order = List.rev !order;
+        });
+  }
+
+(** Drive a sink from a materialized circuit: the same event sequence
+    {!Circ.run_streaming} would produce for it — inputs first, then every
+    subroutine definition in definition order (innermost-first, hence
+    before any call gate naming it), then the main gates in order, then
+    [finish] on the outputs. *)
+let drive (b : Circuit.b) (s : 'r t) : 'r =
+  s.on_inputs b.Circuit.main.Circuit.inputs;
+  List.iter
+    (fun name -> s.on_subroutine_exit name (Circuit.find_sub b name))
+    b.Circuit.sub_order;
+  Array.iter s.on_gate b.Circuit.main.Circuit.gates;
+  s.finish b.Circuit.main.Circuit.outputs
+
 (* ------------------------------------------------------------------ *)
 (* Unboxing adapter                                                    *)
 

@@ -64,6 +64,19 @@ val subroutines :
 (** Collect the subroutine namespace and definition order — the non-main
     part of a [Circuit.b]. *)
 
+val circuit : unit -> Circuit.b t
+(** The collecting sink: rebuild a [Circuit.b] from the event stream
+    (inputs, gates, definitions in arrival order, outputs). Feeding a
+    circuit through a sink transformer into [circuit ()] materializes the
+    transformed circuit. O(gates) memory by design. *)
+
+val drive : Circuit.b -> 'r t -> 'r
+(** Replay a materialized circuit as the event stream
+    {!Circ.run_streaming} would produce for it: [on_inputs], then every
+    definition in [sub_order] (before any call gate naming it), then the
+    main gates in order, then [finish] on the outputs.
+    [drive b (circuit ())] rebuilds [b]. *)
+
 val unbox : 'r t -> 'r t
 (** Expand every [Subroutine] call gate into its body before handing
     gates to the inner sink, which therefore sees the flat gate sequence

@@ -40,6 +40,13 @@ let find_pass name =
 
 let pipeline_of_names names = List.map find_pass names
 
+type level = {
+  lname : string;
+  lgates_before : int;
+  lgates_after : int;
+  lseconds : float;
+}
+
 type stat = {
   spass : string;
   round : int;
@@ -48,7 +55,44 @@ type stat = {
   depth_before : int;
   depth_after : int;
   seconds : float;
+  levels : level list;
 }
+
+(* flat logical gate count of one level's body — NOT expanded through
+   call multiplicities, because each level's body is rewritten exactly
+   once per pass regardless of how often it is called *)
+let flat_logical (c : Circuit.t) =
+  Array.fold_left
+    (fun n g -> if Gate.is_comment g then n else n + 1)
+    0 c.Circuit.gates
+
+(* [Transform.map_circuits p.run], but timing and counting each level
+   (main + every box body) separately. The headline [stat] fields keep
+   the hierarchy-EXPANDED gate counts (body gates times call
+   multiplicity) — useful as "work the circuit represents" — but
+   attributing wall time against those would conflate a box rewritten
+   once with the thousands of calls replaying it; [levels] reports the
+   flat per-level counts the pass actually visited, and their times. *)
+let timed_map_circuits run (b : Circuit.b) =
+  let levels = ref [] in
+  let apply lname c =
+    let lgates_before = flat_logical c in
+    let t0 = Unix.gettimeofday () in
+    let c' = run c in
+    let lseconds = Unix.gettimeofday () -. t0 in
+    levels :=
+      { lname; lgates_before; lgates_after = flat_logical c'; lseconds }
+      :: !levels;
+    c'
+  in
+  let main = apply "main" b.Circuit.main in
+  let subs =
+    Circuit.Namespace.mapi
+      (fun name (s : Circuit.subroutine) ->
+        { s with Circuit.circ = apply name s.Circuit.circ })
+      b.Circuit.subs
+  in
+  ({ b with Circuit.main; subs }, List.rev !levels)
 
 let optimize ?(passes = default_pipeline) ?(max_rounds = 10) (b : Circuit.b) =
   let stats = ref [] in
@@ -61,9 +105,10 @@ let optimize ?(passes = default_pipeline) ?(max_rounds = 10) (b : Circuit.b) =
         List.fold_left
           (fun b p ->
             let gates_before, depth_before = measure b in
-            let t0 = Unix.gettimeofday () in
-            let b' = Transform.map_circuits p.run b in
-            let seconds = Unix.gettimeofday () -. t0 in
+            let b', levels = timed_map_circuits p.run b in
+            let seconds =
+              List.fold_left (fun acc l -> acc +. l.lseconds) 0. levels
+            in
             let gates_after, depth_after = measure b' in
             stats :=
               {
@@ -74,6 +119,7 @@ let optimize ?(passes = default_pipeline) ?(max_rounds = 10) (b : Circuit.b) =
                 depth_before;
                 depth_after;
                 seconds;
+                levels;
               }
               :: !stats;
             if b' <> b then changed := true;
@@ -93,7 +139,17 @@ let pp_stats ppf stats =
       Format.fprintf ppf "%-14s %5d %12d %12d %8d %7d %7d %8.1fms@\n" s.spass
         s.round s.gates_before s.gates_after
         (s.gates_before - s.gates_after)
-        s.depth_before s.depth_after (1000. *. s.seconds))
+        s.depth_before s.depth_after (1000. *. s.seconds);
+      match s.levels with
+      | [] | [ _ ] -> () (* unboxed: the one level is the headline row *)
+      | levels ->
+          List.iter
+            (fun l ->
+              Format.fprintf ppf "  %-12s %5s %12d %12d %8d %7s %7s %8.1fms@\n"
+                l.lname "" l.lgates_before l.lgates_after
+                (l.lgates_before - l.lgates_after)
+                "" "" (1000. *. l.lseconds))
+            levels)
     stats
 
 let optimize_and_report ?(verbose = false) ppf (b : Circuit.b) =

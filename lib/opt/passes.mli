@@ -29,6 +29,18 @@ val find_pass : string -> pass
 
 val pipeline_of_names : string list -> pass list
 
+type level = {
+  lname : string;  (** ["main"] or a subroutine name *)
+  lgates_before : int;  (** flat logical gates of this level's body *)
+  lgates_after : int;
+  lseconds : float;  (** wall time rewriting this one body *)
+}
+(** One hierarchy level of one pass application. A pass rewrites each
+    box body exactly once however many times it is called, so wall time
+    belongs to levels with {e flat} gate counts — against the
+    hierarchy-expanded counts in {!stat} a once-rewritten body would be
+    charged per call site. *)
+
 type stat = {
   spass : string;  (** pass name *)
   round : int;  (** fixpoint round, starting at 1 *)
@@ -36,7 +48,8 @@ type stat = {
   gates_after : int;
   depth_before : int;
   depth_after : int;
-  seconds : float;  (** wall time of this pass application *)
+  seconds : float;  (** wall time of this pass application (sum of levels) *)
+  levels : level list;  (** per-level breakdown: main first, then boxes *)
 }
 
 val optimize :

@@ -160,21 +160,27 @@ let eval_cgate name (ins : bool list) =
   | "xor", _ -> Some (List.fold_left ( <> ) false ins)
   | _ -> None
 
-let propagate_constants (c : Circuit.t) : Circuit.t =
-  let known : (Wire.t, bool) Hashtbl.t = Hashtbl.create 32 in
+(* The transfer function is factored out per gate so the streaming
+   optimizer ([Stream_opt]) can run the identical analysis on an
+   unbounded gate stream: [cp] is the known-value map, [cp_step]
+   processes one gate and says what to do with it. *)
+
+type cp = (Wire.t, bool) Hashtbl.t
+
+let cp_create () : cp = Hashtbl.create 32
+
+let cp_step (known : cp) (g : Gate.t) : [ `Keep of Gate.t * int | `Drop ] =
   let forget w = Hashtbl.remove known w in
-  let out = Vec.create () in
-  let changed = ref false in
-  let emit g = Vec.push out g in
   (* split a control list by what the known-value map says about it *)
   let resolve_controls controls =
     let dead = ref false in
+    let dropped = ref 0 in
     let kept =
       List.filter
         (fun (c : Gate.control) ->
           match Hashtbl.find_opt known c.Gate.cwire with
           | Some v when v = c.Gate.positive ->
-              changed := true;
+              incr dropped;
               false (* always fires: drop the control *)
           | Some _ ->
               dead := true;
@@ -182,7 +188,7 @@ let propagate_constants (c : Circuit.t) : Circuit.t =
           | None -> true)
         controls
     in
-    (kept, !dead)
+    (kept, !dead, !dropped)
   in
   let with_controls g kept =
     match g with
@@ -192,76 +198,86 @@ let propagate_constants (c : Circuit.t) : Circuit.t =
     | Gate.Subroutine r -> Gate.Subroutine { r with controls = kept }
     | g -> g
   in
-  let apply (g : Gate.t) =
-    match g with
-    | Gate.Init { value; wire; _ } ->
-        Hashtbl.replace known wire value;
-        emit g
-    | Gate.Term { wire; _ } | Gate.Discard { wire; _ } ->
-        forget wire;
-        emit g
-    | Gate.Measure _ ->
-        (* a known wire is in a basis state: measuring preserves the
-           value, the wire merely turns classical *)
-        emit g
-    | Gate.Cgate { name; out = o; ins } ->
-        (match
-           List.map (fun w -> Hashtbl.find_opt known w) ins
-           |> List.fold_left
-                (fun acc v ->
-                  match (acc, v) with Some l, Some x -> Some (x :: l) | _ -> None)
-                (Some [])
-         with
-        | Some vals -> (
-            match eval_cgate name (List.rev vals) with
-            | Some v -> Hashtbl.replace known o v
-            | None -> forget o)
-        | None -> forget o);
-        emit g
-    | Gate.Comment _ -> emit g
-    | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ | Gate.Subroutine _ -> (
-        let kept, dead = resolve_controls (Gate.controls g) in
-        if dead then
-          match g with
-          | Gate.Subroutine { inputs; outputs; _ } when inputs <> outputs ->
-              (* the call never fires, but deleting it would orphan its
-                 output wire ids; keep it untouched *)
-              List.iter forget inputs;
-              List.iter forget outputs;
-              emit g
-          | Gate.Subroutine _ | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ ->
-              (* never fires and targets = outputs: delete *)
-              changed := true
-          | _ -> assert false
-        else
-          let g = with_controls g kept in
-          match g with
-          | Gate.Gate { name = "not" | "X" | "Y"; targets = [ w ]; controls = []; _ }
-            -> (
-              (match Hashtbl.find_opt known w with
-              | Some v -> Hashtbl.replace known w (not v)
-              | None -> ());
-              emit g)
-          | Gate.Gate { name = "swap"; targets = [ a; b ]; controls = []; _ } -> (
-              match (Hashtbl.find_opt known a, Hashtbl.find_opt known b) with
-              | Some va, Some vb when va = vb ->
-                  (* swapping two wires in the same basis state is the
-                     identity: delete *)
-                  changed := true
-              | ka, kb ->
-                  (match ka with Some v -> Hashtbl.replace known b v | None -> forget b);
-                  (match kb with Some v -> Hashtbl.replace known a v | None -> forget a);
-                  emit g)
-          | Gate.Subroutine { inputs; outputs; _ } ->
-              List.iter forget inputs;
-              List.iter forget outputs;
-              emit g
-          | g when Gate.is_diagonal g ->
-              (* a diagonal gate fixes every basis value *)
-              emit g
-          | g ->
-              List.iter forget (Gate.targets g);
-              emit g)
-  in
-  Array.iter apply c.Circuit.gates;
+  match g with
+  | Gate.Init { value; wire; _ } ->
+      Hashtbl.replace known wire value;
+      `Keep (g, 0)
+  | Gate.Term { wire; _ } | Gate.Discard { wire; _ } ->
+      forget wire;
+      `Keep (g, 0)
+  | Gate.Measure _ ->
+      (* a known wire is in a basis state: measuring preserves the
+         value, the wire merely turns classical *)
+      `Keep (g, 0)
+  | Gate.Cgate { name; out = o; ins } ->
+      (match
+         List.map (fun w -> Hashtbl.find_opt known w) ins
+         |> List.fold_left
+              (fun acc v ->
+                match (acc, v) with Some l, Some x -> Some (x :: l) | _ -> None)
+              (Some [])
+       with
+      | Some vals -> (
+          match eval_cgate name (List.rev vals) with
+          | Some v -> Hashtbl.replace known o v
+          | None -> forget o)
+      | None -> forget o);
+      `Keep (g, 0)
+  | Gate.Comment _ -> `Keep (g, 0)
+  | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ | Gate.Subroutine _ -> (
+      let kept, dead, dropped = resolve_controls (Gate.controls g) in
+      if dead then
+        match g with
+        | Gate.Subroutine { inputs; outputs; _ } when inputs <> outputs ->
+            (* the call never fires, but deleting it would orphan its
+               output wire ids; keep it untouched *)
+            List.iter forget inputs;
+            List.iter forget outputs;
+            `Keep (g, dropped)
+        | Gate.Subroutine _ | Gate.Gate _ | Gate.Rot _ | Gate.Phase _ ->
+            (* never fires and targets = outputs: delete *)
+            `Drop
+        | _ -> assert false
+      else
+        let g = with_controls g kept in
+        match g with
+        | Gate.Gate { name = "not" | "X" | "Y"; targets = [ w ]; controls = []; _ }
+          ->
+            (match Hashtbl.find_opt known w with
+            | Some v -> Hashtbl.replace known w (not v)
+            | None -> ());
+            `Keep (g, dropped)
+        | Gate.Gate { name = "swap"; targets = [ a; b ]; controls = []; _ } -> (
+            match (Hashtbl.find_opt known a, Hashtbl.find_opt known b) with
+            | Some va, Some vb when va = vb ->
+                (* swapping two wires in the same basis state is the
+                   identity: delete *)
+                `Drop
+            | ka, kb ->
+                (match ka with Some v -> Hashtbl.replace known b v | None -> forget b);
+                (match kb with Some v -> Hashtbl.replace known a v | None -> forget a);
+                `Keep (g, dropped))
+        | Gate.Subroutine { inputs; outputs; _ } ->
+            List.iter forget inputs;
+            List.iter forget outputs;
+            `Keep (g, dropped)
+        | g when Gate.is_diagonal g ->
+            (* a diagonal gate fixes every basis value *)
+            `Keep (g, dropped)
+        | g ->
+            List.iter forget (Gate.targets g);
+            `Keep (g, dropped))
+
+let propagate_constants (c : Circuit.t) : Circuit.t =
+  let known = cp_create () in
+  let out = Vec.create () in
+  let changed = ref false in
+  Array.iter
+    (fun g ->
+      match cp_step known g with
+      | `Drop -> changed := true
+      | `Keep (g', dropped) ->
+          if dropped > 0 then changed := true;
+          Vec.push out g')
+    c.Circuit.gates;
   if !changed then { c with Circuit.gates = Vec.to_array out } else c

@@ -38,6 +38,31 @@ val flip_controls : ?lookahead:int -> Circuit.t -> Circuit.t
     baseline generator's set/unset NOT pairs around controlled gates melt
     under this rule. *)
 
+val is_plain_x : Gate.t -> bool
+(** An uncontrolled single-target [not]/[X] — the conjugating gate of the
+    {!flip_controls} rule. *)
+
+val uses_only_as_control : Gate.t -> Wire.t -> bool
+(** The wire appears in the gate's control list and nowhere else, so an X
+    on that wire passes through with a polarity flip. *)
+
+val flip_control_on : Wire.t -> Gate.t -> Gate.t
+(** Flip the polarity of every control on the given wire. *)
+
+type cp
+(** Constant-propagation state: the per-wire known-basis-value map. The
+    transfer function is exposed so the streaming optimizer can run the
+    same analysis over an unbounded gate stream. *)
+
+val cp_create : unit -> cp
+
+val cp_step : cp -> Gate.t -> [ `Keep of Gate.t * int | `Drop ]
+(** Process one gate in stream order: [`Drop] deletes it (a control
+    provably contradicts a known value, or a swap of known-equal wires);
+    [`Keep (g', n)] emits [g'] — [g] with [n] provably-satisfied controls
+    removed. Mutates the state. [propagate_constants] is a fold of this
+    over the gate array. *)
+
 val propagate_constants : Circuit.t -> Circuit.t
 (** Classical constant propagation from [Init0]/[Init1] (and classical
     [Cgate] evaluation): a control on a wire known to hold the control's

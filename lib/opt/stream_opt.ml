@@ -1,0 +1,433 @@
+(** Streaming peephole optimisation over a bounded look-behind window.
+
+    The window is a FIFO of entries plus a per-wire index: [last] maps
+    each wire to the newest live entry touching it, and every entry
+    remembers, per wire, the entry that was newest when it arrived
+    ([prev]) — the same per-wire adjacency {!Dag} builds eagerly, grown
+    incrementally and only backward. An arriving gate walks this
+    adjacency toward older entries exactly like {!Rewrite.walk} walks
+    forward: step past provable commuters, act on a cancellation or
+    fusion partner, stop at anything else.
+
+    Rewrites mutate entries in place ([g = None] marks removal), so the
+    emission order of surviving gates is the arrival order — retirement
+    pops the FIFO head. Retirement is therefore monotone in [seq]: once
+    an entry is retired, so is everything older, which makes two
+    conservative short-cuts sound: a backward walk reaching a retired
+    entry stops (everything beyond is out of reach anyway), and retired
+    entries drop their [prev] links (bounding memory at O(window)).
+
+    Constant propagation runs at arrival, before the walks. Arrival
+    order equals emission order, and every rewrite is semantics-exact,
+    so the transfer function sees a stream equivalent to what is
+    emitted — the same pipeline order ({i constants} first) as
+    {!Passes.default_pipeline}. *)
+
+open Quipper
+
+type stats = {
+  mutable seen : int;
+  mutable emitted : int;
+  mutable cancelled : int;
+  mutable fused : int;
+  mutable flipped : int;
+  mutable const_controls : int;
+  mutable const_deleted : int;
+  mutable boxes_optimized : int;
+  mutable box_hits : int;
+}
+
+let stats_create () =
+  {
+    seen = 0;
+    emitted = 0;
+    cancelled = 0;
+    fused = 0;
+    flipped = 0;
+    const_controls = 0;
+    const_deleted = 0;
+    boxes_optimized = 0;
+    box_hits = 0;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "stream-opt: %d gates in, %d out; cancelled %d pairs, fused %d, flipped \
+     %d X-sandwiches; constants: %d controls dropped, %d gates deleted; \
+     boxes: %d optimized, %d cache hits"
+    st.seen st.emitted st.cancelled st.fused st.flipped st.const_controls
+    st.const_deleted st.boxes_optimized st.box_hits
+
+let default_window = 256
+
+(* ------------------------------------------------------------------ *)
+(* The window                                                          *)
+
+type entry = {
+  seq : int;
+  mutable g : Gate.t option;  (** [None]: removed by a rewrite *)
+  mutable retired : bool;
+  ws : Wire.t list;  (** wires at insertion (rewrites never change them) *)
+  mutable prev : (Wire.t * entry) list;
+      (** per wire, the newest older entry on it at insertion time *)
+  mutable next : (Wire.t * entry) list;
+      (** per wire, the direct successor, once one arrives *)
+  mutable queued : bool;  (** already on the re-examination worklist *)
+}
+
+type win = {
+  window : int;
+  lookahead : int;
+  st : stats;
+  emit : Gate.t -> unit;
+  q : entry Queue.t;
+  last : (Wire.t, entry) Hashtbl.t;
+  cp : Rewrite.cp;
+  todo : entry Queue.t;
+      (** re-examination worklist: the streaming stand-in for the
+          materialized fixpoint — a removal may unblock pairs that were
+          separated by the removed gate, so the removed entry's nearest
+          live successors get their walks retried, cascading *)
+  mutable nseq : int;
+}
+
+let win_create ~window ~lookahead ~st emit =
+  {
+    window;
+    lookahead;
+    st;
+    emit;
+    q = Queue.create ();
+    last = Hashtbl.create 64;
+    cp = Rewrite.cp_create ();
+    todo = Queue.create ();
+    nseq = 0;
+  }
+
+(* comments are transparent to the wire chains (as in [Dag]): they hold
+   a queue slot so printing order survives, but never obstruct a walk *)
+let wires_of (g : Gate.t) =
+  match g with
+  | Gate.Comment _ -> []
+  | g ->
+      List.sort_uniq Int.compare
+        (List.map (fun (e : Wire.endpoint) -> e.Wire.wire) (Gate.wires g))
+
+let retire_one w =
+  let e = Queue.pop w.q in
+  (match e.g with
+  | Some g ->
+      w.emit g;
+      if not (Gate.is_comment g) then w.st.emitted <- w.st.emitted + 1
+  | None -> ());
+  e.retired <- true;
+  e.prev <- [];
+  e.next <- [];
+  List.iter
+    (fun wi ->
+      match Hashtbl.find_opt w.last wi with
+      | Some e' when e' == e -> Hashtbl.remove w.last wi
+      | _ -> ())
+    e.ws
+
+let insert w (g : Gate.t) : entry =
+  let ws = wires_of g in
+  let e =
+    {
+      seq = w.nseq;
+      g = Some g;
+      retired = false;
+      ws;
+      prev = [];
+      next = [];
+      queued = false;
+    }
+  in
+  w.nseq <- w.nseq + 1;
+  e.prev <-
+    List.filter_map
+      (fun wi -> Option.map (fun p -> (wi, p)) (Hashtbl.find_opt w.last wi))
+      ws;
+  List.iter (fun (wi, p) -> p.next <- (wi, e) :: p.next) e.prev;
+  List.iter (fun wi -> Hashtbl.replace w.last wi e) ws;
+  Queue.push e w.q;
+  while Queue.length w.q > w.window do
+    retire_one w
+  done;
+  e
+
+let prev_on (e : entry) (wi : Wire.t) =
+  Option.map snd (List.find_opt (fun ((w' : int), _) -> w' = wi) e.prev)
+
+let next_on (e : entry) (wi : Wire.t) =
+  Option.map snd (List.find_opt (fun ((w' : int), _) -> w' = wi) e.next)
+
+(* A removal may unblock walks the removed gate obstructed — and not
+   just its immediate neighbour's: a stalled multi-wire walk stops the
+   moment ONE wire's next gate fails to commute, so any later entry
+   sharing a wire with the removed gate may now get further. Schedule
+   every live successor on the removed entry's wires for a fresh walk
+   (successors are never retired while [e] is in the window —
+   retirement is FIFO). This is the streaming counterpart of [Passes]'s
+   fixpoint rounds: cascading, but local to where something changed and
+   bounded by the window. *)
+let retrigger w (e : entry) =
+  List.iter
+    (fun wi ->
+      let rec push n =
+        match next_on n wi with
+        | None -> ()
+        | Some n' ->
+            (match n'.g with
+            | Some _ when not n'.queued ->
+                n'.queued <- true;
+                Queue.push n' w.todo
+            | _ -> ());
+            push n'
+      in
+      push e)
+    e.ws
+
+let remove w (e : entry) =
+  e.g <- None;
+  retrigger w e
+
+(* The backward commuting walk for [e] at its own position: nearest
+   preceding live entry on any of its wires first ([Rewrite.walk]
+   mirrored, toward older gates). Removed entries are skipped for free;
+   a retired entry ends the walk — retirement is FIFO, so everything
+   beyond it is out of reach anyway. *)
+let match_entry w (e : entry) =
+  match e.g with
+  | None -> ()
+  | Some g ->
+      (* cursors: per wire of [e], the oldest entry the walk has reached
+         on that wire — a gate touches 1-3 wires, so a small assoc list
+         beats a hash table on allocation *)
+      let cursors = ref e.prev in
+      let advance_past x =
+        cursors :=
+          List.filter_map
+            (fun ((wi, x') as c) ->
+              if x' == x then
+                match prev_on x wi with
+                | Some p -> Some (wi, p)
+                | None -> None
+              else Some c)
+            !cursors
+      in
+      let steps = ref 0 in
+      let rec go () =
+        match !cursors with
+        | [] -> ()
+        | (_, c0) :: rest ->
+          let x =
+            List.fold_left
+              (fun (acc : entry) (_, x) -> if x.seq > acc.seq then x else acc)
+              c0 rest
+          in
+          if x.retired then ()
+          else
+            match x.g with
+            | None ->
+                advance_past x;
+                go ()
+            | Some h ->
+                if !steps >= w.lookahead then ()
+                else begin
+                  incr steps;
+                  if Transform.gates_cancel h g then begin
+                    w.st.cancelled <- w.st.cancelled + 1;
+                    remove w x;
+                    remove w e
+                  end
+                  else
+                    match Gate.fusion h g with
+                    | Some f ->
+                        (* fusion partners commute with exactly what [h]
+                           did: sound to leave the result at the earlier
+                           position, as [Rewrite.fuse] does *)
+                        w.st.fused <- w.st.fused + 1;
+                        remove w e;
+                        if Gate.is_identity f then remove w x
+                        else begin
+                          x.g <- Some f;
+                          retrigger w x
+                        end
+                    | None ->
+                        if Gate.commutes h g then begin
+                          advance_past x;
+                          go ()
+                        end
+              end
+      in
+      go ()
+
+(* The NOT-conjugation sandwich, scanned backward on the X'ed wire
+   alone ([Rewrite.flip_controls] mirrored): gates using the wire only
+   as a control collect; an older plain X closes the sandwich — flip
+   the collected polarities in place, remove both X's. Tried before the
+   generic walk because a control on the wire blocks commutation, so
+   the walk could never reach the partner. *)
+let flip_entry w (e : entry) =
+  match e.g with
+  | Some g when Rewrite.is_plain_x g -> (
+      let wi = List.hd (Gate.targets g) in
+      let rec scan cur sandwiched steps =
+        match cur with
+        | None -> false
+        | Some x ->
+            if x.retired then false
+            else (
+              match x.g with
+              | None -> scan (prev_on x wi) sandwiched steps
+              | Some h ->
+                  if steps > w.lookahead then false
+                  else if Rewrite.is_plain_x h then begin
+                    List.iter
+                      (fun x' ->
+                        match x'.g with
+                        | Some hg ->
+                            x'.g <- Some (Rewrite.flip_control_on wi hg)
+                        | None -> ())
+                      sandwiched;
+                    w.st.flipped <- w.st.flipped + 1;
+                    remove w x;
+                    remove w e;
+                    true
+                  end
+                  else if Rewrite.uses_only_as_control h wi then
+                    scan (prev_on x wi) (x :: sandwiched) (steps + 1)
+                  else false)
+      in
+      scan (prev_on e wi) [] 0)
+  | _ -> false
+
+let examine w (e : entry) =
+  match e.g with
+  | None -> ()
+  | Some g ->
+      if not (Rewrite.is_plain_x g && flip_entry w e) then match_entry w e
+
+let drain w =
+  while not (Queue.is_empty w.todo) do
+    let e = Queue.pop w.todo in
+    e.queued <- false;
+    if not e.retired then examine w e
+  done
+
+let on_gate w (g : Gate.t) =
+  match g with
+  | Gate.Comment _ -> ignore (insert w g)
+  | g -> (
+      w.st.seen <- w.st.seen + 1;
+      match Rewrite.cp_step w.cp g with
+      | `Drop -> w.st.const_deleted <- w.st.const_deleted + 1
+      | `Keep (g, dropped) ->
+          w.st.const_controls <- w.st.const_controls + dropped;
+          let e = insert w g in
+          examine w e;
+          drain w)
+
+let flush w =
+  while not (Queue.is_empty w.q) do
+    retire_one w
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Box bodies                                                          *)
+
+(* one body, through a private window (fresh wire chains, fresh
+   constant-propagation state), into an array *)
+let optimize_gates ~window ~lookahead ~st (gates : Gate.t array) =
+  let out = Vec.create () in
+  let w = win_create ~window ~lookahead ~st (Vec.push out) in
+  Array.iter (on_gate w) gates;
+  flush w;
+  Vec.to_array out
+
+(* ------------------------------------------------------------------ *)
+(* The sink transformer                                                *)
+
+let sink_one ~window ~lookahead ~st (inner : 'r Sink.t) : 'r Sink.t =
+  let w = win_create ~window ~lookahead ~st inner.Sink.on_gate in
+  (* original definitions, for resolved structural hashing — the same
+     memoization discipline as [Sink.unbox] and [Fuse]'s box cache:
+     keyed on the resolved hash, redefinitions miss instead of alias *)
+  let defs : (string, Circuit.subroutine) Hashtbl.t = Hashtbl.create 16 in
+  let hashes : (string, int64) Hashtbl.t = Hashtbl.create 16 in
+  let body_hash name =
+    let rec go n =
+      match Hashtbl.find_opt hashes n with
+      | Some h -> h
+      | None ->
+          Hashtbl.add hashes n 0L;
+          let h =
+            match Hashtbl.find_opt defs n with
+            | None -> 0L
+            | Some (s : Circuit.subroutine) ->
+                Circuit.hash_t ~resolve:(fun m -> Some (go m)) s.Circuit.circ
+          in
+          Hashtbl.replace hashes n h;
+          h
+    in
+    go name
+  in
+  let optimized : (int64, Gate.t array) Hashtbl.t = Hashtbl.create 16 in
+  {
+    Sink.on_inputs = inner.Sink.on_inputs;
+    on_gate = (fun g -> on_gate w g);
+    on_subroutine_enter = inner.Sink.on_subroutine_enter;
+    on_subroutine_exit =
+      (fun name (sub : Circuit.subroutine) ->
+        Hashtbl.replace defs name sub;
+        (* this name's hash — and that of any box calling it — changes *)
+        Hashtbl.reset hashes;
+        let h = body_hash name in
+        let gates' =
+          match Hashtbl.find_opt optimized h with
+          | Some gs ->
+              st.box_hits <- st.box_hits + 1;
+              gs
+          | None ->
+              let gs =
+                optimize_gates ~window ~lookahead ~st
+                  sub.Circuit.circ.Circuit.gates
+              in
+              st.boxes_optimized <- st.boxes_optimized + 1;
+              Hashtbl.add optimized h gs;
+              gs
+        in
+        (* every rule is phase-exact, so the rewritten body is valid
+           under added controls and inversion of its call sites; the
+           interface endpoints are untouched *)
+        inner.Sink.on_subroutine_exit name
+          { sub with Circuit.circ = { sub.Circuit.circ with Circuit.gates = gates' } });
+    finish =
+      (fun outs ->
+        flush w;
+        inner.Sink.finish outs);
+  }
+
+let default_rounds = 4
+
+(* One window pass interleaves all rules but commits its constant
+   propagation and its greedy matches in arrival order; the materialized
+   fixpoint instead lets each round's pass see the previous round's
+   removals (cancel an H·H pair, and the next constants pass propagates
+   straight through where the H used to be). Stacking stages recovers
+   exactly that: stage k's arrival stream is stage k-1's emission
+   stream, so its analyses run over the already-rewritten circuit —
+   k rounds of the fixpoint at O(k * window) memory. On the paper's BWT
+   and TF circuits 3 stages reach the materialized fixpoint. *)
+let sink ?(rounds = default_rounds) ?(window = default_window)
+    ?(lookahead = Rewrite.default_lookahead) ?stats (inner : 'r Sink.t) :
+    'r Sink.t =
+  let st = match stats with Some s -> s | None -> stats_create () in
+  let rec stack k inner =
+    if k <= 0 then inner else stack (k - 1) (sink_one ~window ~lookahead ~st inner)
+  in
+  stack rounds inner
+
+let optimize_b ?rounds ?window ?lookahead ?stats (b : Circuit.b) : Circuit.b =
+  Sink.drive b (sink ?rounds ?window ?lookahead ?stats (Sink.circuit ()))

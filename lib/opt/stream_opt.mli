@@ -1,0 +1,91 @@
+(** Streaming peephole optimisation: the {!Rewrite} rules recast as a
+    ['r Sink.t -> 'r Sink.t] transformer.
+
+    The materialized optimizer ({!Passes}) needs the whole [Circuit.t]
+    in memory, but the interesting circuits stream (64M+ gates, PR 4).
+    [sink inner] interposes a bounded per-wire look-behind window
+    between the gate stream and [inner]: each arriving gate first runs
+    the constant-propagation transfer function ({!Rewrite.cp_step}),
+    then tries the NOT-conjugation sandwich on its wire, then walks
+    backward over the window — stepping past provable commuters
+    ({!Quipper.Gate.commutes}) — looking for an inverse to cancel
+    ({!Quipper.Transform.gates_cancel}) or a rotation to fuse
+    ({!Quipper.Gate.fusion}). Unmatched gates append; the oldest window
+    entry retires to [inner] when the window overflows (the same
+    pending-block discipline [Fuse]'s scheduler uses), and the window
+    flushes at [finish]. Memory is O(window), independent of circuit
+    size.
+
+    Every rule is phase-exact, so box bodies are optimized too: each
+    [on_subroutine_exit] definition is rewritten once through a private
+    window — memoized on the resolved structural {!Quipper.Circuit.hash},
+    the same discipline as [Fuse]'s compiled-program cache and
+    {!Quipper.Sink.unbox} — and the optimized definition is forwarded
+    downstream. Call gates stay in the main window, where call/uncall
+    pairs cancel and calls otherwise act as commutation barriers.
+
+    The transformer never reorders surviving gates (rewrites happen in
+    place in the window), so composing into {!Quipper.Sink.printer}
+    keeps a parseable, deterministic text stream, and composing into
+    {!Quipper.Sink.gatecount}/[depth] reports optimized figures. *)
+
+open Quipper
+
+type stats = {
+  mutable seen : int;  (** logical gates that entered a window *)
+  mutable emitted : int;  (** logical gates that left one *)
+  mutable cancelled : int;  (** inverse pairs removed (2 gates each) *)
+  mutable fused : int;  (** fusion events (each removes ≥1 gate) *)
+  mutable flipped : int;  (** X-sandwiches absorbed (2 gates each) *)
+  mutable const_controls : int;  (** provably-satisfied controls dropped *)
+  mutable const_deleted : int;  (** gates with contradicted controls deleted *)
+  mutable boxes_optimized : int;  (** box bodies rewritten *)
+  mutable box_hits : int;  (** box bodies reused from the hash cache *)
+}
+(** Per-rule counters, mirroring {!Passes}'s per-pass statistics. Box
+    bodies share the counters of the sink that owns them. *)
+
+val stats_create : unit -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line summary of the counters. *)
+
+val default_window : int
+(** Retirement pressure: how many gates the look-behind window holds
+    before the oldest is forced downstream (256). *)
+
+val default_rounds : int
+(** How many window stages [sink] stacks (4). One stage commits its
+    analyses in arrival order; each further stage re-runs the rules
+    over the previous stage's emission stream, the streaming
+    counterpart of {!Passes.optimize}'s fixpoint rounds. On the
+    paper's BWT and TF circuits the default stack reproduces the
+    materialized fixpoint counts exactly. *)
+
+val sink :
+  ?rounds:int ->
+  ?window:int ->
+  ?lookahead:int ->
+  ?stats:stats ->
+  'r Sink.t ->
+  'r Sink.t
+(** [sink inner] optimizes the event stream into [inner]. [rounds]
+    stacks that many window stages ({!default_rounds}; memory is
+    O(rounds * window)); [window] bounds per-stage look-behind
+    ({!default_window}); [lookahead] bounds how many live entries a
+    backward walk visits ({!Rewrite.default_lookahead}); pass [stats]
+    to read the per-rule counters after [finish] — counters accumulate
+    across all stages and box bodies, so [seen]/[emitted] are per-stage
+    sums, not circuit sizes. *)
+
+val optimize_b :
+  ?rounds:int ->
+  ?window:int ->
+  ?lookahead:int ->
+  ?stats:stats ->
+  Circuit.b ->
+  Circuit.b
+(** Run a materialized circuit through the streaming optimizer:
+    [Sink.drive b (sink (Sink.circuit ()))]. The window covers the
+    whole circuit only if [window] exceeds its gate count; with the
+    default window this is the streaming result, not {!Passes.optimize}. *)

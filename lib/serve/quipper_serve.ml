@@ -29,6 +29,7 @@ module Fuse = Quipper_sim.Fuse
 module Statevector = Quipper_sim.Statevector
 module Clifford = Quipper_sim.Clifford
 module Kernel = Quipper_sim.Kernel
+module Stream_opt = Quipper_opt.Stream_opt
 
 type request = {
   circuit : Circuit.b;
@@ -60,6 +61,7 @@ type entry = {
 
 type t = {
   choice : backend_choice;
+  optimize : bool;
   boxes : Fuse.box_cache;
   cache : (int64 * bool list, entry) Hashtbl.t;
   inflight : (int64 * bool list, unit) Hashtbl.t;
@@ -73,9 +75,10 @@ type t = {
 
 type stats = { hits : int; misses : int; prepares : int; entries : int }
 
-let create ?(backend : backend_choice = `Auto) () =
+let create ?(backend : backend_choice = `Auto) ?(optimize = false) () =
   {
     choice = backend;
+    optimize;
     boxes = Fuse.box_cache ();
     cache = Hashtbl.create 64;
     inflight = Hashtbl.create 8;
@@ -163,6 +166,17 @@ let prepare_sv req outputs =
   }
 
 let prepare t req =
+  (* Optimizing here (not in [submit]) means the rewrite runs once per
+     distinct circuit, amortized across every cached request like the
+     preparation itself. Both the frozen snapshot and the resimulation
+     closures capture the rewritten circuit, so sampled and resimulated
+     shots of one reply always come from the same gates. The rewrite
+     happens after the cache key is taken, so clients keep addressing
+     the service by the circuit they submitted. *)
+  let req =
+    if t.optimize then { req with circuit = Stream_opt.optimize_b req.circuit }
+    else req
+  in
   let outputs = (Circuit.inline req.circuit).Circuit.outputs in
   match t.choice with
   | `Clifford -> prepare_clifford req outputs
@@ -280,6 +294,12 @@ let submit_batch t (reqs : request list) : (reply, string) result list =
   Array.to_list out
 
 let naive t req : bool array array =
+  (* same rewrite as [prepare], so the sampling-law comparison against
+     [submit] stays apples to apples under [optimize] *)
+  let req =
+    if t.optimize then { req with circuit = Stream_opt.optimize_b req.circuit }
+    else req
+  in
   let one s =
     let seed = shot_seed req s in
     match t.choice with

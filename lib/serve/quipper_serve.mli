@@ -50,7 +50,15 @@ type t
 (** A shot service: request cache + shared compiled-box cache. Safe to
     share across domains; all internal state is mutex-protected. *)
 
-val create : ?backend:backend_choice -> unit -> t
+val create : ?backend:backend_choice -> ?optimize:bool -> unit -> t
+(** [optimize] (default [false]) runs each circuit through the streaming
+    peephole optimizer ([Quipper_opt.Stream_opt.optimize_b]) once at
+    preparation time, before the backend simulates it — amortized across
+    cached requests exactly like the preparation. Cache keys use the
+    submitted circuit, so clients never see the rewrite. Outcomes stay
+    equal in distribution, but not bit-for-bit against an unoptimized
+    service at equal seeds: fusing rotations perturbs amplitudes at
+    floating-point precision, which can flip a borderline sample. *)
 
 val submit : t -> request -> reply
 (** Serve one request: prepare (or fetch) the frozen pre-measurement

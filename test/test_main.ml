@@ -20,6 +20,7 @@ let () =
       ("differential", Test_differential.suite);
       ("backend", Test_backend.suite);
       ("opt", Test_opt.suite);
+      ("stream_opt", Test_stream_opt.suite);
       ("stream", Test_stream.suite);
       ("fuse", Test_fuse.suite);
       ("frame", Test_frame.suite);

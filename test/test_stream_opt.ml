@@ -1,0 +1,389 @@
+(* Tests for the streaming optimizer: hand-built cascades through the
+   windowed sink, retirement-boundary soundness regressions, a
+   200-circuit differential corpus (streamed-optimized output must mean
+   the same thing as the input, statevector up to global phase or
+   bit-for-bit classically), streamed-vs-materialized reduction parity,
+   window-monotonicity and depth properties on the same corpus, golden
+   agreement with [Passes.optimize] on the paper's BWT and TF circuits,
+   and the per-level pass statistics satellite.
+
+   The corpus is deterministic: circuit [i] is [Gen.sample ~seed:i] of
+   the same generators the QCheck properties use, so a failure names the
+   seed and reproduces exactly. *)
+
+open Quipper
+module Gen = Quipper_testgen.Gen
+open Circ
+module Passes = Quipper_opt.Passes
+module Equiv = Quipper_opt.Equiv
+module Stream_opt = Quipper_opt.Stream_opt
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let gen_shape n f = fst (Circ.generate ~in_:(Qdata.list_of n Qdata.qubit) f)
+let logical b = (Gatecount.summarize b).Gatecount.total_logical
+
+let corpus_seeds = List.init 200 (fun i -> i)
+
+let corpus_circuit seed =
+  Gen.circuit_of_program ~n:4 (Gen.sample ~seed (Gen.program_gen ~n:4 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built cascades through the window                               *)
+
+let test_stream_cancel_pair () =
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* q = hadamard q in
+          let* q = hadamard q in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let st = Stream_opt.stats_create () in
+  let b' = Stream_opt.optimize_b ~stats:st b in
+  checki "H pair gone" 0 (logical b');
+  checki "one cancellation counted" 1 st.Stream_opt.cancelled
+
+let test_stream_const_control () =
+  (* an ancilla initialised |0> controls a NOT: the control is provably
+     unsatisfied, so the gate is deleted at arrival *)
+  let b =
+    gen_shape 1 (function
+      | [ q ] ->
+          let* () =
+            with_ancilla (fun anc ->
+                qnot_ q |> controlled [ ctl anc ])
+          in
+          return [ q ]
+      | _ -> assert false)
+  in
+  let st = Stream_opt.stats_create () in
+  let b' = Stream_opt.optimize_b ~stats:st b in
+  check "controlled NOT deleted" true (st.Stream_opt.const_deleted >= 1);
+  checki "only the ancilla init/term remain at most" 0
+    (Gatecount.find_kind (Gatecount.aggregate b') "not")
+
+let test_stream_flip_sandwich () =
+  (* X (T-as-control) X collapses to a negated control *)
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* a = qnot a in
+          let* b' = gate_T b |> controlled [ ctl a ] in
+          let* a = qnot a in
+          return [ a; b' ]
+      | _ -> assert false)
+  in
+  let st = Stream_opt.stats_create () in
+  let b' = Stream_opt.optimize_b ~stats:st b in
+  checki "both X's absorbed" 1 (logical b');
+  checki "one sandwich counted" 1 st.Stream_opt.flipped;
+  check "still equivalent" true (Equiv.equivalent (Equiv.check b b'))
+
+(* ------------------------------------------------------------------ *)
+(* Retirement boundaries: [Gate.commutes] soundness regressions         *)
+
+(* T and T* sandwich a CNOT *controlled* on the same wire: the control
+   is diagonal, so with the window wide enough the pair cancels across
+   it — the same case [test_opt] pins for the materialized walk. *)
+let diagonal_sandwich () =
+  gen_shape 2 (function
+    | [ a; b ] ->
+        let* a = gate_T a in
+        let* () = cnot ~control:a ~target:b in
+        let* () = gate_T_inv a in
+        return [ a; b ]
+    | _ -> assert false)
+
+let test_retire_cancel_across_control () =
+  let b = diagonal_sandwich () in
+  let b' = Stream_opt.optimize_b b in
+  checki "T pair cancelled across the diagonal control" 1 (logical b')
+
+let test_retire_blocked_across_target () =
+  (* H (CNOT targeting the wire) H must NOT cancel: the pair does not
+     commute past the target *)
+  let b =
+    gen_shape 2 (function
+      | [ a; b ] ->
+          let* b = hadamard b in
+          let* () = cnot ~control:a ~target:b in
+          let* b = hadamard b in
+          return [ a; b ]
+      | _ -> assert false)
+  in
+  let b' = Stream_opt.optimize_b b in
+  checki "nothing removed" 3 (logical b')
+
+let test_retired_partner_is_out_of_reach () =
+  (* the same diagonal sandwich, but a window of 1 retires the first T
+     before its partner arrives: the walk must stop at the retired
+     entry (never rewrite downstream history), leaving all three gates —
+     and the output must still mean the same thing *)
+  let b = diagonal_sandwich () in
+  let b' = Stream_opt.optimize_b ~rounds:1 ~window:1 b in
+  checki "partner retired, nothing cancelled" 3 (logical b');
+  check "still equivalent" true (Equiv.equivalent (Equiv.check b b'))
+
+(* ------------------------------------------------------------------ *)
+(* Box bodies                                                           *)
+
+let test_box_body_optimized () =
+  let inner q =
+    let* q = hadamard q in
+    let* q = hadamard q in
+    gate_T q
+  in
+  let prog (a, b2) =
+    let call = box "inner" ~in_:Qdata.qubit ~out:Qdata.qubit inner in
+    let* a = call a in
+    let* a = call a in
+    let* () = cnot ~control:a ~target:b2 in
+    return (a, b2)
+  in
+  let b, _ = Circ.generate ~in_:(Qdata.pair Qdata.qubit Qdata.qubit) prog in
+  let st = Stream_opt.stats_create () in
+  let b' = Stream_opt.optimize_b ~rounds:1 ~stats:st b in
+  checki "body rewritten once for two call sites" 1 st.Stream_opt.boxes_optimized;
+  let sub = Circuit.find_sub b' "inner" in
+  checki "H pair removed inside the definition" 1
+    (Array.length sub.Circuit.circ.Circuit.gates);
+  checki "call sites intact" 2
+    (Array.fold_left
+       (fun acc g -> match g with Gate.Subroutine _ -> acc + 1 | _ -> acc)
+       0 b'.Circuit.main.Circuit.gates);
+  check "boxed circuit still equivalent" true
+    (Equiv.equivalent (Equiv.check b b'))
+
+(* ------------------------------------------------------------------ *)
+(* [Sink.circuit] / [Sink.drive]: the replay loop closes                *)
+
+let test_drive_circuit_roundtrip () =
+  List.iter
+    (fun seed ->
+      let b = corpus_circuit seed in
+      let b' = Sink.drive b (Sink.circuit ()) in
+      checks
+        (Fmt.str "drive/collect identity (seed %d)" seed)
+        (Printer.to_string b) (Printer.to_string b'))
+    [ 0; 1; 17; 96; 199 ]
+
+(* ------------------------------------------------------------------ *)
+(* The 200-circuit differential corpus                                  *)
+
+let test_corpus_statevector () =
+  List.iter
+    (fun seed ->
+      let b = corpus_circuit seed in
+      let b' = Stream_opt.optimize_b b in
+      Circuit.validate_b b';
+      match Equiv.check b b' with
+      | Equiv.Equivalent _ -> ()
+      | v ->
+          Alcotest.failf "seed %d: streamed-optimized not equivalent: %a" seed
+            Equiv.pp v)
+    corpus_seeds
+
+let test_corpus_classical () =
+  List.iter
+    (fun seed ->
+      let ops = Gen.sample ~seed (Gen.classical_program_gen ~n:5 ()) in
+      let b = Gen.circuit_of_program ~n:5 ops in
+      let b' = Stream_opt.optimize_b b in
+      Circuit.validate_b b';
+      match Equiv.check b b' with
+      | Equiv.Equivalent { mode = Equiv.Classical; _ } -> ()
+      | v ->
+          Alcotest.failf "seed %d: not bit-for-bit classical: %a" seed Equiv.pp v)
+    corpus_seeds
+
+(* With the window covering the whole circuit, the streamed greedy and
+   the materialized fixpoint agree gate-for-gate on (at least) 199 of
+   the 200 corpus circuits; the allowed residue is the greedy
+   commitment-order artifact (seed 96 keeps one extra gate), never a
+   streamed result *better* than the fixpoint or worse by more than
+   one gate. *)
+let test_corpus_passes_parity () =
+  let mismatches = ref 0 in
+  List.iter
+    (fun seed ->
+      let b = corpus_circuit seed in
+      let mat = logical (fst (Passes.optimize b)) in
+      let st = logical (Stream_opt.optimize_b ~window:4096 b) in
+      if st <> mat then begin
+        incr mismatches;
+        if st < mat || st > mat + 1 then
+          Alcotest.failf "seed %d: streamed %d vs materialized %d" seed st mat
+      end)
+    corpus_seeds;
+  check "at most 2 greedy off-by-one residues in 200" true (!mismatches <= 2)
+
+let test_corpus_never_deepens () =
+  List.iter
+    (fun seed ->
+      let b = corpus_circuit seed in
+      let b' = Stream_opt.optimize_b b in
+      if Depth.depth b' > Depth.depth b then
+        Alcotest.failf "seed %d: depth %d -> %d" seed (Depth.depth b)
+          (Depth.depth b'))
+    corpus_seeds
+
+let test_corpus_window_monotone () =
+  List.iter
+    (fun seed ->
+      let b = corpus_circuit seed in
+      let red w = logical b - logical (Stream_opt.optimize_b ~window:w b) in
+      let r8 = red 8 and r32 = red 32 and r256 = red 256 in
+      if not (r8 <= r32 && r32 <= r256) then
+        Alcotest.failf "seed %d: reductions not monotone in window: %d %d %d"
+          seed r8 r32 r256)
+    corpus_seeds
+
+(* ------------------------------------------------------------------ *)
+(* Print -> parse of streamed-optimized output                          *)
+
+let test_streamed_output_roundtrips () =
+  List.iter
+    (fun seed ->
+      let b' = Stream_opt.optimize_b (corpus_circuit seed) in
+      let s = Printer.to_string b' in
+      let b'' = Parser.parse s in
+      Circuit.validate_b b'';
+      checks (Fmt.str "reprint fixpoint (seed %d)" seed) s (Printer.to_string b''))
+    (List.init 50 (fun i -> 4 * i))
+
+let test_streamed_printer_matches_optimize_b () =
+  (* composing the transformer into [Sink.printer] must emit exactly the
+     text of the collected-and-printed optimized circuit: surviving
+     gates are never reordered *)
+  List.iter
+    (fun seed ->
+      let b = corpus_circuit seed in
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      let () = Sink.drive b (Stream_opt.sink (Sink.printer ppf)) in
+      Format.pp_print_flush ppf ();
+      checks
+        (Fmt.str "streamed text (seed %d)" seed)
+        (Printer.to_string (Stream_opt.optimize_b b))
+        (Buffer.contents buf))
+    [ 0; 7; 42; 96; 123 ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden agreement with the materialized optimizer on the paper's      *)
+(* workloads (the CLI diffs the same pairs in CI)                       *)
+
+let test_golden_bwt () =
+  let p = { Algo_bwt.n = 3; s = 2; dt = Algo_bwt.default_params.Algo_bwt.dt } in
+  let mat =
+    fst (Passes.optimize (Algo_bwt.generate ~p ~which:`Orthodox ()))
+  in
+  let (summary, depth), _ =
+    Circ.run_streaming_unit
+      (Algo_bwt.whole ~p (Algo_bwt.orthodox_oracle p))
+      (Stream_opt.sink (Sink.tee (Sink.gatecount ()) (Sink.depth ())))
+  in
+  checks "bwt gatecount summaries byte-identical"
+    (Fmt.str "%a" Gatecount.pp_summary (Gatecount.summarize mat))
+    (Fmt.str "%a" Gatecount.pp_summary summary);
+  checki "bwt depth identical" (Depth.depth mat) depth
+
+let test_golden_tf () =
+  let p = { Algo_tf.Oracle.l = 3; n = 2; r = 2 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let mat = fst (Passes.optimize b) in
+  let summary, depth =
+    Sink.drive b (Stream_opt.sink (Sink.tee (Sink.gatecount ()) (Sink.depth ())))
+  in
+  checks "tf gatecount summaries byte-identical"
+    (Fmt.str "%a" Gatecount.pp_summary (Gatecount.summarize mat))
+    (Fmt.str "%a" Gatecount.pp_summary summary);
+  checki "tf depth identical" (Depth.depth mat) depth
+
+(* ------------------------------------------------------------------ *)
+(* Per-level pass statistics (the wall-time conflation fix)             *)
+
+let test_passes_per_level_stats () =
+  (* an H pair inside a box called twice: the headline (hierarchy-
+     expanded) cancel delta counts both call sites, the per-level
+     breakdown charges the box's flat body once — which is what its
+     wall time paid for *)
+  let inner q =
+    let* q = hadamard q in
+    let* q = hadamard q in
+    gate_T q
+  in
+  let prog (a, b2) =
+    let call = box "inner" ~in_:Qdata.qubit ~out:Qdata.qubit inner in
+    let* a = call a in
+    let* a = call a in
+    let* () = cnot ~control:a ~target:b2 in
+    return (a, b2)
+  in
+  let b, _ = Circ.generate ~in_:(Qdata.pair Qdata.qubit Qdata.qubit) prog in
+  let _, stats = Passes.optimize b in
+  let cancel =
+    List.find
+      (fun (s : Passes.stat) -> s.Passes.spass = "cancel" && s.Passes.round = 1)
+      stats
+  in
+  checki "headline delta is hierarchy-expanded (2 calls x 2 gates)" 4
+    (cancel.Passes.gates_before - cancel.Passes.gates_after);
+  let level name =
+    List.find
+      (fun (l : Passes.level) -> l.Passes.lname = name)
+      cancel.Passes.levels
+  in
+  let main = level "main" and box_l = level "inner" in
+  checki "main body flat delta" 0
+    (main.Passes.lgates_before - main.Passes.lgates_after);
+  checki "box body flat delta counted once" 2
+    (box_l.Passes.lgates_before - box_l.Passes.lgates_after);
+  let level_sum =
+    List.fold_left
+      (fun acc (l : Passes.level) -> acc +. l.Passes.lseconds)
+      0.0 cancel.Passes.levels
+  in
+  check "pass wall time is the sum of its levels" true
+    (Float.abs (cancel.Passes.seconds -. level_sum) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "stream: H pair cancels" `Quick test_stream_cancel_pair;
+    Alcotest.test_case "stream: constant control deletes gate" `Quick
+      test_stream_const_control;
+    Alcotest.test_case "stream: X sandwich flips controls" `Quick
+      test_stream_flip_sandwich;
+    Alcotest.test_case "retirement: cancel across diagonal control" `Quick
+      test_retire_cancel_across_control;
+    Alcotest.test_case "retirement: blocked across CNOT target" `Quick
+      test_retire_blocked_across_target;
+    Alcotest.test_case "retirement: retired partner out of reach" `Quick
+      test_retired_partner_is_out_of_reach;
+    Alcotest.test_case "box body optimized once, calls intact" `Quick
+      test_box_body_optimized;
+    Alcotest.test_case "drive/collect replay identity" `Quick
+      test_drive_circuit_roundtrip;
+    Alcotest.test_case "corpus: statevector equivalent (200)" `Quick
+      test_corpus_statevector;
+    Alcotest.test_case "corpus: classical bit-for-bit (200)" `Quick
+      test_corpus_classical;
+    Alcotest.test_case "corpus: parity with Passes at full window" `Quick
+      test_corpus_passes_parity;
+    Alcotest.test_case "corpus: never deepens" `Quick test_corpus_never_deepens;
+    Alcotest.test_case "corpus: reduction monotone in window" `Quick
+      test_corpus_window_monotone;
+    Alcotest.test_case "streamed output print->parse roundtrip" `Quick
+      test_streamed_output_roundtrips;
+    Alcotest.test_case "streamed printer = optimize_b printed" `Quick
+      test_streamed_printer_matches_optimize_b;
+    Alcotest.test_case "golden: bwt matches materialized -O" `Quick
+      test_golden_bwt;
+    Alcotest.test_case "golden: tf matches materialized -O" `Quick test_golden_tf;
+    Alcotest.test_case "passes: per-level wall-time stats" `Quick
+      test_passes_per_level_stats;
+  ]
