@@ -29,11 +29,24 @@ let repcode_workload ~distance ~rounds : Quipper.Circuit.b * bool list =
   in
   (Algo_repcode.generate ~p (), [])
 
+let tf_workload () : Quipper.Circuit.b * bool list =
+  (* the triangle-finding o4_POW17 oracle segment on an all-zero input
+     register. l is pinned at 2: the arithmetic's ancilla blocks put
+     larger instances past the statevector's 25-live-qubit cap. This
+     reproduction's tf gate set carries no rotation angles, so sweeping
+     it is the degenerate case: every point shares the skeleton entry —
+     exactly the template cache's fast path for angle-free families *)
+  let p = { Algo_tf.Oracle.l = 2; n = 2; r = 1 } in
+  let b = Algo_tf.Qwtfp.generate_pow17 ~p () in
+  let arity = List.length b.Quipper.Circuit.main.Quipper.Circuit.inputs in
+  (b, List.init arity (fun _ -> false))
+
 let workload name ~n ~s ~dt ~distance ~rounds =
   match name with
   | "bwt" -> bwt_workload ~n ~s ~dt
+  | "tf" -> tf_workload ()
   | "repcode" -> repcode_workload ~distance ~rounds
-  | w -> Fmt.failwith "unknown workload %S (try bwt, repcode)" w
+  | w -> Fmt.failwith "unknown workload %S (try bwt, tf, repcode)" w
 
 let parse_backend = function
   | "auto" -> `Auto
@@ -116,6 +129,79 @@ let run_batch wl n s dt distance rounds shots requests clients seed backend chec
   if failed || check_failed then 1 else 0
 
 (* ------------------------------------------------------------------ *)
+(* Sweep mode: the same workload skeleton at many rotation angles       *)
+
+(* Every rotation site of the BWT walk carries the Trotter step [dt]
+   (the workload's only angle parameter), so a sweep point at step [x]
+   scales each base angle by [x / dt] — exact for any workload whose
+   sites are linear in [dt] with zero intercept. Workloads with no
+   angle sites (tf, repcode) sweep trivially: every point is the same
+   circuit at its own derived seed, served from one shared clifford
+   preparation or one compiled template. *)
+let sweep_points ~base ~dt ~points ~lo ~hi =
+  if Array.length base > 0 && Float.abs dt < 1e-12 then
+    Fmt.failwith "sweep: base --dt must be nonzero to scale the angle sites";
+  List.init points (fun i ->
+      let x =
+        if points <= 1 then lo
+        else lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1))
+      in
+      Array.map (fun a -> a /. dt *. x) base)
+
+let run_sweep wl n s dt distance rounds shots points lo hi repeat seed backend
+    check optimize domains =
+  Quipper_cli.set_domains domains;
+  let circuit, inputs = workload wl ~n ~s ~dt ~distance ~rounds in
+  let base = Quipper.Circuit.angles circuit in
+  let svc = Serve.create ~backend:(parse_backend backend) ~optimize () in
+  let sw =
+    {
+      Serve.sw_circuit = circuit;
+      sw_inputs = inputs;
+      sw_points = sweep_points ~base ~dt ~points ~lo ~hi;
+      sw_shots = shots;
+      sw_seed = seed;
+    }
+  in
+  Fmt.pr "workload %s: %d points x %d shots, %d angle sites, backend %s@." wl
+    points shots (Array.length base) backend;
+  let last = ref [] in
+  let first_digest = ref 0L in
+  let drift = ref false in
+  for r = 1 to max 1 repeat do
+    let t0 = Unix.gettimeofday () in
+    let replies = Serve.submit_sweep svc sw in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let d = digest replies in
+    if r = 1 then first_digest := d else if d <> !first_digest then drift := true;
+    Fmt.pr "run %d: %d shots in %.3fs: %.0f shots/s@." r (points * shots)
+      elapsed
+      (float_of_int (points * shots) /. Float.max elapsed 1e-9);
+    last := replies
+  done;
+  Fmt.pr "cache: %a@." Serve.pp_stats (Serve.stats svc);
+  Fmt.pr "digest: 0x%Lx@." !first_digest;
+  if !drift then Fmt.epr "sweep error: digests drifted across runs@.";
+  let errors =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) !last
+  in
+  List.iter (fun e -> Fmt.epr "point error: %s@." e) errors;
+  let check_failed =
+    check
+    &&
+    (* the acceptance property: the sweep path is bit-identical to
+       submitting each angle-substituted circuit as its own request —
+       through a fresh service, so nothing warm leaks into the
+       reference *)
+    let ref_svc = Serve.create ~backend:(parse_backend backend) ~optimize () in
+    let naive = Serve.submit_batch ref_svc (Serve.sweep_requests sw) in
+    let same = digest naive = !first_digest in
+    Fmt.pr "Sweep check: %s@." (if same then "PASS" else "FAIL");
+    not same
+  in
+  if errors <> [] || !drift || check_failed then 1 else 0
+
+(* ------------------------------------------------------------------ *)
 (* Daemon mode: one request per stdin line, "SHOTS SEED" (or "quit"),   *)
 (* against the workload fixed at startup — the cache makes every line   *)
 (* after the first a hit                                                *)
@@ -164,7 +250,8 @@ let workload_arg =
     value & opt string "bwt"
     & info [ "w"; "workload" ] ~docv:"W"
         ~doc:"Workload circuit: $(b,bwt) (exact welded-tree walk, statevector \
-              territory) or $(b,repcode) (repetition-code memory, all \
+              territory), $(b,tf) (triangle-finding POW17 oracle segment, \
+              boxed arithmetic) or $(b,repcode) (repetition-code memory, all \
               Clifford).")
 
 let n_arg =
@@ -230,6 +317,31 @@ let optimize_arg =
               Outcomes stay equal in distribution; $(b,--check) compares \
               against a naive path that applies the same rewrite.")
 
+let points_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "points" ] ~docv:"P"
+        ~doc:"Parameter points in the sweep (one request's worth of shots \
+              each, at derived seeds).")
+
+let dt_min_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "dt-min" ] ~docv:"X" ~doc:"Smallest swept Trotter step.")
+
+let dt_max_arg =
+  Arg.(
+    value & opt float 0.6
+    & info [ "dt-max" ] ~docv:"X" ~doc:"Largest swept Trotter step.")
+
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"R"
+        ~doc:"Serve the sweep R times against the same service: every run \
+              after the first hits the cached skeleton template (the warm \
+              path the template cache exists for).")
+
 let batch_cmd =
   let doc = "Serve one batch of shot requests and report throughput." in
   Cmd.v (Cmd.info "batch" ~doc)
@@ -238,6 +350,19 @@ let batch_cmd =
       $ rounds_arg $ shots_arg $ requests_arg $ clients_arg
       $ Quipper_cli.seed_arg $ backend_arg $ check_arg $ optimize_arg
       $ Quipper_cli.domains_arg)
+
+let sweep_cmd =
+  let doc =
+    "Serve a rotation-angle parameter sweep: one circuit skeleton, many \
+     Trotter steps, the fused block program compiled once and \
+     re-specialized per point."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run_sweep $ workload_arg $ n_arg $ s_arg $ dt_arg $ distance_arg
+      $ rounds_arg $ shots_arg $ points_arg $ dt_min_arg $ dt_max_arg
+      $ repeat_arg $ Quipper_cli.seed_arg $ backend_arg $ check_arg
+      $ optimize_arg $ Quipper_cli.domains_arg)
 
 let daemon_cmd =
   let doc = "Serve shot requests line by line from standard input." in
@@ -251,6 +376,6 @@ let cmd =
     "Shot service: batched many-shot circuit execution (simulate once, sample \
      N times)."
   in
-  Cmd.group (Cmd.info "shotd" ~doc) [ batch_cmd; daemon_cmd ]
+  Cmd.group (Cmd.info "shotd" ~doc) [ batch_cmd; sweep_cmd; daemon_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -265,15 +265,20 @@ let mix_control h (c : Gate.control) =
 let mix_controls h cs = List.fold_left mix_control (mix_int h (List.length cs)) cs
 let mix_wires h ws = List.fold_left mix_int (mix_int h (List.length ws)) ws
 
-let hash_gate ~(resolve : string -> int64 option) h (g : Gate.t) =
+let hash_gate_gen ~(skel : bool) ~(resolve : string -> int64 option) h (g : Gate.t) =
   match g with
   | Gate.Gate { name; inv; targets; controls } ->
       mix_controls (mix_wires (mix_bool (mix_string (mix_int h 1) name) inv) targets) controls
   | Gate.Rot { name; angle; inv; targets; controls } ->
-      mix_controls
-        (mix_wires (mix_bool (mix_float (mix_string (mix_int h 2) name) angle) inv) targets)
-        controls
-  | Gate.Phase { angle; controls } -> mix_controls (mix_float (mix_int h 3) angle) controls
+      (* in skeleton mode the angle is replaced by a fixed marker, so two
+         instantiations of the same rotation template collide on purpose *)
+      let ha = if skel then mix_int (mix_string (mix_int h 2) name) 0x5ca1ab1e
+               else mix_float (mix_string (mix_int h 2) name) angle in
+      mix_controls (mix_wires (mix_bool ha inv) targets) controls
+  | Gate.Phase { angle; controls } ->
+      let ha = if skel then mix_int (mix_int h 3) 0x5ca1ab1e
+               else mix_float (mix_int h 3) angle in
+      mix_controls ha controls
   | Gate.Init { ty; value; wire } -> mix_int (mix_bool (mix_ty (mix_int h 4) ty) value) wire
   | Gate.Term { ty; value; wire } -> mix_int (mix_bool (mix_ty (mix_int h 5) ty) value) wire
   | Gate.Discard { ty; wire } -> mix_int (mix_ty (mix_int h 6) ty) wire
@@ -289,13 +294,16 @@ let hash_gate ~(resolve : string -> int64 option) h (g : Gate.t) =
          optimization, simulation), so they do not perturb the hash *)
       h
 
-let hash_t ?(resolve = fun _ -> None) (c : t) : int64 =
+let hash_t_gen ~skel ?(resolve = fun _ -> None) (c : t) : int64 =
   let h = 0x51D07C1B9E6A2F35L in
   let h = List.fold_left mix_endpoint (mix_int h (List.length c.inputs)) c.inputs in
-  let h = Array.fold_left (hash_gate ~resolve) h c.gates in
+  let h = Array.fold_left (hash_gate_gen ~skel ~resolve) h c.gates in
   List.fold_left mix_endpoint (mix_int h (List.length c.outputs)) c.outputs
 
-let hash (b : b) : int64 =
+let hash_t ?resolve c = hash_t_gen ~skel:false ?resolve c
+let hash_skeleton_t ?resolve c = hash_t_gen ~skel:true ?resolve c
+
+let hash_gen ~skel (b : b) : int64 =
   let tbl : (string, int64) Hashtbl.t = Hashtbl.create 16 in
   let rec hash_sub name =
     match Hashtbl.find_opt tbl name with
@@ -306,9 +314,94 @@ let hash (b : b) : int64 =
         let h =
           match Namespace.find_opt name b.subs with
           | None -> mix_string 0xD6E8FEB86659FD93L name
-          | Some s -> mix_bool (hash_t ~resolve s.circ) s.controllable
+          | Some s -> mix_bool (hash_t_gen ~skel ~resolve s.circ) s.controllable
         in
         Hashtbl.replace tbl name h;
         h
   and resolve name = Some (hash_sub name) in
-  hash_t ~resolve b.main
+  hash_t_gen ~skel ~resolve b.main
+
+let hash (b : b) : int64 = hash_gen ~skel:false b
+let hash_skeleton (b : b) : int64 = hash_gen ~skel:true b
+
+(* ------------------------------------------------------------------ *)
+(* Angle sites                                                         *)
+
+(* A parameterized circuit family is a skeleton plus a vector of angles:
+   one site per [Rot]/[Phase] gate, enumerated in deterministic order —
+   main gates in array order, then each subroutine body in [sub_order].
+   [angles] reads the vector off a representative; [subst_angles] builds
+   the member at another parameter point. Two circuits with equal
+   [hash_skeleton] have the same number of sites in the same positions. *)
+
+let fold_angles_t f acc (c : t) =
+  Array.fold_left
+    (fun acc g ->
+      match g with
+      | Gate.Rot { angle; _ } | Gate.Phase { angle; _ } -> f acc angle
+      | _ -> acc)
+    acc c.gates
+
+let angles_t (c : t) : float array =
+  let buf = ref [] in
+  let n = fold_angles_t (fun n a -> buf := a :: !buf; n + 1) 0 c in
+  let arr = Array.make n 0.0 in
+  List.iteri (fun i a -> arr.(n - 1 - i) <- a) !buf;
+  arr
+
+let fold_angles f acc (b : b) =
+  let acc = fold_angles_t f acc b.main in
+  List.fold_left
+    (fun acc name ->
+      match Namespace.find_opt name b.subs with
+      | None -> acc
+      | Some s -> fold_angles_t f acc s.circ)
+    acc b.sub_order
+
+let num_angles (b : b) : int = fold_angles (fun n _ -> n + 1) 0 b
+
+let angles (b : b) : float array =
+  let buf = ref [] in
+  let n = fold_angles (fun n a -> buf := a :: !buf; n + 1) 0 b in
+  let arr = Array.make n 0.0 in
+  List.iteri (fun i a -> arr.(n - 1 - i) <- a) !buf;
+  arr
+
+let subst_angles_t_from (pos : int ref) (v : float array) (c : t) : t =
+  let gates =
+    Array.map
+      (fun g ->
+        match g with
+        | Gate.Rot r ->
+            let i = !pos in
+            incr pos;
+            if Int64.bits_of_float v.(i) = Int64.bits_of_float r.angle then g
+            else Gate.Rot { r with angle = v.(i) }
+        | Gate.Phase p ->
+            let i = !pos in
+            incr pos;
+            if Int64.bits_of_float v.(i) = Int64.bits_of_float p.angle then g
+            else Gate.Phase { p with angle = v.(i) }
+        | _ -> g)
+      c.gates
+  in
+  { c with gates }
+
+let subst_angles (b : b) (v : float array) : b =
+  let n = num_angles b in
+  if Array.length v <> n then
+    Errors.invalidf "subst_angles: expected %d angles, got %d" n
+      (Array.length v);
+  let pos = ref 0 in
+  let main = subst_angles_t_from pos v b.main in
+  let subs =
+    List.fold_left
+      (fun subs name ->
+        match Namespace.find_opt name subs with
+        | None -> subs
+        | Some s ->
+            let circ = subst_angles_t_from pos v s.circ in
+            Namespace.add name { s with circ } subs)
+      b.subs b.sub_order
+  in
+  { b with main; subs }

@@ -76,3 +76,47 @@ val hash : b -> int64
     callee's body and its controllability flag, so same-named boxes with
     different bodies hash differently. Unresolvable names hash by name
     alone, like {!validate} treats them as opaque. *)
+
+(** {2 Skeleton hashing and angle sites}
+
+    A parameterized circuit family — the same template instantiated at
+    many rotation angles (paper §4; the sweep workloads) — shares a
+    {e skeleton}: the structural hash computed with every [Rot]/[Phase]
+    angle replaced by a fixed marker. Everything else (gate names,
+    inverse flags, targets, controls, wire plumbing, box bodies, input/
+    output aritys) still enters, so the skeleton hash is exactly as
+    discriminating as {!hash} modulo the rotation parameters.
+
+    The parameters themselves form a deterministic {e angle-site}
+    vector: one site per [Rot]/[Phase] gate, main gates in array order
+    first, then each subroutine body in [sub_order]. Two circuits with
+    equal [hash_skeleton] have equally many sites at the same structural
+    positions. *)
+
+val hash_skeleton_t : ?resolve:(string -> int64 option) -> t -> int64
+(** Like {!hash_t}, but angle-blind (rotation angles replaced by a
+    marker). *)
+
+val hash_skeleton : b -> int64
+(** Like {!hash}, but angle-blind through subroutine bodies too:
+    invariant under any perturbation of [Rot]/[Phase] angles anywhere in
+    the boxed circuit, sensitive to everything else. *)
+
+val num_angles : b -> int
+(** Number of angle sites ([Rot]/[Phase] gates) in main plus all
+    subroutine bodies. *)
+
+val angles_t : t -> float array
+(** Angle-site vector of one straight-line circuit, in gate order. *)
+
+val angles : b -> float array
+(** Angle-site vector of a boxed circuit: main gates in order, then each
+    subroutine body in [sub_order]. [Array.length (angles b) =
+    num_angles b]. *)
+
+val subst_angles : b -> float array -> b
+(** [subst_angles b v] rebuilds [b] with the angle at each site replaced
+    by the corresponding entry of [v] (site order as in {!angles});
+    gates whose angle is bitwise-unchanged are physically shared.
+    Raises if [Array.length v <> num_angles b]. The result satisfies
+    [hash_skeleton (subst_angles b v) = hash_skeleton b]. *)

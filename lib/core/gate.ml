@@ -224,6 +224,17 @@ let is_identity = function
   | Phase { angle = 0.0; _ } -> true
   | _ -> false
 
+(** Does the gate carry a rotation angle? ([Rot] or [Phase] — the
+    parameter sites of a circuit family.) *)
+let has_angle = function Rot _ | Phase _ -> true | _ -> false
+
+(** Replace the angle of a [Rot]/[Phase]; other gates unchanged. *)
+let with_angle g a =
+  match g with
+  | Rot r -> Rot { r with angle = a }
+  | Phase p -> Phase { p with angle = a }
+  | g -> g
+
 (* ------------------------------------------------------------------ *)
 (* Inversion                                                           *)
 

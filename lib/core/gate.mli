@@ -126,6 +126,13 @@ val fusion : t -> t -> t option
 val is_identity : t -> bool
 (** A zero-angle rotation or phase (fusion can produce these). *)
 
+val has_angle : t -> bool
+(** [Rot] or [Phase] — the gates carrying an angle parameter (the
+    angle sites of {!Circuit.angles}). *)
+
+val with_angle : t -> float -> t
+(** Replace a [Rot]/[Phase] angle; other gates are returned unchanged. *)
+
 val controls : t -> control list
 
 val wires : t -> Wire.endpoint list

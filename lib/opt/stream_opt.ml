@@ -35,6 +35,8 @@ type stats = {
   mutable const_deleted : int;
   mutable boxes_optimized : int;
   mutable box_hits : int;
+  mutable box_replayed : int;
+      (** bodies served by per-angle replay of a skeleton-keyed memo *)
 }
 
 let stats_create () =
@@ -48,15 +50,16 @@ let stats_create () =
     const_deleted = 0;
     boxes_optimized = 0;
     box_hits = 0;
+    box_replayed = 0;
   }
 
 let pp_stats ppf st =
   Format.fprintf ppf
     "stream-opt: %d gates in, %d out; cancelled %d pairs, fused %d, flipped \
      %d X-sandwiches; constants: %d controls dropped, %d gates deleted; \
-     boxes: %d optimized, %d cache hits"
+     boxes: %d optimized, %d cache hits, %d angle-replayed"
     st.seen st.emitted st.cancelled st.fused st.flipped st.const_controls
-    st.const_deleted st.boxes_optimized st.box_hits
+    st.const_deleted st.boxes_optimized st.box_hits st.box_replayed
 
 let default_window = 256
 
@@ -68,6 +71,15 @@ type entry = {
   mutable g : Gate.t option;  (** [None]: removed by a rewrite *)
   mutable retired : bool;
   ws : Wire.t list;  (** wires at insertion (rewrites never change them) *)
+  mask : int;
+      (** support bitmask (bit [w mod 62] per wire): a cheap commutation
+          pre-test — disjoint masks prove disjoint supports *)
+  mutable diag : bool;
+      (** cached [Gate.is_diagonal] of [g]; two diagonal gates always
+          commute, skipping the allocating [Gate.commutes] walk *)
+  mutable site : int option;
+      (** input angle-site index ([Rot]/[Phase] arrival order), for the
+          box-body replay memo's output provenance *)
   mutable prev : (Wire.t * entry) list;
       (** per wire, the newest older entry on it at insertion time *)
   mutable next : (Wire.t * entry) list;
@@ -79,7 +91,8 @@ type win = {
   window : int;
   lookahead : int;
   st : stats;
-  emit : Gate.t -> unit;
+  emit : Gate.t -> int option -> unit;
+      (** surviving gate plus its input angle-site provenance *)
   q : entry Queue.t;
   last : (Wire.t, entry) Hashtbl.t;
   cp : Rewrite.cp;
@@ -89,6 +102,11 @@ type win = {
           separated by the removed gate, so the removed entry's nearest
           live successors get their walks retried, cascading *)
   mutable nseq : int;
+  mutable angle_sensitive : bool;
+      (** an angle-dependent rewrite fired: a [Rot] cancellation tests
+          angle equality, a [Rot]/[Phase] fusion sums angles (and may
+          drop the zero-angle result) — once any of those happens, the
+          rewritten stream is only valid at these exact angles *)
 }
 
 let win_create ~window ~lookahead ~st emit =
@@ -102,6 +120,7 @@ let win_create ~window ~lookahead ~st emit =
     cp = Rewrite.cp_create ();
     todo = Queue.create ();
     nseq = 0;
+    angle_sensitive = false;
   }
 
 (* comments are transparent to the wire chains (as in [Dag]): they hold
@@ -117,7 +136,7 @@ let retire_one w =
   let e = Queue.pop w.q in
   (match e.g with
   | Some g ->
-      w.emit g;
+      w.emit g e.site;
       if not (Gate.is_comment g) then w.st.emitted <- w.st.emitted + 1
   | None -> ());
   e.retired <- true;
@@ -130,6 +149,9 @@ let retire_one w =
       | _ -> ())
     e.ws
 
+let support_mask ws =
+  List.fold_left (fun m wi -> m lor (1 lsl ((wi land max_int) mod 62))) 0 ws
+
 let insert w (g : Gate.t) : entry =
   let ws = wires_of g in
   let e =
@@ -138,6 +160,9 @@ let insert w (g : Gate.t) : entry =
       g = Some g;
       retired = false;
       ws;
+      mask = support_mask ws;
+      diag = Gate.is_diagonal g;
+      site = None;
       prev = [];
       next = [];
       queued = false;
@@ -238,6 +263,8 @@ let match_entry w (e : entry) =
                   incr steps;
                   if Transform.gates_cancel h g then begin
                     w.st.cancelled <- w.st.cancelled + 1;
+                    if Gate.has_angle h || Gate.has_angle g then
+                      w.angle_sensitive <- true;
                     remove w x;
                     remove w e
                   end
@@ -248,14 +275,26 @@ let match_entry w (e : entry) =
                            did: sound to leave the result at the earlier
                            position, as [Rewrite.fuse] does *)
                         w.st.fused <- w.st.fused + 1;
+                        if Gate.has_angle h || Gate.has_angle g then
+                          w.angle_sensitive <- true;
                         remove w e;
                         if Gate.is_identity f then remove w x
                         else begin
                           x.g <- Some f;
+                          x.diag <- Gate.is_diagonal f;
                           retrigger w x
                         end
                     | None ->
-                        if Gate.commutes h g then begin
+                        (* cheap pre-test first: disjoint support masks
+                           prove disjoint wires, and two diagonal gates
+                           always commute — both are exactly the first
+                           branches of [Gate.commutes], minus its
+                           per-call wire-list allocation and walk *)
+                        if
+                          x.mask land e.mask = 0
+                          || (x.diag && e.diag)
+                          || Gate.commutes h g
+                        then begin
                           advance_past x;
                           go ()
                         end
@@ -316,7 +355,7 @@ let drain w =
     if not e.retired then examine w e
   done
 
-let on_gate w (g : Gate.t) =
+let on_gate ?site w (g : Gate.t) =
   match g with
   | Gate.Comment _ -> ignore (insert w g)
   | g -> (
@@ -326,6 +365,7 @@ let on_gate w (g : Gate.t) =
       | `Keep (g, dropped) ->
           w.st.const_controls <- w.st.const_controls + dropped;
           let e = insert w g in
+          e.site <- site;
           examine w e;
           drain w)
 
@@ -337,43 +377,146 @@ let flush w =
 (* ------------------------------------------------------------------ *)
 (* Box bodies                                                          *)
 
-(* one body, through a private window (fresh wire chains, fresh
-   constant-propagation state), into an array *)
-let optimize_gates ~window ~lookahead ~st (gates : Gate.t array) =
+(* One body, through a private window (fresh wire chains, fresh
+   constant-propagation state), into an array. Input [Rot]/[Phase]
+   gates are numbered in arrival order ([Circuit.angles_t] order); each
+   surviving gate remembers which input site it came from, and
+   [angle_sensitive] reports whether any rewrite decision read an angle
+   value. When it did not, the result is valid as a {e template}: the
+   same body at different angles optimizes to the same gate sequence
+   with the new angles substituted at the recorded sites. *)
+let optimize_gates_tagged ~window ~lookahead ~st (gates : Gate.t array) =
   let out = Vec.create () in
-  let w = win_create ~window ~lookahead ~st (Vec.push out) in
-  Array.iter (on_gate w) gates;
+  let w =
+    win_create ~window ~lookahead ~st (fun g site -> Vec.push out (g, site))
+  in
+  let nsite = ref 0 in
+  Array.iter
+    (fun g ->
+      if Gate.has_angle g then begin
+        let i = !nsite in
+        incr nsite;
+        on_gate ~site:i w g
+      end
+      else on_gate w g)
+    gates;
   flush w;
-  Vec.to_array out
+  let pairs = Vec.to_array out in
+  (Array.map fst pairs, Array.map snd pairs, w.angle_sensitive)
+
+let optimize_gates ~window ~lookahead ~st (gates : Gate.t array) =
+  let gs, _, _ = optimize_gates_tagged ~window ~lookahead ~st gates in
+  gs
+
+(* ------------------------------------------------------------------ *)
+(* Skeleton-keyed body memo                                            *)
+
+(* A parameter sweep optimizes the same box bodies at many angle
+   vectors; the per-sink [optimized] table (exact resolved hash) misses
+   on every point. This shareable memo keys on the {e skeleton} hash
+   ([Circuit.hash_skeleton_t], angle-blind) instead: an
+   angle-insensitive body optimizes once and replays per point by pure
+   angle substitution at the recorded sites; a body where an
+   angle-dependent rewrite fired is pinned [Msensitive] and always
+   re-optimizes, so results never depend on cache warmth. *)
+
+type memo_entry =
+  | Msensitive
+  | Mreplay of { gates : Gate.t array; sites : int option array }
+
+type memo = {
+  mtbl : (int64, memo_entry) Hashtbl.t;
+  mlock : Mutex.t;
+}
+
+let memo () = { mtbl = Hashtbl.create 64; mlock = Mutex.create () }
+
+let memo_find m h =
+  Mutex.lock m.mlock;
+  let r = Hashtbl.find_opt m.mtbl h in
+  Mutex.unlock m.mlock;
+  r
+
+let memo_add m h e =
+  Mutex.lock m.mlock;
+  (* keep-first on a race: either racer's entry is equivalent (replay
+     entries substitute all sites; sensitive entries are sensitive for
+     every body of the skeleton) *)
+  if not (Hashtbl.mem m.mtbl h) then Hashtbl.add m.mtbl h e;
+  Mutex.unlock m.mlock
+
+let replay_body ~(v : float array) (gates : Gate.t array)
+    (sites : int option array) : Gate.t array =
+  Array.mapi
+    (fun j g ->
+      match sites.(j) with
+      | Some i -> Gate.with_angle g v.(i)
+      | None -> g)
+    gates
 
 (* ------------------------------------------------------------------ *)
 (* The sink transformer                                                *)
 
-let sink_one ~window ~lookahead ~st (inner : 'r Sink.t) : 'r Sink.t =
-  let w = win_create ~window ~lookahead ~st inner.Sink.on_gate in
+let sink_one ~window ~lookahead ~st ?memo (inner : 'r Sink.t) : 'r Sink.t =
+  let w = win_create ~window ~lookahead ~st (fun g _ -> inner.Sink.on_gate g) in
   (* original definitions, for resolved structural hashing — the same
      memoization discipline as [Sink.unbox] and [Fuse]'s box cache:
      keyed on the resolved hash, redefinitions miss instead of alias *)
   let defs : (string, Circuit.subroutine) Hashtbl.t = Hashtbl.create 16 in
   let hashes : (string, int64) Hashtbl.t = Hashtbl.create 16 in
-  let body_hash name =
+  let skel_hashes : (string, int64) Hashtbl.t = Hashtbl.create 16 in
+  let resolved_hash ~skel cache name =
     let rec go n =
-      match Hashtbl.find_opt hashes n with
+      match Hashtbl.find_opt cache n with
       | Some h -> h
       | None ->
-          Hashtbl.add hashes n 0L;
+          Hashtbl.add cache n 0L;
           let h =
             match Hashtbl.find_opt defs n with
             | None -> 0L
             | Some (s : Circuit.subroutine) ->
-                Circuit.hash_t ~resolve:(fun m -> Some (go m)) s.Circuit.circ
+                if skel then
+                  Circuit.hash_skeleton_t
+                    ~resolve:(fun m -> Some (go m))
+                    s.Circuit.circ
+                else
+                  Circuit.hash_t ~resolve:(fun m -> Some (go m)) s.Circuit.circ
           in
-          Hashtbl.replace hashes n h;
+          Hashtbl.replace cache n h;
           h
     in
     go name
   in
+  let body_hash name = resolved_hash ~skel:false hashes name in
+  let skel_hash name = resolved_hash ~skel:true skel_hashes name in
   let optimized : (int64, Gate.t array) Hashtbl.t = Hashtbl.create 16 in
+  (* Optimize one body, consulting the shareable skeleton memo first:
+     replay angle-insensitive templates by substitution, re-optimize
+     (and record) otherwise. *)
+  let optimize_body name (sub : Circuit.subroutine) =
+    let gates = sub.Circuit.circ.Circuit.gates in
+    match memo with
+    | None ->
+        st.boxes_optimized <- st.boxes_optimized + 1;
+        optimize_gates ~window ~lookahead ~st gates
+    | Some m -> (
+        let sh = skel_hash name in
+        match memo_find m sh with
+        | Some (Mreplay { gates = tpl; sites }) ->
+            st.box_replayed <- st.box_replayed + 1;
+            replay_body ~v:(Circuit.angles_t sub.Circuit.circ) tpl sites
+        | Some Msensitive ->
+            st.boxes_optimized <- st.boxes_optimized + 1;
+            optimize_gates ~window ~lookahead ~st gates
+        | None ->
+            let gs, sites, sensitive =
+              optimize_gates_tagged ~window ~lookahead ~st gates
+            in
+            st.boxes_optimized <- st.boxes_optimized + 1;
+            memo_add m sh
+              (if sensitive then Msensitive else Mreplay { gates = gs; sites });
+            gs)
+  in
   {
     Sink.on_inputs = inner.Sink.on_inputs;
     on_gate = (fun g -> on_gate w g);
@@ -383,6 +526,7 @@ let sink_one ~window ~lookahead ~st (inner : 'r Sink.t) : 'r Sink.t =
         Hashtbl.replace defs name sub;
         (* this name's hash — and that of any box calling it — changes *)
         Hashtbl.reset hashes;
+        Hashtbl.reset skel_hashes;
         let h = body_hash name in
         let gates' =
           match Hashtbl.find_opt optimized h with
@@ -390,11 +534,7 @@ let sink_one ~window ~lookahead ~st (inner : 'r Sink.t) : 'r Sink.t =
               st.box_hits <- st.box_hits + 1;
               gs
           | None ->
-              let gs =
-                optimize_gates ~window ~lookahead ~st
-                  sub.Circuit.circ.Circuit.gates
-              in
-              st.boxes_optimized <- st.boxes_optimized + 1;
+              let gs = optimize_body name sub in
               Hashtbl.add optimized h gs;
               gs
         in
@@ -421,13 +561,15 @@ let default_rounds = 4
    k rounds of the fixpoint at O(k * window) memory. On the paper's BWT
    and TF circuits 3 stages reach the materialized fixpoint. *)
 let sink ?(rounds = default_rounds) ?(window = default_window)
-    ?(lookahead = Rewrite.default_lookahead) ?stats (inner : 'r Sink.t) :
+    ?(lookahead = Rewrite.default_lookahead) ?stats ?memo (inner : 'r Sink.t) :
     'r Sink.t =
   let st = match stats with Some s -> s | None -> stats_create () in
   let rec stack k inner =
-    if k <= 0 then inner else stack (k - 1) (sink_one ~window ~lookahead ~st inner)
+    if k <= 0 then inner
+    else stack (k - 1) (sink_one ~window ~lookahead ~st ?memo inner)
   in
   stack rounds inner
 
-let optimize_b ?rounds ?window ?lookahead ?stats (b : Circuit.b) : Circuit.b =
-  Sink.drive b (sink ?rounds ?window ?lookahead ?stats (Sink.circuit ()))
+let optimize_b ?rounds ?window ?lookahead ?stats ?memo (b : Circuit.b) :
+    Circuit.b =
+  Sink.drive b (sink ?rounds ?window ?lookahead ?stats ?memo (Sink.circuit ()))

@@ -41,6 +41,8 @@ type stats = {
   mutable const_deleted : int;  (** gates with contradicted controls deleted *)
   mutable boxes_optimized : int;  (** box bodies rewritten *)
   mutable box_hits : int;  (** box bodies reused from the hash cache *)
+  mutable box_replayed : int;
+      (** box bodies served by per-angle replay of a skeleton memo *)
 }
 (** Per-rule counters, mirroring {!Passes}'s per-pass statistics. Box
     bodies share the counters of the sink that owns them. *)
@@ -62,11 +64,28 @@ val default_rounds : int
     paper's BWT and TF circuits the default stack reproduces the
     materialized fixpoint counts exactly. *)
 
+type memo
+(** A shareable box-body cache keyed on the {e skeleton} hash
+    ({!Quipper.Circuit.hash_skeleton_t} — structure modulo rotation
+    angles). Where the per-sink exact-hash cache misses on every point
+    of a parameter sweep, this memo recognises the recurring skeleton:
+    an angle-{e insensitive} body (no rewrite decision read an angle —
+    no rotation cancellation or fusion fired) is optimized once and
+    replayed per point by substituting the point's angles at the
+    recorded surviving sites; a body where an angle-dependent rewrite
+    fired is pinned sensitive and always re-optimizes. Either way the
+    output for a given body is independent of cache warmth. The memo is
+    mutex-protected and may be shared across sinks and domains. *)
+
+val memo : unit -> memo
+(** A fresh empty shareable skeleton memo. *)
+
 val sink :
   ?rounds:int ->
   ?window:int ->
   ?lookahead:int ->
   ?stats:stats ->
+  ?memo:memo ->
   'r Sink.t ->
   'r Sink.t
 (** [sink inner] optimizes the event stream into [inner]. [rounds]
@@ -83,6 +102,7 @@ val optimize_b :
   ?window:int ->
   ?lookahead:int ->
   ?stats:stats ->
+  ?memo:memo ->
   Circuit.b ->
   Circuit.b
 (** Run a materialized circuit through the streaming optimizer:

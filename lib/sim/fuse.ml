@@ -96,9 +96,42 @@ type block =
       mim : float array;
     }
 
+(* ------------------------------------------------------------------ *)
+(* Angle sites and re-specialization                                   *)
+
+(* A parameter sweep replays the same block structure at many rotation
+   angles. During a {e template} compile every [Rot]/[Phase] gate
+   carries its angle-site index in the whole circuit's [Circuit.angles]
+   vector (plus a negate flag: [Gate.inverse] on [Phase] bakes a
+   negated angle into the gate, so inverse box bodies substitute the
+   negated site value). A block that absorbed at least one sited gate
+   gets a {e spec}: a closure rebuilding the block bit-identically at a
+   new angle vector. Blocks with [None] spec are angle-independent and
+   shared across every parameter point. Normal (non-template) runs
+   carry no sites, so specs are all [None] and nothing is recorded. *)
+
+type site = (int * bool) option (* (angle index, negate) *)
+type gspec = (float array -> Gate.t) option
+type bspec = (float array -> block) option
+
+let subst_site (g : Gate.t) i neg (v : float array) : Gate.t =
+  let a = if neg then -.v.(i) else v.(i) in
+  match g with
+  | Gate.Rot r -> Gate.Rot { r with angle = a }
+  | Gate.Phase p -> Gate.Phase { p with angle = a }
+  | g -> g
+
+let gspec_of (g : Gate.t) (site : site) : gspec =
+  match site with
+  | None -> None
+  | Some (i, neg) -> Some (fun v -> subst_site g i neg v)
+
+let bspec_of_gate (gs : gspec) : bspec =
+  match gs with None -> None | Some f -> Some (fun v -> Bgate (f v))
+
 (* A boxed subroutine compiled to blocks over its body wires. *)
 type program = {
-  blocks : block array;
+  blocks : (block * bspec) array;
   p_in : Wire.endpoint list; (* formals, forward direction *)
   p_out : Wire.endpoint list;
 }
@@ -110,7 +143,7 @@ type program = {
    sweep pays O(2^k) work per amplitude, so when the accumulated run is
    too short to amortize that, the original items replay individually
    through the specialised kernels instead. *)
-type item = Igate of Gate.t | Iblock of block
+type item = Igate of Gate.t * gspec | Iblock of block * bspec
 
 type pending = {
   mutable wires : Wire.t array; (* local bit j <-> wires.(j) *)
@@ -121,6 +154,7 @@ type pending = {
   mutable mim : float array;
   mutable srcgates : int;
   mutable items : item list; (* reversed absorption order *)
+  mutable has_angle : bool; (* some absorbed item carries a spec *)
 }
 
 let pk p = Array.length p.wires
@@ -329,7 +363,7 @@ let absorb_block p (b : block) =
 
 type fuser = {
   cfg : config;
-  emit : block -> unit;
+  emit : block -> bspec -> unit;
   stats : stats;
   mutable pending : pending option;
 }
@@ -366,7 +400,45 @@ let fresh_pending ws =
     mim = [||];
     srcgates = 0;
     items = [];
+    has_angle = false;
   }
+
+(* Rebuild a fused block at a new angle vector: re-absorb the recorded
+   items, specialized, into a fresh pending over the block's {e final}
+   support. Bit-identical to the original incremental-growth absorption:
+   local bit positions never move once assigned (wires only append), a
+   duplicated diagonal table multiplies duplicated inputs to equal
+   products, a dense [I (x) M] extension applies equal float ops
+   blockwise (off-block entries stay exactly [0.0]), and promotion fires
+   at the same item because gate/block kinds are angle-independent. *)
+let respec ~diag ~wires ~(items : item list) (v : float array) : block =
+  let d = 1 lsl Array.length wires in
+  let p =
+    {
+      wires;
+      diag = true;
+      dre = Array.make d 1.0;
+      di = Array.make d 0.0;
+      mre = [||];
+      mim = [||];
+      srcgates = 0;
+      items = [];
+      has_angle = false;
+    }
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Igate (g, gs) ->
+          absorb_gate p (match gs with Some f -> f v | None -> g)
+      | Iblock (b, sp) ->
+          absorb_block p (match sp with Some f -> f v | None -> b))
+    items;
+  if diag then Bdiag { wires; ctrls = []; dre = p.dre; di = p.di }
+  else begin
+    promote p;
+    Bdense { wires; ctrls = []; mre = p.mre; mim = p.mim }
+  end
 
 (* Cost of applying one item, in units of one uncontrolled X sweep
    (~1 ms per 2^20 amplitudes on the reference machine). The constants
@@ -398,13 +470,13 @@ let gate_cost (g : Gate.t) =
       | _ -> 0.8)
 
 let item_cost = function
-  | Igate g | Iblock (Bgate g) -> gate_cost g
-  | Iblock (Bdiag _) -> diag_cost
-  | Iblock (Bdense { wires; _ }) -> dense_cost (Array.length wires)
+  | Igate (g, _) | Iblock (Bgate g, _) -> gate_cost g
+  | Iblock (Bdiag _, _) -> diag_cost
+  | Iblock (Bdense { wires; _ }, _) -> dense_cost (Array.length wires)
 
 let emit_item fz = function
-  | Igate g -> fz.emit (Bgate g)
-  | Iblock b -> fz.emit b
+  | Igate (g, gs) -> fz.emit (Bgate g) (bspec_of_gate gs)
+  | Iblock (b, sp) -> fz.emit b sp
 
 (* Flush the pending block: emit the fused form when it is estimated
    cheaper than replaying the absorbed items one by one, otherwise emit
@@ -423,12 +495,22 @@ let flush fz =
           let fused = if p.diag then diag_cost else dense_cost (pk p) in
           if fused < unfused then begin
             fz.stats.gates_fused <- fz.stats.gates_fused + p.srcgates;
+            let sp : bspec =
+              if not p.has_angle then None
+              else
+                let diag = p.diag
+                and wires = p.wires
+                and items = List.rev items in
+                Some (fun v -> respec ~diag ~wires ~items v)
+            in
             if p.diag then
               fz.emit
                 (Bdiag { wires = p.wires; ctrls = []; dre = p.dre; di = p.di })
+                sp
             else
               fz.emit
                 (Bdense { wires = p.wires; ctrls = []; mre = p.mre; mim = p.mim })
+                sp
           end
           else List.iter (emit_item fz) (List.rev items))
 
@@ -471,18 +553,19 @@ let yields_to_diag p ~diag ~fully_disjoint =
       List.fold_left (fun a it -> a +. item_cost it) 0.0 items
       <= dense_cost (pk p)
 
-let rec push_gate fz (g : Gate.t) =
+let rec push_gate fz (gs : gspec) (g : Gate.t) =
   let ws = gate_support g in
   let diag = Gate.is_diagonal g in
   match fz.pending with
   | None ->
       let cap = if diag then fz.cfg.max_diag_support else fz.cfg.max_support in
-      if List.length ws > cap then fz.emit (Bgate g)
+      if List.length ws > cap then fz.emit (Bgate g) (bspec_of_gate gs)
       else begin
         let p = fresh_pending ws in
         absorb_gate p g;
         p.srcgates <- 1;
-        p.items <- [ Igate g ];
+        p.items <- [ Igate (g, gs) ];
+        p.has_angle <- Option.is_some gs;
         fz.pending <- Some p
       end
   | Some p ->
@@ -505,33 +588,43 @@ let rec push_gate fz (g : Gate.t) =
         ensure_wires p ws;
         absorb_gate p g;
         p.srcgates <- p.srcgates + 1;
-        p.items <- Igate g :: p.items
+        p.items <- Igate (g, gs) :: p.items;
+        if Option.is_some gs then p.has_angle <- true
       end
       else if
         (not (yields_to_diag p ~diag ~fully_disjoint))
         && commutes_past p ~diag ~targets:(Gate.targets g) ~support:ws
-      then fz.emit (Bgate g)
+      then fz.emit (Bgate g) (bspec_of_gate gs)
       else begin
         flush fz;
-        push_gate fz g
+        push_gate fz gs g
       end
 
 (* Feed a replayed block through the fuser, so small compiled blocks
    merge with their surroundings; blocks that cannot be absorbed (too
    wide, classical controls) flush and apply as-is. *)
-let rec push_block fz (b : block) =
+let rec push_block fz (sp : bspec) (b : block) =
   match b with
   | Bgate g ->
-      if fusible g then push_gate fz g
+      if fusible g then
+        let gs : gspec =
+          match sp with
+          | None -> None
+          | Some f ->
+              Some
+                (fun v ->
+                  match f v with Bgate g' -> g' | _ -> assert false)
+        in
+        push_gate fz gs g
       else begin
         flush fz;
-        fz.emit (Bgate g)
+        fz.emit (Bgate g) sp
       end
   | Bdiag { wires; ctrls; _ } | Bdense { wires; ctrls; _ } -> (
       let diag = match b with Bdiag _ -> true | _ -> false in
       if not (all_quantum ctrls) then begin
         flush fz;
-        fz.emit b
+        fz.emit b sp
       end
       else
         let ws = Array.to_list wires @ qctrl_wires ctrls in
@@ -540,12 +633,13 @@ let rec push_block fz (b : block) =
             let cap =
               if diag then fz.cfg.max_diag_support else fz.cfg.max_support
             in
-            if List.length ws > cap then fz.emit b
+            if List.length ws > cap then fz.emit b sp
             else begin
               let p = fresh_pending ws in
               absorb_block p b;
               p.srcgates <- 1;
-              p.items <- [ Iblock b ];
+              p.items <- [ Iblock (b, sp) ];
+              p.has_angle <- Option.is_some sp;
               fz.pending <- Some p
             end
         | Some p ->
@@ -559,16 +653,17 @@ let rec push_block fz (b : block) =
               ensure_wires p ws;
               absorb_block p b;
               p.srcgates <- p.srcgates + 1;
-              p.items <- Iblock b :: p.items
+              p.items <- Iblock (b, sp) :: p.items;
+              if Option.is_some sp then p.has_angle <- true
             end
             else if
               (not (yields_to_diag p ~diag ~fully_disjoint))
               && commutes_past p ~diag ~targets:(Array.to_list wires)
                    ~support:ws
-            then fz.emit b
+            then fz.emit b sp
             else begin
               flush fz;
-              push_block fz b
+              push_block fz sp b
             end)
 
 (* ------------------------------------------------------------------ *)
@@ -600,6 +695,9 @@ type state = {
   compiled : box_cache;
   fresh : int ref; (* internal wires of replayed calls, negative *)
   fz : fuser; (* top-level fuser, emitting straight into [sv] *)
+  sites_boxes : (string, site array) Hashtbl.t;
+      (* template compiles only: per box name, the angle site of each
+         forward body gate (aligned with the body's gate array) *)
 }
 
 let apply_block st (b : block) =
@@ -648,7 +746,14 @@ let create ?(config = default_config) ?boxes ?seed () =
       hashes = Hashtbl.create 16;
       compiled = (match boxes with Some c -> c | None -> box_cache ());
       fresh = ref (-1);
-      fz = { cfg = config; emit = (fun b -> apply_block st b); stats; pending = None };
+      fz =
+        {
+          cfg = config;
+          emit = (fun b _ -> apply_block st b);
+          stats;
+          pending = None;
+        };
+      sites_boxes = Hashtbl.create 1;
     }
   in
   st
@@ -717,14 +822,15 @@ let remap_block rename (extra : Gate.control list) (b : block) : block =
 
 (* Feed one gate into a fuser ([fz] is the top-level fuser during
    simulation, an accumulator during box compilation — the same code
-   path, so compiled programs fuse exactly as streaming does). *)
-let rec feed st fz (g : Gate.t) =
+   path, so compiled programs fuse exactly as streaming does). [site]
+   is the gate's angle-site tag, [None] outside template compiles. *)
+let rec feed_site st fz (site : site) (g : Gate.t) =
   match g with
   | Gate.Comment _ -> ()
   | Gate.Subroutine { name; inv; inputs; outputs; controls } ->
       if st.cfg.cache then replay st fz ~name ~inv ~inputs ~outputs ~controls
       else expand st fz ~name ~inv ~inputs ~outputs ~controls
-  | g when fusible g -> push_gate fz g
+  | g when fusible g -> push_gate fz (gspec_of g site) g
   | g ->
       (* Barrier: measurement, Init/Term, classical logic, classically
          controlled or unknown gates. Most flush the pending block, but
@@ -752,11 +858,16 @@ let rec feed st fz (g : Gate.t) =
             | _ -> false)
       in
       if not commutes then flush fz;
-      fz.emit (Bgate g)
+      (* classically-controlled [Rot]/[Phase] are barriers but still
+         angle-bearing: their site survives as a single-gate spec *)
+      fz.emit (Bgate g) (bspec_of_gate (gspec_of g site))
 
 (* Replay a compiled program under a wire remap: formals map to the
    call's actual wires, internals to fresh negative ids; the call's
-   controls attach to every block. *)
+   controls attach to every block. Specs compose with the remap: the
+   rename map is fully populated by this (eager) replay, and specs only
+   run after compilation completes, so the closure reads a frozen
+   table. *)
 and replay st fz ~name ~inv ~inputs ~outputs ~controls =
   let prog = compiled_program st ~name ~inv in
   st.st_stats.calls_replayed <- st.st_stats.calls_replayed + 1;
@@ -776,7 +887,15 @@ and replay st fz ~name ~inv ~inputs ~outputs ~controls =
         Hashtbl.replace map w w';
         w'
   in
-  Array.iter (fun b -> push_block fz (remap_block rename controls b)) prog.blocks
+  Array.iter
+    (fun (b, sp) ->
+      let sp' =
+        match sp with
+        | None -> None
+        | Some f -> Some (fun v -> remap_block rename controls (f v))
+      in
+      push_block fz sp' (remap_block rename controls b))
+    prog.blocks
 
 (* Cache off: structural expansion (what [Sink.unbox] does), still
    fusing across the call boundary. *)
@@ -802,7 +921,8 @@ and expand st fz ~name ~inv ~inputs ~outputs ~controls =
         w'
   in
   Array.iter
-    (fun g -> feed st fz (Gate.add_controls controls (Gate.rename rename g)))
+    (fun g ->
+      feed_site st fz None (Gate.add_controls controls (Gate.rename rename g)))
     body
 
 (* Compile a box body to a block program, memoized per
@@ -822,16 +942,45 @@ and compiled_program st ~name ~inv : program =
   | None ->
       let { Circuit.circ; _ } = find_def st name in
       let body = body_of circ inv in
+      (* align the body's angle sites with [body_of]'s expansion:
+         forward bodies use the recorded row as-is; inverse bodies drop
+         comments, reverse, and toggle the negate flag on [Phase] sites
+         ([Gate.inverse] bakes the negated angle into the gate) *)
+      let sites =
+        match Hashtbl.find_opt st.sites_boxes name with
+        | None -> None
+        | Some fwd when not inv -> Some fwd
+        | Some fwd ->
+            let acc = ref [] in
+            Array.iteri
+              (fun i g ->
+                if not (Gate.is_comment g) then begin
+                  let s =
+                    match (g, fwd.(i)) with
+                    | Gate.Phase _, Some (j, neg) -> Some (j, not neg)
+                    | _, s -> s
+                  in
+                  acc := s :: !acc
+                end)
+              circ.Circuit.gates;
+            Some (Array.of_list !acc)
+      in
       let acc = ref [] in
       let cfz =
         {
           cfg = st.cfg;
-          emit = (fun b -> acc := b :: !acc);
+          emit = (fun b sp -> acc := (b, sp) :: !acc);
           stats = st.st_stats;
           pending = None;
         }
       in
-      Array.iter (feed st cfz) body;
+      Array.iteri
+        (fun i g ->
+          let site =
+            match sites with None -> None | Some arr -> arr.(i)
+          in
+          feed_site st cfz site g)
+        body;
       flush cfz;
       let prog =
         {
@@ -859,7 +1008,7 @@ and compiled_program st ~name ~inv : program =
 
 let apply_gate st (g : Gate.t) =
   st.st_stats.gates_seen <- st.st_stats.gates_seen + 1;
-  feed st st.fz g
+  feed_site st st.fz None g
 
 let flush_pending st = flush st.fz
 
@@ -929,4 +1078,94 @@ let run_circuit ?config ?boxes ?seed (b : Circuit.b) (inputs : bool list) :
     b.Circuit.main.Circuit.inputs inputs;
   Array.iter (apply_gate st) b.Circuit.main.Circuit.gates;
   flush st.fz;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Templates: compile once, re-specialize per parameter point          *)
+
+type template = {
+  t_blocks : (block * bspec) array; (* whole-run block trace, in order *)
+  t_nsites : int; (* length of the expected angle vector *)
+}
+
+let template_sites t = t.t_nsites
+
+let template_fused_blocks t =
+  Array.fold_left
+    (fun n (b, _) -> match b with Bgate _ -> n | _ -> n + 1)
+    0 t.t_blocks
+
+let template_specialized_blocks t =
+  Array.fold_left
+    (fun n (_, sp) -> if Option.is_some sp then n + 1 else n)
+    0 t.t_blocks
+
+let compile_template ?(config = default_config) (b : Circuit.b)
+    (inputs : bool list) : template =
+  (* Box replay is what makes specs carry whole-circuit site indices;
+     a [cache = false] expansion would silently bake template angles
+     into unsited blocks, so force it on. The compilation cache is
+     private to this template: its programs carry this circuit's site
+     numbering and must not leak into shared caches. *)
+  let config = { config with cache = true } in
+  let st = create ~config () in
+  List.iter
+    (fun name -> define st name (Circuit.Namespace.find name b.Circuit.subs))
+    b.Circuit.sub_order;
+  (if List.length inputs <> List.length b.Circuit.main.Circuit.inputs then
+     Errors.raise_ (Shape_mismatch "template: input arity"));
+  (* whole-circuit angle-site numbering, in [Circuit.angles] order:
+     main gates first, then each box body in [sub_order] *)
+  let ctr = ref 0 in
+  let site_row (c : Circuit.t) : site array =
+    Array.map
+      (fun g ->
+        match g with
+        | Gate.Rot _ | Gate.Phase _ ->
+            let i = !ctr in
+            incr ctr;
+            Some (i, false)
+        | _ -> None)
+      c.Circuit.gates
+  in
+  let main_sites = site_row b.Circuit.main in
+  List.iter
+    (fun name ->
+      let s = Circuit.Namespace.find name b.Circuit.subs in
+      Hashtbl.replace st.sites_boxes name (site_row s.Circuit.circ))
+    b.Circuit.sub_order;
+  let acc = ref [] in
+  let cfz =
+    {
+      cfg = config;
+      emit = (fun blk sp -> acc := (blk, sp) :: !acc);
+      stats = st.st_stats;
+      pending = None;
+    }
+  in
+  List.iter2
+    (fun (e : Wire.endpoint) v ->
+      feed_site st cfz None
+        (Gate.Init { ty = e.Wire.ty; value = v; wire = e.Wire.wire }))
+    b.Circuit.main.Circuit.inputs inputs;
+  Array.iteri
+    (fun i g -> feed_site st cfz main_sites.(i) g)
+    b.Circuit.main.Circuit.gates;
+  flush cfz;
+  { t_blocks = Array.of_list (List.rev !acc); t_nsites = !ctr }
+
+let specialize (t : template) (v : float array) : block array =
+  if Array.length v <> t.t_nsites then
+    Errors.invalidf "template: expected %d angles, got %d" t.t_nsites
+      (Array.length v);
+  Array.map (fun (b, sp) -> match sp with None -> b | Some f -> f v) t.t_blocks
+
+let run_template ?config ?seed (t : template) (v : float array) : state =
+  (* The recorded trace already ends in a flush, so applying the
+     specialized blocks in order reproduces exactly the [apply_block]
+     sequence (and hence the statevector and RNG stream) that
+     [run_circuit (Circuit.subst_angles b v) inputs] performs. *)
+  let st = create ?config ?seed () in
+  let blocks = specialize t v in
+  Array.iter (fun blk -> apply_block st blk) blocks;
   st

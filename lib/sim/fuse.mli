@@ -136,3 +136,56 @@ val run_circuit :
 (** Run a generated hierarchical circuit on basis-state inputs,
     compiling and replaying its boxed subroutines ([boxes] shares the
     compiled programs across runs — the shot service's warm path). *)
+
+(** {2 Parameter-sweep templates}
+
+    A parameterized circuit family — one skeleton instantiated at many
+    rotation angles — recompiles everything the fuser decides
+    {e structurally} (block boundaries, commutation scheduling, wire
+    remaps, dense/diagonal classification, box replay plumbing) on
+    every point, even though none of those decisions depend on the
+    angles. [compile_template] runs the whole fusion pipeline once and
+    records the emitted block trace, with each angle-dependent block
+    carrying a re-specialization closure; [run_template] then serves a
+    new parameter point by substituting only the rotation/diagonal
+    kernel entries.
+
+    Re-specialization is {e bit-identical} to a from-scratch
+    [run_circuit (Circuit.subst_angles b v) inputs] at the same seed:
+    block rebuild replays the recorded absorption arithmetic over the
+    block's final support (pointwise-equal float operations), all
+    scheduling decisions are angle-independent, and the apply order is
+    the recorded order — so amplitudes, measurement outcomes and the
+    RNG stream all coincide exactly, not merely within a float
+    tolerance. *)
+
+type template
+(** A compiled angle-generic block program for one
+    [(Circuit.hash_skeleton, inputs)] class. *)
+
+val compile_template :
+  ?config:config -> Circuit.b -> bool list -> template
+(** Compile circuit + basis inputs into a reusable template. The box
+    cache used is private (compiled programs carry this circuit's
+    angle-site numbering); [config.cache] is forced on. The angle
+    vector expected by {!run_template} follows {!Circuit.angles} order
+    and the template was built at the circuit's own angles, so
+    [run_template t (Circuit.angles b)] reproduces the original
+    circuit. *)
+
+val template_sites : template -> int
+(** Expected angle-vector length ([= Circuit.num_angles] of the source). *)
+
+val template_fused_blocks : template -> int
+(** Number of fused (non-single-gate) blocks in the trace. *)
+
+val template_specialized_blocks : template -> int
+(** Number of blocks that are angle-dependent (re-specialized per
+    point); the remainder are shared verbatim across every point. *)
+
+val run_template : ?config:config -> ?seed:int -> template -> float array -> state
+(** Apply the template's blocks, re-specialized at the given angle
+    vector, to a fresh state. Raises if the vector length differs from
+    {!template_sites}. [config] only affects bookkeeping of the fresh
+    state (the trace is already compiled); [seed] seeds its RNG exactly
+    as [run_circuit]'s. *)

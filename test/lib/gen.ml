@@ -23,6 +23,9 @@ type op =
   | CNot of int * int
   | Toffoli of int * bool * int * bool * int (* (c1, sign1, c2, sign2, target) *)
   | Swap of int * int
+  | Rz of int * float
+  | Rx of int * float
+  | GPhase of float (* observable only under controls *)
   | Controlled_block of int * op list
   | Ancilla_block of int * op list (* control index for a CNOT onto the ancilla *)
 
@@ -68,6 +71,36 @@ let rec op_gen ~n ~depth : op QCheck2.Gen.t =
 
 let program_gen ?(min_ops = 1) ?(max_ops = 15) ?(depth = 2) ~n () : op list QCheck2.Gen.t =
   QCheck2.Gen.(list_size (int_range min_ops max_ops) (op_gen ~n ~depth))
+
+(* The angle-bearing extension: the general mix plus Z/X rotations and
+   global phases at arbitrary angles — the circuits parameter sweeps are
+   made of. A separate generator so the angle-free suites keep their
+   historical distributions (and shrink traces). *)
+let rec rot_op_gen ~n ~depth : op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = int_range 0 (n - 1) in
+  let angle = float_range (-1.5) 1.5 in
+  let recursive =
+    if depth <= 0 then []
+    else
+      [
+        ( 1,
+          pair idx (list_size (int_range 1 4) (rot_op_gen ~n ~depth:(depth - 1)))
+          >|= fun (c, ops) -> Controlled_block (c, ops) );
+      ]
+  in
+  frequency
+    ([
+       (2, op_gen ~n ~depth:0);
+       (3, pair idx angle >|= fun (i, a) -> Rz (i, a));
+       (2, pair idx angle >|= fun (i, a) -> Rx (i, a));
+       (1, angle >|= fun a -> GPhase a);
+     ]
+    @ recursive)
+
+let rot_program_gen ?(min_ops = 1) ?(max_ops = 15) ?(depth = 2) ~n () :
+    op list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range min_ops max_ops) (rot_op_gen ~n ~depth))
 
 (* Restricted op generators for the differential-simulation harness:
    each simulator pair is exercised on the fragment of the gate set both
@@ -188,6 +221,9 @@ let rec interp (qs : Wire.qubit array) (o : op) : unit Circ.t =
              [ (if s1 then ctl qs.(a) else ctl_neg qs.(a));
                (if s2 then ctl qs.(b) else ctl_neg qs.(b)) ]
       else return ()
+  | Rz (i, a) -> rot_Z a qs.(i mod n)
+  | Rx (i, a) -> rot_X a qs.(i mod n)
+  | GPhase a -> global_phase a
   | Controlled_block (c, ops) ->
       let c = c mod n in
       (* avoid self-controls: restrict the block to the other wires *)

@@ -25,5 +25,6 @@ let () =
       ("fuse", Test_fuse.suite);
       ("frame", Test_frame.suite);
       ("serve", Test_serve.suite);
+      ("sweep", Test_sweep.suite);
       ("estimate", Test_estimate.suite);
     ]
